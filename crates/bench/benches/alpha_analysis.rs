@@ -1,0 +1,29 @@
+//! Sequence-analysis kernels: α counting, sliding-window statistics and
+//! the degree metric (the quantities behind Definitions 2–3 and Table 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mph_core::{alpha, pbr_sequence, sequence_degree, window_stats};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_analysis(c: &mut Criterion) {
+    let e = 14usize;
+    let seq = pbr_sequence(e);
+    let mut g = c.benchmark_group("alpha_analysis");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    g.bench_function("alpha_e14", |b| b.iter(|| black_box(alpha(&seq, e))));
+    for q in [4usize, 64, 1024] {
+        g.bench_with_input(BenchmarkId::new("window_stats", q), &q, |b, &q| {
+            b.iter(|| black_box(window_stats(&seq, e, q)))
+        });
+    }
+    g.bench_function("sequence_degree_e14", |b| {
+        b.iter(|| black_box(sequence_degree(&seq, e)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

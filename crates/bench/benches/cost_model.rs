@@ -1,0 +1,35 @@
+//! Analytic cost-model throughput: phase-model construction, single-Q
+//! evaluation (shallow and deep) and the full optimal-Q search — the inner
+//! loop of the Figure-2 regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mph_ccpipe::{optimize_q, CcCube, Machine, PhaseCostModel};
+use mph_core::OrderingFamily;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let e = 10usize;
+    let elems = 2f64.powi(23);
+    let machine = Machine::paper_figure2();
+    let cc = CcCube::exchange_phase(OrderingFamily::PermutedBr, e, elems);
+    let model = PhaseCostModel::new(&cc, machine);
+    let k = cc.k();
+
+    let mut g = c.benchmark_group("cost_model");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    g.bench_function("model_build_e10", |b| {
+        b.iter(|| black_box(PhaseCostModel::new(&cc, machine)))
+    });
+    g.bench_function("cost_shallow_q64", |b| b.iter(|| black_box(model.cost(64))));
+    g.bench_function("cost_deep_q4k", |b| b.iter(|| black_box(model.cost(4 * k))));
+    g.bench_function("optimize_q_e10", |b| {
+        b.iter(|| black_box(optimize_q(&model, elems)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Eigensolver throughput: one sweep of the block algorithm per ordering
+//! family (the unit of work behind the Table-2 convergence study), plus the
+//! sequential reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mph_core::OrderingFamily;
+use mph_eigen::{block_jacobi, one_sided_cyclic, JacobiOptions};
+use mph_linalg::symmetric::random_symmetric;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_eigensolve(c: &mut Criterion) {
+    let a = random_symmetric(48, 7);
+    let one_sweep = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
+    let mut g = c.benchmark_group("eigensolve");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    g.bench_function("one_sided_cyclic_sweep_m48", |b| {
+        b.iter(|| black_box(one_sided_cyclic(&a, &one_sweep)))
+    });
+    for family in [OrderingFamily::Br, OrderingFamily::PermutedBr, OrderingFamily::Degree4] {
+        g.bench_with_input(
+            BenchmarkId::new("block_jacobi_sweep_m48_d2", family.name()),
+            &family,
+            |b, &family| b.iter(|| black_box(block_jacobi(&a, 2, family, &one_sweep))),
+        );
+    }
+    g.bench_function("block_jacobi_converge_m32_d2", |b| {
+        let a = random_symmetric(32, 9);
+        b.iter(|| {
+            black_box(block_jacobi(&a, 2, OrderingFamily::Degree4, &JacobiOptions::default()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_eigensolve);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Threaded-multicomputer overhead: one forced sweep of the distributed
+//! block Jacobi (thread spawn + channel traffic + rotations) versus the
+//! logical single-threaded driver on the same problem.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mph_core::OrderingFamily;
+use mph_eigen::{block_jacobi, block_jacobi_threaded, JacobiOptions};
+use mph_linalg::symmetric::random_symmetric;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_runtime(c: &mut Criterion) {
+    let a = random_symmetric(32, 4);
+    let opts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
+    let mut g = c.benchmark_group("runtime_threaded");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    g.bench_function("logical_sweep_m32_d2", |b| {
+        b.iter(|| black_box(block_jacobi(&a, 2, OrderingFamily::Degree4, &opts)))
+    });
+    g.bench_function("threaded_sweep_m32_d2", |b| {
+        b.iter(|| black_box(block_jacobi_threaded(&a, 2, OrderingFamily::Degree4, &opts)))
+    });
+    g.bench_function("threaded_sweep_m32_d3", |b| {
+        b.iter(|| black_box(block_jacobi_threaded(&a, 3, OrderingFamily::Degree4, &opts)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

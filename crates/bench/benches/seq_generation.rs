@@ -1,0 +1,30 @@
+//! Generation cost of the ordering link sequences (Table-1 machinery):
+//! BR and degree-4 are simple doubling recursions; permuted-BR adds the
+//! transformation tree walk with permutation composition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mph_core::{br_sequence, d4_sequence, pbr_sequence};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequence_generation");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for e in [10usize, 14, 18] {
+        g.bench_with_input(BenchmarkId::new("br", e), &e, |b, &e| {
+            b.iter(|| black_box(br_sequence(e)))
+        });
+        g.bench_with_input(BenchmarkId::new("permuted_br", e), &e, |b, &e| {
+            b.iter(|| black_box(pbr_sequence(e)))
+        });
+        g.bench_with_input(BenchmarkId::new("degree4", e), &e, |b, &e| {
+            b.iter(|| black_box(d4_sequence(e)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Runs every experiment regenerator in sequence (Tables 1–2, Figure 2,
+//! Figures 1/3 artifacts, min-α report, X1–X3) by invoking the sibling
+//! binaries. Results land in `results/`.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let bins = [
+        "table1",
+        "table2",
+        "figure2",
+        "figure1_path",
+        "figure3_transforms",
+        "minalpha_report",
+        "validate_simnet",
+        "ablation_ports",
+        "ablation_q",
+        "ablation_tolerance",
+        "exec_speedup",
+        "threaded_scaling",
+    ];
+    for bin in bins {
+        let path = dir.join(bin);
+        println!("\n######## running {bin} ########");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("\nAll experiments completed; see results/*.csv and EXPERIMENTS.md.");
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Figure 3**: the transpositions of the four transformations
+//! that turn `D_17^BR` into `D_17^{p-BR}` (e = 17 ⇒ e−1 = 2^4 ⇒ 4
+//! transformations), in the paper's layout.
+
+use mph_bench::banner;
+use mph_core::{pbr_sequence, pbr_transformations, PbrConvention};
+use mph_hypercube::{is_link_sequence_hamiltonian, link_sequence_alpha};
+
+fn main() {
+    let e = 17usize;
+    banner("Figure 3 — transformations generating D_17^{p-BR}");
+    let transforms = pbr_transformations(e, PbrConvention::DEFAULT);
+    let ordinal = |n: usize| match n % 10 {
+        1 if n % 100 != 11 => format!("{n}st"),
+        2 if n % 100 != 12 => format!("{n}nd"),
+        3 if n % 100 != 13 => format!("{n}rd"),
+        _ => format!("{n}th"),
+    };
+    for (k, transform) in transforms.iter().enumerate() {
+        println!("\n{} transformation:", ordinal(k + 1));
+        for ap in transform {
+            let sub_size = e - k - 1;
+            println!(
+                "  {} {}-subsequence: {}",
+                ordinal(ap.subsequence_index),
+                sub_size,
+                ap.permutation
+            );
+        }
+    }
+    let seq = pbr_sequence(e);
+    assert!(is_link_sequence_hamiltonian(&seq, e));
+    println!(
+        "\nResulting D_17^{{p-BR}}: {} elements, α = {} \
+         (lower bound {}, Theorem-2 bound {:.0})",
+        seq.len(),
+        link_sequence_alpha(&seq),
+        mph_core::alpha_lower_bound(e),
+        mph_core::pbr::theorem2_alpha_bound(e)
+    );
+}

@@ -1,0 +1,54 @@
+//! Regenerates **Table 2**: sweeps to convergence of the BR, permuted-BR
+//! and degree-4 orderings over the paper's `(m, P)` grid — 30 random
+//! symmetric matrices with `U(−1, 1)` entries per cell, mean of the integer
+//! sweep counts.
+//!
+//! Absolute values depend on the (unstated) tolerance; the reproduction
+//! target is the *shape*: all three orderings converge in practically the
+//! same number of sweeps, growing slowly with `m` (paper band: 3.2–6.1).
+
+use mph_bench::{banner, write_csv};
+use mph_core::OrderingFamily;
+use mph_eigen::{convergence_stats, table2_grid, JacobiOptions};
+
+fn main() {
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(30);
+    let tol = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(JacobiOptions::default().tol);
+    let opts = JacobiOptions { tol, ..Default::default() };
+    banner(&format!(
+        "Table 2 — mean sweeps over {trials} random matrices (tol = {:.0e}·‖A‖_F)",
+        opts.tol
+    ));
+    println!(
+        "{:>4} {:>4} {:>8} {:>14} {:>10}",
+        "m", "P", "BR", "permuted-BR", "degree-4"
+    );
+    let families =
+        [OrderingFamily::Br, OrderingFamily::PermutedBr, OrderingFamily::Degree4];
+    let mut rows = Vec::new();
+    for (m, p) in table2_grid() {
+        let mut means = Vec::new();
+        for family in families {
+            let s = convergence_stats(family, m, p, trials, &opts, 0xC0FFEE + m as u64);
+            assert_eq!(s.failures, 0, "non-convergence at m={m} P={p} {family}");
+            means.push(s.mean_sweeps);
+        }
+        println!(
+            "{m:>4} {p:>4} {:>8.2} {:>14.2} {:>10.2}",
+            means[0], means[1], means[2]
+        );
+        rows.push(format!("{m},{p},{:.3},{:.3},{:.3}", means[0], means[1], means[2]));
+    }
+    write_csv("table2.csv", "m,P,br,permuted_br,degree4", &rows);
+    println!(
+        "\nPaper's Table 2 band: 3.23–6.03 sweeps; identical columns across orderings\n\
+         (\"the convergence rates of the proposed orderings appear to be practically\n\
+         the same as that of the BR ordering\")."
+    );
+}

@@ -1,0 +1,72 @@
+//! Experiment X6: wall-clock scaling of the threaded multicomputer solver
+//! on this machine — the reproduction substrate measured for real, not
+//! modeled. One forced sweep of the block one-sided Jacobi per
+//! configuration (median of several runs).
+
+use mph_bench::{banner, write_csv};
+use mph_core::OrderingFamily;
+use mph_eigen::{block_jacobi, block_jacobi_threaded, JacobiOptions};
+use mph_linalg::symmetric::random_symmetric;
+use std::time::Instant;
+
+fn median_time(mut f: impl FnMut(), reps: usize) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[reps / 2]
+}
+
+fn main() {
+    let m = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(256);
+    let reps = 5;
+    let a = random_symmetric(m, 99);
+    let opts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
+    banner(&format!("X6 — threaded solver wall-clock, one sweep of m = {m}"));
+
+    let seq = median_time(
+        || {
+            let _ = block_jacobi(&a, 0, OrderingFamily::Br, &opts);
+        },
+        reps,
+    );
+    println!("logical single-thread reference: {:.1} ms\n", seq * 1e3);
+    println!(
+        "{:>3} {:>8} {:>12} {:>10} {:>11}",
+        "d", "threads", "median (ms)", "speedup", "efficiency"
+    );
+    let mut rows = Vec::new();
+    for d in 0..=4usize {
+        let t = median_time(
+            || {
+                let _ = block_jacobi_threaded(&a, d, OrderingFamily::Degree4, &opts);
+            },
+            reps,
+        );
+        let speedup = seq / t;
+        let eff = speedup / (1usize << d) as f64;
+        println!(
+            "{d:>3} {:>8} {:>12.1} {:>10.2} {:>11.2}",
+            1 << d,
+            t * 1e3,
+            speedup,
+            eff
+        );
+        rows.push(format!("{d},{},{:.6},{:.3},{:.3}", 1 << d, t, speedup, eff));
+    }
+    write_csv("threaded_scaling.csv", "d,threads,median_s,speedup,efficiency", &rows);
+    println!(
+        "\nNotes: the logical and threaded drivers execute identical rotations; the\n\
+         gap is thread spawn + channel traffic. The logical reference additionally\n\
+         evaluates the O(m³) off-norm twice (the threaded driver's convergence\n\
+         check is an all-reduce instead), which inflates small-d speedups slightly.\n\
+         Attainable speedup is capped by the machine's core count."
+    );
+}

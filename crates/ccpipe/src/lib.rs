@@ -1,0 +1,40 @@
+//! CC-cube algorithms and communication pipelining — a full reconstruction
+//! of the machinery of Díaz de Cerio, González & Valero-García,
+//! *"Communication pipelining in hypercubes"* (Parallel Processing Letters
+//! 6(4), 1996), which the IPPS'98 Jacobi-orderings paper builds on.
+//!
+//! * [`cccube`] — the CC-cube algorithm class (SPMD loop, one hypercube
+//!   dimension per iteration);
+//! * [`pipelining`] — the pipelined CC-cube: packetization into `Q` packets
+//!   and the prologue/kernel/epilogue stage schedule, in shallow
+//!   (`Q ≤ K`) and deep (`Q > K`) modes;
+//! * [`machine`] — the `Ts`/`Tw`/port machine model;
+//! * [`cost`] — analytic phase costs with O(1) deep-mode evaluation;
+//! * [`optimum`] — the optimal pipelining degree;
+//! * [`lowerbound`] — the ideal-sequence lower bound of Figure 2;
+//! * [`sweepcost`] — full-sweep composition and the Figure-2 data points.
+
+pub mod cccube;
+pub mod cost;
+pub mod execution;
+pub mod lowerbound;
+pub mod machine;
+pub mod optimum;
+pub mod pipelining;
+pub mod sweepcost;
+
+pub use cccube::CcCube;
+pub use cost::PhaseCostModel;
+pub use execution::{
+    efficiency, pipelined_sweep_time, speedup, unpipelined_sweep_time, ComputeModel, SweepTime,
+};
+pub use lowerbound::{strict_stage_lower_bound, LowerBoundModel};
+pub use machine::{Machine, PortModel};
+pub use optimum::{optimize_q, OptimalQ};
+pub use pipelining::{
+    mode_of, pipelined_schedule, PipelineMode, PipelinedSchedule, Stage, StagePhase,
+};
+pub use sweepcost::{
+    elems_per_transfer, figure2_point, lower_bound_sweep_cost, pipelined_sweep_cost,
+    unpipelined_sweep_cost, Figure2Point, PhaseOutcome, SweepCost, Workload,
+};

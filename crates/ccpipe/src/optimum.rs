@@ -1,0 +1,186 @@
+//! Optimal pipelining degree (ref \[9\]'s "procedure to compute it").
+//!
+//! The cost of a pipelined exchange phase trades start-up overhead (more
+//! stages, each paying one `Ts` per active link) against transmission
+//! overlap (smaller packets, more links busy at once). The optimum `Q` is
+//! found by evaluating [`PhaseCostModel::cost`] over a candidate set:
+//! every small `Q`, a geometric grid up to the packet-count ceiling, the
+//! shallow/deep boundary `Q = K`, and the closed-form deep-mode minimum
+//! `Q* = √(c/a)`; the best grid point is then refined by integer ternary
+//! search between its neighbors. The cost curve is piecewise smooth and
+//! near-unimodal in each mode, so this matches exhaustive search in tests.
+
+use crate::cost::PhaseCostModel;
+use crate::pipelining::{mode_of, PipelineMode};
+
+/// Result of optimizing the pipelining degree of one phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalQ {
+    pub q: usize,
+    pub cost: f64,
+    pub mode: PipelineMode,
+}
+
+/// Finds the best integer `Q ∈ [1, q_max]` for the phase.
+///
+/// `q_max` is the packetization ceiling — a packet must carry at least one
+/// element, so `q_max = message_elems` (callers pass it as `f64` because
+/// Figure 2's block sizes exceed `usize` on no machine we care about, but
+/// may exceed what is worth scanning; values above `2^40` are clamped).
+pub fn optimize_q(model: &PhaseCostModel, q_max: f64) -> OptimalQ {
+    let hard_cap: f64 = 2f64.powi(40);
+    let q_max = q_max.min(hard_cap).max(1.0) as usize;
+    let k = model.k;
+
+    let mut candidates: Vec<usize> = Vec::with_capacity(256);
+    // All small Q exactly.
+    for q in 1..=64.min(q_max) {
+        candidates.push(q);
+    }
+    // Geometric grid.
+    let mut q = 64f64;
+    while (q as usize) < q_max {
+        q *= 1.25;
+        candidates.push((q as usize).min(q_max));
+    }
+    // Mode boundary and its neighborhood.
+    for cand in [k.saturating_sub(1), k, k + 1] {
+        if cand >= 1 && cand <= q_max {
+            candidates.push(cand);
+        }
+    }
+    // Closed-form deep minimum.
+    if let Some(qstar) = model.deep_optimum_candidate() {
+        for cand in [qstar.floor() as usize, qstar.ceil() as usize] {
+            if cand >= k && cand <= q_max {
+                candidates.push(cand);
+            }
+        }
+    }
+    candidates.push(q_max);
+    candidates.sort_unstable();
+    candidates.dedup();
+
+    let mut best_idx = 0;
+    let mut best_cost = f64::INFINITY;
+    for (i, &q) in candidates.iter().enumerate() {
+        let c = model.cost(q);
+        if c < best_cost {
+            best_cost = c;
+            best_idx = i;
+        }
+    }
+
+    // Integer ternary refinement between the grid neighbors of the best.
+    let lo = if best_idx == 0 { candidates[0] } else { candidates[best_idx - 1] };
+    let hi = if best_idx + 1 == candidates.len() {
+        candidates[best_idx]
+    } else {
+        candidates[best_idx + 1]
+    };
+    let (mut lo, mut hi) = (lo, hi);
+    while hi - lo > 2 {
+        let m1 = lo + (hi - lo) / 3;
+        let m2 = hi - (hi - lo) / 3;
+        if model.cost(m1) <= model.cost(m2) {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    let mut best_q = candidates[best_idx];
+    for q in lo..=hi {
+        let c = model.cost(q);
+        if c < best_cost {
+            best_cost = c;
+            best_q = q;
+        }
+    }
+
+    OptimalQ { q: best_q, cost: best_cost, mode: mode_of(k, best_q) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cccube::CcCube;
+    use crate::machine::Machine;
+    use mph_core::OrderingFamily;
+
+    fn exhaustive_best(model: &PhaseCostModel, q_max: usize) -> (usize, f64) {
+        let mut best = (1usize, f64::INFINITY);
+        for q in 1..=q_max {
+            let c = model.cost(q);
+            if c < best.1 {
+                best = (q, c);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_exhaustive_search_small() {
+        let machine = Machine::paper_figure2();
+        for family in [OrderingFamily::Br, OrderingFamily::PermutedBr, OrderingFamily::Degree4] {
+            for e in [3usize, 4, 5] {
+                for elems in [8.0, 100.0, 3000.0] {
+                    let cc = CcCube::exchange_phase(family, e, elems);
+                    let model = PhaseCostModel::new(&cc, machine);
+                    let got = optimize_q(&model, elems);
+                    let (_, want_cost) = exhaustive_best(&model, elems as usize);
+                    assert!(
+                        got.cost <= want_cost * (1.0 + 1e-12),
+                        "{family} e={e} elems={elems}: got {} want {}",
+                        got.cost,
+                        want_cost
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_cost_never_exceeds_unpipelined() {
+        let machine = Machine::paper_figure2();
+        for e in 2..=9 {
+            let cc = CcCube::exchange_phase(OrderingFamily::PermutedBr, e, 1e6);
+            let model = PhaseCostModel::new(&cc, machine);
+            let opt = optimize_q(&model, 1e6);
+            assert!(opt.cost <= model.unpipelined_cost() + 1e-9, "e={e}");
+        }
+    }
+
+    #[test]
+    fn huge_messages_push_into_deep_mode() {
+        // With transmission dominating, the optimizer should pick deep
+        // pipelining for permuted-BR (its α is near-optimal).
+        let machine = Machine::paper_figure2();
+        let cc = CcCube::exchange_phase(OrderingFamily::PermutedBr, 6, 1e12);
+        let model = PhaseCostModel::new(&cc, machine);
+        let opt = optimize_q(&model, 1e12);
+        assert_eq!(opt.mode, PipelineMode::Deep, "q={}", opt.q);
+    }
+
+    #[test]
+    fn tiny_messages_stay_unpipelined() {
+        // One element per transition: no packets to split.
+        let machine = Machine::paper_figure2();
+        let cc = CcCube::exchange_phase(OrderingFamily::Degree4, 6, 1.0);
+        let model = PhaseCostModel::new(&cc, machine);
+        let opt = optimize_q(&model, 1.0);
+        assert_eq!(opt.q, 1);
+        assert_eq!(opt.mode, PipelineMode::Unpipelined);
+    }
+
+    #[test]
+    fn start_up_free_machine_wants_maximal_q() {
+        // Ts = 0 removes the pipelining penalty entirely: cost is
+        // non-increasing in Q, so the optimum is at the cap.
+        let machine = Machine::all_port(0.0, 100.0);
+        let cc = CcCube::exchange_phase(OrderingFamily::PermutedBr, 4, 4096.0);
+        let model = PhaseCostModel::new(&cc, machine);
+        let opt = optimize_q(&model, 4096.0);
+        let at_cap = model.cost(4096);
+        assert!(opt.cost <= at_cap * (1.0 + 1e-12));
+    }
+}

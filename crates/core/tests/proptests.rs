@@ -1,0 +1,164 @@
+//! Property-based tests for the ordering core: every family must produce
+//! valid `e`-sequences, the permutation algebra must satisfy group laws,
+//! and — the paper's correctness core — every sweep must pair every block
+//! pair exactly once from any placement, under any sweep rotation.
+
+use mph_core::{
+    alpha, alpha_lower_bound, pbr_sequence_with, sequence_degree, trace_sweep,
+    validate_sweep_coverage, BlockLayout, OrderingFamily, PbrConvention, Permutation,
+    SweepSchedule,
+};
+use mph_hypercube::is_link_sequence_hamiltonian;
+use proptest::prelude::*;
+
+fn family_strategy() -> impl Strategy<Value = OrderingFamily> {
+    prop_oneof![
+        Just(OrderingFamily::Br),
+        Just(OrderingFamily::PermutedBr),
+        Just(OrderingFamily::Degree4),
+        Just(OrderingFamily::MinAlpha),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_family_sequence_is_hamiltonian(family in family_strategy(), e in 1usize..=12) {
+        let seq = family.sequence(e);
+        prop_assert!(is_link_sequence_hamiltonian(&seq, e), "{family} e={e}");
+    }
+
+    #[test]
+    fn alpha_respects_the_lower_bound(family in family_strategy(), e in 1usize..=12) {
+        let seq = family.sequence(e);
+        prop_assert!(alpha(&seq, e) >= alpha_lower_bound(e));
+    }
+
+    #[test]
+    fn degree_is_bounded_by_e(family in family_strategy(), e in 2usize..=10) {
+        let seq = family.sequence(e);
+        let deg = sequence_degree(&seq, e);
+        prop_assert!(deg >= 1 && deg <= e);
+    }
+
+    #[test]
+    fn pbr_all_conventions_stay_hamiltonian(e in 2usize..=13, span in any::<bool>(), count in any::<bool>()) {
+        let conv = PbrConvention { ceil_span: span, ceil_count: count };
+        prop_assert!(is_link_sequence_hamiltonian(&pbr_sequence_with(e, conv), e));
+    }
+
+    #[test]
+    fn permutation_inverse_law(seed in proptest::collection::vec(0u64..u64::MAX, 8)) {
+        // Build a permutation of 0..8 by sorting indices by random keys.
+        let mut idx: Vec<usize> = (0..8).collect();
+        idx.sort_by_key(|&i| seed[i]);
+        let p = Permutation::from_map(idx);
+        prop_assert!(p.compose(&p.inverse()).is_identity());
+        prop_assert!(p.inverse().compose(&p).is_identity());
+    }
+
+    #[test]
+    fn permutation_conjugation_preserves_cycle_type(
+        seed_p in proptest::collection::vec(0u64..u64::MAX, 6),
+        seed_c in proptest::collection::vec(0u64..u64::MAX, 6),
+    ) {
+        let build = |seed: &[u64]| {
+            let mut idx: Vec<usize> = (0..6).collect();
+            idx.sort_by_key(|&i| seed[i]);
+            Permutation::from_map(idx)
+        };
+        let p = build(&seed_p);
+        let c = build(&seed_c);
+        let q = p.conjugate_by(&c);
+        // Cycle type is invariant under conjugation: compare sorted cycle
+        // length multisets.
+        let cycle_type = |perm: &Permutation| {
+            let n = perm.len();
+            let mut seen = vec![false; n];
+            let mut lens = Vec::new();
+            for s in 0..n {
+                if seen[s] { continue; }
+                let mut len = 0;
+                let mut cur = s;
+                while !seen[cur] {
+                    seen[cur] = true;
+                    cur = perm.apply(cur);
+                    len += 1;
+                }
+                lens.push(len);
+            }
+            lens.sort_unstable();
+            lens
+        };
+        prop_assert_eq!(cycle_type(&p), cycle_type(&q));
+    }
+
+    #[test]
+    fn sweep_coverage_from_arbitrary_placements(
+        family in family_strategy(),
+        d in 1usize..=4,
+        sweep in 0usize..6,
+        seed in proptest::collection::vec(0u64..u64::MAX, 32),
+    ) {
+        let p = 1usize << d;
+        // Random placement: permute 0..2p by random keys.
+        let mut blocks: Vec<usize> = (0..2 * p).collect();
+        blocks.sort_by_key(|&b| seed[b % seed.len()].wrapping_mul(b as u64 + 1));
+        let slots: Vec<[usize; 2]> =
+            (0..p).map(|n| [blocks[2 * n], blocks[2 * n + 1]]).collect();
+        let layout = BlockLayout::from_slots(slots);
+        let schedule = SweepSchedule::sweep(d, family, sweep);
+        prop_assert!(validate_sweep_coverage(&schedule, &layout).is_ok(), "{family} d={d} s={sweep}");
+    }
+
+    #[test]
+    fn chained_sweeps_preserve_block_population(
+        family in family_strategy(),
+        d in 1usize..=4,
+        sweeps in 1usize..5,
+    ) {
+        let mut layout = BlockLayout::canonical(d);
+        for s in 0..sweeps {
+            let schedule = SweepSchedule::sweep(d, family, s);
+            let trace = trace_sweep(&schedule, &layout);
+            layout = trace.final_layout;
+        }
+        // After any number of sweeps every block id is still present once.
+        let p = 1usize << d;
+        let mut seen = vec![false; 2 * p];
+        for n in 0..p {
+            for b in layout.at(n) {
+                prop_assert!(!seen[b], "block {b} duplicated");
+                seen[b] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|x| x));
+    }
+
+    #[test]
+    fn transition_counts_match_formula(family in family_strategy(), d in 0usize..=6) {
+        let s = SweepSchedule::first_sweep(d, family);
+        let want = if d == 0 { 0 } else { (1usize << (d + 1)) - 1 };
+        prop_assert_eq!(s.transitions().len(), want);
+    }
+
+    #[test]
+    fn column_ordering_is_valid_for_arbitrary_m(
+        family in family_strategy(),
+        d in 1usize..=3,
+        m_factor in 1usize..=6,
+        odd_extra in 0usize..=3,
+    ) {
+        // m spans clean and ragged partitions alike.
+        let m = (m_factor << (d + 1)) + odd_extra;
+        let schedule = SweepSchedule::first_sweep(d, family);
+        let ordering =
+            mph_core::column_ordering(&schedule, &BlockLayout::canonical(d), m);
+        prop_assert!(mph_core::validate_column_ordering(&ordering).is_ok(),
+            "{family} d={d} m={m}");
+        // The m−1 identity holds exactly when every block has even size.
+        let c = m / (2 << d);
+        if m % (2 << d) == 0 && c % 2 == 0 {
+            prop_assert_eq!(ordering.steps.len(), m - 1, "{} d={} m={}", family, d, m);
+        }
+    }
+}

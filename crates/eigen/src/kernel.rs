@@ -1,0 +1,213 @@
+//! The column-pairing kernel (paper §2.2).
+//!
+//! The one-sided method maintains `A ← A₀·U` and `U` (initially `I`). The
+//! implicit iterate is `M = Uᵀ·A₀·U`, whose entries are reachable from
+//! columns alone: `M_ij = u_i · a_j`. *Pairing* columns `i` and `j`
+//! computes the 2×2 block `(M_ii, M_ij, M_jj)` from three inner products,
+//! derives the Jacobi rotation annihilating `M_ij`, and applies it to
+//! columns `i, j` of both `A` and `U` — no row access, which is what makes
+//! the method distribute by columns.
+
+use mph_linalg::rotation::symmetric_schur;
+use mph_linalg::vecops::dot;
+use mph_linalg::Matrix;
+
+/// Outcome of one pairing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairOutcome {
+    /// `|M_ij|` before the rotation (the off-diagonal mass this pairing
+    /// saw) — the quantity sweep-level convergence tracking aggregates.
+    pub off_before: f64,
+    /// Whether a rotation was applied (false when below threshold).
+    pub rotated: bool,
+}
+
+/// Pairs columns `i` and `j` of `(a, u)`, annihilating `M_ij`.
+pub fn pair_columns(
+    a: &mut Matrix,
+    u: &mut Matrix,
+    i: usize,
+    j: usize,
+    threshold: f64,
+) -> PairOutcome {
+    debug_assert!(i != j);
+    let app = dot(u.col(i), a.col(i));
+    let aqq = dot(u.col(j), a.col(j));
+    let apq = dot(u.col(i), a.col(j));
+    let off_before = apq.abs();
+    if off_before <= threshold || apq == 0.0 {
+        return PairOutcome { off_before, rotated: false };
+    }
+    let rot = symmetric_schur(app, apq, aqq);
+    a.rotate_columns(i, j, rot.c, rot.s);
+    u.rotate_columns(i, j, rot.c, rot.s);
+    PairOutcome { off_before, rotated: true }
+}
+
+/// Pairs every column pair within `cols` (ascending `(i, j)`, `i < j`) —
+/// the paper's step (1): "pair each column of a block with the remaining
+/// columns of the same block".
+pub fn pair_within(
+    a: &mut Matrix,
+    u: &mut Matrix,
+    cols: std::ops::Range<usize>,
+    threshold: f64,
+) -> SweepAccumulator {
+    let mut acc = SweepAccumulator::default();
+    for i in cols.clone() {
+        for j in (i + 1)..cols.end {
+            acc.absorb(pair_columns(a, u, i, j, threshold));
+        }
+    }
+    acc
+}
+
+/// Pairs every column of `left` with every column of `right` (disjoint
+/// ranges) — the paper's step (2): "pair each column of a block with all
+/// the columns of the other block".
+pub fn pair_across(
+    a: &mut Matrix,
+    u: &mut Matrix,
+    left: std::ops::Range<usize>,
+    right: std::ops::Range<usize>,
+    threshold: f64,
+) -> SweepAccumulator {
+    debug_assert!(left.end <= right.start || right.end <= left.start);
+    let mut acc = SweepAccumulator::default();
+    for i in left {
+        for j in right.clone() {
+            acc.absorb(pair_columns(a, u, i, j, threshold));
+        }
+    }
+    acc
+}
+
+/// Per-sweep statistics accumulated across pairings.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SweepAccumulator {
+    /// Rotations applied.
+    pub rotations: u64,
+    /// Pairings examined.
+    pub pairings: u64,
+    /// Max `|M_ij|` observed before rotation.
+    pub max_off: f64,
+}
+
+impl SweepAccumulator {
+    pub fn absorb(&mut self, o: PairOutcome) {
+        self.pairings += 1;
+        if o.rotated {
+            self.rotations += 1;
+        }
+        if o.off_before > self.max_off {
+            self.max_off = o.off_before;
+        }
+    }
+
+    pub fn merge(&mut self, other: SweepAccumulator) {
+        self.rotations += other.rotations;
+        self.pairings += other.pairings;
+        self.max_off = self.max_off.max(other.max_off);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mph_linalg::matmul::at_b;
+    use mph_linalg::symmetric::random_symmetric;
+
+    fn implicit_entry(a: &Matrix, u: &Matrix, i: usize, j: usize) -> f64 {
+        dot(u.col(i), a.col(j))
+    }
+
+    #[test]
+    fn pairing_annihilates_the_entry() {
+        let a0 = random_symmetric(6, 11);
+        let mut a = a0.clone();
+        let mut u = Matrix::identity(6);
+        let before = implicit_entry(&a, &u, 1, 4).abs();
+        assert!(before > 0.0);
+        let out = pair_columns(&mut a, &mut u, 1, 4, 0.0);
+        assert!(out.rotated);
+        assert!((out.off_before - before).abs() < 1e-15);
+        let after = implicit_entry(&a, &u, 1, 4).abs();
+        assert!(after < 1e-12, "M_14 = {after} after rotation");
+    }
+
+    #[test]
+    fn pairing_preserves_the_invariant_a_equals_a0_u() {
+        // A must remain A₀·U through rotations.
+        let a0 = random_symmetric(5, 3);
+        let mut a = a0.clone();
+        let mut u = Matrix::identity(5);
+        for (i, j) in [(0, 1), (2, 4), (1, 3), (0, 4), (3, 4)] {
+            pair_columns(&mut a, &mut u, i, j, 0.0);
+        }
+        let a0u = mph_linalg::matmul::matmul(&a0, &u);
+        for c in 0..5 {
+            for r in 0..5 {
+                assert!(
+                    (a0u[(r, c)] - a[(r, c)]).abs() < 1e-12,
+                    "A ≠ A₀U at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn u_stays_orthogonal() {
+        let a0 = random_symmetric(7, 9);
+        let mut a = a0.clone();
+        let mut u = Matrix::identity(7);
+        for i in 0..7 {
+            for j in (i + 1)..7 {
+                pair_columns(&mut a, &mut u, i, j, 0.0);
+            }
+        }
+        let g = at_b(&u, &u);
+        for i in 0..7 {
+            for j in 0..7 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((g[(i, j)] - want).abs() < 1e-13, "UᵀU ≠ I at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_skips_small_entries() {
+        let a0 = random_symmetric(4, 5);
+        let mut a = a0.clone();
+        let mut u = Matrix::identity(4);
+        let out = pair_columns(&mut a, &mut u, 0, 1, 10.0); // everything < 10
+        assert!(!out.rotated);
+        assert_eq!(a, a0); // untouched
+    }
+
+    #[test]
+    fn pair_within_covers_all_internal_pairs() {
+        let a0 = random_symmetric(6, 21);
+        let mut a = a0.clone();
+        let mut u = Matrix::identity(6);
+        let acc = pair_within(&mut a, &mut u, 1..4, 0.0);
+        assert_eq!(acc.pairings, 3); // (1,2) (1,3) (2,3)
+    }
+
+    #[test]
+    fn pair_across_covers_the_product() {
+        let a0 = random_symmetric(6, 22);
+        let mut a = a0.clone();
+        let mut u = Matrix::identity(6);
+        let acc = pair_across(&mut a, &mut u, 0..2, 3..6, 0.0);
+        assert_eq!(acc.pairings, 6);
+    }
+
+    #[test]
+    fn accumulator_merges() {
+        let mut a = SweepAccumulator { rotations: 1, pairings: 2, max_off: 0.5 };
+        a.merge(SweepAccumulator { rotations: 3, pairings: 4, max_off: 0.25 });
+        assert_eq!(a.rotations, 4);
+        assert_eq!(a.pairings, 6);
+        assert_eq!(a.max_off, 0.5);
+    }
+}

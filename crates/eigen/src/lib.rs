@@ -1,0 +1,46 @@
+//! One-sided Jacobi symmetric eigensolver driven by multi-port hypercube
+//! Jacobi orderings.
+//!
+//! Four drivers share one rotation kernel:
+//!
+//! * [`one_sided_cyclic`] — sequential reference (row-cyclic ordering);
+//! * [`two_sided_cyclic`] — the classical two-sided baseline (independent
+//!   oracle for spectra);
+//! * [`block_jacobi`] — the paper's parallel block algorithm executed
+//!   logically (single thread following the sweep schedule), used for the
+//!   Table-2 convergence measurements;
+//! * [`block_jacobi_threaded`] — the same algorithm on the threaded
+//!   multicomputer of `mph-runtime`, with real block messages; bitwise
+//!   equal to the logical driver for a fixed sweep count.
+//!
+//! ```
+//! use mph_eigen::{block_jacobi, JacobiOptions};
+//! use mph_core::OrderingFamily;
+//! use mph_linalg::symmetric::random_symmetric;
+//!
+//! let a = random_symmetric(16, 42);
+//! let r = block_jacobi(&a, 2, OrderingFamily::Degree4, &JacobiOptions::default());
+//! assert!(r.converged);
+//! ```
+
+pub mod blockjacobi;
+pub mod harness;
+pub mod kernel;
+pub mod offnorm;
+pub mod onesided;
+pub mod options;
+pub mod partition;
+pub mod svd;
+pub mod threaded;
+pub mod twosided;
+
+pub use blockjacobi::block_jacobi;
+pub use harness::{convergence_stats, table2_grid, ConvergenceStats};
+pub use kernel::{pair_columns, PairOutcome, SweepAccumulator};
+pub use offnorm::{diagonal, off_norm};
+pub use onesided::one_sided_cyclic;
+pub use options::{EigenResult, JacobiOptions};
+pub use partition::BlockPartition;
+pub use svd::{svd_block, svd_cyclic, SvdResult};
+pub use threaded::{block_jacobi_threaded, Block, Msg, NodeOutput};
+pub use twosided::two_sided_cyclic;

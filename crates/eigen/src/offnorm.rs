@@ -1,0 +1,60 @@
+//! Convergence measures on the implicit iterate `M = UᵀA₀U`.
+
+use mph_linalg::vecops::dot;
+use mph_linalg::Matrix;
+
+/// `off(M) = ‖M − diag(M)‖_F`, computed from columns of `(A, U)` without
+/// materializing `M` beyond one entry at a time. `O(m³)` — used once per
+/// sweep, never inside the rotation loop.
+pub fn off_norm(a: &Matrix, u: &Matrix) -> f64 {
+    let m = a.cols();
+    let mut s = 0.0;
+    for j in 0..m {
+        let aj = a.col(j);
+        for i in 0..m {
+            if i != j {
+                let mij = dot(u.col(i), aj);
+                s += mij * mij;
+            }
+        }
+    }
+    s.sqrt()
+}
+
+/// The diagonal of `M` — the eigenvalue estimates `λ_i = u_i · a_i`.
+pub fn diagonal(a: &Matrix, u: &Matrix) -> Vec<f64> {
+    (0..a.cols()).map(|i| dot(u.col(i), a.col(i))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mph_linalg::symmetric::{diagonal as diag_matrix, off_diagonal_frobenius, random_symmetric};
+
+    #[test]
+    fn off_norm_of_initial_state_is_matrix_off_norm() {
+        // U = I ⇒ M = A₀.
+        let a = random_symmetric(8, 4);
+        let u = Matrix::identity(8);
+        assert!((off_norm(&a, &u) - off_diagonal_frobenius(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn off_norm_zero_for_diagonal_matrix() {
+        let a = diag_matrix(&[1.0, 2.0, -3.0]);
+        let u = Matrix::identity(3);
+        assert_eq!(off_norm(&a, &u), 0.0);
+        assert_eq!(diagonal(&a, &u), vec![1.0, 2.0, -3.0]);
+    }
+
+    #[test]
+    fn diagonal_sums_to_trace() {
+        // Similarity preserves the trace: Σ λ_i = tr(A₀) for any orthogonal U
+        // maintained with A = A₀U. Check at U = I.
+        let a = random_symmetric(6, 7);
+        let u = Matrix::identity(6);
+        let tr: f64 = (0..6).map(|i| a[(i, i)]).sum();
+        let sum: f64 = diagonal(&a, &u).iter().sum();
+        assert!((tr - sum).abs() < 1e-12);
+    }
+}

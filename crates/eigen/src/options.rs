@@ -1,0 +1,82 @@
+//! Solver options and results.
+
+use mph_linalg::Matrix;
+
+/// Options shared by all one-sided Jacobi drivers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JacobiOptions {
+    /// Convergence tolerance: stop when `off(UᵀAU) ≤ tol · ‖A‖_F`.
+    ///
+    /// The paper does not state its Table-2 tolerance (DESIGN.md §6.7);
+    /// `1e-8` reproduces sweep counts in the same 3–6 band.
+    pub tol: f64,
+    /// Hard sweep limit.
+    pub max_sweeps: usize,
+    /// Rotation threshold: skip pairs with `|a_pq| ≤ threshold` (absolute).
+    /// Zero means "rotate unless exactly zero".
+    pub threshold: f64,
+    /// When set, run exactly this many sweeps and skip convergence checks —
+    /// used by the equivalence tests between the logical and threaded
+    /// drivers.
+    pub force_sweeps: Option<usize>,
+}
+
+impl Default for JacobiOptions {
+    fn default() -> Self {
+        JacobiOptions { tol: 1e-8, max_sweeps: 30, threshold: 0.0, force_sweeps: None }
+    }
+}
+
+/// Outcome of an eigensolve.
+#[derive(Debug, Clone)]
+pub struct EigenResult {
+    /// Eigenvalue estimates `λ_i = u_i · a_i` (unsorted: column order).
+    pub eigenvalues: Vec<f64>,
+    /// Accumulated orthogonal matrix `U`; column `i` approximates the
+    /// eigenvector of `eigenvalues[i]`.
+    pub eigenvectors: Matrix,
+    /// Sweeps executed.
+    pub sweeps: usize,
+    /// Rotations actually applied (pairs above threshold).
+    pub rotations: u64,
+    /// `off(UᵀAU)` after each sweep (index 0 = before any sweep).
+    pub off_history: Vec<f64>,
+    /// Whether the tolerance was met within `max_sweeps`.
+    pub converged: bool,
+}
+
+impl EigenResult {
+    /// Eigenvalues sorted ascending (for spectrum comparisons).
+    pub fn sorted_eigenvalues(&self) -> Vec<f64> {
+        let mut v = self.eigenvalues.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = JacobiOptions::default();
+        assert!(o.tol > 0.0 && o.tol < 1e-4);
+        assert!(o.max_sweeps >= 10);
+        assert_eq!(o.threshold, 0.0);
+        assert!(o.force_sweeps.is_none());
+    }
+
+    #[test]
+    fn sorted_eigenvalues_sorts() {
+        let r = EigenResult {
+            eigenvalues: vec![3.0, -1.0, 2.0],
+            eigenvectors: Matrix::identity(3),
+            sweeps: 0,
+            rotations: 0,
+            off_history: vec![],
+            converged: true,
+        };
+        assert_eq!(r.sorted_eigenvalues(), vec![-1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Column-block partition: `m` columns into `2^{d+1}` blocks.
+//!
+//! The paper groups the `m` columns of `A` and `U` into `2^{d+1}` blocks of
+//! `m/2^{d+1}` columns each, two blocks per node; "if m is not a power of
+//! 2, the number of columns per block will differ in one unit at most"
+//! (footnote 1). This module implements exactly that balanced partition.
+
+/// Balanced contiguous partition of `0..m` into `nblocks` ranges whose
+/// sizes differ by at most one (larger blocks first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockPartition {
+    starts: Vec<usize>,
+}
+
+impl BlockPartition {
+    pub fn new(m: usize, nblocks: usize) -> Self {
+        assert!(nblocks >= 1);
+        let base = m / nblocks;
+        let extra = m % nblocks;
+        let mut starts = Vec::with_capacity(nblocks + 1);
+        let mut s = 0;
+        starts.push(0);
+        for b in 0..nblocks {
+            s += base + usize::from(b < extra);
+            starts.push(s);
+        }
+        BlockPartition { starts }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// True when there are no blocks (never: `nblocks ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Column range of block `b`.
+    pub fn cols(&self, b: usize) -> std::ops::Range<usize> {
+        self.starts[b]..self.starts[b + 1]
+    }
+
+    /// Size of block `b`.
+    pub fn size(&self, b: usize) -> usize {
+        self.starts[b + 1] - self.starts[b]
+    }
+
+    /// Total columns.
+    pub fn total(&self) -> usize {
+        *self.starts.last().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let p = BlockPartition::new(16, 4);
+        assert_eq!(p.len(), 4);
+        for b in 0..4 {
+            assert_eq!(p.size(b), 4);
+        }
+        assert_eq!(p.cols(2), 8..12);
+    }
+
+    #[test]
+    fn uneven_division_differs_by_at_most_one() {
+        let p = BlockPartition::new(10, 4);
+        let sizes: Vec<usize> = (0..4).map(|b| p.size(b)).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        assert_eq!(p.total(), 10);
+    }
+
+    #[test]
+    fn blocks_tile_the_range() {
+        for m in [0usize, 1, 7, 8, 20] {
+            for nb in [1usize, 2, 4, 8] {
+                let p = BlockPartition::new(m, nb);
+                let mut covered = Vec::new();
+                for b in 0..p.len() {
+                    covered.extend(p.cols(b));
+                }
+                assert_eq!(covered, (0..m).collect::<Vec<_>>(), "m={m} nb={nb}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_blocks_than_columns_gives_empty_blocks() {
+        let p = BlockPartition::new(3, 8);
+        let total: usize = (0..8).map(|b| p.size(b)).sum();
+        assert_eq!(total, 3);
+        assert!(p.size(7) == 0);
+    }
+}

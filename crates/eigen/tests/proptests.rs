@@ -1,0 +1,90 @@
+//! Property-based tests for the eigensolvers: spectra agree across
+//! solvers/orderings/cube sizes, invariants (trace, orthogonality,
+//! residual) hold on arbitrary symmetric inputs.
+
+use mph_core::OrderingFamily;
+use mph_eigen::{block_jacobi, one_sided_cyclic, two_sided_cyclic, JacobiOptions};
+use mph_linalg::matmul::{eigen_residual, orthogonality_defect};
+use mph_linalg::Matrix;
+use proptest::prelude::*;
+
+fn family_strategy() -> impl Strategy<Value = OrderingFamily> {
+    prop_oneof![
+        Just(OrderingFamily::Br),
+        Just(OrderingFamily::PermutedBr),
+        Just(OrderingFamily::Degree4),
+        Just(OrderingFamily::MinAlpha),
+    ]
+}
+
+/// Random symmetric matrix from a flat value vector.
+fn symmetric(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f64..1.0, n * (n + 1) / 2).prop_map(move |vals| {
+        let mut m = Matrix::zeros(n, n);
+        let mut it = vals.into_iter();
+        for i in 0..n {
+            for j in 0..=i {
+                let v = it.next().unwrap();
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn one_sided_matches_two_sided(a in symmetric(8)) {
+        let opts = JacobiOptions { tol: 1e-10, ..Default::default() };
+        let one = one_sided_cyclic(&a, &opts);
+        let two = two_sided_cyclic(&a, &opts);
+        prop_assert!(one.converged && two.converged);
+        for (x, y) in one.sorted_eigenvalues().iter().zip(&two.sorted_eigenvalues()) {
+            prop_assert!((x - y).abs() < 1e-7, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn block_jacobi_invariants(a in symmetric(12), family in family_strategy(), d in 0usize..=2) {
+        let r = block_jacobi(&a, d, family, &JacobiOptions::default());
+        prop_assert!(r.converged, "{family} d={d} did not converge");
+        // Trace preservation.
+        let tr: f64 = (0..12).map(|i| a[(i, i)]).sum();
+        let sum: f64 = r.eigenvalues.iter().sum();
+        prop_assert!((tr - sum).abs() < 1e-8, "trace {tr} vs Σλ {sum}");
+        // Eigenpair residual and orthogonality.
+        prop_assert!(eigen_residual(&a, &r.eigenvectors, &r.eigenvalues) < 1e-5);
+        prop_assert!(orthogonality_defect(&r.eigenvectors) < 1e-9);
+    }
+
+    #[test]
+    fn off_history_is_monotone_decreasing(a in symmetric(10), family in family_strategy()) {
+        let r = block_jacobi(&a, 1, family, &JacobiOptions::default());
+        for w in r.off_history.windows(2) {
+            prop_assert!(w[1] <= w[0] * 1.0000001, "off grew: {} → {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_stay_within_gershgorin_bound(a in symmetric(9)) {
+        // All eigenvalues lie within max row sum of |a_ij| (∞-norm bound).
+        let bound = (0..9)
+            .map(|i| (0..9).map(|j| a[(i, j)].abs()).sum::<f64>())
+            .fold(0.0f64, f64::max);
+        let r = one_sided_cyclic(&a, &JacobiOptions::default());
+        for &l in &r.eigenvalues {
+            prop_assert!(l.abs() <= bound + 1e-8, "λ = {l} outside bound {bound}");
+        }
+    }
+
+    #[test]
+    fn forced_sweeps_execute_exactly(a in symmetric(8), k in 1usize..4) {
+        let opts = JacobiOptions { force_sweeps: Some(k), ..Default::default() };
+        let r = one_sided_cyclic(&a, &opts);
+        prop_assert_eq!(r.sweeps, k);
+        prop_assert_eq!(r.off_history.len(), k + 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Hypercube topology substrate for the multi-port Jacobi-ordering system.
+//!
+//! A *hypercube multicomputer* of dimension `d` (a `d`-cube) has `2^d` nodes
+//! labelled `0..2^d`. Two nodes are neighbors (joined by a *link*) iff their
+//! labels differ in exactly one bit; the link joining nodes that differ in
+//! bit `i` is called *link `i`* (equivalently, *dimension `i`*).
+//!
+//! This crate provides everything the ordering and simulation layers need to
+//! reason about that topology:
+//!
+//! * [`Hypercube`] — node/link enumeration, neighbor queries, subcube
+//!   decomposition, Hamming distances;
+//! * [`gray`] — binary-reflected Gray codes (the canonical Hamiltonian cycle
+//!   of a hypercube) and their link sequences;
+//! * [`hamiltonian`] — conversions between *link sequences* and node paths,
+//!   Hamiltonicity validation, and bounded search for Hamiltonian paths with
+//!   a per-link usage budget (the "α budget" of the paper's minimum-α
+//!   ordering);
+//! * [`routing`] — deterministic e-cube (dimension-ordered) routing;
+//! * [`trees`] — spanning binomial trees used by collective operations.
+//!
+//! The central object shared with `mph-core` is the **link sequence**: a
+//! `Vec<usize>` of link identifiers. A link sequence `s` of length
+//! `2^e - 1` is an *`e`-sequence* when, starting from any node of an
+//! `e`-cube and crossing the links of `s` in order, every node of the cube
+//! is visited exactly once (a Hamiltonian path). Because crossing link `i`
+//! is XOR with `1 << i`, this property is independent of the start node.
+
+pub mod gray;
+pub mod hamiltonian;
+pub mod routing;
+pub mod topology;
+pub mod trees;
+
+pub use gray::{gray_code, gray_link_sequence, gray_rank, gray_unrank};
+pub use hamiltonian::{
+    is_link_sequence_hamiltonian, link_sequence_alpha, link_sequence_to_path,
+    path_to_link_sequence, search_hamiltonian_with_budget, validate_e_sequence, HamiltonianError,
+};
+pub use routing::ecube_route;
+pub use topology::{Hypercube, NodeId};
+pub use trees::binomial_tree;

@@ -1,0 +1,71 @@
+//! Deterministic e-cube (dimension-ordered) routing.
+//!
+//! Wormhole-routed hypercubes of the paper's era (\[14\] Ni & McKinley) route
+//! messages by correcting address bits in increasing dimension order, which
+//! is deadlock-free. The Jacobi algorithms in this repository only ever talk
+//! to direct neighbors, but the simulator exposes general routing so that
+//! non-neighbor traffic (used by a few tests and by the broadcast trees) is
+//! well defined.
+
+use crate::topology::NodeId;
+
+/// The e-cube route from `src` to `dst`: the sequence of dimensions crossed,
+/// in increasing dimension order. Empty when `src == dst`.
+pub fn ecube_route(src: NodeId, dst: NodeId) -> Vec<usize> {
+    let mut diff = src ^ dst;
+    let mut dims = Vec::with_capacity(diff.count_ones() as usize);
+    while diff != 0 {
+        let dim = diff.trailing_zeros() as usize;
+        dims.push(dim);
+        diff &= diff - 1;
+    }
+    dims
+}
+
+/// Expands an e-cube route into the node path (inclusive of endpoints).
+pub fn ecube_path(src: NodeId, dst: NodeId) -> Vec<NodeId> {
+    let mut path = vec![src];
+    let mut cur = src;
+    for dim in ecube_route(src, dst) {
+        cur ^= 1 << dim;
+        path.push(cur);
+    }
+    debug_assert_eq!(*path.last().unwrap(), dst);
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_length_is_hamming_distance() {
+        for src in 0..32usize {
+            for dst in 0..32usize {
+                assert_eq!(ecube_route(src, dst).len(), (src ^ dst).count_ones() as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_dimension_ordered() {
+        let r = ecube_route(0b00000, 0b10110);
+        assert_eq!(r, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn path_endpoints() {
+        let p = ecube_path(5, 26);
+        assert_eq!(*p.first().unwrap(), 5);
+        assert_eq!(*p.last().unwrap(), 26);
+        for w in p.windows(2) {
+            assert_eq!((w[0] ^ w[1]).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn empty_route_for_same_node() {
+        assert!(ecube_route(7, 7).is_empty());
+        assert_eq!(ecube_path(7, 7), vec![7]);
+    }
+}

@@ -1,0 +1,291 @@
+//! The [`Hypercube`] type: structural queries over a `d`-cube.
+
+/// Node identifier inside a hypercube. Labels run from `0` to `2^d - 1` and
+/// neighbor labels differ in exactly one bit.
+pub type NodeId = usize;
+
+/// A `d`-dimensional hypercube (a *`d`-cube*).
+///
+/// The struct is a lightweight value type: it stores only the dimension and
+/// derives everything else from bit arithmetic on node labels.
+///
+/// ```
+/// use mph_hypercube::Hypercube;
+/// let h = Hypercube::new(3);
+/// assert_eq!(h.nodes(), 8);
+/// assert_eq!(h.neighbor(2, 1), 0); // node 2 uses link 1 to reach node 0
+/// assert!(h.are_neighbors(5, 7));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Hypercube {
+    d: usize,
+}
+
+impl Hypercube {
+    /// Maximum supported dimension. `2^d` node labels must fit comfortably in
+    /// `usize`; 30 is far beyond anything the paper evaluates (d ≤ 15).
+    pub const MAX_DIM: usize = 30;
+
+    /// Creates a `d`-cube.
+    ///
+    /// # Panics
+    /// Panics if `d > Self::MAX_DIM`.
+    pub fn new(d: usize) -> Self {
+        assert!(d <= Self::MAX_DIM, "hypercube dimension {d} too large");
+        Hypercube { d }
+    }
+
+    /// The dimension `d` of the cube.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Number of nodes, `2^d`.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        1 << self.d
+    }
+
+    /// Number of (undirected) links: `d * 2^(d-1)`.
+    #[inline]
+    pub fn links(&self) -> usize {
+        if self.d == 0 {
+            0
+        } else {
+            self.d << (self.d - 1)
+        }
+    }
+
+    /// Returns true when `n` is a valid node label of this cube.
+    #[inline]
+    pub fn contains(&self, n: NodeId) -> bool {
+        n < self.nodes()
+    }
+
+    /// The neighbor of node `n` across link (dimension) `dim`.
+    ///
+    /// # Panics
+    /// Panics (debug) if `dim >= d` or `n` is out of range.
+    #[inline]
+    pub fn neighbor(&self, n: NodeId, dim: usize) -> NodeId {
+        debug_assert!(dim < self.d, "dimension {dim} out of range for {}-cube", self.d);
+        debug_assert!(self.contains(n));
+        n ^ (1 << dim)
+    }
+
+    /// All `d` neighbors of node `n`, ordered by dimension.
+    pub fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        (0..self.d).map(|i| n ^ (1 << i)).collect()
+    }
+
+    /// True iff `a` and `b` differ in exactly one bit.
+    #[inline]
+    pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
+        let x = a ^ b;
+        x != 0 && (x & (x - 1)) == 0
+    }
+
+    /// The dimension of the link joining neighbors `a` and `b`.
+    ///
+    /// Returns `None` when the nodes are not neighbors.
+    #[inline]
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        if self.are_neighbors(a, b) {
+            Some((a ^ b).trailing_zeros() as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Hamming distance between two nodes — the length of a shortest path.
+    #[inline]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        (a ^ b).count_ones() as usize
+    }
+
+    /// Iterator over every node label.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.nodes()
+    }
+
+    /// Iterator over every undirected link as `(lower_node, dim)` pairs,
+    /// where the link joins `lower_node` and `lower_node ^ (1 << dim)` and
+    /// `lower_node` has bit `dim` clear.
+    pub fn iter_links(&self) -> impl Iterator<Item = (NodeId, usize)> + '_ {
+        let d = self.d;
+        (0..self.nodes())
+            .flat_map(move |n| (0..d).map(move |i| (n, i)))
+            .filter(|(n, i)| n & (1 << i) == 0)
+    }
+
+    /// The nodes of the subcube obtained by fixing the bits in `fixed_mask`
+    /// to the values they take in `pattern`, enumerated in increasing label
+    /// order. The free dimensions are the zero bits of `fixed_mask`.
+    ///
+    /// ```
+    /// use mph_hypercube::Hypercube;
+    /// let h = Hypercube::new(3);
+    /// // Fix bit 2 = 1: the upper 2-subcube.
+    /// assert_eq!(h.subcube_nodes(0b100, 0b100), vec![4, 5, 6, 7]);
+    /// ```
+    pub fn subcube_nodes(&self, fixed_mask: usize, pattern: usize) -> Vec<NodeId> {
+        assert!(fixed_mask < self.nodes() * 2 || self.d == 0);
+        let free_dims: Vec<usize> =
+            (0..self.d).filter(|i| fixed_mask & (1 << i) == 0).collect();
+        let base = pattern & fixed_mask;
+        let mut out = Vec::with_capacity(1 << free_dims.len());
+        for combo in 0..(1usize << free_dims.len()) {
+            let mut n = base;
+            for (j, dim) in free_dims.iter().enumerate() {
+                if combo & (1 << j) != 0 {
+                    n |= 1 << dim;
+                }
+            }
+            out.push(n);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Splits the cube along dimension `dim` into the two `(d-1)`-subcubes
+    /// `(bit dim = 0, bit dim = 1)`.
+    pub fn halves(&self, dim: usize) -> (Vec<NodeId>, Vec<NodeId>) {
+        assert!(dim < self.d);
+        let lo = self.subcube_nodes(1 << dim, 0);
+        let hi = self.subcube_nodes(1 << dim, 1 << dim);
+        (lo, hi)
+    }
+
+    /// Applies a permutation of the dimensions to a node label: bit `i` of
+    /// the result equals bit `perm[i]`... precisely, the node reached by
+    /// relabelling every link `i` as `perm[i]`. Used when a sweep-level link
+    /// permutation σ is applied to the whole algorithm (paper §2.3.1).
+    pub fn relabel_node(&self, n: NodeId, perm: &[usize]) -> NodeId {
+        assert_eq!(perm.len(), self.d);
+        let mut out = 0;
+        for (i, &p) in perm.iter().enumerate() {
+            if n & (1 << i) != 0 {
+                out |= 1 << p;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_and_link_counts() {
+        for d in 0..=6 {
+            let h = Hypercube::new(d);
+            assert_eq!(h.nodes(), 1 << d);
+            assert_eq!(h.links(), if d == 0 { 0 } else { d * (1 << (d - 1)) });
+            assert_eq!(h.iter_links().count(), h.links());
+        }
+    }
+
+    #[test]
+    fn paper_example_node2_link1_reaches_node0() {
+        // "node 2 uses link 1 (or dimension 1) to send messages to node 0"
+        let h = Hypercube::new(2);
+        assert_eq!(h.neighbor(2, 1), 0);
+        assert_eq!(h.link_between(2, 0), Some(1));
+    }
+
+    #[test]
+    fn neighbor_is_involution() {
+        let h = Hypercube::new(5);
+        for n in h.iter_nodes() {
+            for dim in 0..5 {
+                assert_eq!(h.neighbor(h.neighbor(n, dim), dim), n);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_have_distance_one() {
+        let h = Hypercube::new(4);
+        for n in h.iter_nodes() {
+            for m in h.neighbors(n) {
+                assert!(h.are_neighbors(n, m));
+                assert_eq!(h.distance(n, m), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn not_neighbor_of_self() {
+        let h = Hypercube::new(3);
+        for n in h.iter_nodes() {
+            assert!(!h.are_neighbors(n, n));
+            assert_eq!(h.link_between(n, n), None);
+        }
+    }
+
+    #[test]
+    fn distance_is_a_metric_on_small_cube() {
+        let h = Hypercube::new(4);
+        for a in h.iter_nodes() {
+            assert_eq!(h.distance(a, a), 0);
+            for b in h.iter_nodes() {
+                assert_eq!(h.distance(a, b), h.distance(b, a));
+                for c in h.iter_nodes() {
+                    assert!(h.distance(a, c) <= h.distance(a, b) + h.distance(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subcube_enumeration() {
+        let h = Hypercube::new(3);
+        assert_eq!(h.subcube_nodes(0b100, 0b100), vec![4, 5, 6, 7]);
+        assert_eq!(h.subcube_nodes(0b100, 0b000), vec![0, 1, 2, 3]);
+        assert_eq!(h.subcube_nodes(0b011, 0b001), vec![1, 5]);
+        assert_eq!(h.subcube_nodes(0b111, 0b101), vec![5]);
+        assert_eq!(h.subcube_nodes(0, 0).len(), 8);
+    }
+
+    #[test]
+    fn halves_partition_the_cube() {
+        let h = Hypercube::new(4);
+        for dim in 0..4 {
+            let (lo, hi) = h.halves(dim);
+            assert_eq!(lo.len(), 8);
+            assert_eq!(hi.len(), 8);
+            let mut all: Vec<_> = lo.iter().chain(hi.iter()).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..16).collect::<Vec<_>>());
+            for &n in &lo {
+                assert_eq!(n & (1 << dim), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn relabel_identity_and_swap() {
+        let h = Hypercube::new(3);
+        for n in h.iter_nodes() {
+            assert_eq!(h.relabel_node(n, &[0, 1, 2]), n);
+        }
+        // Swapping dims 0 and 2 maps 0b001 -> 0b100.
+        assert_eq!(h.relabel_node(0b001, &[2, 1, 0]), 0b100);
+        assert_eq!(h.relabel_node(0b101, &[2, 1, 0]), 0b101);
+    }
+
+    #[test]
+    fn relabel_preserves_adjacency() {
+        let h = Hypercube::new(4);
+        let perm = [3, 1, 0, 2];
+        for n in h.iter_nodes() {
+            for dim in 0..4 {
+                let m = h.neighbor(n, dim);
+                let (rn, rm) = (h.relabel_node(n, &perm), h.relabel_node(m, &perm));
+                assert_eq!(h.link_between(rn, rm), Some(perm[dim]));
+            }
+        }
+    }
+}

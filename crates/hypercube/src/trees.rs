@@ -1,0 +1,113 @@
+//! Spanning binomial trees.
+//!
+//! A binomial spanning tree rooted at node `r` of a `d`-cube is the standard
+//! substrate for one-to-all broadcast: node `n ≠ r` hangs off the neighbor
+//! obtained by clearing the highest set bit of `n ^ r`. Collectives are not
+//! on the paper's critical path, but the runtime uses the tree for result
+//! gathering and the structure doubles as a topology stress test.
+
+use crate::topology::NodeId;
+
+/// The parent of every node in the binomial tree rooted at `root`;
+/// `parent[root] == root`. `d` is the cube dimension.
+pub fn binomial_tree(d: usize, root: NodeId) -> Vec<NodeId> {
+    let n = 1usize << d;
+    assert!(root < n);
+    (0..n)
+        .map(|node| {
+            if node == root {
+                root
+            } else {
+                let rel = node ^ root;
+                let high = usize::BITS as usize - 1 - rel.leading_zeros() as usize;
+                node ^ (1 << high)
+            }
+        })
+        .collect()
+}
+
+/// The children of `node` in the binomial tree rooted at `root`.
+pub fn binomial_children(d: usize, root: NodeId, node: NodeId) -> Vec<NodeId> {
+    let parents = binomial_tree(d, root);
+    (0..(1usize << d)).filter(|&c| c != root && parents[c] == node).collect()
+}
+
+/// Depth of `node` in the tree (number of hops to the root along the tree).
+pub fn binomial_depth(root: NodeId, node: NodeId) -> usize {
+    (node ^ root).count_ones() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parents_are_neighbors() {
+        for d in 1..=6 {
+            for root in [0usize, (1 << d) - 1, 1] {
+                let parents = binomial_tree(d, root);
+                for node in 0..(1 << d) {
+                    if node == root {
+                        assert_eq!(parents[node], root);
+                    } else {
+                        assert_eq!((parents[node] ^ node).count_ones(), 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_spans_all_nodes() {
+        let d = 5;
+        let root = 9;
+        let parents = binomial_tree(d, root);
+        // Every node reaches the root by following parents.
+        for mut node in 0..(1usize << d) {
+            let mut hops = 0;
+            while node != root {
+                node = parents[node];
+                hops += 1;
+                assert!(hops <= d, "parent chain too long");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_matches_parent_chain() {
+        let d = 5;
+        let root = 21;
+        let parents = binomial_tree(d, root);
+        for node in 0..(1usize << d) {
+            let mut cur = node;
+            let mut hops = 0;
+            while cur != root {
+                cur = parents[cur];
+                hops += 1;
+            }
+            assert_eq!(hops, binomial_depth(root, node));
+        }
+    }
+
+    #[test]
+    fn children_are_consistent_with_parents() {
+        let d = 4;
+        let root = 3;
+        let parents = binomial_tree(d, root);
+        for node in 0..(1usize << d) {
+            for c in binomial_children(d, root, node) {
+                assert_eq!(parents[c], node);
+            }
+        }
+        // Total children = all nodes except the root.
+        let total: usize =
+            (0..(1usize << d)).map(|n| binomial_children(d, root, n).len()).sum();
+        assert_eq!(total, (1 << d) - 1);
+    }
+
+    #[test]
+    fn root_has_d_children() {
+        let d = 6;
+        assert_eq!(binomial_children(d, 0, 0).len(), d);
+    }
+}

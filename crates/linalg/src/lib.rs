@@ -1,0 +1,30 @@
+//! Dense linear-algebra substrate for the one-sided Jacobi eigensolver.
+//!
+//! The one-sided Jacobi method (paper §2.2) operates exclusively on matrix
+//! *columns*: pairing columns `i` and `j` reads three inner products and
+//! applies one plane rotation to the two columns of each of two matrices.
+//! Everything here is therefore column-major and column-oriented:
+//!
+//! * [`Matrix`] — column-major dense matrix with cheap column access and
+//!   column-pair rotation;
+//! * [`vecops`] — the handful of BLAS-1 kernels the solver needs (`dot`,
+//!   `axpy`, `nrm2`, fused column rotation);
+//! * [`rotation`] — the symmetric 2×2 Schur decomposition that produces the
+//!   rotation `(c, s)` annihilating an off-diagonal element;
+//! * [`symmetric`] — random and classical symmetric test-matrix generators
+//!   plus the off-diagonal norms used as convergence measures;
+//! * [`matmul`] — naive reference `GEMM`/residual helpers used only for
+//!   verification (never on the solver's hot path).
+
+pub mod matmul;
+pub mod matrix;
+pub mod rotation;
+pub mod symmetric;
+pub mod vecops;
+
+pub use matrix::Matrix;
+pub use rotation::{symmetric_schur, JacobiRotation};
+pub use symmetric::{
+    frank_matrix, off_diagonal_frobenius, random_symmetric, wilkinson_matrix,
+};
+pub use vecops::{axpy, dot, nrm2, rotate_pair};

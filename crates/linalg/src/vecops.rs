@@ -1,0 +1,163 @@
+//! BLAS-1 style kernels used by the one-sided Jacobi inner loop.
+//!
+//! These are the only operations on the solver's hot path; each is written
+//! as a straight loop over slices so the compiler can vectorize, with a
+//! 4-way unrolled tail-free main loop in [`dot`] and [`rotate_pair`] (the
+//! two kernels that dominate the rotation cost).
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    // Four independent partial sums break the fp-add dependency chain and
+    // let the compiler keep four accumulators in registers.
+    let mut s0 = 0.0f64;
+    let mut s1 = 0.0f64;
+    let mut s2 = 0.0f64;
+    let mut s3 = 0.0f64;
+    let chunks = x.len() / 4;
+    for k in 0..chunks {
+        let i = 4 * k;
+        s0 += x[i] * y[i];
+        s1 += x[i + 1] * y[i + 1];
+        s2 += x[i + 2] * y[i + 2];
+        s3 += x[i + 3] * y[i + 3];
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for i in 4 * chunks..x.len() {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// `y ← a·x + y`.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += a * xi;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn nrm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Scales a slice in place: `x ← a·x`.
+#[inline]
+pub fn scal(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Applies the plane rotation to a column pair in one fused pass:
+/// `(xi, yi) ← (c·xi − s·yi, s·xi + c·yi)`.
+///
+/// This is the update the paper performs on the paired columns of both the
+/// `A` and `U` matrices for every similarity transformation.
+#[inline]
+pub fn rotate_pair(x: &mut [f64], y: &mut [f64], c: f64, s: f64) {
+    assert_eq!(x.len(), y.len());
+    let chunks = x.len() / 4;
+    for k in 0..chunks {
+        let i = 4 * k;
+        // Manually unrolled so each iteration carries no loop-carried deps.
+        for off in 0..4 {
+            let xi = x[i + off];
+            let yi = y[i + off];
+            x[i + off] = c * xi - s * yi;
+            y[i + off] = s * xi + c * yi;
+        }
+    }
+    for i in 4 * chunks..x.len() {
+        let xi = x[i];
+        let yi = y[i];
+        x[i] = c * xi - s * yi;
+        y[i] = s * xi + c * yi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_matches_naive_on_odd_lengths() {
+        for n in 0..33 {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 3.0).collect();
+            let y: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+            let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            assert!((dot(&x, &y) - naive).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn nrm2_of_unit_vectors() {
+        assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(nrm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn scal_scales() {
+        let mut x = [1.0, -2.0, 4.0];
+        scal(-0.5, &mut x);
+        assert_eq!(x, [-0.5, 1.0, -2.0]);
+    }
+
+    #[test]
+    fn rotate_pair_preserves_norms_and_angles() {
+        let mut x: Vec<f64> = (0..17).map(|i| i as f64 - 8.0).collect();
+        let mut y: Vec<f64> = (0..17).map(|i| (i * i) as f64 * 0.1).collect();
+        let nx = dot(&x, &x) + dot(&y, &y);
+        let theta = 1.234f64;
+        rotate_pair(&mut x, &mut y, theta.cos(), theta.sin());
+        let nx2 = dot(&x, &x) + dot(&y, &y);
+        assert!((nx - nx2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rotate_pair_quarter_turn() {
+        let mut x = vec![1.0, 0.0];
+        let mut y = vec![0.0, 1.0];
+        rotate_pair(&mut x, &mut y, 0.0, 1.0);
+        // x' = -y_old, y' = x_old
+        assert_eq!(x, vec![-0.0, -1.0]);
+        assert_eq!(y, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn rotate_pair_composes_like_angle_addition() {
+        let mut x1 = vec![0.3, -0.7, 2.0, 1.0, 0.0];
+        let mut y1 = vec![1.5, 0.2, -1.0, 0.5, 2.0];
+        let mut x2 = x1.clone();
+        let mut y2 = y1.clone();
+        let (a, b) = (0.4f64, 0.9f64);
+        rotate_pair(&mut x1, &mut y1, a.cos(), a.sin());
+        rotate_pair(&mut x1, &mut y1, b.cos(), b.sin());
+        rotate_pair(&mut x2, &mut y2, (a + b).cos(), (a + b).sin());
+        for i in 0..x1.len() {
+            assert!((x1[i] - x2[i]).abs() < 1e-12);
+            assert!((y1[i] - y2[i]).abs() < 1e-12);
+        }
+    }
+}

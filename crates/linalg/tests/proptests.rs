@@ -1,0 +1,92 @@
+//! Property-based tests for the linear-algebra kernels: the invariants the
+//! eigensolver's correctness rests on.
+
+use mph_linalg::rotation::{apply_to_block, symmetric_schur};
+use mph_linalg::vecops::{axpy, dot, nrm2, rotate_pair};
+use mph_linalg::Matrix;
+use proptest::prelude::*;
+
+fn finite_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, n..=n)
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative_and_linear(x in finite_vec(13), y in finite_vec(13), a in -100f64..100.0) {
+        let xy = dot(&x, &y);
+        let yx = dot(&y, &x);
+        prop_assert!((xy - yx).abs() <= 1e-9 * xy.abs().max(1.0));
+        let ax: Vec<f64> = x.iter().map(|v| a * v).collect();
+        prop_assert!((dot(&ax, &y) - a * xy).abs() <= 1e-6 * (a * xy).abs().max(1.0));
+    }
+
+    #[test]
+    fn axpy_matches_definition(x in finite_vec(9), y in finite_vec(9), a in -100f64..100.0) {
+        let mut z = y.clone();
+        axpy(a, &x, &mut z);
+        for i in 0..9 {
+            prop_assert!((z[i] - (a * x[i] + y[i])).abs() <= 1e-9 * z[i].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_pair_energy(x in finite_vec(17), y in finite_vec(17), theta in -3.2f64..3.2) {
+        let before = dot(&x, &x) + dot(&y, &y);
+        let (mut x, mut y) = (x, y);
+        rotate_pair(&mut x, &mut y, theta.cos(), theta.sin());
+        let after = dot(&x, &x) + dot(&y, &y);
+        prop_assert!((before - after).abs() <= 1e-9 * before.max(1.0));
+    }
+
+    #[test]
+    fn rotation_by_zero_is_identity(x in finite_vec(5), y in finite_vec(5)) {
+        let (x0, y0) = (x.clone(), y.clone());
+        let (mut x, mut y) = (x, y);
+        rotate_pair(&mut x, &mut y, 1.0, 0.0);
+        prop_assert_eq!(x, x0);
+        prop_assert_eq!(y, y0);
+    }
+
+    #[test]
+    fn schur_annihilates_any_block(app in -1e8f64..1e8, apq in -1e8f64..1e8, aqq in -1e8f64..1e8) {
+        let rot = symmetric_schur(app, apq, aqq);
+        prop_assert!((rot.c * rot.c + rot.s * rot.s - 1.0).abs() < 1e-12);
+        let (pp, pq, qq) = apply_to_block(rot, app, apq, aqq);
+        let scale = app.abs().max(apq.abs()).max(aqq.abs()).max(1.0);
+        prop_assert!(pq.abs() <= 1e-9 * scale, "residual off-diag {pq}");
+        prop_assert!((pp + qq - (app + aqq)).abs() <= 1e-9 * scale, "trace drift");
+    }
+
+    #[test]
+    fn schur_small_angle_convention(app in -1e6f64..1e6, apq in -1e6f64..1e6, aqq in -1e6f64..1e6) {
+        let rot = symmetric_schur(app, apq, aqq);
+        prop_assert!(rot.s.abs() <= rot.c.abs() + 1e-15, "|θ| > π/4");
+    }
+
+    #[test]
+    fn matrix_rotate_columns_preserves_frobenius(
+        vals in proptest::collection::vec(-1e3f64..1e3, 36),
+        i in 0usize..6, j in 0usize..6, theta in -3.2f64..3.2,
+    ) {
+        prop_assume!(i != j);
+        let mut m = Matrix::from_column_major(6, 6, vals);
+        let before = m.frobenius_norm();
+        m.rotate_columns(i, j, theta.cos(), theta.sin());
+        prop_assert!((m.frobenius_norm() - before).abs() <= 1e-9 * before.max(1.0));
+    }
+
+    #[test]
+    fn nrm2_triangle_inequality(x in finite_vec(11), y in finite_vec(11)) {
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        prop_assert!(nrm2(&sum) <= nrm2(&x) + nrm2(&y) + 1e-6);
+    }
+
+    #[test]
+    fn swap_columns_is_involution(vals in proptest::collection::vec(-1e3f64..1e3, 20), i in 0usize..4, j in 0usize..4) {
+        let mut m = Matrix::from_column_major(5, 4, vals);
+        let orig = m.clone();
+        m.swap_columns(i, j);
+        m.swap_columns(i, j);
+        prop_assert_eq!(m, orig);
+    }
+}

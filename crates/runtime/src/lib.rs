@@ -1,0 +1,19 @@
+//! Threaded hypercube multicomputer.
+//!
+//! The paper's algorithms run on a message-passing multicomputer; this
+//! crate is the executable substitute (DESIGN.md §3): every node of the
+//! `d`-cube is an OS thread, every link is a pair of directed channels, and
+//! the only primitives are neighbor send/receive/exchange, barriers, and
+//! dimension-exchange collectives. Nothing is shared between nodes except
+//! the traffic meter (atomics) — a program written against [`NodeCtx`]
+//! would port to MPI on a real hypercube unchanged in structure.
+
+pub mod collectives;
+pub mod meter;
+pub mod pipelined;
+pub mod spmd;
+
+pub use collectives::{all_gather, all_reduce, broadcast, gather};
+pub use meter::TrafficMeter;
+pub use pipelined::{pipelined_exchange, unpipelined_exchange};
+pub use spmd::{run_spmd, run_spmd_metered, Meterable, NodeCtx};

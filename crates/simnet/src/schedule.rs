@@ -1,0 +1,176 @@
+//! Communication schedules: what every node sends at every stage.
+//!
+//! The simulator consumes a list of [`CommStage`]s. Within a stage each
+//! node issues a set of messages to neighbors (one per hypercube dimension
+//! at most — messages sharing a link have already been combined, as the
+//! paper prescribes). The builders produce the two schedule shapes the
+//! Jacobi algorithms generate: the unpipelined sweep (one block message per
+//! transition) and the pipelined exchange phase (windowed packet bundles).
+
+use mph_ccpipe::{pipelined_schedule, CcCube};
+
+/// One message: `elems` data elements across dimension `dim`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSend {
+    pub dim: usize,
+    pub elems: f64,
+}
+
+/// One synchronized communication stage.
+///
+/// `sends[n]` lists node `n`'s outgoing messages, in issue order. In the
+/// SPMD algorithms of the paper all nodes send the same bundle, but the
+/// simulator accepts arbitrary per-node lists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommStage {
+    pub sends: Vec<Vec<NodeSend>>,
+}
+
+impl CommStage {
+    /// An SPMD stage: every one of the `2^d` nodes sends `bundle`.
+    pub fn spmd(d: usize, bundle: Vec<NodeSend>) -> Self {
+        CommStage { sends: vec![bundle; 1 << d] }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// Total messages in the stage.
+    pub fn message_count(&self) -> usize {
+        self.sends.iter().map(|s| s.len()).sum()
+    }
+
+    /// Total element volume in the stage.
+    pub fn volume(&self) -> f64 {
+        self.sends.iter().flatten().map(|m| m.elems).sum()
+    }
+}
+
+/// A full schedule plus the cube dimension it runs on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommSchedule {
+    pub d: usize,
+    pub stages: Vec<CommStage>,
+}
+
+impl CommSchedule {
+    pub fn new(d: usize, stages: Vec<CommStage>) -> Self {
+        for st in &stages {
+            assert_eq!(st.nodes(), 1 << d, "stage node count must be 2^d");
+            for sends in &st.sends {
+                for s in sends {
+                    assert!(s.dim < d, "dimension {} out of range", s.dim);
+                    assert!(s.elems >= 0.0);
+                }
+            }
+        }
+        CommSchedule { d, stages }
+    }
+
+    pub fn message_count(&self) -> usize {
+        self.stages.iter().map(|s| s.message_count()).sum()
+    }
+
+    pub fn volume(&self) -> f64 {
+        self.stages.iter().map(|s| s.volume()).sum()
+    }
+}
+
+/// The unpipelined exchange phase: each transition is one stage in which
+/// every node sends the whole block (`cc.message_elems`) across the
+/// transition's link.
+pub fn unpipelined_phase_schedule(d: usize, cc: &CcCube) -> CommSchedule {
+    let stages = cc
+        .link_seq
+        .iter()
+        .map(|&dim| CommStage::spmd(d, vec![NodeSend { dim, elems: cc.message_elems }]))
+        .collect();
+    CommSchedule::new(d, stages)
+}
+
+/// The pipelined exchange phase with degree `q`: stage `s` sends, for every
+/// distinct link of the window, one combined message of
+/// `multiplicity × (elems/q)` elements. Issue order follows first
+/// appearance in the window (the paper's `a-b-c` notation order).
+pub fn pipelined_phase_schedule(d: usize, cc: &CcCube, q: usize) -> CommSchedule {
+    let sched = pipelined_schedule(cc, q);
+    let s_elems = cc.message_elems / q as f64;
+    let stages = sched
+        .stages
+        .iter()
+        .map(|st| {
+            let window = &cc.link_seq[st.lo..=st.hi];
+            let mut order: Vec<usize> = Vec::new();
+            let mut mult = vec![0usize; d];
+            for &l in window {
+                if mult[l] == 0 {
+                    order.push(l);
+                }
+                mult[l] += 1;
+            }
+            let bundle = order
+                .into_iter()
+                .map(|dim| NodeSend { dim, elems: mult[dim] as f64 * s_elems })
+                .collect();
+            CommStage::spmd(d, bundle)
+        })
+        .collect();
+    CommSchedule::new(d, stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mph_core::OrderingFamily;
+
+    #[test]
+    fn unpipelined_schedule_shape() {
+        let cc = CcCube::exchange_phase(OrderingFamily::Br, 3, 64.0);
+        let s = unpipelined_phase_schedule(3, &cc);
+        assert_eq!(s.stages.len(), 7);
+        assert_eq!(s.message_count(), 7 * 8);
+        assert_eq!(s.volume(), 7.0 * 8.0 * 64.0);
+    }
+
+    #[test]
+    fn pipelined_schedule_conserves_volume() {
+        let cc = CcCube::exchange_phase(OrderingFamily::Degree4, 4, 120.0);
+        for q in [1usize, 2, 4, 8, 15, 30] {
+            let s = pipelined_phase_schedule(4, &cc, q);
+            // Every packet of every iteration crosses the network once:
+            // volume = K · elems per node.
+            let expect = 15.0 * 120.0 * 16.0;
+            assert!((s.volume() - expect).abs() < 1e-6, "q={q}: {}", s.volume());
+        }
+    }
+
+    #[test]
+    fn pipelined_stage_combines_repeated_links() {
+        // BR window <0,1,0> must become messages 0:2·S, 1:1·S.
+        let cc = CcCube::exchange_phase(OrderingFamily::Br, 3, 30.0);
+        let s = pipelined_phase_schedule(3, &cc, 3);
+        // Stage 2 (first kernel stage) has window 0,1,0.
+        let bundle = &s.stages[2].sends[0];
+        assert_eq!(bundle.len(), 2);
+        assert_eq!(bundle[0], NodeSend { dim: 0, elems: 20.0 });
+        assert_eq!(bundle[1], NodeSend { dim: 1, elems: 10.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn schedule_rejects_bad_dimension() {
+        let stage = CommStage::spmd(2, vec![NodeSend { dim: 5, elems: 1.0 }]);
+        let _ = CommSchedule::new(2, vec![stage]);
+    }
+
+    #[test]
+    fn q1_pipelined_equals_unpipelined() {
+        let cc = CcCube::exchange_phase(OrderingFamily::PermutedBr, 4, 44.0);
+        assert_eq!(
+            pipelined_phase_schedule(4, &cc, 1),
+            unpipelined_phase_schedule(4, &cc)
+        );
+    }
+}

@@ -1,0 +1,364 @@
+//! The virtual-time network simulator.
+//!
+//! Two execution semantics are provided:
+//!
+//! * [`simulate_synchronized`] — a barrier separates stages: stage `s+1`
+//!   starts when every node has finished sending *and* receiving stage `s`.
+//!   This is the semantics the analytic cost models price.
+//! * [`simulate_async`] — no barriers: a node starts its stage `s` as soon
+//!   as its own CPU is free and every packet it needs from stage `s−1`
+//!   (those of its stage-`s−1` partners) has arrived. For the paper's SPMD
+//!   schedules (every node sends the same bundle) this coincides with the
+//!   synchronized semantics; for irregular schedules it is faster.
+//!
+//! Within a stage, a node's behaviour follows the machine model:
+//! start-ups are issued serially by the CPU (`Ts` each), then transmissions
+//! occupy ports according to [`PortModel`]. Two start-up/transmission
+//! interleavings are supported (see [`StartupModel`]): the closed-form one
+//! used by the paper's model, and an overlapped one that lets early
+//! transmissions begin while later start-ups are still being issued — the
+//! gap between them is measured by the `validate_simnet` experiment.
+
+use crate::schedule::{CommSchedule, NodeSend};
+use mph_ccpipe::{Machine, PortModel};
+
+/// How start-up issue and transmission overlap within one node's stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartupModel {
+    /// All start-ups complete before any transmission begins: a stage with
+    /// `n` messages costs exactly `n·Ts + makespan(tx)` — the paper's
+    /// closed-form model.
+    SerializedThenParallel,
+    /// Message `i`'s transmission may begin as soon as its own start-up
+    /// completes (at `(i+1)·Ts`), overlapping later start-ups. Never slower
+    /// than the closed form.
+    Overlapped,
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Total virtual time from first stage start to last completion.
+    pub makespan: f64,
+    /// Per-stage `(start, end)` (synchronized mode) or per-stage completion
+    /// envelope (async mode: min start, max end).
+    pub stage_spans: Vec<(f64, f64)>,
+    /// Busy time accumulated per dimension (transmissions, both directions).
+    pub dim_busy: Vec<f64>,
+    /// Total messages.
+    pub messages: usize,
+    /// Total element volume.
+    pub volume: f64,
+}
+
+impl SimReport {
+    /// Utilization of dimension `dim`: busy time / (makespan × 2^d links in
+    /// that dimension × 2 directions), i.e. the mean fraction of time the
+    /// dimension's wires carry data.
+    pub fn dim_utilization(&self, dim: usize, d: usize) -> f64 {
+        if self.makespan == 0.0 {
+            return 0.0;
+        }
+        self.dim_busy[dim] / (self.makespan * (1u64 << d) as f64)
+    }
+}
+
+/// Completion time of one node's sends within a stage starting at `t0`,
+/// also accumulating per-dimension busy time.
+fn node_stage_completion(
+    sends: &[NodeSend],
+    machine: &Machine,
+    startup: StartupModel,
+    t0: f64,
+    dim_busy: &mut [f64],
+) -> f64 {
+    if sends.is_empty() {
+        return t0;
+    }
+    let ts = machine.ts;
+    let tw = machine.tw;
+    let n = sends.len() as f64;
+    for s in sends {
+        dim_busy[s.dim] += s.elems * tw;
+    }
+    match machine.ports {
+        PortModel::AllPort => match startup {
+            StartupModel::SerializedThenParallel => {
+                let tx_max =
+                    sends.iter().map(|s| s.elems * tw).fold(0.0f64, f64::max);
+                t0 + n * ts + tx_max
+            }
+            StartupModel::Overlapped => sends
+                .iter()
+                .enumerate()
+                .map(|(i, s)| t0 + (i as f64 + 1.0) * ts + s.elems * tw)
+                .fold(0.0f64, f64::max),
+        },
+        PortModel::OnePort => {
+            // Single port: start-up, transmit, repeat.
+            let mut t = t0;
+            for s in sends {
+                t += ts + s.elems * tw;
+            }
+            t
+        }
+        PortModel::KPort(k) => {
+            let k = k.max(1);
+            let mut engines = vec![t0; k];
+            let mut t_cpu = t0;
+            let mut done = t0;
+            for s in sends {
+                t_cpu += ts;
+                let issue = match startup {
+                    StartupModel::SerializedThenParallel => t0 + n * ts,
+                    StartupModel::Overlapped => t_cpu,
+                };
+                // Earliest-available engine.
+                let idx = (0..k).min_by(|&a, &b| engines[a].total_cmp(&engines[b])).unwrap();
+                let start = engines[idx].max(issue);
+                engines[idx] = start + s.elems * tw;
+                done = done.max(engines[idx]);
+            }
+            done.max(t_cpu)
+        }
+    }
+}
+
+/// Barrier-synchronized execution.
+pub fn simulate_synchronized(
+    schedule: &CommSchedule,
+    machine: &Machine,
+    startup: StartupModel,
+) -> SimReport {
+    let d = schedule.d;
+    let mut dim_busy = vec![0.0; d.max(1)];
+    let mut t = 0.0;
+    let mut stage_spans = Vec::with_capacity(schedule.stages.len());
+    for stage in &schedule.stages {
+        let start = t;
+        let mut end = t;
+        for sends in &stage.sends {
+            let c = node_stage_completion(sends, machine, startup, start, &mut dim_busy);
+            end = end.max(c);
+        }
+        stage_spans.push((start, end));
+        t = end;
+    }
+    SimReport {
+        makespan: t,
+        stage_spans,
+        dim_busy,
+        messages: schedule.message_count(),
+        volume: schedule.volume(),
+    }
+}
+
+/// Barrier-free execution: node `n` may start stage `s` once it has
+/// finished its own stage `s−1` and the stage-`s−1` transmissions *to* `n`
+/// have arrived.
+pub fn simulate_async(
+    schedule: &CommSchedule,
+    machine: &Machine,
+    startup: StartupModel,
+) -> SimReport {
+    let d = schedule.d;
+    let p = 1usize << d;
+    let mut dim_busy = vec![0.0; d.max(1)];
+    // ready[n]: when node n may begin its next stage.
+    let mut ready = vec![0.0f64; p];
+    let mut stage_spans = Vec::with_capacity(schedule.stages.len());
+    let mut makespan = 0.0f64;
+    for stage in &schedule.stages {
+        let mut completion = vec![0.0f64; p];
+        let mut span = (f64::INFINITY, 0.0f64);
+        for n in 0..p {
+            let t0 = ready[n];
+            let c = node_stage_completion(&stage.sends[n], machine, startup, t0, &mut dim_busy);
+            completion[n] = c;
+            span.0 = span.0.min(t0);
+            span.1 = span.1.max(c);
+            makespan = makespan.max(c);
+        }
+        // Next-stage readiness: own completion plus arrivals from partners.
+        let mut next_ready = completion.clone();
+        for n in 0..p {
+            for s in &stage.sends[n] {
+                let partner = n ^ (1 << s.dim);
+                // The data this node sent arrives at `partner` when the
+                // node's stage completes (per-message completion would be
+                // tighter; stage completion is a safe, simple bound).
+                next_ready[partner] = next_ready[partner].max(completion[n]);
+            }
+        }
+        ready = next_ready;
+        if span.0.is_infinite() {
+            span.0 = 0.0;
+        }
+        stage_spans.push(span);
+    }
+    SimReport {
+        makespan,
+        stage_spans,
+        dim_busy,
+        messages: schedule.message_count(),
+        volume: schedule.volume(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{pipelined_phase_schedule, unpipelined_phase_schedule, CommStage};
+    use mph_ccpipe::CcCube;
+    use mph_core::OrderingFamily;
+
+    fn machine() -> Machine {
+        Machine::paper_figure2()
+    }
+
+    #[test]
+    fn single_stage_single_message() {
+        let sched = CommSchedule::new(
+            2,
+            vec![CommStage::spmd(2, vec![NodeSend { dim: 0, elems: 10.0 }])],
+        );
+        let r = simulate_synchronized(&sched, &machine(), StartupModel::SerializedThenParallel);
+        assert_eq!(r.makespan, 1000.0 + 10.0 * 100.0);
+        assert_eq!(r.messages, 4);
+    }
+
+    #[test]
+    fn unpipelined_phase_matches_closed_form() {
+        let cc = CcCube::exchange_phase(OrderingFamily::Br, 4, 500.0);
+        let sched = unpipelined_phase_schedule(4, &cc);
+        let r = simulate_synchronized(&sched, &machine(), StartupModel::SerializedThenParallel);
+        let expect = 15.0 * (1000.0 + 500.0 * 100.0);
+        assert!((r.makespan - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_phase_matches_analytic_cost_model() {
+        // The synchronized simulator with serialized start-ups must price a
+        // pipelined phase exactly like PhaseCostModel.
+        let m = machine();
+        for family in [OrderingFamily::Br, OrderingFamily::PermutedBr, OrderingFamily::Degree4] {
+            for e in [4usize, 5] {
+                let cc = CcCube::exchange_phase(family, e, 320.0);
+                let model = mph_ccpipe::PhaseCostModel::new(&cc, m);
+                for q in [1usize, 2, 4, 8, 16, 40] {
+                    let sched = pipelined_phase_schedule(e, &cc, q);
+                    let r = simulate_synchronized(&sched, &m, StartupModel::SerializedThenParallel);
+                    let want = model.cost(q);
+                    assert!(
+                        (r.makespan - want).abs() < 1e-6 * want,
+                        "{family} e={e} q={q}: sim {} vs model {want}",
+                        r.makespan
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_startups_never_slower() {
+        let cc = CcCube::exchange_phase(OrderingFamily::Degree4, 5, 320.0);
+        let m = machine();
+        for q in [1usize, 4, 16, 62] {
+            let sched = pipelined_phase_schedule(5, &cc, q);
+            let strict =
+                simulate_synchronized(&sched, &m, StartupModel::SerializedThenParallel);
+            let relaxed = simulate_synchronized(&sched, &m, StartupModel::Overlapped);
+            assert!(
+                relaxed.makespan <= strict.makespan + 1e-9,
+                "q={q}: {} > {}",
+                relaxed.makespan,
+                strict.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn async_equals_sync_for_spmd_schedules() {
+        let cc = CcCube::exchange_phase(OrderingFamily::PermutedBr, 4, 77.0);
+        let m = machine();
+        for q in [1usize, 3, 9] {
+            let sched = pipelined_phase_schedule(4, &cc, q);
+            let sync = simulate_synchronized(&sched, &m, StartupModel::SerializedThenParallel);
+            let asy = simulate_async(&sched, &m, StartupModel::SerializedThenParallel);
+            assert!(
+                (sync.makespan - asy.makespan).abs() < 1e-9,
+                "q={q}: sync {} vs async {}",
+                sync.makespan,
+                asy.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn async_beats_sync_for_irregular_schedules() {
+        // Node 0 is busy in stage 0; the others idle. In stage 1 only node
+        // 3 sends (to node 2). Node 3 need not wait for node 0's stage-0
+        // completion in async mode.
+        let d = 2;
+        let heavy = vec![NodeSend { dim: 0, elems: 1000.0 }];
+        let idle: Vec<NodeSend> = vec![];
+        let light = vec![NodeSend { dim: 0, elems: 1.0 }];
+        let stage0 = CommStage { sends: vec![heavy, idle.clone(), idle.clone(), light.clone()] };
+        let stage1 = CommStage { sends: vec![idle.clone(), idle.clone(), idle.clone(), light] };
+        let sched = CommSchedule::new(d, vec![stage0, stage1]);
+        let m = machine();
+        let sync = simulate_synchronized(&sched, &m, StartupModel::SerializedThenParallel);
+        let asy = simulate_async(&sched, &m, StartupModel::SerializedThenParallel);
+        assert!(asy.makespan < sync.makespan, "async {} sync {}", asy.makespan, sync.makespan);
+    }
+
+    #[test]
+    fn one_port_simulation_serializes() {
+        let m = Machine::one_port(10.0, 1.0);
+        let bundle = vec![
+            NodeSend { dim: 0, elems: 5.0 },
+            NodeSend { dim: 1, elems: 7.0 },
+        ];
+        let sched = CommSchedule::new(2, vec![CommStage::spmd(2, bundle)]);
+        let r = simulate_synchronized(&sched, &m, StartupModel::Overlapped);
+        assert_eq!(r.makespan, (10.0 + 5.0) + (10.0 + 7.0));
+    }
+
+    #[test]
+    fn dim_busy_accounts_all_traffic() {
+        let cc = CcCube::exchange_phase(OrderingFamily::Br, 3, 10.0);
+        let sched = unpipelined_phase_schedule(3, &cc);
+        let m = machine();
+        let r = simulate_synchronized(&sched, &m, StartupModel::SerializedThenParallel);
+        // BR e=3 = <0102010>: 4 transitions on dim 0, 2 on dim 1, 1 on dim 2,
+        // each 8 nodes × 10 elems × Tw.
+        assert_eq!(r.dim_busy[0], 4.0 * 8.0 * 10.0 * 100.0);
+        assert_eq!(r.dim_busy[1], 2.0 * 8.0 * 10.0 * 100.0);
+        assert_eq!(r.dim_busy[2], 1.0 * 8.0 * 10.0 * 100.0);
+    }
+
+    #[test]
+    fn balanced_sequences_spread_utilization() {
+        // Permuted-BR should load dimensions far more evenly than BR.
+        let m = machine();
+        let e = 8;
+        let busy = |family: OrderingFamily| {
+            let cc = CcCube::exchange_phase(family, e, 10.0);
+            let sched = unpipelined_phase_schedule(e, &cc);
+            simulate_synchronized(&sched, &m, StartupModel::SerializedThenParallel).dim_busy
+        };
+        // Spread = busiest dimension / mean. (The top dimension e−1 always
+        // carries exactly one transition in BR-derived sequences, so
+        // max/min is uninformative; max/mean is the balance that matters
+        // for deep pipelining.)
+        let spread = |b: &[f64]| {
+            let max = b.iter().fold(0.0f64, |a, &x| a.max(x));
+            let mean = b.iter().sum::<f64>() / b.len() as f64;
+            max / mean
+        };
+        let br = busy(OrderingFamily::Br);
+        let pbr = busy(OrderingFamily::PermutedBr);
+        assert!(spread(&br) > 3.5, "BR spread {}", spread(&br));
+        assert!(spread(&pbr) < 1.6, "pBR spread {}", spread(&pbr));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the network simulator: conformance with the
+//! analytic model on arbitrary phases, and the semantic orderings between
+//! execution modes (strict ≥ overlapped, sync ≥ async).
+
+use mph_ccpipe::{CcCube, Machine, PhaseCostModel, PortModel};
+use mph_core::OrderingFamily;
+use mph_simnet::{
+    pipelined_phase_schedule, simulate_async, simulate_synchronized, CommSchedule, CommStage,
+    NodeSend, StartupModel,
+};
+use proptest::prelude::*;
+
+fn family_strategy() -> impl Strategy<Value = OrderingFamily> {
+    prop_oneof![
+        Just(OrderingFamily::Br),
+        Just(OrderingFamily::PermutedBr),
+        Just(OrderingFamily::Degree4),
+        Just(OrderingFamily::MinAlpha),
+    ]
+}
+
+fn random_schedule() -> impl Strategy<Value = CommSchedule> {
+    (1usize..=3).prop_flat_map(|d| {
+        let p = 1usize << d;
+        let stage = proptest::collection::vec(
+            proptest::collection::vec((0usize..d, 0.0f64..500.0), 0..=d),
+            p..=p,
+        )
+        .prop_map(move |sends| CommStage {
+            sends: sends
+                .into_iter()
+                .map(|node| {
+                    // At most one message per dimension (combined messages).
+                    let mut seen = [false; 8];
+                    node.into_iter()
+                        .filter_map(|(dim, elems)| {
+                            if seen[dim] {
+                                None
+                            } else {
+                                seen[dim] = true;
+                                Some(NodeSend { dim, elems })
+                            }
+                        })
+                        .collect()
+                })
+                .collect(),
+        });
+        proptest::collection::vec(stage, 1..6)
+            .prop_map(move |stages| CommSchedule::new(d, stages))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn strict_sync_simulation_equals_analytic_model(
+        family in family_strategy(),
+        e in 2usize..=6,
+        q in 1usize..150,
+        elems in 1.0f64..1e4,
+        ts in 0.0f64..3000.0,
+        tw in 0.1f64..300.0,
+    ) {
+        let machine = Machine::all_port(ts, tw);
+        let cc = CcCube::exchange_phase(family, e, elems);
+        let model = PhaseCostModel::new(&cc, machine);
+        let sched = pipelined_phase_schedule(e, &cc, q);
+        let sim = simulate_synchronized(&sched, &machine, StartupModel::SerializedThenParallel);
+        let want = model.cost(q);
+        prop_assert!(
+            (sim.makespan - want).abs() <= 1e-6 * want.max(1.0),
+            "{family} e={e} q={q}: sim {} vs model {want}",
+            sim.makespan
+        );
+    }
+
+    #[test]
+    fn overlapped_startups_never_slower(sched in random_schedule(), ts in 0.0f64..2000.0, tw in 0.1f64..100.0) {
+        for ports in [PortModel::AllPort, PortModel::OnePort, PortModel::KPort(2)] {
+            let machine = Machine { ts, tw, ports };
+            let strict = simulate_synchronized(&sched, &machine, StartupModel::SerializedThenParallel);
+            let relaxed = simulate_synchronized(&sched, &machine, StartupModel::Overlapped);
+            prop_assert!(relaxed.makespan <= strict.makespan + 1e-9, "{ports:?}");
+        }
+    }
+
+    #[test]
+    fn async_never_slower_than_sync(sched in random_schedule(), ts in 0.0f64..2000.0, tw in 0.1f64..100.0) {
+        let machine = Machine::all_port(ts, tw);
+        let sync = simulate_synchronized(&sched, &machine, StartupModel::SerializedThenParallel);
+        let asy = simulate_async(&sched, &machine, StartupModel::SerializedThenParallel);
+        prop_assert!(asy.makespan <= sync.makespan + 1e-9,
+            "async {} > sync {}", asy.makespan, sync.makespan);
+    }
+
+    #[test]
+    fn busy_time_is_mode_invariant(sched in random_schedule(), ts in 0.0f64..2000.0, tw in 0.1f64..100.0) {
+        // Total per-dimension busy time is traffic accounting — identical
+        // in every execution mode.
+        let machine = Machine::all_port(ts, tw);
+        let a = simulate_synchronized(&sched, &machine, StartupModel::SerializedThenParallel);
+        let b = simulate_async(&sched, &machine, StartupModel::Overlapped);
+        for (x, y) in a.dim_busy.iter().zip(&b.dim_busy) {
+            prop_assert!((x - y).abs() <= 1e-9 * x.max(1.0));
+        }
+        prop_assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn makespan_bounds(sched in random_schedule(), ts in 0.1f64..2000.0, tw in 0.1f64..100.0) {
+        // Makespan is at least the busiest single message and at most the
+        // full serialization of everything.
+        let machine = Machine::all_port(ts, tw);
+        let r = simulate_synchronized(&sched, &machine, StartupModel::SerializedThenParallel);
+        let mut max_single = 0.0f64;
+        let mut total = 0.0f64;
+        for st in &sched.stages {
+            for node in &st.sends {
+                for s in node {
+                    max_single = max_single.max(ts + s.elems * tw);
+                    total += ts + s.elems * tw;
+                }
+            }
+        }
+        if r.messages > 0 {
+            prop_assert!(r.makespan >= max_single - 1e-9);
+            prop_assert!(r.makespan <= total + 1e-9);
+        } else {
+            prop_assert_eq!(r.makespan, 0.0);
+        }
+    }
+}

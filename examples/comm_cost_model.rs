@@ -1,0 +1,41 @@
+//! Communication cost model playground: a miniature Figure 2 for any
+//! matrix size and machine parameters.
+//!
+//! ```sh
+//! cargo run --release --example comm_cost_model -- [log2_m] [ts] [tw]
+//! # paper panel (b):
+//! cargo run --release --example comm_cost_model -- 23 1000 100
+//! ```
+
+use mph::ccpipe::{figure2_point, Machine};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let log2_m: i32 = args.get(1).map(|s| s.parse().expect("log2_m")).unwrap_or(23);
+    let ts: f64 = args.get(2).map(|s| s.parse().expect("ts")).unwrap_or(1000.0);
+    let tw: f64 = args.get(3).map(|s| s.parse().expect("tw")).unwrap_or(100.0);
+
+    let machine = Machine::all_port(ts, tw);
+    let m = 2f64.powi(log2_m);
+    println!("communication cost relative to the unpipelined BR algorithm");
+    println!("m = 2^{log2_m}, Ts = {ts}, Tw = {tw}, all-port\n");
+    println!(
+        "{:>3} {:>14} {:>10} {:>14} {:>12}  pBR mode",
+        "d", "pipelined-BR", "degree-4", "permuted-BR", "lower-bound"
+    );
+    for d in 2..=15 {
+        let p = figure2_point(d, m, &machine);
+        println!(
+            "{d:>3} {:>14.3} {:>10.3} {:>14.3} {:>12.3}  {}",
+            p.pipelined_br,
+            p.degree4,
+            p.permuted_br,
+            p.lower_bound,
+            if p.permuted_br_deep { "deep" } else { "shallow" }
+        );
+    }
+    println!(
+        "\nTry a start-up-dominated machine (ts ≫ tw·m²/2^d) to watch pipelining\n\
+         stop paying off, or tw = 0 to see pure start-up costs."
+    );
+}

@@ -1,0 +1,70 @@
+//! Ordering explorer: inspect any family's link sequence — Hamiltonicity,
+//! α, degree, histogram, window quality and the full sweep structure.
+//!
+//! ```sh
+//! cargo run --release --example ordering_explorer -- [e] [family]
+//! # e.g.
+//! cargo run --release --example ordering_explorer -- 6 degree4
+//! ```
+
+use mph::core::{
+    alpha, alpha_lower_bound, distinct_window_fraction, link_histogram, sequence_degree,
+    OrderingFamily, SweepSchedule, TransitionKind,
+};
+use mph::hypercube::{link_sequence_to_path, validate_e_sequence};
+
+fn parse_family(s: &str) -> OrderingFamily {
+    match s.to_ascii_lowercase().as_str() {
+        "br" => OrderingFamily::Br,
+        "pbr" | "permuted-br" | "permuted_br" => OrderingFamily::PermutedBr,
+        "d4" | "degree4" | "degree-4" => OrderingFamily::Degree4,
+        "minalpha" | "min-alpha" => OrderingFamily::MinAlpha,
+        other => panic!("unknown family {other}; use br | pbr | d4 | minalpha"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let e: usize = args.get(1).map(|s| s.parse().expect("e must be a number")).unwrap_or(5);
+    let family = parse_family(args.get(2).map(String::as_str).unwrap_or("pbr"));
+
+    let seq = family.sequence(e);
+    println!("family {} / exchange phase e = {e}", family.name());
+    if seq.len() <= 127 {
+        println!("D_e = <{}>", seq.iter().map(|l| l.to_string()).collect::<String>());
+    } else {
+        println!("D_e has {} elements (too long to print)", seq.len());
+    }
+    validate_e_sequence(&seq, e).expect("every family must produce an e-sequence");
+    println!("valid e-sequence (Hamiltonian path of the {e}-cube) ✓");
+
+    println!("\nα = {} (lower bound {}), degree = {}", alpha(&seq, e), alpha_lower_bound(e), sequence_degree(&seq, e));
+    println!("link histogram: {:?}", link_histogram(&seq, e));
+    println!("\nwindow quality (fraction of all-distinct windows):");
+    for q in 2..=e.min(6) {
+        println!("  Q = {q}: {:>5.1}%", 100.0 * distinct_window_fraction(&seq, e, q));
+    }
+
+    if e <= 4 {
+        println!("\nwalk from node 0: {:?}", link_sequence_to_path(&seq, 0));
+    }
+
+    // Sweep structure on a d = e cube.
+    let sched = SweepSchedule::first_sweep(e, family);
+    let mut exchanges = 0;
+    let mut divisions = 0;
+    for t in sched.transitions() {
+        match t.kind {
+            TransitionKind::Exchange { .. } => exchanges += 1,
+            TransitionKind::Division { .. } => divisions += 1,
+            TransitionKind::LastTransition => {}
+        }
+    }
+    println!(
+        "\nfull sweep on a {e}-cube: {} steps, {} transitions ({} exchange, {} division, 1 last)",
+        sched.steps(),
+        sched.transitions().len(),
+        exchanges,
+        divisions
+    );
+}

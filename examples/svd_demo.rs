@@ -1,0 +1,53 @@
+//! One-sided Jacobi SVD with hypercube orderings — the companion algorithm
+//! (the paper's reference [7] develops BR-style orderings for SVD).
+//!
+//! ```sh
+//! cargo run --release --example svd_demo
+//! ```
+
+use mph::core::OrderingFamily;
+use mph::eigen::{svd_block, svd_cyclic, JacobiOptions};
+use mph::linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let (rows, cols) = (48usize, 24usize);
+    let mut rng = StdRng::seed_from_u64(11);
+    let a = Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..=1.0));
+    let opts = JacobiOptions { tol: 1e-12, ..Default::default() };
+
+    println!("SVD of a random {rows}×{cols} matrix (uniform [-1,1] entries)\n");
+    let base = svd_cyclic(&a, &opts);
+    println!(
+        "cyclic:        {} sweeps, {} rotations, σ_max = {:.4}, σ_min = {:.4}",
+        base.sweeps,
+        base.rotations,
+        base.sorted_singular_values()[0],
+        base.sorted_singular_values()[cols - 1]
+    );
+
+    for family in [OrderingFamily::Br, OrderingFamily::PermutedBr, OrderingFamily::Degree4] {
+        let r = svd_block(&a, 2, family, &opts);
+        let rec = r.reconstruct();
+        let mut err = 0.0f64;
+        for c in 0..cols {
+            for rr in 0..rows {
+                err += (a[(rr, c)] - rec[(rr, c)]).powi(2);
+            }
+        }
+        println!(
+            "{:>13}: {} sweeps, {} rotations, ‖A − UΣVᵀ‖_F = {:.2e}",
+            family.name(),
+            r.sweeps,
+            r.rotations,
+            err.sqrt()
+        );
+        // Spectra agree across orderings.
+        let (b, s) = (base.sorted_singular_values(), r.sorted_singular_values());
+        let dev = b.iter().zip(&s).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
+        assert!(dev < 1e-8, "{family}: singular values deviate by {dev}");
+    }
+    println!("\nall orderings produce the same singular spectrum ✓");
+    println!("(the ordering choice affects communication cost, not numerics)");
+}

@@ -1,0 +1,19 @@
+//! # mph — Jacobi orderings for multi-port hypercubes
+//!
+//! Umbrella crate re-exporting the whole workspace: a production-grade
+//! reproduction of Royo, González & Valero-García, *"Jacobi Orderings for
+//! Multi-Port Hypercubes"* (IPPS 1998).
+//!
+//! ```
+//! use mph::core::OrderingFamily;
+//! let d4 = OrderingFamily::Degree4.sequence(5);
+//! assert_eq!(d4.len(), 31);
+//! ```
+
+pub use mph_ccpipe as ccpipe;
+pub use mph_core as core;
+pub use mph_eigen as eigen;
+pub use mph_hypercube as hypercube;
+pub use mph_linalg as linalg;
+pub use mph_runtime as runtime;
+pub use mph_simnet as simnet;

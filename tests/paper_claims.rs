@@ -1,0 +1,164 @@
+//! The paper's quantitative claims, as executable assertions. Each test
+//! cites the section it checks.
+
+use mph::ccpipe::{figure2_point, Machine};
+use mph::core::{
+    alpha, alpha_lower_bound, br_sequence, d4_sequence, pbr_sequence, sequence_degree,
+    OrderingFamily,
+};
+use mph::hypercube::validate_e_sequence;
+
+/// §2.3.1: the BR recursion and the e = 4 example sequence.
+#[test]
+fn claim_br_recursion_example() {
+    let d4: Vec<usize> =
+        "010201030102010".chars().map(|c| c.to_digit(10).unwrap() as usize).collect();
+    assert_eq!(br_sequence(4), d4);
+}
+
+/// §2.4: any Q-window of D_e^BR has at least ⌈Q/2⌉ elements equal to 0.
+#[test]
+fn claim_br_windows_are_half_zeros() {
+    for e in 3..=10 {
+        let seq = br_sequence(e);
+        for q in 2..=e {
+            for w in seq.windows(q) {
+                let zeros = w.iter().filter(|&&l| l == 0).count();
+                assert!(zeros >= q / 2, "e={e} window {w:?}");
+            }
+        }
+    }
+}
+
+/// §3.1: α values of the minimum-α sequences and the lower-bound formula.
+#[test]
+fn claim_min_alpha_values() {
+    for (e, want) in [(2usize, 2usize), (3, 3), (4, 4), (5, 7), (6, 11)] {
+        assert_eq!(alpha_lower_bound(e), want);
+        let seq = mph::core::published_min_alpha_sequence(e).unwrap();
+        assert!(validate_e_sequence(&seq, e).is_ok());
+        assert_eq!(alpha(&seq, e), want);
+    }
+}
+
+/// §3.2.1: the worked permuted-BR example for e = 5.
+#[test]
+fn claim_pbr_worked_example() {
+    let want: Vec<usize> = "0102010310121014323132302321232"
+        .chars()
+        .map(|c| c.to_digit(10).unwrap() as usize)
+        .collect();
+    assert_eq!(pbr_sequence(5), want);
+}
+
+/// §3.2.2 / Theorem 3: α(p-BR)/lower-bound stays in a band around 1.25
+/// for large e (Table 1's measured range is 1.16–1.69).
+#[test]
+fn claim_pbr_ratio_band() {
+    for e in 7..=14 {
+        let ratio = alpha(&pbr_sequence(e), e) as f64 / alpha_lower_bound(e) as f64;
+        assert!((1.0..=1.7).contains(&ratio), "e={e}: ratio {ratio}");
+    }
+}
+
+/// §3.3 / Definition 3: the degree-4 example sequence for e = 5 and the
+/// degree values of both families.
+#[test]
+fn claim_degree_values() {
+    let want: Vec<usize> = "0123012401230121012301240123012"
+        .chars()
+        .map(|c| c.to_digit(10).unwrap() as usize)
+        .collect();
+    assert_eq!(d4_sequence(5), want);
+    for e in 4..=10 {
+        assert_eq!(sequence_degree(&br_sequence(e), e), 2, "BR degree, e={e}");
+    }
+    for e in 5..=10 {
+        assert_eq!(sequence_degree(&d4_sequence(e), e), 4, "D4 degree, e={e}");
+    }
+}
+
+/// Theorem 1: D_e^D4 is an e-sequence.
+#[test]
+fn claim_theorem1() {
+    for e in 4..=12 {
+        assert!(validate_e_sequence(&d4_sequence(e), e).is_ok(), "e={e}");
+    }
+}
+
+/// §4 + abstract: "the degree-4 ordering … reduces the communication
+/// overhead of the algorithm to the half when compared with previous Jacobi
+/// orderings" (i.e. versus pipelined BR), and to ~1/4 of the unpipelined
+/// algorithm, across all three panels.
+#[test]
+fn claim_degree4_factor_two_over_pipelined_br() {
+    // The factor holds where the exchange phases dominate (d ≥ 8); at
+    // small d the d+1 serial division transitions dilute both series.
+    let machine = Machine::paper_figure2();
+    for mexp in [18i32, 23, 32] {
+        for d in [8usize, 10, 12] {
+            let p = figure2_point(d, 2f64.powi(mexp), &machine);
+            let gain = p.pipelined_br / p.degree4;
+            assert!(
+                gain > 1.7 && gain < 2.4,
+                "m=2^{mexp} d={d}: D4 gain over pipelined BR = {gain}"
+            );
+            assert!(
+                p.degree4 > 0.2 && p.degree4 < 0.36,
+                "m=2^{mexp} d={d}: degree-4 = {}",
+                p.degree4
+            );
+        }
+    }
+}
+
+/// §4: "The performance of the permuted-BR ordering approaches the lower
+/// bound when deep pipelining is used" — within Theorem 3's 1.25 factor
+/// (plus the serial division phases).
+#[test]
+fn claim_pbr_near_lower_bound_in_deep_mode() {
+    let machine = Machine::paper_figure2();
+    let p = figure2_point(12, 2f64.powi(32), &machine);
+    assert!(p.permuted_br_deep);
+    let ratio = p.permuted_br / p.lower_bound;
+    assert!(ratio < 1.4, "pBR/LB = {ratio}");
+}
+
+/// Abstract: "The permuted-BR ordering has a performance that tends
+/// asymptotically (for large matrices) to 80% of a lower bound" — i.e.
+/// LB/cost(pBR) ≈ 0.8.
+#[test]
+fn claim_eighty_percent_of_lower_bound() {
+    let machine = Machine::paper_figure2();
+    let p = figure2_point(13, 2f64.powi(32), &machine);
+    let efficiency = p.lower_bound / p.permuted_br;
+    assert!(
+        efficiency > 0.70 && efficiency < 0.95,
+        "LB/pBR = {efficiency}, expected ≈ 0.8"
+    );
+}
+
+/// §2.4: pipelining buys at most 2× for BR, regardless of d.
+#[test]
+fn claim_br_pipelining_cap() {
+    let machine = Machine::paper_figure2();
+    for d in [5usize, 9, 13] {
+        let p = figure2_point(d, 2f64.powi(23), &machine);
+        assert!(p.pipelined_br >= 0.45, "d={d}: pipelined BR {} beat the 2× cap", p.pipelined_br);
+    }
+}
+
+/// Table 2's conclusion: convergence is ordering-insensitive (checked in a
+/// small slice here; the full grid is the `table2` experiment binary).
+#[test]
+fn claim_convergence_insensitive_slice() {
+    use mph::eigen::{convergence_stats, JacobiOptions};
+    let opts = JacobiOptions::default();
+    let stats: Vec<f64> = [OrderingFamily::Br, OrderingFamily::PermutedBr, OrderingFamily::Degree4]
+        .iter()
+        .map(|&f| convergence_stats(f, 16, 4, 10, &opts, 31337).mean_sweeps)
+        .collect();
+    let min = stats.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = stats.iter().cloned().fold(0.0f64, f64::max);
+    assert!(max - min <= 0.5, "sweep means too different: {stats:?}");
+}
