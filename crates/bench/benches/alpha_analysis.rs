@@ -19,9 +19,7 @@ fn bench_analysis(c: &mut Criterion) {
             b.iter(|| black_box(window_stats(&seq, e, q)))
         });
     }
-    g.bench_function("sequence_degree_e14", |b| {
-        b.iter(|| black_box(sequence_degree(&seq, e)))
-    });
+    g.bench_function("sequence_degree_e14", |b| b.iter(|| black_box(sequence_degree(&seq, e))));
     g.finish();
 }
 

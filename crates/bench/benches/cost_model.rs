@@ -25,9 +25,7 @@ fn bench_cost_model(c: &mut Criterion) {
     });
     g.bench_function("cost_shallow_q64", |b| b.iter(|| black_box(model.cost(64))));
     g.bench_function("cost_deep_q4k", |b| b.iter(|| black_box(model.cost(4 * k))));
-    g.bench_function("optimize_q_e10", |b| {
-        b.iter(|| black_box(optimize_q(&model, elems)))
-    });
+    g.bench_function("optimize_q_e10", |b| b.iter(|| black_box(optimize_q(&model, elems))));
     g.finish();
 }
 

@@ -13,9 +13,7 @@ fn main() {
     let d = 8usize;
     let m = 2f64.powi(23);
     let w = Workload::new(m, d);
-    banner(&format!(
-        "X2 — port-count ablation (d = {d}, m = 2^23, Ts = 1000, Tw = 100)"
-    ));
+    banner(&format!("X2 — port-count ablation (d = {d}, m = 2^23, Ts = 1000, Tw = 100)"));
     println!(
         "{:>9} {:>12} {:>14} {:>10} {:>14}",
         "ports", "BR (unpip)", "pipelined-BR", "degree-4", "permuted-BR"

@@ -15,8 +15,7 @@ fn main() {
     banner(&format!(
         "X3 — cost vs pipelining degree (exchange phase e = {e}, K = {k}, elems = 2^23)"
     ));
-    let families =
-        [OrderingFamily::Br, OrderingFamily::PermutedBr, OrderingFamily::Degree4];
+    let families = [OrderingFamily::Br, OrderingFamily::PermutedBr, OrderingFamily::Degree4];
     let models: Vec<PhaseCostModel> = families
         .iter()
         .map(|&f| PhaseCostModel::new(&CcCube::exchange_phase(f, e, elems), machine))

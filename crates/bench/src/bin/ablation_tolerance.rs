@@ -27,7 +27,10 @@ fn main() {
             "{tol:>10.0e} | {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
             means[0], means[1], means[2], means[3]
         );
-        rows.push(format!("{tol:e},{:.2},{:.2},{:.2},{:.2}", means[0], means[1], means[2], means[3]));
+        rows.push(format!(
+            "{tol:e},{:.2},{:.2},{:.2},{:.2}",
+            means[0], means[1], means[2], means[3]
+        ));
     }
     write_csv("ablation_tolerance.csv", "tol,m8p2,m16p4,m32p8,m64p16", &rows);
     println!(

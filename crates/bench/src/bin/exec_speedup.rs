@@ -16,23 +16,23 @@ fn main() {
     let mut rows = Vec::new();
     for tc in [100.0f64, 10.0, 1.0] {
         let compute = ComputeModel { tc };
-        banner(&format!(
-            "X4 — speedup, m = 2^13, Ts = 1000, Tw = 100, tc = {tc} (per flop)"
-        ));
+        banner(&format!("X4 — speedup, m = 2^13, Ts = 1000, Tw = 100, tc = {tc} (per flop)"));
         println!(
             "{:>3} {:>6} {:>11} {:>14} {:>11} | {:>9} {:>9} {:>9}",
             "d", "P", "BR", "permuted-BR", "degree-4", "eff(BR)", "eff(pBR)", "eff(D4)"
         );
         for d in [2usize, 4, 6, 8, 10] {
             let w = Workload::new(m, d);
-            let s: Vec<f64> = [OrderingFamily::Br, OrderingFamily::PermutedBr, OrderingFamily::Degree4]
-                .iter()
-                .map(|&f| speedup(f, &w, &machine, &compute))
-                .collect();
-            let e: Vec<f64> = [OrderingFamily::Br, OrderingFamily::PermutedBr, OrderingFamily::Degree4]
-                .iter()
-                .map(|&f| efficiency(f, &w, &machine, &compute))
-                .collect();
+            let s: Vec<f64> =
+                [OrderingFamily::Br, OrderingFamily::PermutedBr, OrderingFamily::Degree4]
+                    .iter()
+                    .map(|&f| speedup(f, &w, &machine, &compute))
+                    .collect();
+            let e: Vec<f64> =
+                [OrderingFamily::Br, OrderingFamily::PermutedBr, OrderingFamily::Degree4]
+                    .iter()
+                    .map(|&f| efficiency(f, &w, &machine, &compute))
+                    .collect();
             let frac = unpipelined_sweep_time(&w, &machine, &compute).comm_fraction();
             println!(
                 "{d:>3} {:>6} {:>11.1} {:>14.1} {:>11.1} | {:>9.3} {:>9.3} {:>9.3}   comm-frac(unpip BR) {:.2}",

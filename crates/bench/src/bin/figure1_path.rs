@@ -37,7 +37,10 @@ fn main() {
     let e3 = e_sequence(3);
     let d4 = d4_sequence(4);
     println!("  E_4      = <E_3, 4, E_3> with E_3 = {}", as_string(&e3));
-    println!("  D_5^D4   = <E_3, 4, D_4^D4, 4, E_3> (Lemma-1 rewriting), D_4^D4 = {}", as_string(&d4));
+    println!(
+        "  D_5^D4   = <E_3, 4, D_4^D4, 4, E_3> (Lemma-1 rewriting), D_4^D4 = {}",
+        as_string(&d4)
+    );
     // Verify the rewriting literally.
     let mut rewritten = e3.clone();
     rewritten.push(4);

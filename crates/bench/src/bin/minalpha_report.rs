@@ -23,11 +23,7 @@ fn main() {
             let t0 = Instant::now();
             let found = search_hamiltonian_with_budget(e, lb, 500_000_000);
             match found {
-                Some(s) => format!(
-                    "α={} in {:.1?}",
-                    link_sequence_alpha(&s),
-                    t0.elapsed()
-                ),
+                Some(s) => format!("α={} in {:.1?}", link_sequence_alpha(&s), t0.elapsed()),
                 None => "not found".into(),
             }
         };

@@ -12,10 +12,7 @@ use std::fs;
 use std::io::Write;
 
 fn main() {
-    let max_e = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(14);
+    let max_e = std::env::args().nth(1).and_then(|s| s.parse::<usize>().ok()).unwrap_or(14);
     banner(&format!("dumping D_e for e = 1..{max_e}, all families"));
     let dir = results_dir().join("sequences");
     fs::create_dir_all(&dir).expect("mkdir sequences/");

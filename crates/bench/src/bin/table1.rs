@@ -9,16 +9,8 @@ use mph_bench::{banner, write_csv};
 use mph_core::{alpha_lower_bound, pbr_sequence_with, PbrConvention};
 use mph_hypercube::link_sequence_alpha;
 
-const PAPER_ALPHA: [(usize, usize); 8] = [
-    (7, 23),
-    (8, 43),
-    (9, 67),
-    (10, 131),
-    (11, 289),
-    (12, 577),
-    (13, 776),
-    (14, 1543),
-];
+const PAPER_ALPHA: [(usize, usize); 8] =
+    [(7, 23), (8, 43), (9, 67), (10, 131), (11, 289), (12, 577), (13, 776), (14, 1543)];
 
 fn main() {
     banner("Table 1 — α of the permuted-BR ordering vs lower bound");

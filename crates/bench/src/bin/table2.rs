@@ -12,10 +12,7 @@ use mph_core::OrderingFamily;
 use mph_eigen::{convergence_stats, table2_grid, JacobiOptions};
 
 fn main() {
-    let trials = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(30);
+    let trials = std::env::args().nth(1).and_then(|s| s.parse::<usize>().ok()).unwrap_or(30);
     let tol = std::env::args()
         .nth(2)
         .and_then(|s| s.parse::<f64>().ok())
@@ -25,12 +22,8 @@ fn main() {
         "Table 2 — mean sweeps over {trials} random matrices (tol = {:.0e}·‖A‖_F)",
         opts.tol
     ));
-    println!(
-        "{:>4} {:>4} {:>8} {:>14} {:>10}",
-        "m", "P", "BR", "permuted-BR", "degree-4"
-    );
-    let families =
-        [OrderingFamily::Br, OrderingFamily::PermutedBr, OrderingFamily::Degree4];
+    println!("{:>4} {:>4} {:>8} {:>14} {:>10}", "m", "P", "BR", "permuted-BR", "degree-4");
+    let families = [OrderingFamily::Br, OrderingFamily::PermutedBr, OrderingFamily::Degree4];
     let mut rows = Vec::new();
     for (m, p) in table2_grid() {
         let mut means = Vec::new();
@@ -39,10 +32,7 @@ fn main() {
             assert_eq!(s.failures, 0, "non-convergence at m={m} P={p} {family}");
             means.push(s.mean_sweeps);
         }
-        println!(
-            "{m:>4} {p:>4} {:>8.2} {:>14.2} {:>10.2}",
-            means[0], means[1], means[2]
-        );
+        println!("{m:>4} {p:>4} {:>8.2} {:>14.2} {:>10.2}", means[0], means[1], means[2]);
         rows.push(format!("{m},{p},{:.3},{:.3},{:.3}", means[0], means[1], means[2]));
     }
     write_csv("table2.csv", "m,P,br,permuted_br,degree4", &rows);

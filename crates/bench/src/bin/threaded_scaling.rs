@@ -22,10 +22,7 @@ fn median_time(mut f: impl FnMut(), reps: usize) -> f64 {
 }
 
 fn main() {
-    let m = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(256);
+    let m = std::env::args().nth(1).and_then(|s| s.parse::<usize>().ok()).unwrap_or(256);
     let reps = 5;
     let a = random_symmetric(m, 99);
     let opts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
@@ -52,13 +49,7 @@ fn main() {
         );
         let speedup = seq / t;
         let eff = speedup / (1usize << d) as f64;
-        println!(
-            "{d:>3} {:>8} {:>12.1} {:>10.2} {:>11.2}",
-            1 << d,
-            t * 1e3,
-            speedup,
-            eff
-        );
+        println!("{d:>3} {:>8} {:>12.1} {:>10.2} {:>11.2}", 1 << d, t * 1e3, speedup, eff);
         rows.push(format!("{d},{},{:.6},{:.3},{:.3}", 1 << d, t, speedup, eff));
     }
     write_csv("threaded_scaling.csv", "d,threads,median_s,speedup,efficiency", &rows);

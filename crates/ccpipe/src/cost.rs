@@ -85,12 +85,7 @@ impl PhaseCostModel {
     /// Builds the model for one exchange-phase CC-cube on one machine.
     pub fn new(cc: &CcCube, machine: Machine) -> Self {
         let k = cc.k();
-        let e = cc
-            .link_seq
-            .iter()
-            .map(|&l| l + 1)
-            .max()
-            .expect("empty link sequence");
+        let e = cc.link_seq.iter().map(|&l| l + 1).max().expect("empty link sequence");
         let (prefix_nd, prefix_tx) = scan(&cc.link_seq, e, machine.ports);
         let rev: Vec<usize> = cc.link_seq.iter().rev().copied().collect();
         let (suffix_nd, suffix_tx) = scan(&rev, e, machine.ports);
@@ -155,10 +150,8 @@ impl PhaseCostModel {
             // windows of width q.
             let mut total = 0.0;
             for j in 0..q.saturating_sub(1) {
-                total += self.prefix_nd[j] as f64 * ts
-                    + self.prefix_tx[j] as f64 * s_elems * tw;
-                total += self.suffix_nd[j] as f64 * ts
-                    + self.suffix_tx[j] as f64 * s_elems * tw;
+                total += self.prefix_nd[j] as f64 * ts + self.prefix_tx[j] as f64 * s_elems * tw;
+                total += self.suffix_nd[j] as f64 * ts + self.suffix_tx[j] as f64 * s_elems * tw;
             }
             total += self.sliding_kernel_cost(q, s_elems);
             total
@@ -243,9 +236,7 @@ impl PhaseCostModel {
         let full_nd = self.prefix_nd[self.k - 1] as f64;
         let full_tx = self.prefix_tx[self.k - 1] as f64;
         let a = full_nd * ts;
-        let c = (self.prefix_tx_sum + self.suffix_tx_sum - (k - 1.0) * full_tx)
-            * self.elems
-            * tw;
+        let c = (self.prefix_tx_sum + self.suffix_tx_sum - (k - 1.0) * full_tx) * self.elems * tw;
         if a <= 0.0 || c <= 0.0 {
             None
         } else {

@@ -171,8 +171,7 @@ mod tests {
         // the paper's contribution matters).
         let (machine, compute) = setup();
         let f = |d: usize| {
-            unpipelined_sweep_time(&Workload::new(2048.0, d), &machine, &compute)
-                .comm_fraction()
+            unpipelined_sweep_time(&Workload::new(2048.0, d), &machine, &compute).comm_fraction()
         };
         assert!(f(2) < f(5), "{} vs {}", f(2), f(5));
         assert!(f(5) < f(8), "{} vs {}", f(5), f(8));

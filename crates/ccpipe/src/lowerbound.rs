@@ -69,10 +69,9 @@ impl LowerBoundModel {
         let (ts, tw) = (self.machine.ts, self.machine.tw);
         let w0 = q.min(k); // steady window width
         let kernel_stages = (k.max(q) - w0 + 1) as f64;
-        let kernel = kernel_stages
-            * (w0.min(e) as f64 * ts + (w0 as f64 / e as f64).ceil() * s * tw);
-        let edges =
-            2.0 * (sum_min_w_e(w0 - 1, e) * ts + sum_ceil_w_e(w0 - 1, e) * s * tw);
+        let kernel =
+            kernel_stages * (w0.min(e) as f64 * ts + (w0 as f64 / e as f64).ceil() * s * tw);
+        let edges = 2.0 * (sum_min_w_e(w0 - 1, e) * ts + sum_ceil_w_e(w0 - 1, e) * s * tw);
         kernel + edges
     }
 
@@ -193,11 +192,7 @@ mod tests {
         let (_, lb_cost, _) = lb.optimize(elems);
         let cc = CcCube::exchange_phase(OrderingFamily::MinAlpha, e, elems);
         let opt = optimize_q(&PhaseCostModel::new(&cc, machine), elems);
-        assert!(
-            opt.cost <= 1.10 * lb_cost,
-            "min-α {} vs bound {lb_cost}",
-            opt.cost
-        );
+        assert!(opt.cost <= 1.10 * lb_cost, "min-α {} vs bound {lb_cost}", opt.cost);
     }
 
     #[test]

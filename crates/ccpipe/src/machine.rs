@@ -107,8 +107,7 @@ impl Machine {
                     return startups + total as f64 * sw;
                 }
                 // LPT schedule of per-link transmission jobs on k ports.
-                let mut jobs: Vec<usize> =
-                    mults.iter().copied().filter(|&m| m > 0).collect();
+                let mut jobs: Vec<usize> = mults.iter().copied().filter(|&m| m > 0).collect();
                 jobs.sort_unstable_by(|a, b| b.cmp(a));
                 let mut ports = vec![0usize; k.min(jobs.len()).max(1)];
                 for j in jobs {
@@ -183,10 +182,7 @@ mod tests {
         let mults = [4usize, 1, 2, 2];
         let kp = Machine { ts: 7.0, tw: 3.0, ports: PortModel::KPort(16) };
         let ap = Machine { ts: 7.0, tw: 3.0, ports: PortModel::AllPort };
-        assert_eq!(
-            kp.stage_cost_from_mults(&mults, 2.0),
-            ap.stage_cost_from_mults(&mults, 2.0)
-        );
+        assert_eq!(kp.stage_cost_from_mults(&mults, 2.0), ap.stage_cost_from_mults(&mults, 2.0));
     }
 
     #[test]

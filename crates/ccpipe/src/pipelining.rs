@@ -114,11 +114,7 @@ impl PipelinedSchedule {
 
     /// Renders the paper's `a-b-c` notation for a stage (ex: `0-1-0`).
     pub fn stage_notation(&self, cc: &CcCube, s: usize) -> String {
-        self.stage_links(cc, s)
-            .iter()
-            .map(|l| l.to_string())
-            .collect::<Vec<_>>()
-            .join("-")
+        self.stage_links(cc, s).iter().map(|l| l.to_string()).collect::<Vec<_>>().join("-")
     }
 }
 
@@ -167,8 +163,7 @@ mod tests {
         assert_eq!(sched.stage_notation(&cc, 100), "1-0");
         assert_eq!(sched.stage_notation(&cc, 101), "0");
         // Kernel stage count: Q − K + 1 = 98.
-        let kernels =
-            sched.stages.iter().filter(|st| st.phase == StagePhase::Kernel).count();
+        let kernels = sched.stages.iter().filter(|st| st.phase == StagePhase::Kernel).count();
         assert_eq!(kernels, 98);
     }
 

@@ -100,11 +100,7 @@ pub fn unpipelined_sweep_cost(w: &Workload, machine: &Machine) -> f64 {
 
 /// Pipelined sweep cost for `family` with per-phase optimal `Q` (capped by
 /// the workload's packetization ceiling).
-pub fn pipelined_sweep_cost(
-    family: OrderingFamily,
-    w: &Workload,
-    machine: &Machine,
-) -> SweepCost {
+pub fn pipelined_sweep_cost(family: OrderingFamily, w: &Workload, machine: &Machine) -> SweepCost {
     let d = w.d;
     let elems = w.elems_per_transfer();
     let q_max = w.max_pipelining_degree();
@@ -240,11 +236,7 @@ mod tests {
         let machine = Machine::paper_figure2();
         for d in [6usize, 8, 10] {
             let p = figure2_point(d, 2f64.powi(23), &machine);
-            assert!(
-                p.degree4 > 0.15 && p.degree4 < 0.40,
-                "d={d}: degree-4 = {}",
-                p.degree4
-            );
+            assert!(p.degree4 > 0.15 && p.degree4 < 0.40, "d={d}: degree-4 = {}", p.degree4);
         }
     }
 

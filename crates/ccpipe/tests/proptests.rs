@@ -19,11 +19,15 @@ fn family_strategy() -> impl Strategy<Value = OrderingFamily> {
 }
 
 fn machine_strategy() -> impl Strategy<Value = Machine> {
-    (0.0f64..5000.0, 0.1f64..500.0, prop_oneof![
-        Just(PortModel::AllPort),
-        Just(PortModel::OnePort),
-        (2usize..6).prop_map(PortModel::KPort),
-    ])
+    (
+        0.0f64..5000.0,
+        0.1f64..500.0,
+        prop_oneof![
+            Just(PortModel::AllPort),
+            Just(PortModel::OnePort),
+            (2usize..6).prop_map(PortModel::KPort),
+        ],
+    )
         .prop_map(|(ts, tw, ports)| Machine { ts, tw, ports })
 }
 

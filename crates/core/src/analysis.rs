@@ -46,10 +46,10 @@ pub fn window_stats(seq: &[usize], e: usize, q: usize) -> WindowStats {
     let mut max_mult = Vec::with_capacity(n_windows);
 
     let add = |l: usize,
-                   counts: &mut Vec<usize>,
-                   mult_hist: &mut Vec<usize>,
-                   distinct_now: &mut usize,
-                   max_now: &mut usize| {
+               counts: &mut Vec<usize>,
+               mult_hist: &mut Vec<usize>,
+               distinct_now: &mut usize,
+               max_now: &mut usize| {
         let c = counts[l];
         if c == 0 {
             *distinct_now += 1;
@@ -63,10 +63,10 @@ pub fn window_stats(seq: &[usize], e: usize, q: usize) -> WindowStats {
         }
     };
     let remove = |l: usize,
-                      counts: &mut Vec<usize>,
-                      mult_hist: &mut Vec<usize>,
-                      distinct_now: &mut usize,
-                      max_now: &mut usize| {
+                  counts: &mut Vec<usize>,
+                  mult_hist: &mut Vec<usize>,
+                  distinct_now: &mut usize,
+                  max_now: &mut usize| {
         let c = counts[l];
         mult_hist[c] -= 1;
         counts[l] = c - 1;

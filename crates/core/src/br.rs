@@ -51,10 +51,7 @@ mod tests {
         assert_eq!(br_sequence(2), vec![0, 1, 0]);
         assert_eq!(br_sequence(3), vec![0, 1, 0, 2, 0, 1, 0]);
         // Paper: "the sequence of links for e=4 is D4BR = <010201030102010>".
-        assert_eq!(
-            br_sequence(4),
-            vec![0, 1, 0, 2, 0, 1, 0, 3, 0, 1, 0, 2, 0, 1, 0]
-        );
+        assert_eq!(br_sequence(4), vec![0, 1, 0, 2, 0, 1, 0, 3, 0, 1, 0, 2, 0, 1, 0]);
     }
 
     #[test]

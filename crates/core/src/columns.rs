@@ -96,11 +96,7 @@ fn bipartite_rounds(
 
 /// Expands one sweep of `schedule` (from `layout`) into the column-level
 /// parallel ordering for an `m`-column problem.
-pub fn column_ordering(
-    schedule: &SweepSchedule,
-    layout: &BlockLayout,
-    m: usize,
-) -> ColumnOrdering {
+pub fn column_ordering(schedule: &SweepSchedule, layout: &BlockLayout, m: usize) -> ColumnOrdering {
     let d = schedule.dim();
     let nblocks = 2 << d;
     let trace = trace_sweep(schedule, layout);
@@ -266,8 +262,7 @@ mod tests {
         // but coverage and disjointness must still hold.
         for (d, m) in [(1usize, 12usize), (2, 24), (1, 10), (2, 18)] {
             let o = ordering_for(d, m, OrderingFamily::Br);
-            validate_column_ordering(&o)
-                .unwrap_or_else(|e| panic!("d={d} m={m}: {e}"));
+            validate_column_ordering(&o).unwrap_or_else(|e| panic!("d={d} m={m}: {e}"));
         }
     }
 

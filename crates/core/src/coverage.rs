@@ -236,13 +236,11 @@ mod tests {
         let p = 1usize << d;
         // A fixed "random-looking" permutation of 0..16.
         let perm = [7usize, 2, 11, 14, 0, 9, 4, 13, 1, 15, 6, 3, 12, 5, 10, 8];
-        let slots: Vec<[usize; 2]> =
-            (0..p).map(|n| [perm[2 * n], perm[2 * n + 1]]).collect();
+        let slots: Vec<[usize; 2]> = (0..p).map(|n| [perm[2 * n], perm[2 * n + 1]]).collect();
         let layout = BlockLayout::from_slots(slots);
         for family in OrderingFamily::ALL {
             let sched = SweepSchedule::first_sweep(d, family);
-            validate_sweep_coverage(&sched, &layout)
-                .unwrap_or_else(|e| panic!("{family}: {e}"));
+            validate_sweep_coverage(&sched, &layout).unwrap_or_else(|e| panic!("{family}: {e}"));
         }
     }
 

@@ -78,9 +78,7 @@ pub fn d4_alpha(e: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mph_hypercube::{
-        is_link_sequence_hamiltonian, link_sequence_alpha, link_sequence_to_path,
-    };
+    use mph_hypercube::{is_link_sequence_hamiltonian, link_sequence_alpha, link_sequence_to_path};
 
     #[test]
     fn e3_is_paper_literal() {

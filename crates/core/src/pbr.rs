@@ -116,8 +116,7 @@ pub fn pbr_sequence_with(e: usize, conv: PbrConvention) -> Vec<usize> {
     if t == 0 {
         return seq;
     }
-    let bases: Vec<Permutation> =
-        (0..t).map(|k| pbr_base_permutation(e, k, conv)).collect();
+    let bases: Vec<Permutation> = (0..t).map(|k| pbr_base_permutation(e, k, conv)).collect();
     let id = Permutation::identity(e);
     let len = seq.len();
     walk(&mut seq, 0, len, 0, &id, &bases);
@@ -165,8 +164,7 @@ pub struct AppliedPermutation {
 /// when called with `e = 17`.
 pub fn pbr_transformations(e: usize, conv: PbrConvention) -> Vec<Vec<AppliedPermutation>> {
     let t = conv.transform_count(e);
-    let bases: Vec<Permutation> =
-        (0..t).map(|k| pbr_base_permutation(e, k, conv)).collect();
+    let bases: Vec<Permutation> = (0..t).map(|k| pbr_base_permutation(e, k, conv)).collect();
     let mut out: Vec<Vec<AppliedPermutation>> = vec![Vec::new(); t];
     for k in 0..t {
         // Subsequences at depth k+1 are indexed left-to-right by the path
@@ -188,10 +186,7 @@ pub fn pbr_transformations(e: usize, conv: PbrConvention) -> Vec<Vec<AppliedPerm
                 }
             }
             let applied = bases[k].conjugate_by(&c);
-            out[k].push(AppliedPermutation {
-                subsequence_index: p + 1,
-                permutation: applied,
-            });
+            out[k].push(AppliedPermutation { subsequence_index: p + 1, permutation: applied });
         }
     }
     out
@@ -263,10 +258,7 @@ mod tests {
     #[test]
     fn paper_worked_example_e5() {
         // Paper §3.2.1: D5p-BR = <0102010310121014323132302321232>.
-        assert_eq!(
-            pbr_sequence(5),
-            seq_from_str("0102010310121014323132302321232")
-        );
+        assert_eq!(pbr_sequence(5), seq_from_str("0102010310121014323132302321232"));
     }
 
     #[test]
@@ -356,23 +348,19 @@ mod tests {
     #[test]
     fn figure3_third_and_fourth_transformations() {
         let ts = pbr_transformations(17, PbrConvention::DEFAULT);
-        let third: Vec<Vec<(usize, usize)>> = ts[2]
-            .iter()
-            .map(|ap| ap.permutation.as_transpositions().unwrap())
-            .collect();
+        let third: Vec<Vec<(usize, usize)>> =
+            ts[2].iter().map(|ap| ap.permutation.as_transpositions().unwrap()).collect();
         assert_eq!(
             third,
             vec![
-                vec![(0, 3), (1, 2)],    // 2nd 14-subsequence
-                vec![(4, 7), (5, 6)],    // 4th
+                vec![(0, 3), (1, 2)],     // 2nd 14-subsequence
+                vec![(4, 7), (5, 6)],     // 4th
                 vec![(12, 15), (13, 14)], // 6th
-                vec![(8, 11), (9, 10)],  // 8th
+                vec![(8, 11), (9, 10)],   // 8th
             ]
         );
-        let fourth: Vec<Vec<(usize, usize)>> = ts[3]
-            .iter()
-            .map(|ap| ap.permutation.as_transpositions().unwrap())
-            .collect();
+        let fourth: Vec<Vec<(usize, usize)>> =
+            ts[3].iter().map(|ap| ap.permutation.as_transpositions().unwrap()).collect();
         assert_eq!(
             fourth,
             vec![
@@ -408,16 +396,8 @@ mod tests {
     #[test]
     #[ignore = "prints a calibration table; run explicitly"]
     fn calibration_table_against_paper() {
-        let paper: [(usize, usize); 8] = [
-            (7, 23),
-            (8, 43),
-            (9, 67),
-            (10, 131),
-            (11, 289),
-            (12, 577),
-            (13, 776),
-            (14, 1543),
-        ];
+        let paper: [(usize, usize); 8] =
+            [(7, 23), (8, 43), (9, 67), (10, 131), (11, 289), (12, 577), (13, 776), (14, 1543)];
         for conv in PbrConvention::ALL {
             println!("convention {conv:?}");
             let mut exact = 0;
@@ -426,7 +406,10 @@ mod tests {
                 if got == want {
                     exact += 1;
                 }
-                println!("  e={e:2}  α={got:5}  paper={want:5}  {}", if got == want { "✓" } else { " " });
+                println!(
+                    "  e={e:2}  α={got:5}  paper={want:5}  {}",
+                    if got == want { "✓" } else { " " }
+                );
             }
             println!("  exact matches: {exact}/8");
         }
@@ -438,10 +421,7 @@ mod tests {
         for e in [3usize, 5, 9, 17] {
             let a = pbr_alpha(e) as f64;
             let bound = theorem2_alpha_bound(e);
-            assert!(
-                a <= bound + 1e-9,
-                "e={e}: α={a} exceeds Theorem-2 bound {bound}"
-            );
+            assert!(a <= bound + 1e-9, "e={e}: α={a} exceeds Theorem-2 bound {bound}");
         }
     }
 
@@ -468,10 +448,7 @@ mod tests {
         }
         let mean = seq.len() as f64 / e as f64;
         for (l, &c) in counts.iter().enumerate() {
-            assert!(
-                (c as f64) < 2.2 * mean,
-                "link {l} carries {c}, mean {mean}"
-            );
+            assert!((c as f64) < 2.2 * mean, "link {l} carries {c}, mean {mean}");
         }
     }
 }

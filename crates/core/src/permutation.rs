@@ -126,8 +126,7 @@ impl std::fmt::Display for Permutation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.as_transpositions() {
             Some(ts) if !ts.is_empty() => {
-                let parts: Vec<String> =
-                    ts.iter().map(|(a, b)| format!("({a},{b})")).collect();
+                let parts: Vec<String> = ts.iter().map(|(a, b)| format!("({a},{b})")).collect();
                 write!(f, "{}", parts.join(" "))
             }
             Some(_) => write!(f, "id"),
@@ -192,10 +191,7 @@ mod tests {
         let base = Permutation::mirror(16, 8);
         let outer = Permutation::mirror(16, 16);
         let conj = base.conjugate_by(&outer);
-        assert_eq!(
-            conj.as_transpositions().unwrap(),
-            vec![(8, 15), (9, 14), (10, 13), (11, 12)]
-        );
+        assert_eq!(conj.as_transpositions().unwrap(), vec![(8, 15), (9, 14), (10, 13), (11, 12)]);
     }
 
     #[test]

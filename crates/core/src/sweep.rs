@@ -61,7 +61,8 @@ impl SweepSchedule {
             for link in family.sequence(e) {
                 transitions.push(Transition { link, kind: TransitionKind::Exchange { phase: e } });
             }
-            transitions.push(Transition { link: e - 1, kind: TransitionKind::Division { phase: e } });
+            transitions
+                .push(Transition { link: e - 1, kind: TransitionKind::Division { phase: e } });
         }
         if d >= 1 {
             transitions.push(Transition { link: d - 1, kind: TransitionKind::LastTransition });
@@ -78,6 +79,20 @@ impl SweepSchedule {
         }
         let sigma = sweep_link_permutation(d, s);
         base.permuted(&sigma)
+    }
+
+    /// Builds a schedule from an explicit transition list — primarily for
+    /// tests that need malformed schedules to exercise the coverage
+    /// validator's rejection paths (the family constructors can only
+    /// produce correct sweeps).
+    ///
+    /// # Panics
+    /// Panics if any transition's link is out of range for a `d`-cube.
+    pub fn from_transitions(d: usize, transitions: Vec<Transition>) -> Self {
+        for t in &transitions {
+            assert!(t.link < d.max(1), "link {} out of range for d={d}", t.link);
+        }
+        SweepSchedule { d, transitions }
     }
 
     /// Applies an arbitrary link permutation to every transition.

@@ -1,0 +1,154 @@
+//! Edge-case tests for `coverage::validate_sweep_coverage`: the smallest
+//! cubes (`e = 1`, `e = 2`, plus the degenerate `d = 0`), and deliberately
+//! corrupted sweeps that the validator must reject.
+
+use mph_core::{
+    trace_sweep, validate_sweep_coverage, BlockLayout, OrderingFamily, SweepSchedule, Transition,
+    TransitionKind,
+};
+
+#[test]
+fn d0_single_node_sweep_is_valid() {
+    // A 0-cube holds both blocks on one node: no transitions, one step,
+    // exactly the one pair (0,1).
+    let sched = SweepSchedule::first_sweep(0, OrderingFamily::Br);
+    assert!(sched.transitions().is_empty());
+    let layout = BlockLayout::canonical(0);
+    let trace = validate_sweep_coverage(&sched, &layout).expect("d=0 sweep must be valid");
+    assert_eq!(trace.steps.len(), 1);
+    assert_eq!(trace.steps[0], vec![(0, 1)]);
+    assert_eq!(trace.final_layout, layout);
+}
+
+#[test]
+fn e1_smallest_cube_covers_all_pairs_for_every_family() {
+    // e = 1: a 1-cube (2 nodes, 4 blocks). Every family degenerates to the
+    // single link-0 sequence; the sweep has 2^2 − 1 = 3 transitions and must
+    // pair all C(4,2) = 6 block pairs exactly once.
+    for family in OrderingFamily::ALL {
+        let sched = SweepSchedule::first_sweep(1, family);
+        assert_eq!(sched.transitions().len(), 3, "{family}");
+        let trace = validate_sweep_coverage(&sched, &BlockLayout::canonical(1))
+            .unwrap_or_else(|e| panic!("{family}: {e}"));
+        assert_eq!(trace.steps.len(), 3, "{family}");
+    }
+}
+
+#[test]
+fn e1_covers_from_swapped_slots_too() {
+    // The only other placement shape on a 1-cube: blocks permuted across
+    // nodes and slots.
+    for slots in [vec![[3usize, 0], [1, 2]], vec![[2usize, 1], [0, 3]]] {
+        let layout = BlockLayout::from_slots(slots.clone());
+        for family in OrderingFamily::ALL {
+            let sched = SweepSchedule::first_sweep(1, family);
+            validate_sweep_coverage(&sched, &layout)
+                .unwrap_or_else(|e| panic!("{family} slots {slots:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn e2_covers_all_pairs_for_every_family_and_rotation() {
+    // e = 2: a 2-cube (4 nodes, 8 blocks), 2^3 − 1 = 7 transitions,
+    // C(8,2) = 28 pairs — checked under every sweep rotation σ_s.
+    for family in OrderingFamily::ALL {
+        for s in 0..4 {
+            let sched = SweepSchedule::sweep(2, family, s);
+            assert_eq!(sched.transitions().len(), 7, "{family} s={s}");
+            let trace = validate_sweep_coverage(&sched, &BlockLayout::canonical(2))
+                .unwrap_or_else(|e| panic!("{family} s={s}: {e}"));
+            assert_eq!(trace.steps.len(), 7, "{family} s={s}");
+        }
+    }
+}
+
+#[test]
+fn corrupted_sweep_with_repeated_link_is_rejected() {
+    // Replace the second transition of the d=2 BR sweep with a repeat of
+    // link 0: the mobile block bounces back, the Hamiltonian tour breaks,
+    // and some pair is produced twice (and another never).
+    let good = SweepSchedule::first_sweep(2, OrderingFamily::Br);
+    let mut ts = good.transitions().to_vec();
+    assert_ne!(ts[1].link, 0, "test premise: transition 1 uses link 1");
+    ts[1] = Transition { link: 0, kind: TransitionKind::Exchange { phase: 2 } };
+    let corrupted = SweepSchedule::from_transitions(2, ts);
+    let err = validate_sweep_coverage(&corrupted, &BlockLayout::canonical(2));
+    assert!(err.is_err(), "repeated-link sweep must be rejected");
+}
+
+#[test]
+fn corrupted_sweep_missing_division_is_rejected() {
+    // Drop the division transition after exchange phase 2: the block
+    // population is never split, so the phase-1 pairings hit the wrong
+    // partners and coverage fails.
+    let good = SweepSchedule::first_sweep(2, OrderingFamily::Br);
+    let ts: Vec<Transition> = good
+        .transitions()
+        .iter()
+        .copied()
+        .filter(|t| !matches!(t.kind, TransitionKind::Division { phase: 2 }))
+        .collect();
+    assert_eq!(ts.len(), good.transitions().len() - 1);
+    let corrupted = SweepSchedule::from_transitions(2, ts);
+    assert!(
+        validate_sweep_coverage(&corrupted, &BlockLayout::canonical(2)).is_err(),
+        "division-less sweep must be rejected"
+    );
+}
+
+#[test]
+fn truncated_sweep_is_rejected() {
+    // Cutting the sweep short leaves pairs unvisited (count 0 ≠ 1).
+    let good = SweepSchedule::first_sweep(2, OrderingFamily::Degree4);
+    let ts = good.transitions()[..4].to_vec();
+    let corrupted = SweepSchedule::from_transitions(2, ts);
+    assert!(
+        validate_sweep_coverage(&corrupted, &BlockLayout::canonical(2)).is_err(),
+        "truncated sweep must be rejected"
+    );
+}
+
+#[test]
+fn corrupted_e1_sweep_is_rejected() {
+    // Even on the smallest cube: an all-exchange sweep (division replaced
+    // by a plain exchange) keeps the two mobile blocks oscillating and
+    // never pairs the two residents.
+    let ts = vec![
+        Transition { link: 0, kind: TransitionKind::Exchange { phase: 1 } },
+        Transition { link: 0, kind: TransitionKind::Exchange { phase: 1 } },
+        Transition { link: 0, kind: TransitionKind::LastTransition },
+    ];
+    let corrupted = SweepSchedule::from_transitions(1, ts);
+    assert!(
+        validate_sweep_coverage(&corrupted, &BlockLayout::canonical(1)).is_err(),
+        "exchange-only 1-cube sweep must be rejected"
+    );
+}
+
+#[test]
+fn rejection_reports_are_displayable() {
+    // The error path must produce a usable diagnostic, not just a unit.
+    let good = SweepSchedule::first_sweep(2, OrderingFamily::Br);
+    let ts = good.transitions()[..2].to_vec();
+    let corrupted = SweepSchedule::from_transitions(2, ts);
+    let err = validate_sweep_coverage(&corrupted, &BlockLayout::canonical(2))
+        .expect_err("truncated sweep must be rejected");
+    let msg = err.to_string();
+    assert!(msg.contains("pair"), "unhelpful error message: {msg}");
+}
+
+#[test]
+fn trace_and_validator_agree_on_small_cubes() {
+    // validate_sweep_coverage returns the same trace trace_sweep computes.
+    for d in [1usize, 2] {
+        for family in OrderingFamily::ALL {
+            let sched = SweepSchedule::first_sweep(d, family);
+            let layout = BlockLayout::canonical(d);
+            let direct = trace_sweep(&sched, &layout);
+            let validated = validate_sweep_coverage(&sched, &layout).unwrap();
+            assert_eq!(direct.steps, validated.steps, "{family} d={d}");
+            assert_eq!(direct.final_layout, validated.final_layout, "{family} d={d}");
+        }
+    }
+}

@@ -40,20 +40,11 @@ fn degree_table_is_stable() {
     // Note permuted-BR has degree 3 (its first transformation turns the
     // central <…0 e−1 x…> neighborhood into distinct triples), still far
     // from degree-4's shallow-pipelining quality.
-    const GOLDEN_DEGREE: &[(usize, usize, usize, usize)] = &[
-        (4, 2, 3, 4),
-        (6, 2, 3, 4),
-        (8, 2, 3, 4),
-        (10, 2, 3, 4),
-        (12, 2, 3, 4),
-    ];
+    const GOLDEN_DEGREE: &[(usize, usize, usize, usize)] =
+        &[(4, 2, 3, 4), (6, 2, 3, 4), (8, 2, 3, 4), (10, 2, 3, 4), (12, 2, 3, 4)];
     for &(e, br, pbr, d4) in GOLDEN_DEGREE {
         assert_eq!(sequence_degree(&OrderingFamily::Br.sequence(e), e), br, "BR e={e}");
-        assert_eq!(
-            sequence_degree(&OrderingFamily::PermutedBr.sequence(e), e),
-            pbr,
-            "pBR e={e}"
-        );
+        assert_eq!(sequence_degree(&OrderingFamily::PermutedBr.sequence(e), e), pbr, "pBR e={e}");
         assert_eq!(sequence_degree(&OrderingFamily::Degree4.sequence(e), e), d4, "D4 e={e}");
     }
 }

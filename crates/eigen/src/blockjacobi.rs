@@ -163,10 +163,8 @@ mod tests {
         // the same number of sweeps.
         let a = random_symmetric(32, 7);
         let opts = JacobiOptions::default();
-        let sweeps: Vec<usize> = OrderingFamily::ALL
-            .iter()
-            .map(|&f| block_jacobi(&a, 2, f, &opts).sweeps)
-            .collect();
+        let sweeps: Vec<usize> =
+            OrderingFamily::ALL.iter().map(|&f| block_jacobi(&a, 2, f, &opts).sweeps).collect();
         let min = *sweeps.iter().min().unwrap();
         let max = *sweeps.iter().max().unwrap();
         assert!(max - min <= 1, "sweep counts too different: {sweeps:?}");

@@ -111,11 +111,7 @@ mod tests {
         let opts = JacobiOptions::default();
         let s = convergence_stats(OrderingFamily::Br, 16, 4, 5, &opts, 1000);
         assert_eq!(s.failures, 0);
-        assert!(
-            s.mean_sweeps >= 3.0 && s.mean_sweeps <= 8.0,
-            "mean sweeps {}",
-            s.mean_sweeps
-        );
+        assert!(s.mean_sweeps >= 3.0 && s.mean_sweeps <= 8.0, "mean sweeps {}", s.mean_sweeps);
     }
 
     #[test]

@@ -147,10 +147,7 @@ mod tests {
         let a0u = mph_linalg::matmul::matmul(&a0, &u);
         for c in 0..5 {
             for r in 0..5 {
-                assert!(
-                    (a0u[(r, c)] - a[(r, c)]).abs() < 1e-12,
-                    "A ≠ A₀U at ({r},{c})"
-                );
+                assert!((a0u[(r, c)] - a[(r, c)]).abs() < 1e-12, "A ≠ A₀U at ({r},{c})");
             }
         }
     }

@@ -29,7 +29,9 @@ pub fn diagonal(a: &Matrix, u: &Matrix) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mph_linalg::symmetric::{diagonal as diag_matrix, off_diagonal_frobenius, random_symmetric};
+    use mph_linalg::symmetric::{
+        diagonal as diag_matrix, off_diagonal_frobenius, random_symmetric,
+    };
 
     #[test]
     fn off_norm_of_initial_state_is_matrix_off_norm() {

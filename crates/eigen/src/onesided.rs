@@ -91,12 +91,7 @@ mod tests {
         let a = random_symmetric(16, 5);
         let r = one_sided_cyclic(&a, &JacobiOptions::default());
         for w in r.off_history.windows(2) {
-            assert!(
-                w[1] <= w[0] * 1.0000001,
-                "off-norm increased: {} → {}",
-                w[0],
-                w[1]
-            );
+            assert!(w[1] <= w[0] * 1.0000001, "off-norm increased: {} → {}", w[0], w[1]);
         }
     }
 

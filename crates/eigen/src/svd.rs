@@ -152,12 +152,7 @@ pub fn svd_cyclic(a: &Matrix, opts: &JacobiOptions) -> SvdResult {
 /// Block one-sided Jacobi SVD following `family`'s sweep schedule on a
 /// logical `d`-cube — identical block movement to the eigensolver, with
 /// `(W, V)` in place of `(A, U)`.
-pub fn svd_block(
-    a: &Matrix,
-    d: usize,
-    family: OrderingFamily,
-    opts: &JacobiOptions,
-) -> SvdResult {
+pub fn svd_block(a: &Matrix, d: usize, family: OrderingFamily, opts: &JacobiOptions) -> SvdResult {
     let n = a.cols();
     let p = 1usize << d;
     let partition = BlockPartition::new(n, 2 * p);

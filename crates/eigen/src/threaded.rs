@@ -150,12 +150,7 @@ fn split_two<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
 }
 
 /// Cross pairings between the two blocks at a node (slot0 × slot1).
-fn pair_blocks_across(
-    b0: &mut Block,
-    b1: &mut Block,
-    threshold: f64,
-    acc: &mut SweepAccumulator,
-) {
+fn pair_blocks_across(b0: &mut Block, b1: &mut Block, threshold: f64, acc: &mut SweepAccumulator) {
     for x in 0..b0.len() {
         for y in 0..b1.len() {
             pair_block_cols(b0, b1, x, y, threshold, acc);

@@ -64,12 +64,7 @@ pub fn path_to_link_sequence(path: &[NodeId]) -> Vec<usize> {
     path.windows(2)
         .map(|w| {
             let x = w[0] ^ w[1];
-            assert!(
-                x != 0 && x & (x - 1) == 0,
-                "nodes {} and {} are not neighbors",
-                w[0],
-                w[1]
-            );
+            assert!(x != 0 && x & (x - 1) == 0, "nodes {} and {} are not neighbors", w[0], w[1]);
             x.trailing_zeros() as usize
         })
         .collect()

@@ -131,8 +131,7 @@ impl Hypercube {
     /// ```
     pub fn subcube_nodes(&self, fixed_mask: usize, pattern: usize) -> Vec<NodeId> {
         assert!(fixed_mask < self.nodes() * 2 || self.d == 0);
-        let free_dims: Vec<usize> =
-            (0..self.d).filter(|i| fixed_mask & (1 << i) == 0).collect();
+        let free_dims: Vec<usize> = (0..self.d).filter(|i| fixed_mask & (1 << i) == 0).collect();
         let base = pattern & fixed_mask;
         let mut out = Vec::with_capacity(1 << free_dims.len());
         for combo in 0..(1usize << free_dims.len()) {

@@ -100,8 +100,7 @@ mod tests {
             }
         }
         // Total children = all nodes except the root.
-        let total: usize =
-            (0..(1usize << d)).map(|n| binomial_children(d, root, n).len()).sum();
+        let total: usize = (0..(1usize << d)).map(|n| binomial_children(d, root, n).len()).sum();
         assert_eq!(total, (1 << d) - 1);
     }
 

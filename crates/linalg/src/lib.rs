@@ -24,7 +24,5 @@ pub mod vecops;
 
 pub use matrix::Matrix;
 pub use rotation::{symmetric_schur, JacobiRotation};
-pub use symmetric::{
-    frank_matrix, off_diagonal_frobenius, random_symmetric, wilkinson_matrix,
-};
+pub use symmetric::{frank_matrix, off_diagonal_frobenius, random_symmetric, wilkinson_matrix};
 pub use vecops::{axpy, dot, nrm2, rotate_pair};

@@ -54,11 +54,8 @@ pub fn all_gather<M: Send + Meterable + Clone>(ctx: &NodeCtx<'_, M>, value: M) -
         // Exchange everything gathered so far with the dim-k neighbor.
         // The pieces this node holds so far are exactly the ids agreeing
         // with it on bits ≥ k... send them one by one (count doubles).
-        let mine: Vec<(usize, M)> = have
-            .iter()
-            .enumerate()
-            .filter_map(|(i, v)| v.clone().map(|v| (i, v)))
-            .collect();
+        let mine: Vec<(usize, M)> =
+            have.iter().enumerate().filter_map(|(i, v)| v.clone().map(|v| (i, v))).collect();
         for (i, v) in &mine {
             ctx.send(k, v.clone());
             // Receive the partner's piece; its index is ours with bit k
@@ -178,9 +175,8 @@ mod tests {
 
     #[test]
     fn all_reduce_product() {
-        let results = run_spmd::<f64, f64, _>(3, |ctx| {
-            all_reduce(ctx, (ctx.id() + 1) as f64, |a, b| a * b)
-        });
+        let results =
+            run_spmd::<f64, f64, _>(3, |ctx| all_reduce(ctx, (ctx.id() + 1) as f64, |a, b| a * b));
         let want = (1..=8).product::<usize>() as f64;
         for r in results {
             assert_eq!(r, want);

@@ -104,16 +104,14 @@ mod tests {
     fn run_both(d: usize, links: Vec<usize>, q: usize) -> (Vec<Vec<Log>>, Vec<Vec<Log>>) {
         let links2 = links.clone();
         let naive = run_spmd::<Log, Vec<Log>, _>(d, move |ctx| {
-            let packets: Vec<Log> =
-                (0..q).map(|i| vec![ctx.id() as f64, i as f64]).collect();
+            let packets: Vec<Log> = (0..q).map(|i| vec![ctx.id() as f64, i as f64]).collect();
             unpipelined_exchange(ctx, &links, packets, |k, _q, mut p| {
                 p.push(1000.0 + k as f64);
                 p
             })
         });
         let piped = run_spmd::<Log, Vec<Log>, _>(d, move |ctx| {
-            let packets: Vec<Log> =
-                (0..q).map(|i| vec![ctx.id() as f64, i as f64]).collect();
+            let packets: Vec<Log> = (0..q).map(|i| vec![ctx.id() as f64, i as f64]).collect();
             pipelined_exchange(ctx, &links2, packets, |k, _q, mut p| {
                 p.push(1000.0 + k as f64);
                 p

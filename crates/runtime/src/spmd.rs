@@ -130,8 +130,7 @@ where
 
     // chan[n][dim] = (sender towards n, receiver at n).
     let mut senders: Vec<Vec<Option<Sender<M>>>> = (0..p).map(|_| vec![None; d]).collect();
-    let mut receivers: Vec<Vec<Option<Receiver<M>>>> =
-        (0..p).map(|_| vec![None; d]).collect();
+    let mut receivers: Vec<Vec<Option<Receiver<M>>>> = (0..p).map(|_| vec![None; d]).collect();
     for n in 0..p {
         for dim in 0..d {
             // One directed channel delivering to n across dim; its sender
@@ -157,10 +156,7 @@ where
 
     let body = &body;
     let results: Vec<R> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = ctxs
-            .iter()
-            .map(|ctx| scope.spawn(move |_| body(ctx)))
-            .collect();
+        let handles: Vec<_> = ctxs.iter().map(|ctx| scope.spawn(move |_| body(ctx))).collect();
         handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect()
     })
     .expect("spmd scope failed");
@@ -186,9 +182,8 @@ mod tests {
     #[test]
     fn allreduce_sum_over_cube() {
         for d in 0..=4 {
-            let results = run_spmd::<f64, f64, _>(d, |ctx| {
-                ctx.allreduce(ctx.id() as f64, |a, b| a + b)
-            });
+            let results =
+                run_spmd::<f64, f64, _>(d, |ctx| ctx.allreduce(ctx.id() as f64, |a, b| a + b));
             let expect = ((1usize << d) * ((1usize << d) - 1) / 2) as f64;
             for r in results {
                 assert_eq!(r, expect);

@@ -168,9 +168,6 @@ mod tests {
     #[test]
     fn q1_pipelined_equals_unpipelined() {
         let cc = CcCube::exchange_phase(OrderingFamily::PermutedBr, 4, 44.0);
-        assert_eq!(
-            pipelined_phase_schedule(4, &cc, 1),
-            unpipelined_phase_schedule(4, &cc)
-        );
+        assert_eq!(pipelined_phase_schedule(4, &cc, 1), unpipelined_phase_schedule(4, &cc));
     }
 }

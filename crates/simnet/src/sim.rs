@@ -84,8 +84,7 @@ fn node_stage_completion(
     match machine.ports {
         PortModel::AllPort => match startup {
             StartupModel::SerializedThenParallel => {
-                let tx_max =
-                    sends.iter().map(|s| s.elems * tw).fold(0.0f64, f64::max);
+                let tx_max = sends.iter().map(|s| s.elems * tw).fold(0.0f64, f64::max);
                 t0 + n * ts + tx_max
             }
             StartupModel::Overlapped => sends
@@ -218,10 +217,8 @@ mod tests {
 
     #[test]
     fn single_stage_single_message() {
-        let sched = CommSchedule::new(
-            2,
-            vec![CommStage::spmd(2, vec![NodeSend { dim: 0, elems: 10.0 }])],
-        );
+        let sched =
+            CommSchedule::new(2, vec![CommStage::spmd(2, vec![NodeSend { dim: 0, elems: 10.0 }])]);
         let r = simulate_synchronized(&sched, &machine(), StartupModel::SerializedThenParallel);
         assert_eq!(r.makespan, 1000.0 + 10.0 * 100.0);
         assert_eq!(r.messages, 4);
@@ -265,8 +262,7 @@ mod tests {
         let m = machine();
         for q in [1usize, 4, 16, 62] {
             let sched = pipelined_phase_schedule(5, &cc, q);
-            let strict =
-                simulate_synchronized(&sched, &m, StartupModel::SerializedThenParallel);
+            let strict = simulate_synchronized(&sched, &m, StartupModel::SerializedThenParallel);
             let relaxed = simulate_synchronized(&sched, &m, StartupModel::Overlapped);
             assert!(
                 relaxed.makespan <= strict.makespan + 1e-9,
@@ -315,10 +311,7 @@ mod tests {
     #[test]
     fn one_port_simulation_serializes() {
         let m = Machine::one_port(10.0, 1.0);
-        let bundle = vec![
-            NodeSend { dim: 0, elems: 5.0 },
-            NodeSend { dim: 1, elems: 7.0 },
-        ];
+        let bundle = vec![NodeSend { dim: 0, elems: 5.0 }, NodeSend { dim: 1, elems: 7.0 }];
         let sched = CommSchedule::new(2, vec![CommStage::spmd(2, bundle)]);
         let r = simulate_synchronized(&sched, &m, StartupModel::Overlapped);
         assert_eq!(r.makespan, (10.0 + 5.0) + (10.0 + 7.0));

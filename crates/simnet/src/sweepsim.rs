@@ -12,10 +12,7 @@ use mph_core::{OrderingFamily, SweepSchedule};
 
 /// Builds the unpipelined sweep schedule: one stage per transition, every
 /// node sending the whole block across the transition's link.
-pub fn unpipelined_sweep_schedule(
-    family: OrderingFamily,
-    w: &Workload,
-) -> CommSchedule {
+pub fn unpipelined_sweep_schedule(family: OrderingFamily, w: &Workload) -> CommSchedule {
     let d = w.d;
     let elems = w.elems_per_transfer();
     let sweep = SweepSchedule::first_sweep(d, family);

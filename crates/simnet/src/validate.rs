@@ -45,8 +45,7 @@ pub fn validate_phase(
     let sched = pipelined_phase_schedule(e, &cc, q);
     let strict: SimReport =
         simulate_synchronized(&sched, machine, StartupModel::SerializedThenParallel);
-    let overlapped: SimReport =
-        simulate_synchronized(&sched, machine, StartupModel::Overlapped);
+    let overlapped: SimReport = simulate_synchronized(&sched, machine, StartupModel::Overlapped);
     ValidationSample {
         family,
         e,
@@ -67,11 +66,7 @@ mod tests {
         for family in OrderingFamily::ALL {
             for (e, q) in [(4usize, 3usize), (5, 8), (6, 63), (6, 200)] {
                 let s = validate_phase(family, e, 1000.0, q, &machine);
-                assert!(
-                    s.strict_gap() < 1e-9,
-                    "{family} e={e} q={q}: gap {}",
-                    s.strict_gap()
-                );
+                assert!(s.strict_gap() < 1e-9, "{family} e={e} q={q}: gap {}", s.strict_gap());
             }
         }
     }

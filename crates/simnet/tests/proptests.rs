@@ -45,8 +45,7 @@ fn random_schedule() -> impl Strategy<Value = CommSchedule> {
                 })
                 .collect(),
         });
-        proptest::collection::vec(stage, 1..6)
-            .prop_map(move |stages| CommSchedule::new(d, stages))
+        proptest::collection::vec(stage, 1..6).prop_map(move |stages| CommSchedule::new(d, stages))
     })
 }
 

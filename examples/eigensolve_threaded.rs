@@ -25,27 +25,25 @@ fn main() {
     let (r, meter) = block_jacobi_threaded(&a, d, family, &JacobiOptions::default());
     let dt = t0.elapsed();
 
-    println!("converged: {} in {} sweeps, {} rotations, {:.1?}", r.converged, r.sweeps, r.rotations, dt);
-    println!("residual ‖AU − UΛ‖_F      = {:.3e}", eigen_residual(&a, &r.eigenvectors, &r.eigenvalues));
+    println!(
+        "converged: {} in {} sweeps, {} rotations, {:.1?}",
+        r.converged, r.sweeps, r.rotations, dt
+    );
+    println!(
+        "residual ‖AU − UΛ‖_F      = {:.3e}",
+        eigen_residual(&a, &r.eigenvectors, &r.eigenvalues)
+    );
     println!("orthogonality ‖UᵀU − I‖_F = {:.3e}", orthogonality_defect(&r.eigenvectors));
 
     println!("\nper-dimension traffic (messages / elements):");
     for dim in 0..d {
-        println!(
-            "  dim {dim}: {:>5} msgs, {:>9} elems",
-            meter.messages(dim),
-            meter.volume(dim)
-        );
+        println!("  dim {dim}: {:>5} msgs, {:>9} elems", meter.messages(dim), meter.volume(dim));
     }
 
     // Cross-check the spectrum against the sequential reference.
     let seq = one_sided_cyclic(&a, &JacobiOptions::default());
     let (te, se) = (r.sorted_eigenvalues(), seq.sorted_eigenvalues());
-    let max_dev = te
-        .iter()
-        .zip(&se)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0f64, f64::max);
+    let max_dev = te.iter().zip(&se).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
     println!("\nmax |λ_threaded − λ_sequential| = {max_dev:.3e}");
     assert!(max_dev < 1e-7, "threaded and sequential spectra diverge");
     println!("threaded multicomputer agrees with the sequential solver ✓");

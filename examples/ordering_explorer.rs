@@ -38,7 +38,12 @@ fn main() {
     validate_e_sequence(&seq, e).expect("every family must produce an e-sequence");
     println!("valid e-sequence (Hamiltonian path of the {e}-cube) ✓");
 
-    println!("\nα = {} (lower bound {}), degree = {}", alpha(&seq, e), alpha_lower_bound(e), sequence_degree(&seq, e));
+    println!(
+        "\nα = {} (lower bound {}), degree = {}",
+        alpha(&seq, e),
+        alpha_lower_bound(e),
+        sequence_degree(&seq, e)
+    );
     println!("link histogram: {:?}", link_histogram(&seq, e));
     println!("\nwindow quality (fraction of all-distinct windows):");
     for q in 2..=e.min(6) {

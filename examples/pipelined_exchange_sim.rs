@@ -38,10 +38,7 @@ fn main() {
         println!("  simulated makespan : {:>12.1}", sim.makespan);
         println!("  analytic cost      : {:>12.1}", model.cost(q));
         println!("  unpipelined (Q = 1): {:>12.1}", model.unpipelined_cost());
-        println!(
-            "  gain over Q = 1    : {:>11.2}×",
-            model.unpipelined_cost() / sim.makespan
-        );
+        println!("  gain over Q = 1    : {:>11.2}×", model.unpipelined_cost() / sim.makespan);
         println!("  per-dim busy time  : {:?}", sim.dim_busy);
     }
     println!(

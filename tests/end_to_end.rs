@@ -69,11 +69,8 @@ fn pipelining_gain_ranking_holds_for_full_sweeps() {
     let w = Workload::new(2f64.powi(26), 9);
     let base = unpipelined_sweep_cost(&w, &machine);
     let rel = |family| pipelined_sweep_cost(family, &w, &machine).total / base;
-    let (br, d4, pbr) = (
-        rel(OrderingFamily::Br),
-        rel(OrderingFamily::Degree4),
-        rel(OrderingFamily::PermutedBr),
-    );
+    let (br, d4, pbr) =
+        (rel(OrderingFamily::Br), rel(OrderingFamily::Degree4), rel(OrderingFamily::PermutedBr));
     assert!(pbr < d4, "pBR {pbr} ≥ D4 {d4}");
     assert!(d4 < br, "D4 {d4} ≥ pipelined BR {br}");
     assert!(br < 0.62, "pipelined BR {br} not ≈ 0.5");

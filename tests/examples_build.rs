@@ -1,0 +1,46 @@
+//! Guards the `examples/` directory against silent rot: building every
+//! example is part of the test suite, so an API change that breaks an
+//! example fails CI instead of lingering until someone tries to run it.
+
+use std::process::Command;
+
+#[test]
+fn all_examples_build() {
+    // Use the exact cargo that is running this test; fall back to PATH for
+    // direct `rustc`-less invocations.
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = Command::new(cargo)
+        .args(["build", "--examples", "--quiet"])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("failed to spawn cargo build --examples");
+    assert!(
+        output.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn expected_examples_are_present() {
+    // The build test is vacuous if examples get deleted; pin the roster.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut found: Vec<String> = std::fs::read_dir(&dir)
+        .expect("examples/ directory missing")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_owned)
+        })
+        .collect();
+    found.sort();
+    let want = [
+        "comm_cost_model",
+        "eigensolve_threaded",
+        "ordering_explorer",
+        "pipelined_exchange_sim",
+        "quickstart",
+        "svd_demo",
+    ];
+    assert_eq!(found, want, "examples roster changed; update this test deliberately");
+}

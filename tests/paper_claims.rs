@@ -132,10 +132,7 @@ fn claim_eighty_percent_of_lower_bound() {
     let machine = Machine::paper_figure2();
     let p = figure2_point(13, 2f64.powi(32), &machine);
     let efficiency = p.lower_bound / p.permuted_br;
-    assert!(
-        efficiency > 0.70 && efficiency < 0.95,
-        "LB/pBR = {efficiency}, expected ≈ 0.8"
-    );
+    assert!(efficiency > 0.70 && efficiency < 0.95, "LB/pBR = {efficiency}, expected ≈ 0.8");
 }
 
 /// §2.4: pipelining buys at most 2× for BR, regardless of d.

@@ -1,0 +1,236 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored stub mirrors the criterion API surface the workspace's benches
+//! use — `criterion_group!` / `criterion_main!`, [`Criterion::benchmark_group`],
+//! `sample_size` / `measurement_time` / `warm_up_time`, `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`] and `Bencher::iter` — and measures
+//! with plain wall-clock timing: per sample it runs enough iterations to
+//! cover the measurement budget, then reports the mean, min and max
+//! time/iteration. No statistics, no plots, no baseline comparison; replace
+//! with the real crate when a registry is reachable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies a benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendered via `Display`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the closure of `bench_function`; call [`Bencher::iter`].
+pub struct Bencher<'a> {
+    samples: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Filled in by `iter`: per-sample mean nanoseconds per iteration.
+    recorded: &'a mut Vec<f64>,
+}
+
+impl<'a> Bencher<'a> {
+    /// Times `routine`, recording `samples` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        // Estimate iterations per sample from the warm-up rate.
+        let per_sample_budget = self.measurement_time.as_secs_f64() / self.samples as f64;
+        let warm_rate = (warm_iters.max(1)) as f64 / self.warm_up_time.as_secs_f64().max(1e-9);
+        let iters = ((warm_rate * per_sample_budget).ceil() as u64).clamp(1, 1_000_000);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t0.elapsed().as_nanos() as f64;
+            self.recorded.push(elapsed / iters as f64);
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut recorded = Vec::new();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            recorded: &mut recorded,
+        };
+        f(&mut b);
+        self.report(&id, &recorded);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reports are printed eagerly; kept for API parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, samples_ns: &[f64]) {
+        let _ = &self.criterion;
+        if samples_ns.is_empty() {
+            println!("{}/{}: no samples recorded", self.name, id.id);
+            return;
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples_ns.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{}/{}: time/iter mean {} [min {} .. max {}] ({} samples)",
+            self.name,
+            id.id,
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max),
+            samples_ns.len(),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The top-level bench context handed to each `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+    default_warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_millis(500),
+            default_warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            warm_up_time: self.default_warm_up_time,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group("criterion").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group runner calling each target with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

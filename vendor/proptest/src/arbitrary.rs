@@ -1,0 +1,55 @@
+//! `any::<T>()`: canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A` (uniform over its whole domain).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Strategy yielding any value of a primitive type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty => |$rng:ident| $draw:expr;)*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+
+            fn sample(&self, $rng: &mut TestRng) -> $t {
+                $draw
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_prim! {
+    bool => |rng| rng.next_u64() & 1 == 1;
+    u8 => |rng| rng.next_u64() as u8;
+    u16 => |rng| rng.next_u64() as u16;
+    u32 => |rng| rng.next_u64() as u32;
+    u64 => |rng| rng.next_u64();
+    usize => |rng| rng.next_u64() as usize;
+    i8 => |rng| rng.next_u64() as i8;
+    i16 => |rng| rng.next_u64() as i16;
+    i32 => |rng| rng.next_u64() as i32;
+    i64 => |rng| rng.next_u64() as i64;
+}

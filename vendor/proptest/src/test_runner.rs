@@ -1,0 +1,181 @@
+//! The case runner: deterministic seeds, reject handling, failure reporting.
+
+/// Per-test configuration (subset of real proptest's).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; kept identical so coverage is
+        // comparable with an eventual switch to the real crate.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed — the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` precondition did not hold — redraw, don't count.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected precondition.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The generator handed to strategies: the vendored rand's splitmix64
+/// `StdRng`, wrapped so strategies see a proptest-owned type.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Seeds the generator.
+    pub fn from_seed(state: u64) -> Self {
+        use rand::SeedableRng;
+        TestRng { inner: rand::rngs::StdRng::seed_from_u64(state) }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+
+    /// Uniform draw from a range, via rand's sampling arithmetic.
+    pub fn gen_range<T, S: rand::SampleRange<T>>(&mut self, range: S) -> T {
+        use rand::Rng;
+        self.inner.gen_range(range)
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test base seed from the test name.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Splitmix64 finalizer: decorrelates per-case seeds. Without this, seeds
+/// advancing by the generator's own gamma would make case `j + 1` replay
+/// case `j`'s stream shifted by one draw.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs `config.cases` random cases of `case`, panicking on the first
+/// failure with enough context to reproduce it (test name, case index, seed).
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let max_rejects = (config.cases as u64).saturating_mul(20).max(1000);
+    let mut draw: u64 = 0;
+    while passed < config.cases {
+        let seed = mix(base.wrapping_add(draw.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        draw += 1;
+        let mut rng = TestRng::from_seed(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest '{name}': too many rejected cases \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case {passed} (seed {seed:#x}): {msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_completes_on_success() {
+        run_cases(&ProptestConfig::with_cases(10), "ok", |_| Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn runner_panics_on_failure() {
+        run_cases(&ProptestConfig::with_cases(10), "bad", |_| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    fn rejects_do_not_count_as_passes() {
+        let mut n = 0u32;
+        run_cases(&ProptestConfig::with_cases(5), "rej", |rng| {
+            if rng.next_u64() % 2 == 0 {
+                Err(TestCaseError::reject("odd only"))
+            } else {
+                n += 1;
+                Ok(())
+            }
+        });
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn consecutive_cases_do_not_share_a_shifted_stream() {
+        // Regression: without seed mixing, draw t of case j equals draw
+        // t − 1 of case j + 1, collapsing all cases onto one trajectory.
+        let mut pairs = Vec::new();
+        run_cases(&ProptestConfig::with_cases(64), "stream", |rng| {
+            pairs.push((rng.next_u64(), rng.next_u64()));
+            Ok(())
+        });
+        for w in pairs.windows(2) {
+            assert_ne!(w[0].1, w[1].0, "case j's 2nd draw equals case j+1's 1st");
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_per_name() {
+        let mut a = Vec::new();
+        run_cases(&ProptestConfig::with_cases(3), "same", |rng| {
+            a.push(rng.next_u64());
+            Ok(())
+        });
+        let mut b = Vec::new();
+        run_cases(&ProptestConfig::with_cases(3), "same", |rng| {
+            b.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(a, b);
+    }
+}
