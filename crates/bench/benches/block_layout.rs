@@ -1,0 +1,55 @@
+//! Block-storage layout race: the seed's fragmented `Vec<Vec<f64>>` block
+//! pairing path against the contiguous `ColumnBlock` layout driven by the
+//! shared kernel, with and without cached diagonals — the same pairing
+//! workload (one full m=256, d=3 block sweep: every column pair once), so
+//! the ratio isolates pure layout + kernel-fusion + caching effects.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mph_bench::column_block_full_sweep;
+use mph_bench::seedpath::{self, VecBlock};
+use mph_eigen::{BlockPartition, ColumnBlock};
+use mph_linalg::symmetric::random_symmetric;
+use mph_linalg::Matrix;
+use std::hint::black_box;
+use std::time::Duration;
+
+const M: usize = 256;
+const D: usize = 3;
+
+fn vec_blocks(a: &Matrix, partition: &BlockPartition) -> Vec<VecBlock> {
+    (0..partition.len()).map(|b| VecBlock::from_matrix(a, partition.cols(b))).collect()
+}
+
+fn col_blocks(a: &Matrix, partition: &BlockPartition) -> Vec<ColumnBlock> {
+    (0..partition.len())
+        .map(|b| ColumnBlock::from_matrix_with_identity(a, partition.cols(b), a.rows()))
+        .collect()
+}
+
+fn bench_block_layout(c: &mut Criterion) {
+    let a = random_symmetric(M, 7);
+    let partition = BlockPartition::new(M, 2 << D);
+    let mut g = c.benchmark_group("block_layout");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    // Each variant mutates its own blocks across iterations: with
+    // threshold 0 every pairing keeps rotating after convergence, so the
+    // per-iteration workload is constant.
+    let mut vb = vec_blocks(&a, &partition);
+    g.bench_function("seed_vecvec_sweep_m256_d3", |b| {
+        b.iter(|| black_box(seedpath::full_sweep(&mut vb, 0.0)))
+    });
+    let mut cb = col_blocks(&a, &partition);
+    g.bench_function("columnblock_sweep_m256_d3", |b| {
+        b.iter(|| black_box(column_block_full_sweep(&mut cb, 0.0, false)))
+    });
+    let mut cbc = col_blocks(&a, &partition);
+    g.bench_function("columnblock_cached_sweep_m256_d3", |b| {
+        b.iter(|| black_box(column_block_full_sweep(&mut cbc, 0.0, true)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_block_layout);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Machine-readable performance snapshot, tracked PR-over-PR.
+//!
+//! Runs a fixed eigensolve configuration (m = 256 on a d = 3 cube, every
+//! ordering family, logical and threaded drivers) plus the block-layout
+//! A/B race (seed `Vec<Vec<f64>>` path vs contiguous `ColumnBlock`, with
+//! and without cached diagonals) and writes the timings as JSON to
+//! `results/BENCH_eigen.json`.
+//!
+//! Usage:
+//!   perf_snapshot            # full size (m=256, d=3)
+//!   perf_snapshot --smoke    # reduced size for CI logs (m=64, d=2)
+
+use mph_bench::seedpath::{self, VecBlock};
+use mph_bench::{banner, column_block_full_sweep, results_dir};
+use mph_core::OrderingFamily;
+use mph_eigen::{block_jacobi, block_jacobi_threaded, BlockPartition, ColumnBlock, JacobiOptions};
+use mph_linalg::symmetric::random_symmetric;
+use std::fmt::Write as _;
+use std::fs;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median wall-clock milliseconds of `reps` runs of `f`.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (m, d, reps) = if smoke { (64, 2, 3) } else { (256, 3, 5) };
+    let seed = 424242u64;
+    let a = random_symmetric(m, seed);
+    let nblocks = 2 * (1usize << d);
+    let partition = BlockPartition::new(m, nblocks);
+
+    banner(&format!("perf_snapshot (m={m}, d={d}, smoke={smoke})"));
+
+    // --- Layout A/B: one full block sweep, identical pairing workload ----
+    let make_vec_blocks = || -> Vec<VecBlock> {
+        (0..nblocks).map(|b| VecBlock::from_matrix(&a, partition.cols(b))).collect()
+    };
+    let make_col_blocks = || -> Vec<ColumnBlock> {
+        (0..nblocks)
+            .map(|b| ColumnBlock::from_matrix_with_identity(&a, partition.cols(b), m))
+            .collect()
+    };
+    // Mutating the same blocks across reps keeps the workload constant:
+    // with threshold 0, every pairing still rotates after convergence.
+    let mut vb = make_vec_blocks();
+    let seed_ms = median_ms(reps, || {
+        black_box(seedpath::full_sweep(&mut vb, 0.0));
+    });
+    let mut cb = make_col_blocks();
+    let contiguous_ms = median_ms(reps, || {
+        black_box(column_block_full_sweep(&mut cb, 0.0, false));
+    });
+    let mut cbc = make_col_blocks();
+    let cached_ms = median_ms(reps, || {
+        black_box(column_block_full_sweep(&mut cbc, 0.0, true));
+    });
+    let speedup_contiguous = seed_ms / contiguous_ms;
+    let speedup_cached = seed_ms / cached_ms;
+    println!("  block sweep, seed Vec<Vec<f64>> path : {seed_ms:9.3} ms");
+    println!(
+        "  block sweep, contiguous ColumnBlock  : {contiguous_ms:9.3} ms ({speedup_contiguous:.2}x)"
+    );
+    println!("  block sweep, ColumnBlock + diag cache: {cached_ms:9.3} ms ({speedup_cached:.2}x)");
+
+    // --- Fixed eigensolve, every ordering family ------------------------
+    let opts = JacobiOptions { force_sweeps: Some(2), ..Default::default() };
+    let fast = JacobiOptions { cache_diagonals: true, ..opts };
+    let mut family_json = String::new();
+    for (idx, family) in OrderingFamily::ALL.into_iter().enumerate() {
+        let r0 = block_jacobi(&a, d, family, &opts); // warm + rotation count
+        let logical_ms = median_ms(reps, || {
+            black_box(block_jacobi(&a, d, family, &opts));
+        });
+        let logical_cached_ms = median_ms(reps, || {
+            black_box(block_jacobi(&a, d, family, &fast));
+        });
+        let threaded_ms = median_ms(reps, || {
+            black_box(block_jacobi_threaded(&a, d, family, &opts));
+        });
+        println!(
+            "  {family:<12} logical {logical_ms:9.3} ms | logical+cache {logical_cached_ms:9.3} ms \
+             | threaded {threaded_ms:9.3} ms | {} rotations",
+            r0.rotations
+        );
+        if idx > 0 {
+            family_json.push(',');
+        }
+        write!(
+            family_json,
+            "\n    \"{}\": {{\"logical_ms\": {logical_ms:.3}, \
+             \"logical_cached_ms\": {logical_cached_ms:.3}, \
+             \"threaded_ms\": {threaded_ms:.3}, \"rotations\": {}}}",
+            family.name(),
+            r0.rotations
+        )
+        .unwrap();
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"eigen_perf_snapshot\",\n  \"m\": {m},\n  \"d\": {d},\n  \
+         \"smoke\": {smoke},\n  \"force_sweeps\": 2,\n  \"seed\": {seed},\n  \
+         \"layout_sweep\": {{\n    \"reps\": {reps},\n    \
+         \"seed_vecvec_ms\": {seed_ms:.3},\n    \
+         \"columnblock_ms\": {contiguous_ms:.3},\n    \
+         \"columnblock_cached_ms\": {cached_ms:.3},\n    \
+         \"speedup_contiguous\": {speedup_contiguous:.3},\n    \
+         \"speedup_contiguous_cached\": {speedup_cached:.3}\n  }},\n  \
+         \"families\": {{{family_json}\n  }}\n}}\n"
+    );
+    println!("{json}");
+    if smoke {
+        println!("  (smoke run: results/BENCH_eigen.json left untouched)");
+    } else {
+        let path = results_dir().join("BENCH_eigen.json");
+        fs::write(&path, &json).expect("cannot write BENCH_eigen.json");
+        println!("  -> wrote {}", path.display());
+    }
+}

@@ -1,6 +1,8 @@
 //! Shared helpers for the experiment regenerators (`src/bin/*`) and the
 //! criterion benches.
 
+pub mod seedpath;
+
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
@@ -27,6 +29,37 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
 /// Pretty separator for experiment banners.
 pub fn banner(title: &str) {
     println!("\n==== {title} {}", "=".repeat(66usize.saturating_sub(title.len())));
+}
+
+/// The [`seedpath::full_sweep`] workload on contiguous [`ColumnBlock`]
+/// storage through the shared kernel: every column pair exactly once (all
+/// intra-block pairs, then every block pair). With `cache_diagonals` the
+/// per-sweep exact refresh is included, as in the real drivers. Returns
+/// total rotations.
+///
+/// [`ColumnBlock`]: mph_eigen::ColumnBlock
+pub fn column_block_full_sweep(
+    blocks: &mut [mph_eigen::ColumnBlock],
+    threshold: f64,
+    cache_diagonals: bool,
+) -> u64 {
+    use mph_eigen::{pair_across_blocks, pair_within_block, refresh_block_diag, PairingRule};
+    use mph_linalg::block::two_blocks_mut;
+    let mut rotations = 0;
+    for b in blocks.iter_mut() {
+        if cache_diagonals {
+            refresh_block_diag(b, PairingRule::Implicit);
+        }
+        rotations += pair_within_block(b, PairingRule::Implicit, threshold).rotations;
+    }
+    for bi in 0..blocks.len() {
+        for bj in (bi + 1)..blocks.len() {
+            let (left, right) = two_blocks_mut(blocks, bi, bj);
+            rotations +=
+                pair_across_blocks(left, right, PairingRule::Implicit, threshold).rotations;
+        }
+    }
+    rotations
 }
 
 #[cfg(test)]

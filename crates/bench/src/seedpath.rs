@@ -1,0 +1,183 @@
+//! Frozen replica of the seed's fragmented block-pairing path, kept as the
+//! performance baseline for the contiguous [`ColumnBlock`] layout.
+//!
+//! Before the block-storage refactor, the threaded driver stored a block as
+//! `Vec<Vec<f64>>` (one heap allocation per column) and every pairing
+//! recomputed all three inner products and applied two separate
+//! `rotate_pair` calls. That code was deleted from `mph-eigen`; this module
+//! preserves it verbatim-in-spirit so `perf_snapshot` and the
+//! `block_layout` criterion bench can measure the old layout against the
+//! new one PR-over-PR. **Do not use this for real work** — it exists only
+//! to be raced.
+//!
+//! [`ColumnBlock`]: mph_linalg::block::ColumnBlock
+
+use mph_linalg::rotation::symmetric_schur;
+use mph_linalg::vecops::{dot, rotate_pair};
+use mph_linalg::Matrix;
+
+/// The seed's block representation: one `Vec` per column, `2b` allocations
+/// per block.
+#[derive(Debug, Clone)]
+pub struct VecBlock {
+    /// `a[k]` is the `A`-column of global column `cols[k]`.
+    pub cols: Vec<usize>,
+    pub a: Vec<Vec<f64>>,
+    pub u: Vec<Vec<f64>>,
+}
+
+impl VecBlock {
+    /// Builds the block for global columns `range` of `a0` with identity
+    /// `U`-columns — the seed's `Block::from_matrix`.
+    pub fn from_matrix(a0: &Matrix, range: std::ops::Range<usize>) -> Self {
+        let m = a0.rows();
+        let cols: Vec<usize> = range.collect();
+        let a = cols.iter().map(|&c| a0.col(c).to_vec()).collect();
+        let u = cols
+            .iter()
+            .map(|&c| {
+                let mut e = vec![0.0; m];
+                e[c] = 1.0;
+                e
+            })
+            .collect();
+        VecBlock { cols, a, u }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+}
+
+fn split_two<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    debug_assert!(i < j);
+    let (head, tail) = v.split_at_mut(j);
+    (&mut head[i], &mut tail[0])
+}
+
+/// The seed's cross-block pairing: three fresh inner products, two separate
+/// column-pair rotations. Returns whether a rotation fired.
+pub fn pair_block_cols(
+    left: &mut VecBlock,
+    right: &mut VecBlock,
+    x: usize,
+    y: usize,
+    threshold: f64,
+) -> bool {
+    let app = dot(&left.u[x], &left.a[x]);
+    let aqq = dot(&right.u[y], &right.a[y]);
+    let apq = dot(&left.u[x], &right.a[y]);
+    if apq.abs() <= threshold || apq == 0.0 {
+        return false;
+    }
+    let rot = symmetric_schur(app, apq, aqq);
+    rotate_pair(&mut left.a[x], &mut right.a[y], rot.c, rot.s);
+    rotate_pair(&mut left.u[x], &mut right.u[y], rot.c, rot.s);
+    true
+}
+
+/// The seed's intra-block pairing loop (ascending `i < j`). Returns the
+/// number of rotations applied.
+pub fn pair_block_within(b: &mut VecBlock, threshold: f64) -> u64 {
+    let mut rotations = 0;
+    for i in 0..b.len() {
+        for j in (i + 1)..b.len() {
+            let (ai, aj) = split_two(&mut b.a, i, j);
+            let (ui, uj) = split_two(&mut b.u, i, j);
+            let app = dot(ui, ai);
+            let aqq = dot(uj, aj);
+            let apq = dot(ui, aj);
+            if apq.abs() <= threshold || apq == 0.0 {
+                continue;
+            }
+            let rot = symmetric_schur(app, apq, aqq);
+            rotate_pair(ai, aj, rot.c, rot.s);
+            rotate_pair(ui, uj, rot.c, rot.s);
+            rotations += 1;
+        }
+    }
+    rotations
+}
+
+/// The seed's block-cross pairing loop (slot0 × slot1). Returns the number
+/// of rotations applied.
+pub fn pair_blocks_across(b0: &mut VecBlock, b1: &mut VecBlock, threshold: f64) -> u64 {
+    let mut rotations = 0;
+    for x in 0..b0.len() {
+        for y in 0..b1.len() {
+            if pair_block_cols(b0, b1, x, y, threshold) {
+                rotations += 1;
+            }
+        }
+    }
+    rotations
+}
+
+/// One full block sweep's pairing workload over `blocks` (every column pair
+/// exactly once: all intra-block pairs, then every block pair), in the
+/// fragmented layout. Schedule-independent but flop-identical to a real
+/// sweep. Returns total rotations.
+pub fn full_sweep(blocks: &mut [VecBlock], threshold: f64) -> u64 {
+    let mut rotations = 0;
+    for b in blocks.iter_mut() {
+        rotations += pair_block_within(b, threshold);
+    }
+    for bi in 0..blocks.len() {
+        for bj in (bi + 1)..blocks.len() {
+            let (head, tail) = blocks.split_at_mut(bj);
+            rotations += pair_blocks_across(&mut head[bi], &mut tail[0], threshold);
+        }
+    }
+    rotations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mph_eigen::{pair_across_blocks, pair_within_block, ColumnBlock, PairingRule};
+    use mph_linalg::symmetric::random_symmetric;
+
+    #[test]
+    fn seed_path_and_column_block_produce_identical_columns() {
+        // The baseline must be a faithful replica: in exact-recompute mode
+        // the deleted seed path and the shared kernel give the same bits.
+        let m = 12;
+        let a0 = random_symmetric(m, 5);
+        let mut s0 = VecBlock::from_matrix(&a0, 0..6);
+        let mut s1 = VecBlock::from_matrix(&a0, 6..12);
+        let mut c0 = ColumnBlock::from_matrix_with_identity(&a0, 0..6, m);
+        let mut c1 = ColumnBlock::from_matrix_with_identity(&a0, 6..12, m);
+
+        let mut seed_rot = pair_block_within(&mut s0, 0.0);
+        seed_rot += pair_block_within(&mut s1, 0.0);
+        seed_rot += pair_blocks_across(&mut s0, &mut s1, 0.0);
+
+        let mut acc = pair_within_block(&mut c0, PairingRule::Implicit, 0.0);
+        acc.merge(pair_within_block(&mut c1, PairingRule::Implicit, 0.0));
+        acc.merge(pair_across_blocks(&mut c0, &mut c1, PairingRule::Implicit, 0.0));
+
+        assert_eq!(seed_rot, acc.rotations);
+        for k in 0..6 {
+            assert_eq!(s0.a[k], c0.a_col(k), "A col {k}");
+            assert_eq!(s0.u[k], c0.u_col(k), "U col {k}");
+            assert_eq!(s1.a[k], c1.a_col(k), "A col {}", 6 + k);
+            assert_eq!(s1.u[k], c1.u_col(k), "U col {}", 6 + k);
+        }
+    }
+
+    #[test]
+    fn full_sweep_touches_every_pair_once() {
+        let m = 16;
+        let a0 = random_symmetric(m, 8);
+        let mut blocks: Vec<VecBlock> =
+            (0..4).map(|b| VecBlock::from_matrix(&a0, 4 * b..4 * (b + 1))).collect();
+        let rotations = full_sweep(&mut blocks, 0.0);
+        let pairs = (m * (m - 1) / 2) as u64;
+        assert!(rotations <= pairs);
+        assert!(rotations >= pairs - 2, "rotations {rotations} of {pairs} pairs");
+    }
+}

@@ -2,18 +2,24 @@
 //! a single thread follows the sweep schedule's block movements and applies
 //! every node's pairings in node order.
 //!
-//! Because the blocks at different nodes are disjoint column sets, the
-//! node-by-node serialization performs exactly the same floating-point
-//! operations as a true parallel run (see `threaded.rs` and the equivalence
-//! tests) — which is why this driver is the convergence-measurement
-//! workhorse for Table 2: deterministic, fast, and faithful to the
-//! ordering's rotation sequence.
+//! The column data lives in the same contiguous [`ColumnBlock`] storage the
+//! threaded driver ships across links, and every pairing goes through the
+//! shared kernel in [`crate::kernel`]. Because the blocks at different
+//! nodes are disjoint column sets, the node-by-node serialization performs
+//! exactly the same floating-point operations as a true parallel run — the
+//! bitwise equivalence asserted in `threaded.rs` is now structural: both
+//! drivers call the same functions on the same storage layout. This driver
+//! is the convergence-measurement workhorse for Table 2: deterministic,
+//! fast, and faithful to the ordering's rotation sequence.
 
-use crate::kernel::{pair_across, pair_within, SweepAccumulator};
-use crate::offnorm::{diagonal, off_norm};
+use crate::kernel::{
+    pair_across_blocks, pair_within_block, refresh_block_diag, PairingRule, SweepAccumulator,
+};
+use crate::offnorm::{diagonal_blocks, off_norm_blocks};
 use crate::options::{EigenResult, JacobiOptions};
 use crate::partition::BlockPartition;
 use mph_core::{BlockLayout, OrderingFamily, SweepSchedule};
+use mph_linalg::block::{two_blocks_mut, ColumnBlock};
 use mph_linalg::Matrix;
 
 /// Solves the symmetric eigenproblem of `a0` with the block one-sided
@@ -31,10 +37,13 @@ pub fn block_jacobi(
     let nblocks = 2 * p;
     let partition = BlockPartition::new(m, nblocks);
 
-    let mut a = a0.clone();
-    let mut u = Matrix::identity(m);
+    // Block-resident column data: block `b` owns partition.cols(b) of both
+    // A (initially A₀) and U (initially I), in flat contiguous storage.
+    let mut blocks: Vec<ColumnBlock> = (0..nblocks)
+        .map(|b| ColumnBlock::from_matrix_with_identity(a0, partition.cols(b), m))
+        .collect();
     let norm_a = a0.frobenius_norm();
-    let mut off_history = vec![off_norm(&a, &u)];
+    let mut off_history = vec![off_norm_blocks(&blocks)];
     let mut rotations = 0u64;
     let mut sweeps = 0usize;
     let mut converged = off_history[0] <= opts.tol * norm_a && opts.force_sweeps.is_none();
@@ -45,28 +54,29 @@ pub fn block_jacobi(
         let schedule = SweepSchedule::sweep(d, family, sweeps);
         let trace = mph_core::trace_sweep(&schedule, &layout);
         let mut acc = SweepAccumulator::default();
+        if opts.cache_diagonals {
+            // Periodic exact refresh: recompute every M_ii once per sweep.
+            for b in blocks.iter_mut() {
+                refresh_block_diag(b, PairingRule::Implicit);
+            }
+        }
         for (step_idx, step) in trace.steps.iter().enumerate() {
             if step_idx == 0 {
                 // Paper step (1): intra-block pairings, every block.
-                for b in 0..nblocks {
-                    acc.merge(pair_within(&mut a, &mut u, partition.cols(b), opts.threshold));
+                for b in blocks.iter_mut() {
+                    acc.merge(pair_within_block(b, PairingRule::Implicit, opts.threshold));
                 }
             }
             // Paper step (2): pair the two co-located blocks at each node.
             for &(b0, b1) in step {
-                acc.merge(pair_across(
-                    &mut a,
-                    &mut u,
-                    partition.cols(b0),
-                    partition.cols(b1),
-                    opts.threshold,
-                ));
+                let (left, right) = two_blocks_mut(&mut blocks, b0, b1);
+                acc.merge(pair_across_blocks(left, right, PairingRule::Implicit, opts.threshold));
             }
         }
         layout = trace.final_layout;
         rotations += acc.rotations;
         sweeps += 1;
-        let off = off_norm(&a, &u);
+        let off = off_norm_blocks(&blocks);
         off_history.push(off);
         if opts.force_sweeps.is_none() {
             converged = off <= opts.tol * norm_a;
@@ -76,14 +86,12 @@ pub fn block_jacobi(
         converged = *off_history.last().unwrap() <= opts.tol * norm_a;
     }
 
-    EigenResult {
-        eigenvalues: diagonal(&a, &u),
-        eigenvectors: u,
-        sweeps,
-        rotations,
-        off_history,
-        converged,
+    let eigenvalues = diagonal_blocks(&blocks);
+    let mut u = Matrix::zeros(m, m);
+    for b in &blocks {
+        b.store_u_into(&mut u);
     }
+    EigenResult { eigenvalues, eigenvectors: u, sweeps, rotations, off_history, converged }
 }
 
 #[cfg(test)]

@@ -1,4 +1,5 @@
-//! The column-pairing kernel (paper §2.2).
+//! The column-pairing kernel (paper §2.2) — the *one* rotation path shared
+//! by every driver in this crate.
 //!
 //! The one-sided method maintains `A ← A₀·U` and `U` (initially `I`). The
 //! implicit iterate is `M = Uᵀ·A₀·U`, whose entries are reachable from
@@ -7,22 +8,160 @@
 //! derives the Jacobi rotation annihilating `M_ij`, and applies it to
 //! columns `i, j` of both `A` and `U` — no row access, which is what makes
 //! the method distribute by columns.
+//!
+//! Two pairing rules share this machinery (selected by [`PairingRule`]):
+//! the symmetric eigensolver's implicit rule above, and the Hestenes SVD's
+//! Gram rule (`G_ij = w_i · w_j`, convergence measured by the cosine of the
+//! column angle). Both rotate through the same fused
+//! [`mph_linalg::vecops::pair_rotate`] kernel, so the logical, threaded,
+//! and SVD drivers are *structurally* guaranteed to perform identical
+//! floating-point work — the bitwise-equality tests between drivers check
+//! an invariant the code now enforces by construction.
+//!
+//! When a [`ColumnBlock`] carries cached diagonals (`M_ii` or `‖w_i‖²`,
+//! opt-in via `JacobiOptions::cache_diagonals`), the kernel reads the two
+//! diagonal entries from the cache and maintains them under rotation with
+//! the exact 2×2 similarity update, reducing the inner products per pairing
+//! from three to one; the per-sweep [`refresh_block_diag`] recomputes them
+//! exactly so rounding drift cannot accumulate.
 
-use mph_linalg::rotation::symmetric_schur;
+use mph_linalg::block::{cross_pair_mut, ColumnBlock, PairViewMut};
+use mph_linalg::rotation::{apply_to_block, symmetric_schur};
 use mph_linalg::vecops::dot;
 use mph_linalg::Matrix;
 
 /// Outcome of one pairing.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PairOutcome {
-    /// `|M_ij|` before the rotation (the off-diagonal mass this pairing
-    /// saw) — the quantity sweep-level convergence tracking aggregates.
+    /// The off-diagonal mass this pairing saw before rotating — `|M_ij|`
+    /// under [`PairingRule::Implicit`], the column-angle cosine under
+    /// [`PairingRule::Gram`] — the quantity sweep-level convergence
+    /// tracking aggregates.
     pub off_before: f64,
     /// Whether a rotation was applied (false when below threshold).
     pub rotated: bool,
 }
 
-/// Pairs columns `i` and `j` of `(a, u)`, annihilating `M_ij`.
+/// How a pairing derives its 2×2 block from the pair's columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairingRule {
+    /// Symmetric eigensolver: `M_ij = u_i · a_j`, skip when
+    /// `|M_ij| ≤ threshold`.
+    Implicit,
+    /// Hestenes SVD: `G_ij = w_i · w_j` (the `A` slots hold `W`-columns,
+    /// the `U` slots hold `V`-columns), skip when the cosine
+    /// `|G_ij|/√(G_ii·G_jj) ≤ threshold`.
+    Gram,
+}
+
+impl PairingRule {
+    /// The exact diagonal entry for one column — what the cache refresh
+    /// computes and what uncached pairings recompute per pairing.
+    #[inline]
+    pub fn diag_entry(self, a: &[f64], u: &[f64]) -> f64 {
+        match self {
+            PairingRule::Implicit => dot(u, a),
+            PairingRule::Gram => dot(a, a),
+        }
+    }
+}
+
+/// Pairs one column pair presented as raw views — the shared core every
+/// driver funnels through. Reads the diagonal entries from the view's
+/// cache slots when present (maintaining them under rotation), recomputes
+/// them otherwise.
+pub fn pair_view(mut v: PairViewMut<'_>, rule: PairingRule, threshold: f64) -> PairOutcome {
+    let (app, aqq) = match (&v.di, &v.dj) {
+        (Some(di), Some(dj)) => (**di, **dj),
+        _ => (rule.diag_entry(v.ai, v.ui), rule.diag_entry(v.aj, v.uj)),
+    };
+    let apq = match rule {
+        PairingRule::Implicit => dot(v.ui, v.aj),
+        PairingRule::Gram => dot(v.ai, v.aj),
+    };
+    let off_before = match rule {
+        PairingRule::Implicit => apq.abs(),
+        PairingRule::Gram => {
+            // Cached Gram diagonals can round to tiny negatives; clamp so
+            // the cosine stays well-defined.
+            let denom = (app * aqq).max(0.0).sqrt();
+            if denom > 0.0 {
+                apq.abs() / denom
+            } else {
+                0.0
+            }
+        }
+    };
+    if off_before <= threshold || apq == 0.0 {
+        return PairOutcome { off_before, rotated: false };
+    }
+    let rot = symmetric_schur(app, apq, aqq);
+    v.rotate(rot.c, rot.s);
+    if v.di.is_some() || v.dj.is_some() {
+        // The rotation annihilates the off-diagonal; the new diagonal is
+        // the exact 2×2 similarity image of the old block. Update every
+        // populated cache slot — including the mixed case where only one
+        // side of a cross-block pair carries a cache (app/aqq were then
+        // recomputed exactly above, so the surviving slot stays current).
+        let (pp, _, qq) = apply_to_block(rot, app, apq, aqq);
+        if let Some(di) = v.di {
+            *di = pp;
+        }
+        if let Some(dj) = v.dj {
+            *dj = qq;
+        }
+    }
+    PairOutcome { off_before, rotated: true }
+}
+
+/// Exactly recomputes a block's cached diagonals under `rule` — the
+/// periodic refresh bounding the drift of the incremental updates. Call at
+/// the start of every sweep when diagonal caching is enabled.
+pub fn refresh_block_diag(block: &mut ColumnBlock, rule: PairingRule) {
+    block.refresh_diag(|a, u| rule.diag_entry(a, u));
+}
+
+/// Pairs every column pair within `block` (ascending `(i, j)`, `i < j`) —
+/// the paper's step (1): "pair each column of a block with the remaining
+/// columns of the same block".
+pub fn pair_within_block(
+    block: &mut ColumnBlock,
+    rule: PairingRule,
+    threshold: f64,
+) -> SweepAccumulator {
+    let mut acc = SweepAccumulator::default();
+    let b = block.len();
+    for i in 0..b {
+        for j in (i + 1)..b {
+            acc.absorb(pair_view(block.pair_mut(i, j), rule, threshold));
+        }
+    }
+    acc
+}
+
+/// Pairs every column of `left` with every column of `right` — the paper's
+/// step (2): "pair each column of a block with all the columns of the
+/// other block". `left` plays the `i` role (its columns are rotated as
+/// `c·a_i − s·a_j`), matching the slot-0/slot-1 roles of the threaded
+/// driver and the `(b0, b1)` order of the sweep trace.
+pub fn pair_across_blocks(
+    left: &mut ColumnBlock,
+    right: &mut ColumnBlock,
+    rule: PairingRule,
+    threshold: f64,
+) -> SweepAccumulator {
+    let mut acc = SweepAccumulator::default();
+    for i in 0..left.len() {
+        for j in 0..right.len() {
+            acc.absorb(pair_view(cross_pair_mut(left, i, right, j), rule, threshold));
+        }
+    }
+    acc
+}
+
+/// Pairs columns `i` and `j` of the full matrices `(a, u)`, annihilating
+/// `M_ij` — the whole-matrix convenience wrapper over [`pair_view`] used by
+/// the sequential drivers and tests.
 pub fn pair_columns(
     a: &mut Matrix,
     u: &mut Matrix,
@@ -31,22 +170,13 @@ pub fn pair_columns(
     threshold: f64,
 ) -> PairOutcome {
     debug_assert!(i != j);
-    let app = dot(u.col(i), a.col(i));
-    let aqq = dot(u.col(j), a.col(j));
-    let apq = dot(u.col(i), a.col(j));
-    let off_before = apq.abs();
-    if off_before <= threshold || apq == 0.0 {
-        return PairOutcome { off_before, rotated: false };
-    }
-    let rot = symmetric_schur(app, apq, aqq);
-    a.rotate_columns(i, j, rot.c, rot.s);
-    u.rotate_columns(i, j, rot.c, rot.s);
-    PairOutcome { off_before, rotated: true }
+    let (ai, aj) = a.col_pair_mut(i, j);
+    let (ui, uj) = u.col_pair_mut(i, j);
+    pair_view(PairViewMut { ai, ui, aj, uj, di: None, dj: None }, PairingRule::Implicit, threshold)
 }
 
-/// Pairs every column pair within `cols` (ascending `(i, j)`, `i < j`) —
-/// the paper's step (1): "pair each column of a block with the remaining
-/// columns of the same block".
+/// Pairs every column pair within `cols` (ascending `(i, j)`, `i < j`) on
+/// full matrices.
 pub fn pair_within(
     a: &mut Matrix,
     u: &mut Matrix,
@@ -63,8 +193,7 @@ pub fn pair_within(
 }
 
 /// Pairs every column of `left` with every column of `right` (disjoint
-/// ranges) — the paper's step (2): "pair each column of a block with all
-/// the columns of the other block".
+/// ranges) on full matrices.
 pub fn pair_across(
     a: &mut Matrix,
     u: &mut Matrix,
@@ -89,7 +218,8 @@ pub struct SweepAccumulator {
     pub rotations: u64,
     /// Pairings examined.
     pub pairings: u64,
-    /// Max `|M_ij|` observed before rotation.
+    /// Max off-diagonal measure observed before rotation (`|M_ij|` for the
+    /// eigensolver, the column cosine for the SVD).
     pub max_off: f64,
 }
 
@@ -197,6 +327,92 @@ mod tests {
         let mut u = Matrix::identity(6);
         let acc = pair_across(&mut a, &mut u, 0..2, 3..6, 0.0);
         assert_eq!(acc.pairings, 6);
+    }
+
+    #[test]
+    fn block_kernel_is_bitwise_equal_to_matrix_kernel() {
+        // The structural guarantee in miniature: the same pairings through
+        // ColumnBlock storage and through full matrices give the same bits.
+        let m = 8;
+        let a0 = random_symmetric(m, 33);
+        let mut a = a0.clone();
+        let mut u = Matrix::identity(m);
+        let mut left = ColumnBlock::from_matrix_with_identity(&a0, 0..4, m);
+        let mut right = ColumnBlock::from_matrix_with_identity(&a0, 4..8, m);
+
+        let mut acc_m = pair_within(&mut a, &mut u, 0..4, 0.0);
+        acc_m.merge(pair_within(&mut a, &mut u, 4..8, 0.0));
+        acc_m.merge(pair_across(&mut a, &mut u, 0..4, 4..8, 0.0));
+
+        let mut acc_b = pair_within_block(&mut left, PairingRule::Implicit, 0.0);
+        acc_b.merge(pair_within_block(&mut right, PairingRule::Implicit, 0.0));
+        acc_b.merge(pair_across_blocks(&mut left, &mut right, PairingRule::Implicit, 0.0));
+
+        assert_eq!(acc_m, acc_b);
+        for k in 0..4 {
+            assert_eq!(left.a_col(k), a.col(k), "A col {k}");
+            assert_eq!(left.u_col(k), u.col(k), "U col {k}");
+            assert_eq!(right.a_col(k), a.col(4 + k), "A col {}", 4 + k);
+            assert_eq!(right.u_col(k), u.col(4 + k), "U col {}", 4 + k);
+        }
+    }
+
+    #[test]
+    fn cached_diagonals_track_exact_recomputation() {
+        let m = 10;
+        let a0 = random_symmetric(m, 77);
+        let mut blk = ColumnBlock::from_matrix_with_identity(&a0, 0..m, m);
+        refresh_block_diag(&mut blk, PairingRule::Implicit);
+        let _ = pair_within_block(&mut blk, PairingRule::Implicit, 0.0);
+        for k in 0..m {
+            let exact = dot(blk.u_col(k), blk.a_col(k));
+            let cached = blk.diag()[k];
+            assert!(
+                (exact - cached).abs() <= 1e-16f64.max(1e-13 * exact.abs()),
+                "col {k}: cached {cached} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_sided_cache_stays_current_across_mixed_pairings() {
+        // Only the left block carries a diag cache; cross pairings must
+        // keep it current rather than silently leaving it stale.
+        let m = 8;
+        let a0 = random_symmetric(m, 55);
+        let mut left = ColumnBlock::from_matrix_with_identity(&a0, 0..4, m);
+        let mut right = ColumnBlock::from_matrix_with_identity(&a0, 4..8, m);
+        refresh_block_diag(&mut left, PairingRule::Implicit);
+        let acc = pair_across_blocks(&mut left, &mut right, PairingRule::Implicit, 0.0);
+        assert!(acc.rotations > 0);
+        for k in 0..4 {
+            let exact = dot(left.u_col(k), left.a_col(k));
+            let cached = left.diag()[k];
+            assert!(
+                (exact - cached).abs() <= 1e-16f64.max(1e-13 * exact.abs()),
+                "col {k}: cached {cached} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn gram_rule_orthogonalizes_columns() {
+        let a0 = random_symmetric(6, 41);
+        let mut blk = ColumnBlock::from_matrix_with_identity(&a0, 0..6, 6);
+        for _ in 0..8 {
+            let acc = pair_within_block(&mut blk, PairingRule::Gram, 0.0);
+            if acc.rotations == 0 {
+                break;
+            }
+        }
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                let wij = dot(blk.a_col(i), blk.a_col(j));
+                let ni = dot(blk.a_col(i), blk.a_col(i)).sqrt();
+                let nj = dot(blk.a_col(j), blk.a_col(j)).sqrt();
+                assert!(wij.abs() <= 1e-8 * (ni * nj).max(1e-30), "({i},{j}): {wij}");
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //!   multicomputer of `mph-runtime`, with real block messages; bitwise
 //!   equal to the logical driver for a fixed sweep count.
 //!
+//! All of them — and both SVD drivers in [`svd`] — store their columns in
+//! the contiguous [`ColumnBlock`] layout of `mph-linalg` and pair through
+//! the single kernel in [`kernel`]: one rotation path, one storage layout,
+//! shared end to end.
+//!
 //! ```
 //! use mph_eigen::{block_jacobi, JacobiOptions};
 //! use mph_core::OrderingFamily;
@@ -36,11 +41,15 @@ pub mod twosided;
 
 pub use blockjacobi::block_jacobi;
 pub use harness::{convergence_stats, table2_grid, ConvergenceStats};
-pub use kernel::{pair_columns, PairOutcome, SweepAccumulator};
-pub use offnorm::{diagonal, off_norm};
+pub use kernel::{
+    pair_across_blocks, pair_columns, pair_view, pair_within_block, refresh_block_diag,
+    PairOutcome, PairingRule, SweepAccumulator,
+};
+pub use mph_linalg::block::ColumnBlock;
+pub use offnorm::{diagonal, diagonal_blocks, off_norm, off_norm_blocks};
 pub use onesided::one_sided_cyclic;
 pub use options::{EigenResult, JacobiOptions};
 pub use partition::BlockPartition;
 pub use svd::{svd_block, svd_cyclic, SvdResult};
-pub use threaded::{block_jacobi_threaded, Block, Msg, NodeOutput};
+pub use threaded::{block_jacobi_threaded, Msg, NodeOutput};
 pub use twosided::two_sided_cyclic;

@@ -1,5 +1,7 @@
-//! Convergence measures on the implicit iterate `M = UᵀA₀U`.
+//! Convergence measures on the implicit iterate `M = UᵀA₀U`, computable
+//! from full matrices or from distributed [`ColumnBlock`] storage.
 
+use mph_linalg::block::ColumnBlock;
 use mph_linalg::vecops::dot;
 use mph_linalg::Matrix;
 
@@ -26,6 +28,48 @@ pub fn diagonal(a: &Matrix, u: &Matrix) -> Vec<f64> {
     (0..a.cols()).map(|i| dot(u.col(i), a.col(i))).collect()
 }
 
+/// Locates each global column inside `blocks`: entry `c` is
+/// `(block index, column-within-block)`. The blocks must tile a contiguous
+/// global range starting at 0.
+fn column_index(blocks: &[ColumnBlock]) -> Vec<(usize, usize)> {
+    let m: usize = blocks.iter().map(|b| b.len()).sum();
+    let mut index = vec![(usize::MAX, usize::MAX); m];
+    for (bi, b) in blocks.iter().enumerate() {
+        for k in 0..b.len() {
+            index[b.global_col(k)] = (bi, k);
+        }
+    }
+    debug_assert!(index.iter().all(|&(bi, _)| bi != usize::MAX), "blocks do not tile 0..m");
+    index
+}
+
+/// [`off_norm`] over block storage: identical term values and summation
+/// order (column `j` outer, `i` inner over global indices), so the result
+/// is bitwise equal to the matrix version on the same column data.
+pub fn off_norm_blocks(blocks: &[ColumnBlock]) -> f64 {
+    let index = column_index(blocks);
+    let m = index.len();
+    let mut s = 0.0;
+    for j in 0..m {
+        let (bj, kj) = index[j];
+        let aj = blocks[bj].a_col(kj);
+        for i in 0..m {
+            if i != j {
+                let (bi, ki) = index[i];
+                let mij = dot(blocks[bi].u_col(ki), aj);
+                s += mij * mij;
+            }
+        }
+    }
+    s.sqrt()
+}
+
+/// [`diagonal`] over block storage, in global column order.
+pub fn diagonal_blocks(blocks: &[ColumnBlock]) -> Vec<f64> {
+    let index = column_index(blocks);
+    index.iter().map(|&(bi, ki)| dot(blocks[bi].u_col(ki), blocks[bi].a_col(ki))).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,6 +91,46 @@ mod tests {
         let u = Matrix::identity(3);
         assert_eq!(off_norm(&a, &u), 0.0);
         assert_eq!(diagonal(&a, &u), vec![1.0, 2.0, -3.0]);
+    }
+
+    #[test]
+    fn block_measures_are_bitwise_equal_to_matrix_measures() {
+        use crate::kernel::{pair_across_blocks, pair_columns, pair_within_block, PairingRule};
+        use mph_linalg::block::two_blocks_mut;
+
+        let m = 9;
+        let a0 = random_symmetric(m, 13);
+        let mut a = a0.clone();
+        let mut u = Matrix::identity(m);
+        // Split into three uneven blocks.
+        let mut blocks: Vec<ColumnBlock> = [(0..4), (4..6), (6..9)]
+            .into_iter()
+            .map(|r| ColumnBlock::from_matrix_with_identity(&a0, r, m))
+            .collect();
+        // At U = I the entries are single element reads.
+        assert_eq!(off_norm_blocks(&blocks), off_norm(&a, &u));
+        assert_eq!(diagonal_blocks(&blocks), diagonal(&a, &u));
+
+        // Rotate both representations identically (intra pairs of block 0,
+        // cross pairs 0×1) and compare again in a *generic* state, where
+        // every M_ij is a full inner product: same term values, same
+        // summation order, same bits.
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                pair_columns(&mut a, &mut u, i, j, 0.0);
+            }
+        }
+        for i in 0..4 {
+            for j in 4..6 {
+                pair_columns(&mut a, &mut u, i, j, 0.0);
+            }
+        }
+        pair_within_block(&mut blocks[0], PairingRule::Implicit, 0.0);
+        let (b0, b1) = two_blocks_mut(&mut blocks, 0, 1);
+        pair_across_blocks(b0, b1, PairingRule::Implicit, 0.0);
+        assert!(off_norm(&a, &u) > 0.0);
+        assert_eq!(off_norm_blocks(&blocks), off_norm(&a, &u));
+        assert_eq!(diagonal_blocks(&blocks), diagonal(&a, &u));
     }
 
     #[test]

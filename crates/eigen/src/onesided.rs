@@ -1,9 +1,16 @@
 //! Sequential one-sided Jacobi with the row-cyclic ordering — the
 //! single-node reference against which every parallel driver is validated.
+//!
+//! The whole matrix is held as a single [`ColumnBlock`] and swept with the
+//! same `pair_within_block` kernel the distributed drivers use: the
+//! row-cyclic ordering *is* the intra-block pairing order, so the
+//! sequential reference exercises the one shared kernel rather than a
+//! private rotation loop.
 
-use crate::kernel::{pair_columns, SweepAccumulator};
-use crate::offnorm::{diagonal, off_norm};
+use crate::kernel::{pair_within_block, refresh_block_diag, PairingRule, SweepAccumulator};
+use crate::offnorm::{diagonal_blocks, off_norm_blocks};
 use crate::options::{EigenResult, JacobiOptions};
+use mph_linalg::block::ColumnBlock;
 use mph_linalg::Matrix;
 
 /// Solves the symmetric eigenproblem of `a0` by cyclic one-sided Jacobi.
@@ -13,25 +20,23 @@ use mph_linalg::Matrix;
 pub fn one_sided_cyclic(a0: &Matrix, opts: &JacobiOptions) -> EigenResult {
     assert_eq!(a0.rows(), a0.cols(), "eigenproblem requires a square matrix");
     let m = a0.cols();
-    let mut a = a0.clone();
-    let mut u = Matrix::identity(m);
+    let mut blk = ColumnBlock::from_matrix_with_identity(a0, 0..m, m);
     let norm_a = a0.frobenius_norm();
-    let mut off_history = vec![off_norm(&a, &u)];
+    let mut off_history = vec![off_norm_blocks(std::slice::from_ref(&blk))];
     let mut rotations = 0u64;
     let mut sweeps = 0usize;
     let mut converged = off_history[0] <= opts.tol * norm_a && opts.force_sweeps.is_none();
 
     let sweep_budget = opts.force_sweeps.unwrap_or(opts.max_sweeps);
     while !converged && sweeps < sweep_budget {
-        let mut acc = SweepAccumulator::default();
-        for i in 0..m {
-            for j in (i + 1)..m {
-                acc.absorb(pair_columns(&mut a, &mut u, i, j, opts.threshold));
-            }
+        if opts.cache_diagonals {
+            refresh_block_diag(&mut blk, PairingRule::Implicit);
         }
+        let acc: SweepAccumulator =
+            pair_within_block(&mut blk, PairingRule::Implicit, opts.threshold);
         rotations += acc.rotations;
         sweeps += 1;
-        let off = off_norm(&a, &u);
+        let off = off_norm_blocks(std::slice::from_ref(&blk));
         off_history.push(off);
         if opts.force_sweeps.is_none() {
             converged = off <= opts.tol * norm_a;
@@ -41,14 +46,10 @@ pub fn one_sided_cyclic(a0: &Matrix, opts: &JacobiOptions) -> EigenResult {
         converged = *off_history.last().unwrap() <= opts.tol * norm_a;
     }
 
-    EigenResult {
-        eigenvalues: diagonal(&a, &u),
-        eigenvectors: u,
-        sweeps,
-        rotations,
-        off_history,
-        converged,
-    }
+    let eigenvalues = diagonal_blocks(std::slice::from_ref(&blk));
+    let mut u = Matrix::zeros(m, m);
+    blk.store_u_into(&mut u);
+    EigenResult { eigenvalues, eigenvectors: u, sweeps, rotations, off_history, converged }
 }
 
 #[cfg(test)]

@@ -19,11 +19,26 @@ pub struct JacobiOptions {
     /// used by the equivalence tests between the logical and threaded
     /// drivers.
     pub force_sweeps: Option<usize>,
+    /// Opt-in diagonal caching: maintain each block's diagonal entries
+    /// (`M_ii`, or `‖w_i‖²` for the SVD) under rotation instead of
+    /// recomputing them per pairing, cutting the inner products per pairing
+    /// from three to one. The cache is refreshed exactly once per sweep, so
+    /// rounding drift is bounded; results differ from the exact-recompute
+    /// path only in the last bits of the rotation angles. Off by default:
+    /// the default mode recomputes every inner product, which is the
+    /// bitwise-reference ("parity") behavior.
+    pub cache_diagonals: bool,
 }
 
 impl Default for JacobiOptions {
     fn default() -> Self {
-        JacobiOptions { tol: 1e-8, max_sweeps: 30, threshold: 0.0, force_sweeps: None }
+        JacobiOptions {
+            tol: 1e-8,
+            max_sweeps: 30,
+            threshold: 0.0,
+            force_sweeps: None,
+            cache_diagonals: false,
+        }
     }
 }
 
@@ -65,6 +80,7 @@ mod tests {
         assert!(o.max_sweeps >= 10);
         assert_eq!(o.threshold, 0.0);
         assert!(o.force_sweeps.is_none());
+        assert!(!o.cache_diagonals, "bitwise-parity recompute mode must be the default");
     }
 
     #[test]

@@ -11,12 +11,20 @@
 //!
 //! Like the eigensolver, the SVD comes in a sequential cyclic driver and a
 //! block driver that follows any [`OrderingFamily`] sweep schedule; both
-//! are verified against each other and by reconstruction residuals.
+//! are verified against each other and by reconstruction residuals. Both
+//! store their columns in the same contiguous [`ColumnBlock`] layout as the
+//! eigensolver drivers (`A` slots holding `W`-columns, `U` slots holding
+//! `V`-columns) and pair through the shared kernel under
+//! [`PairingRule::Gram`] — the SVD is the third consumer of the one pairing
+//! kernel, not a reimplementation.
 
+use crate::kernel::{
+    pair_across_blocks, pair_within_block, refresh_block_diag, PairingRule, SweepAccumulator,
+};
 use crate::options::JacobiOptions;
 use crate::partition::BlockPartition;
 use mph_core::{BlockLayout, OrderingFamily, SweepSchedule};
-use mph_linalg::rotation::symmetric_schur;
+use mph_linalg::block::{two_blocks_mut, ColumnBlock};
 use mph_linalg::vecops::dot;
 use mph_linalg::Matrix;
 
@@ -66,51 +74,30 @@ impl SvdResult {
     }
 }
 
-/// Orthogonalizes columns `i` and `j` of `(w, v)`. Returns the cosine of
-/// the angle between them before rotation (the convergence measure) and
-/// whether a rotation fired.
-fn orthogonalize_pair(
-    w: &mut Matrix,
-    v: &mut Matrix,
-    i: usize,
-    j: usize,
-    threshold: f64,
-) -> (f64, bool) {
-    let wii = dot(w.col(i), w.col(i));
-    let wjj = dot(w.col(j), w.col(j));
-    let wij = dot(w.col(i), w.col(j));
-    let denom = (wii * wjj).sqrt();
-    let cosine = if denom > 0.0 { wij.abs() / denom } else { 0.0 };
-    if cosine <= threshold || wij == 0.0 {
-        return (cosine, false);
-    }
-    // The Gram block [[wii, wij], [wij, wjj]] is symmetric PSD; the Jacobi
-    // rotation that diagonalizes it orthogonalizes the two columns.
-    let rot = symmetric_schur(wii, wij, wjj);
-    w.rotate_columns(i, j, rot.c, rot.s);
-    v.rotate_columns(i, j, rot.c, rot.s);
-    (cosine, true)
-}
-
-/// Extracts `(Σ, U)` from the orthogonalized `W`: `σ_k = ‖w_k‖`,
-/// `u_k = w_k/σ_k` (zero columns get a zero vector — rank deficiency).
-fn extract_usv(w: &Matrix) -> (Vec<f64>, Matrix) {
-    let (rows, n) = (w.rows(), w.cols());
-    let mut sigma = Vec::with_capacity(n);
+/// Extracts `(Σ, U, V)` from orthogonalized blocks: `σ_k = ‖w_k‖`,
+/// `u_k = w_k/σ_k` (zero columns get a zero vector — rank deficiency), and
+/// `V` reassembled from the blocks' `U` slots.
+fn extract_usv_blocks(blocks: &[ColumnBlock], rows: usize, n: usize) -> (Vec<f64>, Matrix, Matrix) {
+    let mut sigma = vec![0.0; n];
     let mut u = Matrix::zeros(rows, n);
-    for k in 0..n {
-        let col = w.col(k);
-        let norm = dot(col, col).sqrt();
-        sigma.push(norm);
-        if norm > 0.0 {
-            let inv = 1.0 / norm;
-            let dst = u.col_mut(k);
-            for r in 0..rows {
-                dst[r] = col[r] * inv;
+    let mut v = Matrix::zeros(n, n);
+    for blk in blocks {
+        blk.store_u_into(&mut v);
+        for k in 0..blk.len() {
+            let c = blk.global_col(k);
+            let col = blk.a_col(k);
+            let norm = dot(col, col).sqrt();
+            sigma[c] = norm;
+            if norm > 0.0 {
+                let inv = 1.0 / norm;
+                let dst = u.col_mut(c);
+                for r in 0..rows {
+                    dst[r] = col[r] * inv;
+                }
             }
         }
     }
-    (sigma, u)
+    (sigma, u, v)
 }
 
 /// Sequential cyclic one-sided Jacobi SVD of a `rows × n` matrix
@@ -119,25 +106,21 @@ fn extract_usv(w: &Matrix) -> (Vec<f64>, Matrix) {
 /// Convergence: every column pair's cosine `|w_i·w_j|/(‖w_i‖‖w_j‖) ≤ tol`.
 pub fn svd_cyclic(a: &Matrix, opts: &JacobiOptions) -> SvdResult {
     let n = a.cols();
-    let mut w = a.clone();
-    let mut v = Matrix::identity(n);
+    let rows = a.rows();
+    // One block holding all of W (the `A` slots) and V (the `U` slots).
+    let mut blk = ColumnBlock::from_matrix_with_identity(a, 0..n, n);
     let mut sweeps = 0usize;
     let mut rotations = 0u64;
     let mut converged = false;
     let budget = opts.force_sweeps.unwrap_or(opts.max_sweeps);
     while sweeps < budget {
-        let mut max_cos = 0.0f64;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let (cosine, fired) = orthogonalize_pair(&mut w, &mut v, i, j, opts.threshold);
-                if fired {
-                    rotations += 1;
-                }
-                max_cos = max_cos.max(cosine);
-            }
+        if opts.cache_diagonals {
+            refresh_block_diag(&mut blk, PairingRule::Gram);
         }
+        let acc = pair_within_block(&mut blk, PairingRule::Gram, opts.threshold);
+        rotations += acc.rotations;
         sweeps += 1;
-        if opts.force_sweeps.is_none() && max_cos <= opts.tol {
+        if opts.force_sweeps.is_none() && acc.max_off <= opts.tol {
             converged = true;
             break;
         }
@@ -145,19 +128,22 @@ pub fn svd_cyclic(a: &Matrix, opts: &JacobiOptions) -> SvdResult {
     if opts.force_sweeps.is_some() {
         converged = true;
     }
-    let (singular_values, u) = extract_usv(&w);
+    let (singular_values, u, v) = extract_usv_blocks(std::slice::from_ref(&blk), rows, n);
     SvdResult { singular_values, u, v, sweeps, rotations, converged }
 }
 
 /// Block one-sided Jacobi SVD following `family`'s sweep schedule on a
-/// logical `d`-cube — identical block movement to the eigensolver, with
-/// `(W, V)` in place of `(A, U)`.
+/// logical `d`-cube — identical block movement and storage to the
+/// eigensolver, with `(W, V)` in place of `(A, U)`.
 pub fn svd_block(a: &Matrix, d: usize, family: OrderingFamily, opts: &JacobiOptions) -> SvdResult {
     let n = a.cols();
+    let rows = a.rows();
     let p = 1usize << d;
-    let partition = BlockPartition::new(n, 2 * p);
-    let mut w = a.clone();
-    let mut v = Matrix::identity(n);
+    let nblocks = 2 * p;
+    let partition = BlockPartition::new(n, nblocks);
+    let mut blocks: Vec<ColumnBlock> = (0..nblocks)
+        .map(|b| ColumnBlock::from_matrix_with_identity(a, partition.cols(b), n))
+        .collect();
     let mut layout = BlockLayout::canonical(d);
     let mut sweeps = 0usize;
     let mut rotations = 0u64;
@@ -166,37 +152,27 @@ pub fn svd_block(a: &Matrix, d: usize, family: OrderingFamily, opts: &JacobiOpti
     while sweeps < budget {
         let schedule = SweepSchedule::sweep(d, family, sweeps);
         let trace = mph_core::trace_sweep(&schedule, &layout);
-        let mut max_cos = 0.0f64;
-        let mut rotate_range =
-            |w: &mut Matrix, v: &mut Matrix, i: usize, j: usize, max_cos: &mut f64| {
-                let (cosine, fired) = orthogonalize_pair(w, v, i, j, opts.threshold);
-                if fired {
-                    rotations += 1;
-                }
-                *max_cos = max_cos.max(cosine);
-            };
+        let mut acc = SweepAccumulator::default();
+        if opts.cache_diagonals {
+            for b in blocks.iter_mut() {
+                refresh_block_diag(b, PairingRule::Gram);
+            }
+        }
         for (step_idx, step) in trace.steps.iter().enumerate() {
             if step_idx == 0 {
-                for b in 0..2 * p {
-                    let range = partition.cols(b);
-                    for i in range.clone() {
-                        for j in (i + 1)..range.end {
-                            rotate_range(&mut w, &mut v, i, j, &mut max_cos);
-                        }
-                    }
+                for b in blocks.iter_mut() {
+                    acc.merge(pair_within_block(b, PairingRule::Gram, opts.threshold));
                 }
             }
             for &(b0, b1) in step {
-                for i in partition.cols(b0) {
-                    for j in partition.cols(b1) {
-                        rotate_range(&mut w, &mut v, i, j, &mut max_cos);
-                    }
-                }
+                let (left, right) = two_blocks_mut(&mut blocks, b0, b1);
+                acc.merge(pair_across_blocks(left, right, PairingRule::Gram, opts.threshold));
             }
         }
         layout = trace.final_layout;
+        rotations += acc.rotations;
         sweeps += 1;
-        if opts.force_sweeps.is_none() && max_cos <= opts.tol {
+        if opts.force_sweeps.is_none() && acc.max_off <= opts.tol {
             converged = true;
             break;
         }
@@ -204,7 +180,7 @@ pub fn svd_block(a: &Matrix, d: usize, family: OrderingFamily, opts: &JacobiOpti
     if opts.force_sweeps.is_some() {
         converged = true;
     }
-    let (singular_values, u) = extract_usv(&w);
+    let (singular_values, u, v) = extract_usv_blocks(&blocks, rows, n);
     SvdResult { singular_values, u, v, sweeps, rotations, converged }
 }
 
@@ -291,6 +267,24 @@ mod tests {
             }
             assert!(reconstruction_error(&a, &r) < 1e-8, "{family}");
         }
+    }
+
+    #[test]
+    fn cached_gram_diagonals_still_reconstruct() {
+        // The SVD's diagonal cache stores ‖w_k‖²; with the per-sweep exact
+        // refresh the cached run must reconstruct as well as the exact one.
+        let a = random_rect(12, 9, 31);
+        let opts = JacobiOptions { tol: 1e-12, cache_diagonals: true, ..Default::default() };
+        let r = svd_cyclic(&a, &opts);
+        assert!(r.converged);
+        assert!(reconstruction_error(&a, &r) < 1e-9);
+        let exact = svd_cyclic(&a, &JacobiOptions { tol: 1e-12, ..Default::default() });
+        for (x, y) in r.sorted_singular_values().iter().zip(&exact.sorted_singular_values()) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+        let rb = svd_block(&a, 1, OrderingFamily::Br, &opts);
+        assert!(rb.converged);
+        assert!(reconstruction_error(&a, &rb) < 1e-8);
     }
 
     #[test]

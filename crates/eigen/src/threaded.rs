@@ -2,76 +2,51 @@
 //! one thread per hypercube node, blocks exchanged over channels — the
 //! distributed execution the paper describes, with real message passing.
 //!
-//! Each node owns the column data of its two blocks (columns of both `A`
-//! and `U`). Transitions serialize a whole block into a message; division
-//! transitions are slot-asymmetric exactly as in
-//! [`mph_core::TransitionKind::Division`]. Convergence is decided globally
-//! by an all-reduce of the largest off-diagonal value seen during the
-//! sweep (`max |M_ij|`), so every node stops at the same sweep.
+//! Each node owns two [`ColumnBlock`]s (the A- and U-columns of its two
+//! blocks in one flat allocation each). Transitions move a whole block as
+//! *one* contiguous buffer; division transitions are slot-asymmetric
+//! exactly as in [`mph_core::TransitionKind::Division`]. Convergence is
+//! decided globally by an all-reduce of the largest off-diagonal value seen
+//! during the sweep (`max |M_ij|`), so every node stops at the same sweep.
 //!
-//! The rotation sequence applied to every column is identical to the
-//! logical driver's (`block_jacobi`), so the two produce bitwise-equal
-//! eigensystems when forced to run the same number of sweeps — asserted in
-//! the tests below.
+//! Every pairing goes through the shared kernel in [`crate::kernel`] — the
+//! same functions, on the same storage layout, as the logical driver
+//! (`block_jacobi`). The two therefore produce bitwise-equal eigensystems
+//! when forced to run the same number of sweeps not by coincidence but by
+//! construction — asserted in the tests below, with and without diagonal
+//! caching.
 
-use crate::kernel::SweepAccumulator;
+use crate::kernel::{
+    pair_across_blocks, pair_within_block, refresh_block_diag, PairingRule, SweepAccumulator,
+};
 use crate::options::{EigenResult, JacobiOptions};
 use crate::partition::BlockPartition;
 use mph_core::{OrderingFamily, SweepSchedule, TransitionKind};
+use mph_linalg::block::ColumnBlock;
 use mph_linalg::vecops::dot;
 use mph_linalg::Matrix;
-use mph_runtime::{run_spmd_metered, Meterable, NodeCtx, TrafficMeter};
+use mph_runtime::{run_spmd_metered, Meterable, TrafficMeter};
 
-/// One block's payload: the columns of `A` and `U` it carries.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Block {
-    /// Global column indices (ascending, contiguous by construction).
-    pub cols: Vec<usize>,
-    /// `a[k]` is the `A`-column of `cols[k]` (length m).
-    pub a: Vec<Vec<f64>>,
-    /// `u[k]` is the `U`-column of `cols[k]`.
-    pub u: Vec<Vec<f64>>,
-}
-
-impl Block {
-    fn from_matrix(a0: &Matrix, range: std::ops::Range<usize>) -> Self {
-        let m = a0.rows();
-        let cols: Vec<usize> = range.collect();
-        let a = cols.iter().map(|&c| a0.col(c).to_vec()).collect();
-        let u = cols
-            .iter()
-            .map(|&c| {
-                let mut e = vec![0.0; m];
-                e[c] = 1.0;
-                e
-            })
-            .collect();
-        Block { cols, a, u }
-    }
-
-    fn len(&self) -> usize {
-        self.cols.len()
-    }
-}
-
-/// Messages carried by the links.
+/// Messages carried by the links: a whole column block (one contiguous
+/// payload) or a convergence-vote scalar.
 #[derive(Debug, Clone)]
 pub enum Msg {
-    Block(Block),
+    Block(ColumnBlock),
     Scalar(f64),
 }
 
 impl Meterable for Msg {
     fn elems(&self) -> u64 {
         match self {
-            // A block moves its A-columns and U-columns.
-            Msg::Block(b) => b.a.iter().chain(b.u.iter()).map(|c| c.len() as u64).sum(),
+            // A block moves its A-columns, U-columns, and (when caching is
+            // enabled) its diagonal cache.
+            Msg::Block(b) => b.payload_elems() as u64,
             Msg::Scalar(_) => 1,
         }
     }
 }
 
-fn expect_block(msg: Msg) -> Block {
+fn expect_block(msg: Msg) -> ColumnBlock {
     match msg {
         Msg::Block(b) => b,
         Msg::Scalar(_) => panic!("protocol error: expected a block"),
@@ -82,79 +57,6 @@ fn expect_scalar(msg: Msg) -> f64 {
     match msg {
         Msg::Scalar(x) => x,
         Msg::Block(_) => panic!("protocol error: expected a scalar"),
-    }
-}
-
-/// All-reduce max over the cube using the generic message type.
-fn allreduce_max(ctx: &NodeCtx<'_, Msg>, mut v: f64) -> f64 {
-    for dim in 0..ctx.dim() {
-        let other = expect_scalar(ctx.exchange(dim, Msg::Scalar(v)));
-        v = v.max(other);
-    }
-    v
-}
-
-/// Pairs columns `x` (in `left`) and `y` (in `right`) held in block
-/// storage. Mirrors `kernel::pair_columns` on column vectors.
-fn pair_block_cols(
-    left: &mut Block,
-    right: &mut Block,
-    x: usize,
-    y: usize,
-    threshold: f64,
-    acc: &mut SweepAccumulator,
-) {
-    let app = dot(&left.u[x], &left.a[x]);
-    let aqq = dot(&right.u[y], &right.a[y]);
-    let apq = dot(&left.u[x], &right.a[y]);
-    let off_before = apq.abs();
-    acc.pairings += 1;
-    acc.max_off = acc.max_off.max(off_before);
-    if off_before <= threshold || apq == 0.0 {
-        return;
-    }
-    let rot = mph_linalg::rotation::symmetric_schur(app, apq, aqq);
-    mph_linalg::vecops::rotate_pair(&mut left.a[x], &mut right.a[y], rot.c, rot.s);
-    mph_linalg::vecops::rotate_pair(&mut left.u[x], &mut right.u[y], rot.c, rot.s);
-    acc.rotations += 1;
-}
-
-/// Intra-block pairings (ascending i < j).
-fn pair_block_within(b: &mut Block, threshold: f64, acc: &mut SweepAccumulator) {
-    for i in 0..b.len() {
-        for j in (i + 1)..b.len() {
-            // Split borrows: rotate two columns of the same block.
-            let (ai, aj) = split_two(&mut b.a, i, j);
-            let (ui, uj) = split_two(&mut b.u, i, j);
-            let app = dot(ui, ai);
-            let aqq = dot(uj, aj);
-            let apq = dot(ui, aj);
-            let off_before = apq.abs();
-            acc.pairings += 1;
-            acc.max_off = acc.max_off.max(off_before);
-            if off_before <= threshold || apq == 0.0 {
-                continue;
-            }
-            let rot = mph_linalg::rotation::symmetric_schur(app, apq, aqq);
-            mph_linalg::vecops::rotate_pair(ai, aj, rot.c, rot.s);
-            mph_linalg::vecops::rotate_pair(ui, uj, rot.c, rot.s);
-            acc.rotations += 1;
-        }
-    }
-}
-
-fn split_two<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
-    debug_assert!(i < j);
-    let (head, tail) = v.split_at_mut(j);
-    (&mut head[i], &mut tail[0])
-}
-
-/// Cross pairings between the two blocks at a node (slot0 × slot1).
-fn pair_blocks_across(b0: &mut Block, b1: &mut Block, threshold: f64, acc: &mut SweepAccumulator) {
-    for x in 0..b0.len() {
-        for y in 0..b1.len() {
-            pair_block_cols(b0, b1, x, y, threshold, acc);
-        }
     }
 }
 
@@ -184,12 +86,13 @@ pub fn block_jacobi_threaded(
     let tol = opts.tol;
     let budget = opts.force_sweeps.unwrap_or(opts.max_sweeps);
     let forced = opts.force_sweeps.is_some();
+    let cache = opts.cache_diagonals;
 
     let (outputs, meter) = run_spmd_metered::<Msg, NodeOutput, _>(d, |ctx| {
         let n = ctx.id();
         // Canonical initial layout: slot0 = block n, slot1 = block n + p.
-        let mut slot0 = Block::from_matrix(a0, partition.cols(n));
-        let mut slot1 = Block::from_matrix(a0, partition.cols(n + p));
+        let mut slot0 = ColumnBlock::from_matrix_with_identity(a0, partition.cols(n), m);
+        let mut slot1 = ColumnBlock::from_matrix_with_identity(a0, partition.cols(n + p), m);
         let mut sweeps = 0usize;
         let mut rotations = 0u64;
         let mut converged = false;
@@ -199,19 +102,21 @@ pub fn block_jacobi_threaded(
             }
             let schedule = SweepSchedule::sweep(d, family, sweeps);
             let mut acc = SweepAccumulator::default();
+            if cache {
+                // Periodic exact refresh of the resident blocks' diagonals;
+                // the cache then travels with a block across links.
+                refresh_block_diag(&mut slot0, PairingRule::Implicit);
+                refresh_block_diag(&mut slot1, PairingRule::Implicit);
+            }
             // Step 0: intra-block + first cross pairing.
-            pair_block_within(&mut slot0, threshold, &mut acc);
-            pair_block_within(&mut slot1, threshold, &mut acc);
-            pair_blocks_across(&mut slot0, &mut slot1, threshold, &mut acc);
+            acc.merge(pair_within_block(&mut slot0, PairingRule::Implicit, threshold));
+            acc.merge(pair_within_block(&mut slot1, PairingRule::Implicit, threshold));
+            acc.merge(pair_across_blocks(&mut slot0, &mut slot1, PairingRule::Implicit, threshold));
             let ts = schedule.transitions();
             for (idx, t) in ts.iter().enumerate() {
                 match t.kind {
                     TransitionKind::Exchange { .. } | TransitionKind::LastTransition => {
-                        let outgoing = std::mem::replace(
-                            &mut slot1,
-                            Block { cols: vec![], a: vec![], u: vec![] },
-                        );
-                        slot1 = expect_block(ctx.exchange(t.link, Msg::Block(outgoing)));
+                        slot1 = expect_block(ctx.exchange(t.link, Msg::Block(slot1.take())));
                     }
                     TransitionKind::Division { .. } => {
                         // bit = 0 endpoint sends its mobile (slot1) and
@@ -219,28 +124,26 @@ pub fn block_jacobi_threaded(
                         // bit = 1 endpoint sends its resident (slot0) and
                         // receives the partner's mobile into slot0.
                         if n & (1 << t.link) == 0 {
-                            let outgoing = std::mem::replace(
-                                &mut slot1,
-                                Block { cols: vec![], a: vec![], u: vec![] },
-                            );
-                            slot1 = expect_block(ctx.exchange(t.link, Msg::Block(outgoing)));
+                            slot1 = expect_block(ctx.exchange(t.link, Msg::Block(slot1.take())));
                         } else {
-                            let outgoing = std::mem::replace(
-                                &mut slot0,
-                                Block { cols: vec![], a: vec![], u: vec![] },
-                            );
-                            slot0 = expect_block(ctx.exchange(t.link, Msg::Block(outgoing)));
+                            slot0 = expect_block(ctx.exchange(t.link, Msg::Block(slot0.take())));
                         }
                     }
                 }
                 if idx + 1 < ts.len() {
-                    pair_blocks_across(&mut slot0, &mut slot1, threshold, &mut acc);
+                    acc.merge(pair_across_blocks(
+                        &mut slot0,
+                        &mut slot1,
+                        PairingRule::Implicit,
+                        threshold,
+                    ));
                 }
             }
             rotations += acc.rotations;
             sweeps += 1;
             if !forced {
-                let global_max = allreduce_max(ctx, acc.max_off);
+                let global_max =
+                    ctx.allreduce_with(acc.max_off, |&v| Msg::Scalar(v), expect_scalar, f64::max);
                 if global_max <= tol * norm_a {
                     converged = true;
                     break;
@@ -250,8 +153,8 @@ pub fn block_jacobi_threaded(
         let mut columns = Vec::with_capacity(slot0.len() + slot1.len());
         for b in [&slot0, &slot1] {
             for k in 0..b.len() {
-                let lambda = dot(&b.u[k], &b.a[k]);
-                columns.push((b.cols[k], lambda, b.u[k].clone()));
+                let lambda = dot(b.u_col(k), b.a_col(k));
+                columns.push((b.global_col(k), lambda, b.u_col(k).to_vec()));
             }
         }
         NodeOutput { columns, sweeps, rotations, converged: converged || forced }
@@ -304,24 +207,52 @@ mod tests {
     #[test]
     fn threaded_equals_logical_bitwise_for_fixed_sweeps() {
         let a = random_symmetric(16, 90);
-        let opts = JacobiOptions { force_sweeps: Some(3), ..Default::default() };
-        for d in [1usize, 2] {
-            for family in OrderingFamily::ALL {
-                let logical = block_jacobi(&a, d, family, &opts);
-                let (threaded, _) = block_jacobi_threaded(&a, d, family, &opts);
-                assert_eq!(logical.rotations, threaded.rotations, "{family} d={d}");
-                for c in 0..16 {
+        // Both drivers call the one shared kernel on the same block
+        // storage, so bitwise equality must hold in exact-recompute mode
+        // AND with the diagonal cache enabled.
+        for cache_diagonals in [false, true] {
+            let opts =
+                JacobiOptions { force_sweeps: Some(3), cache_diagonals, ..Default::default() };
+            for d in [1usize, 2] {
+                for family in OrderingFamily::ALL {
+                    let logical = block_jacobi(&a, d, family, &opts);
+                    let (threaded, _) = block_jacobi_threaded(&a, d, family, &opts);
                     assert_eq!(
-                        logical.eigenvalues[c], threaded.eigenvalues[c],
-                        "{family} d={d} λ_{c} differs"
+                        logical.rotations, threaded.rotations,
+                        "{family} d={d} cache={cache_diagonals}"
                     );
-                    assert_eq!(
-                        logical.eigenvectors.col(c),
-                        threaded.eigenvectors.col(c),
-                        "{family} d={d} u_{c} differs"
-                    );
+                    for c in 0..16 {
+                        assert_eq!(
+                            logical.eigenvalues[c], threaded.eigenvalues[c],
+                            "{family} d={d} cache={cache_diagonals} λ_{c} differs"
+                        );
+                        assert_eq!(
+                            logical.eigenvectors.col(c),
+                            threaded.eigenvectors.col(c),
+                            "{family} d={d} cache={cache_diagonals} u_{c} differs"
+                        );
+                    }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn cached_diagonals_converge_to_the_same_spectrum() {
+        // The cache changes rotation angles only in the last bits; the
+        // converged spectrum must agree with the exact-recompute path to
+        // solver tolerance.
+        let a = random_symmetric(24, 61);
+        let exact =
+            block_jacobi_threaded(&a, 2, OrderingFamily::Degree4, &JacobiOptions::default())
+                .0
+                .sorted_eigenvalues();
+        let opts = JacobiOptions { cache_diagonals: true, ..Default::default() };
+        let (r, _) = block_jacobi_threaded(&a, 2, OrderingFamily::Degree4, &opts);
+        assert!(r.converged);
+        assert!(eigen_residual(&a, &r.eigenvectors, &r.eigenvalues) < 1e-6);
+        for (x, y) in r.sorted_eigenvalues().iter().zip(&exact) {
+            assert!((x - y).abs() < 1e-7, "{x} vs {y}");
         }
     }
 
@@ -358,5 +289,22 @@ mod tests {
         let (_, meter) = block_jacobi_threaded(&a, d, OrderingFamily::Br, &opts);
         let expect = ((1u64 << (d + 1)) - 1) * (1u64 << d);
         assert_eq!(meter.total_messages(), expect);
+    }
+
+    #[test]
+    fn cached_blocks_carry_their_diagonals_across_links() {
+        // With caching on, each block message also ships its diagonal cache
+        // (b extra elements), so the metered volume grows by exactly b per
+        // block message relative to the uncached run.
+        let m = 16usize;
+        let d = 2usize;
+        let a = random_symmetric(m, 3);
+        let base = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
+        let cached = JacobiOptions { cache_diagonals: true, ..base };
+        let (_, meter0) = block_jacobi_threaded(&a, d, OrderingFamily::Br, &base);
+        let (_, meter1) = block_jacobi_threaded(&a, d, OrderingFamily::Br, &cached);
+        let block_msgs = ((1u64 << (d + 1)) - 1) * (1u64 << d);
+        let b = (m as u64) / (2 << d);
+        assert_eq!(meter1.total_volume() - meter0.total_volume(), block_msgs * b);
     }
 }

@@ -61,6 +61,20 @@ proptest! {
     }
 
     #[test]
+    fn cached_diagonals_match_the_exact_recompute_path(a in symmetric(10), family in family_strategy()) {
+        // Opt-in diagonal caching perturbs rotation angles only in the last
+        // bits; the converged spectrum must agree to solver tolerance.
+        let exact = block_jacobi(&a, 1, family, &JacobiOptions::default());
+        let opts = JacobiOptions { cache_diagonals: true, ..Default::default() };
+        let cached = block_jacobi(&a, 1, family, &opts);
+        prop_assert!(cached.converged, "{family} cached run did not converge");
+        prop_assert!(eigen_residual(&a, &cached.eigenvectors, &cached.eigenvalues) < 1e-5);
+        for (x, y) in exact.sorted_eigenvalues().iter().zip(&cached.sorted_eigenvalues()) {
+            prop_assert!((x - y).abs() < 1e-6, "{family}: {x} vs {y}");
+        }
+    }
+
+    #[test]
     fn off_history_is_monotone_decreasing(a in symmetric(10), family in family_strategy()) {
         let r = block_jacobi(&a, 1, family, &JacobiOptions::default());
         for w in r.off_history.windows(2) {

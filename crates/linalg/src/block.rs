@@ -1,0 +1,441 @@
+//! Contiguous block storage for one-sided Jacobi column blocks.
+//!
+//! Every parallel driver in this workspace moves *blocks* of columns
+//! around: a block owns the `A`-columns and `U`-columns of a contiguous
+//! range of global column indices, pairs them against each other, and is
+//! shipped whole across a hypercube link on every transition. The seed
+//! implementation stored a block as `Vec<Vec<f64>>` — one heap allocation
+//! per column, scattered across the heap, and `2b` separate buffers per
+//! message. [`ColumnBlock`] replaces that with a single flat `Vec<f64>`:
+//!
+//! * **unit-interleaved layout** — column `k` occupies one contiguous
+//!   *unit* `[A_k | U_k]` of `arows + urows` values, so the four slices a
+//!   pairing touches live in two contiguous chunks;
+//! * **zero-copy column views** — [`ColumnBlock::a_col`]/[`u_col`] are
+//!   subslices of the backing buffer, never copies;
+//! * **split-borrow pair access** — [`ColumnBlock::pair_mut`] and
+//!   [`cross_pair_mut`] hand out the four `&mut` column slices of a pair
+//!   (plus cached-diagonal slots) safely and without `unsafe`;
+//! * **message hand-off** — [`ColumnBlock::take`] moves the block out of a
+//!   slot in O(1), leaving an empty block behind, and the flat buffer means
+//!   a block crosses a link as *one* contiguous allocation;
+//! * **cached diagonals** — an optional side array of per-column diagonal
+//!   values (`M_kk` for the eigensolver, `‖w_k‖²` for the SVD) that the
+//!   pairing kernel keeps current under rotation, eliminating two of the
+//!   three inner products per pairing.
+//!
+//! [`u_col`]: ColumnBlock::u_col
+
+use crate::matrix::Matrix;
+
+/// A block of columns in flat, contiguous, column-major storage.
+///
+/// Column `k` of the block carries global column index `start + k` and two
+/// vectors: an `A`-column of length `arows` and a `U`-column of length
+/// `urows` (equal for the symmetric eigenproblem; different for the
+/// rectangular SVD, where `A` holds `W = A·V` columns and `U` holds
+/// `V`-columns).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnBlock {
+    /// Global index of the block's first column.
+    start: usize,
+    /// Number of columns `b`.
+    ncols: usize,
+    /// Rows per `A`-column.
+    arows: usize,
+    /// Rows per `U`-column.
+    urows: usize,
+    /// `ncols` units of `arows + urows` values: `[A_0|U_0|A_1|U_1|…]`.
+    data: Vec<f64>,
+    /// Cached per-column diagonal values; empty when caching is disabled.
+    diag: Vec<f64>,
+}
+
+/// The four mutable column slices (and optional cached-diagonal slots) of
+/// one column pair — the exact shape consumed by the shared pairing kernel.
+///
+/// Produced by [`ColumnBlock::pair_mut`] (both columns in one block) or
+/// [`cross_pair_mut`] (one column from each of two blocks).
+#[derive(Debug)]
+pub struct PairViewMut<'a> {
+    pub ai: &'a mut [f64],
+    pub ui: &'a mut [f64],
+    pub aj: &'a mut [f64],
+    pub uj: &'a mut [f64],
+    /// Cached diagonal of column `i` (`None` when the cache is disabled).
+    pub di: Option<&'a mut f64>,
+    /// Cached diagonal of column `j`.
+    pub dj: Option<&'a mut f64>,
+}
+
+impl<'a> PairViewMut<'a> {
+    /// Applies the plane rotation `(c, s)` to the pair's `A`- and
+    /// `U`-columns in one fused pass (see [`crate::vecops::pair_rotate`]).
+    #[inline]
+    pub fn rotate(&mut self, c: f64, s: f64) {
+        crate::vecops::pair_rotate(self.ai, self.aj, self.ui, self.uj, c, s);
+    }
+}
+
+impl ColumnBlock {
+    /// Builds the block holding global columns `range` of `a0`, with the
+    /// matching `U`-columns initialized to unit vectors `e_c` of length
+    /// `urows` — the canonical starting state of every one-sided driver
+    /// (`A = A₀`, `U = I`).
+    ///
+    /// For the symmetric eigenproblem pass `urows = a0.rows()`; for the SVD
+    /// pass `urows = a0.cols()` (the `V` factor is square even when `A` is
+    /// rectangular).
+    ///
+    /// # Panics
+    /// Panics if `range` exceeds the columns of `a0` or `urows`.
+    pub fn from_matrix_with_identity(
+        a0: &Matrix,
+        range: std::ops::Range<usize>,
+        urows: usize,
+    ) -> Self {
+        assert!(range.end <= a0.cols(), "column range out of bounds");
+        assert!(range.end <= urows || range.is_empty(), "unit index out of bounds");
+        let arows = a0.rows();
+        let (start, ncols) = (range.start, range.len());
+        let unit = arows + urows;
+        let mut data = vec![0.0; ncols * unit];
+        for k in 0..ncols {
+            let c = start + k;
+            data[k * unit..k * unit + arows].copy_from_slice(a0.col(c));
+            data[k * unit + arows + c] = 1.0;
+        }
+        ColumnBlock { start, ncols, arows, urows, data, diag: Vec::new() }
+    }
+
+    /// Number of columns in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ncols
+    }
+
+    /// True when the block holds no columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ncols == 0
+    }
+
+    /// Rows per `A`-column.
+    #[inline]
+    pub fn arows(&self) -> usize {
+        self.arows
+    }
+
+    /// Rows per `U`-column.
+    #[inline]
+    pub fn urows(&self) -> usize {
+        self.urows
+    }
+
+    /// Global column index of block column `k`.
+    #[inline]
+    pub fn global_col(&self, k: usize) -> usize {
+        debug_assert!(k < self.ncols);
+        self.start + k
+    }
+
+    /// The global column range the block covers.
+    #[inline]
+    pub fn cols(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.ncols
+    }
+
+    /// Total `f64` payload (A-columns + U-columns + cached diagonals) —
+    /// what one message carrying this block puts on a link.
+    #[inline]
+    pub fn payload_elems(&self) -> usize {
+        self.data.len() + self.diag.len()
+    }
+
+    #[inline]
+    fn unit(&self) -> usize {
+        self.arows + self.urows
+    }
+
+    /// Zero-copy view of the `A`-column of block column `k`.
+    #[inline]
+    pub fn a_col(&self, k: usize) -> &[f64] {
+        let off = k * self.unit();
+        &self.data[off..off + self.arows]
+    }
+
+    /// Zero-copy view of the `U`-column of block column `k`.
+    #[inline]
+    pub fn u_col(&self, k: usize) -> &[f64] {
+        let off = k * self.unit() + self.arows;
+        &self.data[off..off + self.urows]
+    }
+
+    /// Split-borrow access to the pair `(i, j)` within this block: the four
+    /// column slices plus the cached-diagonal slots when the cache is on.
+    ///
+    /// # Panics
+    /// Panics if `i == j` or either index is out of range.
+    pub fn pair_mut(&mut self, i: usize, j: usize) -> PairViewMut<'_> {
+        assert!(i != j, "pair_mut requires distinct columns");
+        assert!(i < self.ncols && j < self.ncols);
+        let unit = self.unit();
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        let (head, tail) = self.data.split_at_mut(hi * unit);
+        let (a_lo, u_lo) = head[lo * unit..(lo + 1) * unit].split_at_mut(self.arows);
+        let (a_hi, u_hi) = tail[..unit].split_at_mut(self.arows);
+        let (d_lo, d_hi) = if self.diag.is_empty() {
+            (None, None)
+        } else {
+            let (dh, dt) = self.diag.split_at_mut(hi);
+            (Some(&mut dh[lo]), Some(&mut dt[0]))
+        };
+        if i < j {
+            PairViewMut { ai: a_lo, ui: u_lo, aj: a_hi, uj: u_hi, di: d_lo, dj: d_hi }
+        } else {
+            PairViewMut { ai: a_hi, ui: u_hi, aj: a_lo, uj: u_lo, di: d_hi, dj: d_lo }
+        }
+    }
+
+    /// Moves the block out of `self` in O(1), leaving an empty block — the
+    /// hand-off primitive for sending a block slot across a link.
+    #[inline]
+    pub fn take(&mut self) -> ColumnBlock {
+        std::mem::take(self)
+    }
+
+    /// Copies the block's `U`-columns into the column-major matrix `u` at
+    /// the block's global column indices — the output-assembly step every
+    /// driver performs when reconstructing the global `U` (or `V`) factor
+    /// from distributed blocks.
+    pub fn store_u_into(&self, u: &mut Matrix) {
+        for k in 0..self.ncols {
+            u.col_mut(self.global_col(k)).copy_from_slice(self.u_col(k));
+        }
+    }
+
+    /// Whether the cached-diagonal side array is populated.
+    #[inline]
+    pub fn has_diag(&self) -> bool {
+        !self.diag.is_empty()
+    }
+
+    /// The cached diagonals (empty when caching is disabled).
+    #[inline]
+    pub fn diag(&self) -> &[f64] {
+        &self.diag
+    }
+
+    /// Installs exact per-column diagonal values computed by `f` from each
+    /// column's `(A, U)` slices — the "periodic exact refresh" of the
+    /// diagonal cache. Call once per sweep; the pairing kernel keeps the
+    /// values current under rotation in between.
+    pub fn refresh_diag(&mut self, f: impl Fn(&[f64], &[f64]) -> f64) {
+        let mut diag = std::mem::take(&mut self.diag);
+        diag.clear();
+        diag.extend((0..self.ncols).map(|k| f(self.a_col(k), self.u_col(k))));
+        self.diag = diag;
+    }
+}
+
+/// Mutable access to two *distinct* blocks of a slice — the split borrow a
+/// cross-block pairing over a `Vec<ColumnBlock>` needs before calling
+/// [`cross_pair_mut`]. Order of the returned pair follows `(b0, b1)`.
+///
+/// # Panics
+/// Panics if `b0 == b1` or either index is out of range.
+pub fn two_blocks_mut(
+    blocks: &mut [ColumnBlock],
+    b0: usize,
+    b1: usize,
+) -> (&mut ColumnBlock, &mut ColumnBlock) {
+    assert!(b0 != b1, "two_blocks_mut requires distinct blocks");
+    let (lo, hi) = if b0 < b1 { (b0, b1) } else { (b1, b0) };
+    let (head, tail) = blocks.split_at_mut(hi);
+    if b0 < b1 {
+        (&mut head[lo], &mut tail[0])
+    } else {
+        (&mut tail[0], &mut head[lo])
+    }
+}
+
+/// Split-borrow access to a *cross-block* pair: column `i` of `left` and
+/// column `j` of `right`. Mirrors [`ColumnBlock::pair_mut`] for the case
+/// where the two columns live in different blocks (the inter-block pairing
+/// of the paper's step 2).
+pub fn cross_pair_mut<'a>(
+    left: &'a mut ColumnBlock,
+    i: usize,
+    right: &'a mut ColumnBlock,
+    j: usize,
+) -> PairViewMut<'a> {
+    assert!(i < left.ncols && j < right.ncols);
+    let (l_arows, l_unit, l_off) = (left.arows, left.unit(), i * left.unit());
+    let (r_arows, r_unit, r_off) = (right.arows, right.unit(), j * right.unit());
+    let (ai, ui) = left.data[l_off..l_off + l_unit].split_at_mut(l_arows);
+    let (aj, uj) = right.data[r_off..r_off + r_unit].split_at_mut(r_arows);
+    let di = if left.diag.is_empty() { None } else { Some(&mut left.diag[i]) };
+    let dj = if right.diag.is_empty() { None } else { Some(&mut right.diag[j]) };
+    PairViewMut { ai, ui, aj, uj, di, dj }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symmetric::random_symmetric;
+    use crate::vecops::dot;
+
+    #[test]
+    fn from_matrix_copies_a_and_builds_identity_u() {
+        let a0 = random_symmetric(6, 1);
+        let b = ColumnBlock::from_matrix_with_identity(&a0, 2..5, 6);
+        assert_eq!(b.len(), 3);
+        assert_eq!((b.arows(), b.urows()), (6, 6));
+        for k in 0..3 {
+            assert_eq!(b.global_col(k), 2 + k);
+            assert_eq!(b.a_col(k), a0.col(2 + k));
+            for r in 0..6 {
+                assert_eq!(b.u_col(k)[r], if r == 2 + k { 1.0 } else { 0.0 });
+            }
+        }
+        assert_eq!(b.cols(), 2..5);
+        assert_eq!(b.payload_elems(), 3 * 12);
+    }
+
+    #[test]
+    fn rectangular_blocks_carry_different_row_counts() {
+        let a0 = Matrix::from_fn(7, 4, |r, c| (r * 4 + c) as f64);
+        let b = ColumnBlock::from_matrix_with_identity(&a0, 1..3, 4);
+        assert_eq!((b.arows(), b.urows()), (7, 4));
+        assert_eq!(b.a_col(0), a0.col(1));
+        assert_eq!(b.u_col(0), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pair_mut_returns_disjoint_views_in_both_orders() {
+        let a0 = random_symmetric(4, 9);
+        let mut b = ColumnBlock::from_matrix_with_identity(&a0, 0..4, 4);
+        {
+            let v = b.pair_mut(1, 3);
+            assert_eq!(v.ai, a0.col(1));
+            assert_eq!(v.aj, a0.col(3));
+            assert_eq!(v.ui[1], 1.0);
+            assert_eq!(v.uj[3], 1.0);
+        }
+        {
+            let v = b.pair_mut(3, 1);
+            assert_eq!(v.ai, a0.col(3));
+            assert_eq!(v.aj, a0.col(1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn pair_mut_rejects_equal_indices() {
+        let a0 = random_symmetric(3, 2);
+        let mut b = ColumnBlock::from_matrix_with_identity(&a0, 0..3, 3);
+        let _ = b.pair_mut(1, 1);
+    }
+
+    #[test]
+    fn rotation_through_views_matches_matrix_rotation() {
+        let a0 = random_symmetric(5, 4);
+        let mut b = ColumnBlock::from_matrix_with_identity(&a0, 0..5, 5);
+        let (mut a, mut u) = (a0.clone(), Matrix::identity(5));
+        let (c, s) = (0.6, 0.8);
+        b.pair_mut(0, 3).rotate(c, s);
+        a.rotate_columns(0, 3, c, s);
+        u.rotate_columns(0, 3, c, s);
+        for k in 0..5 {
+            assert_eq!(b.a_col(k), a.col(k), "A col {k}");
+            assert_eq!(b.u_col(k), u.col(k), "U col {k}");
+        }
+    }
+
+    #[test]
+    fn cross_pair_spans_two_blocks() {
+        let a0 = random_symmetric(6, 5);
+        let mut left = ColumnBlock::from_matrix_with_identity(&a0, 0..3, 6);
+        let mut right = ColumnBlock::from_matrix_with_identity(&a0, 3..6, 6);
+        let (c, s) = (0.8, -0.6);
+        {
+            let mut v = cross_pair_mut(&mut left, 2, &mut right, 0);
+            assert_eq!(v.ai, a0.col(2));
+            assert_eq!(v.aj, a0.col(3));
+            v.rotate(c, s);
+        }
+        let (mut a, mut u) = (a0.clone(), Matrix::identity(6));
+        a.rotate_columns(2, 3, c, s);
+        u.rotate_columns(2, 3, c, s);
+        assert_eq!(left.a_col(2), a.col(2));
+        assert_eq!(right.a_col(0), a.col(3));
+        assert_eq!(left.u_col(2), u.col(2));
+        assert_eq!(right.u_col(0), u.col(3));
+    }
+
+    #[test]
+    fn take_leaves_an_empty_default_block() {
+        let a0 = random_symmetric(4, 7);
+        let mut slot = ColumnBlock::from_matrix_with_identity(&a0, 0..2, 4);
+        let moved = slot.take();
+        assert_eq!(moved.len(), 2);
+        assert!(slot.is_empty());
+        assert_eq!(slot, ColumnBlock::default());
+    }
+
+    #[test]
+    fn diag_cache_refresh_and_clear() {
+        let a0 = random_symmetric(5, 11);
+        let mut b = ColumnBlock::from_matrix_with_identity(&a0, 1..4, 5);
+        assert!(!b.has_diag());
+        {
+            let v = b.pair_mut(0, 2);
+            assert!(v.di.is_none() && v.dj.is_none());
+        }
+        b.refresh_diag(|a, u| dot(u, a));
+        assert!(b.has_diag());
+        // U = I ⇒ M_kk = A₀[c, c].
+        for k in 0..3 {
+            assert_eq!(b.diag()[k], a0[(1 + k, 1 + k)]);
+        }
+        {
+            let v = b.pair_mut(2, 0);
+            assert_eq!(*v.di.unwrap(), a0[(3, 3)]);
+            assert_eq!(*v.dj.unwrap(), a0[(1, 1)]);
+        }
+        assert_eq!(b.payload_elems(), 3 * 10 + 3);
+    }
+
+    #[test]
+    fn empty_range_yields_empty_block() {
+        let a0 = random_symmetric(3, 1);
+        let b = ColumnBlock::from_matrix_with_identity(&a0, 2..2, 3);
+        assert!(b.is_empty());
+        assert_eq!(b.payload_elems(), 0);
+    }
+
+    #[test]
+    fn two_blocks_mut_returns_the_pair_in_argument_order() {
+        let a0 = random_symmetric(6, 21);
+        let mut blocks: Vec<ColumnBlock> = [(0..2), (2..4), (4..6)]
+            .into_iter()
+            .map(|r| ColumnBlock::from_matrix_with_identity(&a0, r, 6))
+            .collect();
+        {
+            let (x, y) = two_blocks_mut(&mut blocks, 0, 2);
+            assert_eq!((x.cols(), y.cols()), (0..2, 4..6));
+        }
+        {
+            let (x, y) = two_blocks_mut(&mut blocks, 2, 0);
+            assert_eq!((x.cols(), y.cols()), (4..6, 0..2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn two_blocks_mut_rejects_equal_indices() {
+        let a0 = random_symmetric(4, 2);
+        let mut blocks = vec![ColumnBlock::from_matrix_with_identity(&a0, 0..4, 4)];
+        let _ = two_blocks_mut(&mut blocks, 0, 0);
+    }
+}

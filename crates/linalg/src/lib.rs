@@ -7,8 +7,11 @@
 //!
 //! * [`Matrix`] — column-major dense matrix with cheap column access and
 //!   column-pair rotation;
+//! * [`block`] — contiguous flat storage for a *block* of `(A, U)` columns
+//!   with zero-copy views, split-borrow pair access, and cached diagonals —
+//!   the unit every parallel driver pairs locally and ships across links;
 //! * [`vecops`] — the handful of BLAS-1 kernels the solver needs (`dot`,
-//!   `axpy`, `nrm2`, fused column rotation);
+//!   `axpy`, `nrm2`, fused column-pair rotation);
 //! * [`rotation`] — the symmetric 2×2 Schur decomposition that produces the
 //!   rotation `(c, s)` annihilating an off-diagonal element;
 //! * [`symmetric`] — random and classical symmetric test-matrix generators
@@ -16,13 +19,15 @@
 //! * [`matmul`] — naive reference `GEMM`/residual helpers used only for
 //!   verification (never on the solver's hot path).
 
+pub mod block;
 pub mod matmul;
 pub mod matrix;
 pub mod rotation;
 pub mod symmetric;
 pub mod vecops;
 
+pub use block::{cross_pair_mut, two_blocks_mut, ColumnBlock, PairViewMut};
 pub use matrix::Matrix;
 pub use rotation::{symmetric_schur, JacobiRotation};
 pub use symmetric::{frank_matrix, off_diagonal_frobenius, random_symmetric, wilkinson_matrix};
-pub use vecops::{axpy, dot, nrm2, rotate_pair};
+pub use vecops::{axpy, dot, nrm2, pair_rotate, rotate_pair};

@@ -83,6 +83,41 @@ pub fn rotate_pair(x: &mut [f64], y: &mut [f64], c: f64, s: f64) {
     }
 }
 
+/// Fused rotation of a column *pair*: applies the same plane rotation to
+/// `(ai, aj)` and `(ui, uj)` in one pass — the full update a Jacobi pairing
+/// performs on the `A`- and `U`-columns of columns `i` and `j`.
+///
+/// Element-wise identical to `rotate_pair(ai, aj, c, s)` followed by
+/// `rotate_pair(ui, uj, c, s)` (each element's update is independent, so
+/// fusing cannot change any bit), but walks the four streams in a single
+/// loop: one round of loop control, four independent load/store streams for
+/// the CPU to overlap. When the `A`- and `U`-columns have different lengths
+/// (the rectangular SVD case), the two pairs are rotated back to back.
+///
+/// # Panics
+/// Panics if `ai`/`aj` or `ui`/`uj` have mismatched lengths.
+#[inline]
+pub fn pair_rotate(ai: &mut [f64], aj: &mut [f64], ui: &mut [f64], uj: &mut [f64], c: f64, s: f64) {
+    assert_eq!(ai.len(), aj.len());
+    assert_eq!(ui.len(), uj.len());
+    if ai.len() != ui.len() {
+        rotate_pair(ai, aj, c, s);
+        rotate_pair(ui, uj, c, s);
+        return;
+    }
+    let n = ai.len();
+    for k in 0..n {
+        let a0 = ai[k];
+        let a1 = aj[k];
+        let u0 = ui[k];
+        let u1 = uj[k];
+        ai[k] = c * a0 - s * a1;
+        aj[k] = s * a0 + c * a1;
+        ui[k] = c * u0 - s * u1;
+        uj[k] = s * u0 + c * u1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +178,55 @@ mod tests {
         // x' = -y_old, y' = x_old
         assert_eq!(x, vec![-0.0, -1.0]);
         assert_eq!(y, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn rotate_pair_matches_scalar_reference_on_lengths_0_to_8() {
+        // Exercises every tail length around the 4-way unrolled main loop.
+        let (c, s) = (0.8f64, 0.6f64);
+        for n in 0..=8usize {
+            let mut x: Vec<f64> = (0..n).map(|i| i as f64 * 0.7 - 2.0).collect();
+            let mut y: Vec<f64> = (0..n).map(|i| 1.3 - i as f64 * 0.4).collect();
+            let want_x: Vec<f64> = x.iter().zip(&y).map(|(&xi, &yi)| c * xi - s * yi).collect();
+            let want_y: Vec<f64> = x.iter().zip(&y).map(|(&xi, &yi)| s * xi + c * yi).collect();
+            rotate_pair(&mut x, &mut y, c, s);
+            assert_eq!(x, want_x, "n={n}");
+            assert_eq!(y, want_y, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pair_rotate_matches_two_rotate_pairs_on_lengths_0_to_8() {
+        let (c, s) = (0.28f64, -0.96f64);
+        for n in 0..=8usize {
+            let mut ai: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+            let mut aj: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+            let mut ui: Vec<f64> = (0..n).map(|i| i as f64 - 3.5).collect();
+            let mut uj: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+            let (mut ra, mut rb, mut rc, mut rd) = (ai.clone(), aj.clone(), ui.clone(), uj.clone());
+            rotate_pair(&mut ra, &mut rb, c, s);
+            rotate_pair(&mut rc, &mut rd, c, s);
+            pair_rotate(&mut ai, &mut aj, &mut ui, &mut uj, c, s);
+            assert_eq!(ai, ra, "n={n}");
+            assert_eq!(aj, rb, "n={n}");
+            assert_eq!(ui, rc, "n={n}");
+            assert_eq!(uj, rd, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pair_rotate_handles_mismatched_a_and_u_lengths() {
+        // Rectangular SVD shape: W-columns longer than V-columns.
+        let (c, s) = (0.6f64, 0.8f64);
+        let mut ai = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut aj = vec![-1.0, 0.5, 0.0, 2.0, -3.0];
+        let mut ui = vec![1.0, 0.0];
+        let mut uj = vec![0.0, 1.0];
+        let (mut ra, mut rb, mut rc, mut rd) = (ai.clone(), aj.clone(), ui.clone(), uj.clone());
+        rotate_pair(&mut ra, &mut rb, c, s);
+        rotate_pair(&mut rc, &mut rd, c, s);
+        pair_rotate(&mut ai, &mut aj, &mut ui, &mut uj, c, s);
+        assert_eq!((ai, aj, ui, uj), (ra, rb, rc, rd));
     }
 
     #[test]

@@ -2,12 +2,18 @@
 //! eigensolver's correctness rests on.
 
 use mph_linalg::rotation::{apply_to_block, symmetric_schur};
-use mph_linalg::vecops::{axpy, dot, nrm2, rotate_pair};
+use mph_linalg::vecops::{axpy, dot, nrm2, pair_rotate, rotate_pair};
 use mph_linalg::Matrix;
 use proptest::prelude::*;
 
 fn finite_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(-1e6f64..1e6, n..=n)
+}
+
+/// Four equal-length vectors of arbitrary length 0..=24 — the shape of a
+/// column pair's `(A_i, A_j, U_i, U_j)` slices.
+fn quad_vecs() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)> {
+    (0usize..=24).prop_flat_map(|n| (finite_vec(n), finite_vec(n), finite_vec(n), finite_vec(n)))
 }
 
 proptest! {
@@ -45,6 +51,28 @@ proptest! {
         rotate_pair(&mut x, &mut y, 1.0, 0.0);
         prop_assert_eq!(x, x0);
         prop_assert_eq!(y, y0);
+    }
+
+    #[test]
+    fn fused_pair_rotate_equals_two_sequential_rotate_pairs(
+        quads in quad_vecs(),
+        theta in -3.2f64..3.2,
+    ) {
+        // The fused kernel must be ELEMENT-WISE EQUAL (same bits) to the
+        // two-call sequence it replaces — that is what lets the drivers
+        // adopt it without perturbing any bitwise-equality guarantee.
+        let (ai, aj, ui, uj) = quads;
+        let (c, s) = (theta.cos(), theta.sin());
+        let (mut fa_i, mut fa_j, mut fu_i, mut fu_j) =
+            (ai.clone(), aj.clone(), ui.clone(), uj.clone());
+        pair_rotate(&mut fa_i, &mut fa_j, &mut fu_i, &mut fu_j, c, s);
+        let (mut ra_i, mut ra_j, mut ru_i, mut ru_j) = (ai, aj, ui, uj);
+        rotate_pair(&mut ra_i, &mut ra_j, c, s);
+        rotate_pair(&mut ru_i, &mut ru_j, c, s);
+        prop_assert_eq!(fa_i, ra_i);
+        prop_assert_eq!(fa_j, ra_j);
+        prop_assert_eq!(fu_i, ru_i);
+        prop_assert_eq!(fu_j, ru_j);
     }
 
     #[test]

@@ -88,18 +88,38 @@ impl<'a, M: Send + Meterable> NodeCtx<'a, M> {
     pub fn barrier(&self) {
         self.barrier.wait();
     }
-}
 
-impl<'a> NodeCtx<'a, f64> {
-    /// All-reduce by recursive dimension exchange: every node ends with
-    /// `fold` applied over all `2^d` contributions, in `d` neighbor
-    /// exchanges — the classical hypercube collective.
-    pub fn allreduce(&self, mut value: f64, fold: impl Fn(f64, f64) -> f64) -> f64 {
+    /// All-reduce by recursive dimension exchange over *any* message type:
+    /// every node ends with `fold` applied over all `2^d` contributions, in
+    /// `d` neighbor exchanges — the classical hypercube collective.
+    ///
+    /// `wrap` lifts the reduced value into the link's message type and
+    /// `unwrap` extracts it from a received message, so a program whose
+    /// links carry a mixed protocol (e.g. blocks *and* convergence scalars)
+    /// can vote without a second channel fabric:
+    ///
+    /// ```ignore
+    /// let max = ctx.allreduce_with(local, |&v| Msg::Scalar(v), expect_scalar, f64::max);
+    /// ```
+    pub fn allreduce_with<T>(
+        &self,
+        mut value: T,
+        wrap: impl Fn(&T) -> M,
+        unwrap: impl Fn(M) -> T,
+        fold: impl Fn(T, T) -> T,
+    ) -> T {
         for dim in 0..self.d {
-            let other = self.exchange(dim, value);
+            let other = unwrap(self.exchange(dim, wrap(&value)));
             value = fold(value, other);
         }
         value
+    }
+}
+
+impl<'a> NodeCtx<'a, f64> {
+    /// [`NodeCtx::allreduce_with`] for links that carry bare `f64`s.
+    pub fn allreduce(&self, value: f64, fold: impl Fn(f64, f64) -> f64) -> f64 {
+        self.allreduce_with(value, |&v| v, |m| m, fold)
     }
 }
 
@@ -188,6 +208,26 @@ mod tests {
             for r in results {
                 assert_eq!(r, expect);
             }
+        }
+    }
+
+    #[test]
+    fn allreduce_with_lifts_into_an_enum_message_type() {
+        // A mixed protocol: links carry an enum, the vote is a scalar.
+        #[derive(Clone)]
+        enum Wire {
+            Num(u64),
+        }
+        impl Meterable for Wire {
+            fn elems(&self) -> u64 {
+                1
+            }
+        }
+        let results = run_spmd::<Wire, u64, _>(3, |ctx| {
+            ctx.allreduce_with(ctx.id() as u64, |&v| Wire::Num(v), |Wire::Num(v)| v, std::cmp::max)
+        });
+        for r in results {
+            assert_eq!(r, 7);
         }
     }
 
