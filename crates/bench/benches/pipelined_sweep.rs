@@ -1,0 +1,41 @@
+//! Pipelined vs unpipelined threaded sweeps: the wall-clock counterpart of
+//! the paper's Figure-2 communication claim, on the channel-backed
+//! multicomputer. The threaded runtime moves blocks by pointer, so the
+//! transmission term the model prices is nearly free here; what this bench
+//! isolates is the *scheduling* effect of packetization — finer-grained
+//! handoffs between node threads against the per-message overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mph_ccpipe::Machine;
+use mph_core::OrderingFamily;
+use mph_eigen::{block_jacobi_threaded, JacobiOptions, Pipelining};
+use mph_linalg::symmetric::random_symmetric;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_pipelined(c: &mut Criterion) {
+    let a = random_symmetric(128, 11);
+    let base = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
+    let mut g = c.benchmark_group("pipelined_sweep");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    let family = OrderingFamily::PermutedBr;
+    g.bench_function("unpipelined_m128_d3", |b| {
+        b.iter(|| black_box(block_jacobi_threaded(&a, 3, family, &base)))
+    });
+    for q in [2usize, 4, 8] {
+        let opts = JacobiOptions { pipelining: Pipelining::Fixed(q), ..base };
+        g.bench_function(format!("fixed_q{q}_m128_d3"), |b| {
+            b.iter(|| black_box(block_jacobi_threaded(&a, 3, family, &opts)))
+        });
+    }
+    let auto = JacobiOptions { pipelining: Pipelining::Auto(Machine::paper_figure2()), ..base };
+    g.bench_function("auto_m128_d3", |b| {
+        b.iter(|| black_box(block_jacobi_threaded(&a, 3, family, &auto)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipelined);
+criterion_main!(benches);

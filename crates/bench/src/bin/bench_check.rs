@@ -1,0 +1,307 @@
+//! Integrity gate for `results/BENCH_eigen.json`: fails loudly (non-zero
+//! exit) when the tracked snapshot is unparseable or missing the fields
+//! the performance history relies on — so a refactor that silently breaks
+//! the snapshot writer is caught by CI instead of producing a corrupt
+//! history three PRs later.
+//!
+//! No JSON dependency exists in this offline workspace, so a minimal
+//! recursive-descent parser lives here; it accepts exactly the subset the
+//! snapshot writer emits (objects, arrays, strings, numbers, booleans).
+
+use std::process::ExitCode;
+
+/// A parsed JSON value (subset: no null, no escapes beyond `\"`).
+#[derive(Debug)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    String(String),
+    Number(f64),
+    Bool(bool),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_number(&self) -> Option<f64> {
+        match self {
+            Json::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or_else(|| self.error("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::String(self.string()?)),
+            b't' | b'f' => self.boolean(),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid utf-8 in string"))?
+                    .to_owned();
+                self.pos += 1;
+                return Ok(s);
+            }
+            if c == b'\\' {
+                return Err(self.error("escape sequences are not used by the snapshot writer"));
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated string"))
+    }
+
+    fn boolean(&mut self) -> Result<Json, String> {
+        for (lit, val) in [("true", true), ("false", false)] {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                return Ok(Json::Bool(val));
+            }
+        }
+        Err(self.error("invalid literal"))
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| self.error("invalid number"))
+    }
+
+    fn document(mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.error("trailing content after the document"));
+        }
+        Ok(v)
+    }
+}
+
+/// Validates the snapshot structure; returns the list of problems.
+fn validate(doc: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut require = |path: &str, ok: bool| {
+        if !ok {
+            problems.push(format!("missing or malformed field: {path}"));
+        }
+    };
+    require(
+        "bench",
+        matches!(doc.get("bench"), Some(Json::String(s)) if s == "eigen_perf_snapshot"),
+    );
+    // The tracked snapshot must come from a full run — smoke runs are for
+    // CI logs only and never write the file.
+    require("smoke", matches!(doc.get("smoke"), Some(Json::Bool(false))));
+    for key in ["m", "d", "seed"] {
+        require(key, doc.get(key).and_then(Json::as_number).is_some());
+    }
+    let layout = doc.get("layout_sweep");
+    for key in ["seed_vecvec_ms", "columnblock_ms", "columnblock_cached_ms", "speedup_contiguous"] {
+        require(
+            &format!("layout_sweep.{key}"),
+            layout.and_then(|l| l.get(key)).and_then(Json::as_number).is_some(),
+        );
+    }
+    let piped = doc.get("pipelined");
+    require("pipelined", piped.is_some());
+    for key in [
+        "unpipelined_ms",
+        "pipelined_ms",
+        "measured_speedup",
+        "unpipelined_traffic_elems",
+        "pipelined_traffic_elems",
+        "unpipelined_messages",
+        "pipelined_messages",
+        "predicted_comm_ratio",
+    ] {
+        require(
+            &format!("pipelined.{key}"),
+            piped.and_then(|p| p.get(key)).and_then(Json::as_number).is_some(),
+        );
+    }
+    require(
+        "pipelined.q_per_phase",
+        matches!(piped.and_then(|p| p.get("q_per_phase")), Some(Json::Array(a)) if !a.is_empty()),
+    );
+    match doc.get("families") {
+        Some(Json::Object(fams)) if !fams.is_empty() => {
+            for (name, fam) in fams {
+                for key in ["logical_ms", "threaded_ms", "rotations"] {
+                    require(
+                        &format!("families.{name}.{key}"),
+                        fam.get(key).and_then(Json::as_number).is_some(),
+                    );
+                }
+            }
+        }
+        _ => problems.push("missing or empty families object".into()),
+    }
+    problems
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "results/BENCH_eigen.json".into());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Parser::new(&text).document() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_check: {path} is unparseable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let problems = validate(&doc);
+    if problems.is_empty() {
+        println!("bench_check: {path} OK");
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("bench_check: {path}: {p}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_validates_a_minimal_snapshot() {
+        let text = r#"{
+          "bench": "eigen_perf_snapshot", "m": 256, "d": 3, "smoke": false, "seed": 1,
+          "layout_sweep": {"seed_vecvec_ms": 1.0, "columnblock_ms": 1.0,
+                           "columnblock_cached_ms": 1.0, "speedup_contiguous": 1.0},
+          "pipelined": {"unpipelined_ms": 1.0, "pipelined_ms": 1.0, "measured_speedup": 1.0,
+                        "unpipelined_traffic_elems": 10, "pipelined_traffic_elems": 10,
+                        "unpipelined_messages": 5, "pipelined_messages": 9,
+                        "predicted_comm_ratio": 0.5, "q_per_phase": [4, 2, 1]},
+          "families": {"BR": {"logical_ms": 1.0, "threaded_ms": 1.0, "rotations": 10}}
+        }"#;
+        let doc = Parser::new(text).document().expect("parses");
+        assert!(validate(&doc).is_empty());
+    }
+
+    #[test]
+    fn reports_missing_pipelined_fields() {
+        let text = r#"{"bench": "eigen_perf_snapshot", "m": 1, "d": 1, "seed": 1,
+            "layout_sweep": {}, "families": {"BR": {}}}"#;
+        let doc = Parser::new(text).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(problems.iter().any(|p| p.contains("pipelined")));
+        assert!(problems.iter().any(|p| p.contains("layout_sweep.seed_vecvec_ms")));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "{\"a\": }", "[1, 2", "{\"a\": 1} trailing", ""] {
+            assert!(Parser::new(bad).document().is_err(), "{bad:?} should not parse");
+        }
+    }
+}

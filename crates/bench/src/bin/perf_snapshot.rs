@@ -1,9 +1,11 @@
 //! Machine-readable performance snapshot, tracked PR-over-PR.
 //!
 //! Runs a fixed eigensolve configuration (m = 256 on a d = 3 cube, every
-//! ordering family, logical and threaded drivers) plus the block-layout
-//! A/B race (seed `Vec<Vec<f64>>` path vs contiguous `ColumnBlock`, with
-//! and without cached diagonals) and writes the timings as JSON to
+//! ordering family, logical and threaded drivers), the block-layout A/B
+//! race (seed `Vec<Vec<f64>>` path vs contiguous `ColumnBlock`, with and
+//! without cached diagonals), and the pipelined-vs-unpipelined threaded
+//! race (measured wall time and metered traffic next to the cost model's
+//! predicted communication ratio), writing everything as JSON to
 //! `results/BENCH_eigen.json`.
 //!
 //! Usage:
@@ -12,8 +14,12 @@
 
 use mph_bench::seedpath::{self, VecBlock};
 use mph_bench::{banner, column_block_full_sweep, results_dir};
+use mph_ccpipe::{plan_sweep_cost, plan_unpipelined_cost, Machine};
 use mph_core::OrderingFamily;
-use mph_eigen::{block_jacobi, block_jacobi_threaded, BlockPartition, ColumnBlock, JacobiOptions};
+use mph_eigen::{
+    block_jacobi, block_jacobi_threaded, choose_qs, lower_sweeps, packetization_cap,
+    BlockPartition, ColumnBlock, JacobiOptions, Pipelining,
+};
 use mph_linalg::symmetric::random_symmetric;
 use std::fmt::Write as _;
 use std::fs;
@@ -108,6 +114,61 @@ fn main() {
         .unwrap();
     }
 
+    // --- Pipelined vs unpipelined threaded sweeps -----------------------
+    // The paper's machine model chooses per-phase packet counts; the
+    // measured ratio is reported next to the model's predicted
+    // communication ratio. The channel runtime ships blocks by pointer,
+    // so transmission is nearly free here — the measured column isolates
+    // packetization's scheduling effect, the predicted column is what a
+    // transmission-bound hypercube would gain.
+    let machine = Machine::paper_figure2();
+    let pipe_family = OrderingFamily::PermutedBr;
+    let sweeps_forced = 2usize;
+    let unpiped_opts = JacobiOptions { force_sweeps: Some(sweeps_forced), ..Default::default() };
+    let piped_opts = JacobiOptions { pipelining: Pipelining::Auto(machine), ..unpiped_opts };
+    // The solver's own lowering and scheduling helpers, so the recorded
+    // q_per_phase and predicted ratio describe exactly the schedule the
+    // measured run executes.
+    let plan = &lower_sweeps(m, d, pipe_family, false, 1)[0];
+    let q_cap = packetization_cap(m, d);
+    let qs = choose_qs(plan, &piped_opts.pipelining, q_cap);
+    let predicted_ratio =
+        plan_sweep_cost(plan, &machine, q_cap as f64).total / plan_unpipelined_cost(plan, &machine);
+    let unpipelined_ms = median_ms(reps, || {
+        black_box(block_jacobi_threaded(&a, d, pipe_family, &unpiped_opts));
+    });
+    let pipelined_ms = median_ms(reps, || {
+        black_box(block_jacobi_threaded(&a, d, pipe_family, &piped_opts));
+    });
+    let (_, meter_u) = block_jacobi_threaded(&a, d, pipe_family, &unpiped_opts);
+    let (_, meter_p) = block_jacobi_threaded(&a, d, pipe_family, &piped_opts);
+    let measured_speedup = unpipelined_ms / pipelined_ms;
+    println!(
+        "  pipelined sweep ({}) : unpipelined {unpipelined_ms:9.3} ms | pipelined \
+         {pipelined_ms:9.3} ms ({measured_speedup:.2}x measured, {:.2}x predicted comm) | \
+         q per phase {qs:?}",
+        pipe_family.name(),
+        1.0 / predicted_ratio,
+    );
+    let qs_json = qs.iter().map(|q| q.to_string()).collect::<Vec<_>>().join(", ");
+    let pipelined_json = format!(
+        "{{\n    \"family\": \"{}\",\n    \"force_sweeps\": {sweeps_forced},\n    \
+         \"q_per_phase\": [{qs_json}],\n    \
+         \"unpipelined_ms\": {unpipelined_ms:.3},\n    \
+         \"pipelined_ms\": {pipelined_ms:.3},\n    \
+         \"measured_speedup\": {measured_speedup:.3},\n    \
+         \"unpipelined_traffic_elems\": {},\n    \
+         \"pipelined_traffic_elems\": {},\n    \
+         \"unpipelined_messages\": {},\n    \
+         \"pipelined_messages\": {},\n    \
+         \"predicted_comm_ratio\": {predicted_ratio:.4}\n  }}",
+        pipe_family.name(),
+        meter_u.total_volume(),
+        meter_p.total_volume(),
+        meter_u.total_messages(),
+        meter_p.total_messages(),
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"eigen_perf_snapshot\",\n  \"m\": {m},\n  \"d\": {d},\n  \
          \"smoke\": {smoke},\n  \"force_sweeps\": 2,\n  \"seed\": {seed},\n  \
@@ -117,6 +178,7 @@ fn main() {
          \"columnblock_cached_ms\": {cached_ms:.3},\n    \
          \"speedup_contiguous\": {speedup_contiguous:.3},\n    \
          \"speedup_contiguous_cached\": {speedup_cached:.3}\n  }},\n  \
+         \"pipelined\": {pipelined_json},\n  \
          \"families\": {{{family_json}\n  }}\n}}\n"
     );
     println!("{json}");

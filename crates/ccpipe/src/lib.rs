@@ -12,7 +12,10 @@
 //! * [`cost`] — analytic phase costs with O(1) deep-mode evaluation;
 //! * [`optimum`] — the optimal pipelining degree;
 //! * [`lowerbound`] — the ideal-sequence lower bound of Figure 2;
-//! * [`sweepcost`] — full-sweep composition and the Figure-2 data points.
+//! * [`sweepcost`] — full-sweep composition and the Figure-2 data points;
+//! * [`plancost`] — the same pricing applied to a lowered
+//!   [`mph_core::CommPlan`], which is how the cost model schedules the
+//!   threaded solver's pipelining degrees.
 
 pub mod cccube;
 pub mod cost;
@@ -21,6 +24,7 @@ pub mod lowerbound;
 pub mod machine;
 pub mod optimum;
 pub mod pipelining;
+pub mod plancost;
 pub mod sweepcost;
 
 pub use cccube::CcCube;
@@ -33,6 +37,9 @@ pub use machine::{Machine, PortModel};
 pub use optimum::{optimize_q, OptimalQ};
 pub use pipelining::{
     mode_of, pipelined_schedule, PipelineMode, PipelinedSchedule, Stage, StagePhase,
+};
+pub use plancost::{
+    phase_cc, plan_pipelining, plan_sweep_cost, plan_unpipelined_cost, PhaseChoice,
 };
 pub use sweepcost::{
     elems_per_transfer, figure2_point, lower_bound_sweep_cost, pipelined_sweep_cost,

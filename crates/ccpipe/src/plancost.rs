@@ -1,0 +1,189 @@
+//! Pricing a lowered [`CommPlan`]: the cost-model view of the one
+//! communication description the whole workspace shares.
+//!
+//! Each exchange phase of a plan *is* a CC-cube algorithm — its link
+//! sequence plus a message size — so the Figure-2 machinery applies to it
+//! unchanged: [`phase_cc`] adapts a [`PlanPhase`] into a [`CcCube`],
+//! [`plan_pipelining`] runs ref \[9\]'s optimal-degree procedure on every
+//! exchange phase (this is what the threaded solver calls to *schedule*
+//! itself), and [`plan_sweep_cost`] composes the priced phases with the
+//! serial division/last transitions into a [`SweepCost`].
+//!
+//! The continuous-size path ([`crate::sweepcost`], which Figure 2 uses for
+//! matrices up to `m = 2^32`) and this executable path agree exactly
+//! wherever both are defined — power-of-two column counts — which is
+//! asserted in the tests below: the cost model that draws the paper's
+//! figure and the scheduler that drives the real solver are the same
+//! arithmetic.
+
+use crate::cccube::CcCube;
+use crate::cost::PhaseCostModel;
+use crate::machine::Machine;
+use crate::optimum::{optimize_q, OptimalQ};
+use crate::sweepcost::{PhaseOutcome, SweepCost};
+use mph_core::{CommPlan, PhaseKind, PlanPhase};
+
+/// Adapts one exchange phase of a plan into the CC-cube algorithm the
+/// analytic models price. The message size is the phase's largest single
+/// message — with balanced blocks all messages are equal; with uneven
+/// blocks the largest bounds every transition's transmission.
+///
+/// # Panics
+/// Panics if `phase` is not an exchange phase.
+pub fn phase_cc(phase: &PlanPhase) -> CcCube {
+    assert!(phase.is_exchange(), "only exchange phases are CC-cube algorithms");
+    CcCube { link_seq: phase.links.clone(), message_elems: phase.max_message_elems() as f64 }
+}
+
+/// The chosen pipelining degree of one exchange phase of a plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseChoice {
+    /// Exchange phase number `e` (phases run e = d, d−1, …, 1).
+    pub e: usize,
+    /// The optimizer's verdict for this phase.
+    pub opt: OptimalQ,
+}
+
+/// Runs the optimal-pipelining-degree procedure on every exchange phase of
+/// `plan`, capping `Q` at `q_max` (the packetization ceiling — a packet
+/// must carry at least one column pair, so callers pass the block column
+/// count). Returns one choice per exchange phase, in execution order
+/// (e = d down to 1). This is the function that turns the cost model into
+/// the threaded solver's scheduler.
+pub fn plan_pipelining(plan: &CommPlan, machine: &Machine, q_max: f64) -> Vec<PhaseChoice> {
+    plan.exchange_phases()
+        .map(|ph| {
+            let PhaseKind::Exchange { e } = ph.kind else { unreachable!() };
+            let model = PhaseCostModel::new(&phase_cc(ph), *machine);
+            PhaseChoice { e, opt: optimize_q(&model, q_max) }
+        })
+        .collect()
+}
+
+/// Communication cost of executing `plan` unpipelined: every transition is
+/// one whole-block message (priced at the phase's largest block).
+pub fn plan_unpipelined_cost(plan: &CommPlan, machine: &Machine) -> f64 {
+    plan.phases()
+        .iter()
+        .map(|ph| ph.k() as f64 * machine.single_message_cost(ph.max_message_elems() as f64))
+        .sum()
+}
+
+/// Communication cost of executing `plan` with per-phase optimal
+/// pipelining: exchange phases are pipelined (degree from
+/// [`plan_pipelining`]), division and last transitions stay single
+/// messages. Same composition as
+/// [`pipelined_sweep_cost`](crate::sweepcost::pipelined_sweep_cost), but
+/// computed from the lowered plan instead of the continuous workload.
+pub fn plan_sweep_cost(plan: &CommPlan, machine: &Machine, q_max: f64) -> SweepCost {
+    let mut phases = Vec::new();
+    let mut serial = 0.0;
+    for ph in plan.phases() {
+        match ph.kind {
+            PhaseKind::Exchange { e } => {
+                let model = PhaseCostModel::new(&phase_cc(ph), *machine);
+                let OptimalQ { q, cost, mode } = optimize_q(&model, q_max);
+                phases.push(PhaseOutcome { e, q, mode, cost });
+            }
+            PhaseKind::Division { .. } | PhaseKind::Last => {
+                serial += machine.single_message_cost(ph.max_message_elems() as f64);
+            }
+        }
+    }
+    let total = phases.iter().map(|p| p.cost).sum::<f64>() + serial;
+    SweepCost { d: plan.d(), phases, serial, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweepcost::{pipelined_sweep_cost, unpipelined_sweep_cost, Workload};
+    use mph_core::{BlockLayout, BlockPartition, OrderingFamily, SweepSchedule};
+
+    fn lower(m: usize, d: usize, family: OrderingFamily, sweep: usize) -> CommPlan {
+        let schedule = SweepSchedule::sweep(d, family, sweep);
+        let partition = BlockPartition::new(m, 2 << d);
+        CommPlan::lower(&schedule, &partition, &BlockLayout::canonical(d), 2 * m)
+    }
+
+    #[test]
+    fn plan_cost_equals_workload_cost_for_power_of_two_sizes() {
+        // The executable plan and the continuous Figure-2 workload price
+        // identically when both are defined: block elems m²/2^d, ceiling
+        // m/2^{d+1}, same link sequences.
+        let machine = Machine::paper_figure2();
+        for d in [2usize, 3, 4] {
+            for m in [64usize, 256] {
+                let w = Workload::new(m as f64, d);
+                for family in OrderingFamily::ALL {
+                    let plan = lower(m, d, family, 0);
+                    let got = plan_sweep_cost(&plan, &machine, w.max_pipelining_degree());
+                    let want = pipelined_sweep_cost(family, &w, &machine);
+                    assert!(
+                        (got.total - want.total).abs() <= 1e-9 * want.total,
+                        "{family} d={d} m={m}: plan {} vs workload {}",
+                        got.total,
+                        want.total
+                    );
+                    assert_eq!(got.phases.len(), want.phases.len());
+                    for (a, b) in got.phases.iter().zip(&want.phases) {
+                        assert_eq!((a.e, a.q, a.mode), (b.e, b.q, b.mode), "{family} d={d}");
+                    }
+                    let base = plan_unpipelined_cost(&plan, &machine);
+                    let base_w = unpipelined_sweep_cost(&w, &machine);
+                    assert!((base - base_w).abs() <= 1e-9 * base_w, "{family} d={d} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_pipelining_matches_sweep_cost_choices() {
+        let machine = Machine::paper_figure2();
+        let plan = lower(128, 3, OrderingFamily::PermutedBr, 0);
+        let q_max = 128.0 / 16.0;
+        let choices = plan_pipelining(&plan, &machine, q_max);
+        let cost = plan_sweep_cost(&plan, &machine, q_max);
+        assert_eq!(choices.len(), 3);
+        for (c, p) in choices.iter().zip(&cost.phases) {
+            assert_eq!(c.e, p.e);
+            assert_eq!(c.opt.q, p.q);
+            assert!(c.opt.q >= 1 && c.opt.q as f64 <= q_max);
+        }
+        // Phases run e = d down to 1.
+        assert_eq!(choices.iter().map(|c| c.e).collect::<Vec<_>>(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn uneven_blocks_price_the_largest_message() {
+        // m = 10 on d = 1: blocks of 3,3,2,2 columns. The phase cost uses
+        // the biggest block that crosses a link during the phase.
+        let plan = lower(10, 1, OrderingFamily::Br, 0);
+        let machine = Machine::all_port(100.0, 1.0);
+        let base = plan_unpipelined_cost(&plan, &machine);
+        // Exchange: 2-col blocks (40 elems); division: max(2,3)-col = 60;
+        // last: max(3,2) = 60.
+        let want = (100.0 + 40.0) + (100.0 + 60.0) + (100.0 + 60.0);
+        assert!((base - want).abs() < 1e-9, "{base} vs {want}");
+    }
+
+    #[test]
+    fn pipelined_plan_never_costs_more_than_unpipelined() {
+        let machine = Machine::paper_figure2();
+        for family in OrderingFamily::ALL {
+            let plan = lower(256, 3, family, 0);
+            let piped = plan_sweep_cost(&plan, &machine, 16.0);
+            let base = plan_unpipelined_cost(&plan, &machine);
+            assert!(piped.total <= base + 1e-9, "{family}: {} vs {base}", piped.total);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exchange")]
+    fn phase_cc_rejects_serial_phases() {
+        let plan = lower(16, 1, OrderingFamily::Br, 0);
+        let division = &plan.phases()[1];
+        assert!(!division.is_exchange());
+        let _ = phase_cc(division);
+    }
+}

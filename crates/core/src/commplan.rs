@@ -1,0 +1,404 @@
+//! The communication-plan lowering: `SweepSchedule × BlockPartition →
+//! per-phase link sequences + message sizes`.
+//!
+//! A [`SweepSchedule`] says *which links fire in which order*; a
+//! [`BlockPartition`] says *how many columns each block carries*. Neither
+//! alone determines what actually crosses the wires: message sizes depend
+//! on which block sits in which node slot when a transition fires, and the
+//! slot contents evolve as the sweep's transitions move blocks around.
+//! [`CommPlan::lower`] runs that evolution symbolically (via
+//! [`BlockLayout`]) and emits the result as a phase list:
+//!
+//! * one [`PlanPhase`] per **exchange phase** `e` — the phase's link
+//!   sequence `D_e` (after the sweep's link rotation `σ_s`) plus, for each
+//!   transition, the exact per-node message size in elements;
+//! * one single-transition [`PlanPhase`] per **division** transition and
+//!   for the **last transition** — the serial, unpipelinable block moves.
+//!
+//! The plan is the single source of truth the three downstream layers
+//! consume:
+//!
+//! * `mph-ccpipe` prices it (each exchange phase is a CC-cube algorithm;
+//!   `optimize_q` picks its pipelining degree);
+//! * `mph-simnet` simulates it (lowering each phase to communication
+//!   stages, packetized or not);
+//! * `mph-runtime`/`mph-eigen` execute it (the threaded driver walks the
+//!   same phases, splitting blocks into the packet counts the cost model
+//!   chose).
+//!
+//! Because all three read the same object, the metered traffic of an
+//! execution, the simulated traffic of the network model and the volume
+//! the cost model charges are comparable *by construction* — asserted
+//! cross-crate in `mph-eigen`'s pipeline-traffic tests.
+
+use crate::coverage::BlockLayout;
+use crate::partition::BlockPartition;
+use crate::sweep::{SweepSchedule, TransitionKind};
+
+/// What a plan phase is, in the sweep's phase structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Exchange phase `e`: `2^e − 1` pipelinable transitions along `D_e`.
+    Exchange { e: usize },
+    /// The division transition closing exchange phase `e` (serial).
+    Division { e: usize },
+    /// The sweep-final rearrangement (serial).
+    Last,
+}
+
+/// One phase of the plan: its links and exact per-node message sizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanPhase {
+    pub kind: PhaseKind,
+    /// The link of each transition of the phase, in order (`2^e − 1` links
+    /// for an exchange phase, one for a serial phase).
+    pub links: Vec<usize>,
+    /// `sends[t][n]`: the elements node `n` puts on `links[t]` at
+    /// transition `t` of this phase. Zero for empty blocks — the message
+    /// still crosses the link (the protocol is position-based).
+    pub sends: Vec<Vec<u64>>,
+}
+
+impl PlanPhase {
+    /// Number of transitions (`K` of the CC-cube for exchange phases).
+    pub fn k(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether this phase is pipelinable (an exchange phase).
+    pub fn is_exchange(&self) -> bool {
+        matches!(self.kind, PhaseKind::Exchange { .. })
+    }
+
+    /// The largest single message of the phase — the block size that
+    /// bounds every transition's transmission (what the cost model prices
+    /// as the phase's message size).
+    pub fn max_message_elems(&self) -> u64 {
+        self.sends.iter().flatten().copied().max().unwrap_or(0)
+    }
+
+    /// The common message size when every send of the phase is equal
+    /// (always true for power-of-two column counts), `None` otherwise.
+    pub fn uniform_message_elems(&self) -> Option<u64> {
+        let mut it = self.sends.iter().flatten().copied();
+        let first = it.next()?;
+        it.all(|x| x == first).then_some(first)
+    }
+
+    /// Total data elements the phase moves (all transitions, all nodes).
+    pub fn volume(&self) -> u64 {
+        self.sends.iter().flatten().sum()
+    }
+}
+
+/// The lowered communication plan of one sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommPlan {
+    d: usize,
+    elems_per_col: usize,
+    phases: Vec<PlanPhase>,
+    final_layout: BlockLayout,
+}
+
+impl CommPlan {
+    /// Lowers one sweep: walks `schedule`'s transitions from `layout`,
+    /// grouping consecutive exchange transitions into phases and recording
+    /// the exact message size of every (transition, node) pair. A block of
+    /// `b` columns crosses a link as `b · elems_per_col` elements
+    /// (`elems_per_col` is `arows + urows`, plus one when a cached
+    /// diagonal travels with each column).
+    ///
+    /// The layout must place `2 × 2^d` blocks (two per node); chain sweeps
+    /// by passing [`CommPlan::final_layout`] back in.
+    pub fn lower(
+        schedule: &SweepSchedule,
+        partition: &BlockPartition,
+        layout: &BlockLayout,
+        elems_per_col: usize,
+    ) -> CommPlan {
+        let d = schedule.dim();
+        let p = 1usize << d;
+        assert_eq!(layout.nodes(), p, "layout does not match the schedule's cube");
+        assert_eq!(partition.len(), 2 * p, "partition must have 2^(d+1) blocks");
+        let block_elems = |b: usize| -> u64 { (partition.size(b) * elems_per_col) as u64 };
+
+        let mut layout = layout.clone();
+        let mut phases: Vec<PlanPhase> = Vec::new();
+        for t in schedule.transitions() {
+            // Message sizes are read from the layout *before* the move.
+            let sends: Vec<u64> = (0..p)
+                .map(|n| {
+                    let slots = layout.at(n);
+                    let sent = match t.kind {
+                        TransitionKind::Exchange { .. } | TransitionKind::LastTransition => {
+                            slots[1]
+                        }
+                        TransitionKind::Division { .. } => {
+                            // bit = 0 endpoint sends its mobile, bit = 1
+                            // endpoint its resident (slot asymmetry).
+                            if n & (1 << t.link) == 0 {
+                                slots[1]
+                            } else {
+                                slots[0]
+                            }
+                        }
+                    };
+                    block_elems(sent)
+                })
+                .collect();
+            match t.kind {
+                TransitionKind::Exchange { phase } => {
+                    let extend = matches!(
+                        phases.last(),
+                        Some(PlanPhase { kind: PhaseKind::Exchange { e }, .. }) if *e == phase
+                    );
+                    if !extend {
+                        phases.push(PlanPhase {
+                            kind: PhaseKind::Exchange { e: phase },
+                            links: Vec::new(),
+                            sends: Vec::new(),
+                        });
+                    }
+                    let ph = phases.last_mut().unwrap();
+                    ph.links.push(t.link);
+                    ph.sends.push(sends);
+                }
+                TransitionKind::Division { phase } => phases.push(PlanPhase {
+                    kind: PhaseKind::Division { e: phase },
+                    links: vec![t.link],
+                    sends: vec![sends],
+                }),
+                TransitionKind::LastTransition => phases.push(PlanPhase {
+                    kind: PhaseKind::Last,
+                    links: vec![t.link],
+                    sends: vec![sends],
+                }),
+            }
+            layout.apply(t);
+        }
+        CommPlan { d, elems_per_col, phases, final_layout: layout }
+    }
+
+    /// Cube dimension.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Elements per column used by the lowering.
+    pub fn elems_per_col(&self) -> usize {
+        self.elems_per_col
+    }
+
+    /// The phases, in execution order.
+    pub fn phases(&self) -> &[PlanPhase] {
+        &self.phases
+    }
+
+    /// The exchange phases only, in execution order (e = d down to 1).
+    pub fn exchange_phases(&self) -> impl Iterator<Item = &PlanPhase> {
+        self.phases.iter().filter(|ph| ph.is_exchange())
+    }
+
+    /// The block placement after the sweep — the next sweep's input.
+    pub fn final_layout(&self) -> &BlockLayout {
+        &self.final_layout
+    }
+
+    /// Per-dimension data volume of the whole sweep — invariant under
+    /// packetization (pipelining reframes messages, it does not change
+    /// what crosses each wire), so this single prediction covers both the
+    /// pipelined and the unpipelined execution of the plan.
+    pub fn volume_by_dim(&self) -> Vec<u64> {
+        let mut v = vec![0u64; self.d.max(1)];
+        for ph in &self.phases {
+            for (t, &link) in ph.links.iter().enumerate() {
+                v[link] += ph.sends[t].iter().sum::<u64>();
+            }
+        }
+        v
+    }
+
+    /// Total data volume of the sweep.
+    pub fn total_volume(&self) -> u64 {
+        self.volume_by_dim().iter().sum()
+    }
+
+    /// Data-plane messages when every exchange phase `i` is split into
+    /// `qs[i]` packets (serial phases always move one message per node).
+    /// `qs` must have one entry per exchange phase; unpipelined counts are
+    /// `messages_with(&[1, 1, …])`.
+    pub fn messages_with(&self, qs: &[usize]) -> u64 {
+        let p = (1usize << self.d) as u64;
+        let mut xq = self.exchange_phases().count();
+        assert_eq!(qs.len(), xq, "one q per exchange phase");
+        xq = 0;
+        let mut total = 0u64;
+        for ph in &self.phases {
+            let per_transition = if ph.is_exchange() {
+                let q = qs[xq] as u64;
+                xq += 1;
+                q.max(1)
+            } else {
+                1
+            };
+            total += ph.k() as u64 * p * per_transition;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::OrderingFamily;
+
+    fn plan(m: usize, d: usize, family: OrderingFamily, sweep: usize) -> CommPlan {
+        let schedule = SweepSchedule::sweep(d, family, sweep);
+        let partition = BlockPartition::new(m, 2 << d);
+        CommPlan::lower(&schedule, &partition, &BlockLayout::canonical(d), 2 * m)
+    }
+
+    #[test]
+    fn phase_structure_matches_the_sweep() {
+        // d exchange phases (e = d..1), d divisions, one last transition.
+        for d in 1..=4 {
+            let p = plan(32, d, OrderingFamily::Br, 0);
+            let kinds: Vec<PhaseKind> = p.phases().iter().map(|ph| ph.kind).collect();
+            let mut want = Vec::new();
+            for e in (1..=d).rev() {
+                want.push(PhaseKind::Exchange { e });
+                want.push(PhaseKind::Division { e });
+            }
+            want.push(PhaseKind::Last);
+            assert_eq!(kinds, want, "d={d}");
+            for ph in p.exchange_phases() {
+                let PhaseKind::Exchange { e } = ph.kind else { unreachable!() };
+                assert_eq!(ph.k(), (1 << e) - 1, "K = 2^e − 1");
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_links_are_the_rotated_family_sequence() {
+        let d = 3;
+        for family in OrderingFamily::ALL {
+            for s in 0..d {
+                let p = plan(16, d, family, s);
+                let sched = SweepSchedule::sweep(d, family, s);
+                for (ph, e) in p.exchange_phases().zip((1..=d).rev()) {
+                    assert_eq!(ph.links, sched.exchange_phase_links(e), "{family} s={s} e={e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_partition_gives_uniform_message_sizes() {
+        // m = 32 on d = 2: 8 blocks of 4 columns, 2·32 elems per column.
+        let p = plan(32, 2, OrderingFamily::Degree4, 0);
+        for ph in p.phases() {
+            assert_eq!(ph.uniform_message_elems(), Some(4 * 64));
+            assert_eq!(ph.max_message_elems(), 4 * 64);
+        }
+        // Every transition moves one block per node: volume is exact.
+        let transitions = (2usize << 2) - 1; // 2^{d+1} − 1
+        assert_eq!(p.total_volume(), (transitions * 4 * (4 * 64)) as u64);
+    }
+
+    #[test]
+    fn uneven_partition_tracks_block_movement() {
+        // m = 10 on d = 1: blocks of 3, 3, 2, 2 columns. The lowering must
+        // charge each transition the size of the block actually sitting in
+        // the sending slot, which changes as transitions move blocks.
+        let m = 10;
+        let d = 1;
+        let p = plan(m, d, OrderingFamily::Br, 0);
+        let epc = 2 * m as u64;
+        // Canonical layout: node 0 = [b0, b2], node 1 = [b1, b3].
+        // Exchange phase e=1 (one transition, link 0): both nodes send
+        // slot 1 → sizes of b2 (2 cols) and b3 (2 cols).
+        assert_eq!(p.phases()[0].sends[0], vec![2 * epc, 2 * epc]);
+        // After the exchange: node 0 = [b0, b3], node 1 = [b1, b2].
+        // Division (link 0): node 0 sends slot 1 (b3, 2 cols), node 1
+        // sends slot 0 (b1, 3 cols).
+        assert_eq!(p.phases()[1].sends[0], vec![2 * epc, 3 * epc]);
+        // After division: node 0 = [b0, b1], node 1 = [b3, b2].
+        // Last transition: slot-1 blocks b1 (3 cols) and b2 (2 cols).
+        assert_eq!(p.phases()[2].sends[0], vec![3 * epc, 2 * epc]);
+        assert!(p.phases()[2].uniform_message_elems().is_none());
+        // Whole-sweep volume: every transition's sends summed.
+        assert_eq!(p.total_volume(), (2 + 2 + 2 + 3 + 3 + 2) * epc);
+    }
+
+    #[test]
+    fn volume_by_dim_sums_per_link() {
+        let d = 3;
+        let m = 32;
+        let p = plan(m, d, OrderingFamily::Br, 0);
+        let block = (m / (2 << d)) as u64 * (2 * m) as u64;
+        let nodes = 1u64 << d;
+        // BR first sweep, link histogram over all 15 transitions:
+        // D_3 = <0102010> + div on 2, D_2 = <010> + div on 1, D_1 = <0> +
+        // div on 0, last on 2 → dim0: 4+2+1+1 = 8, dim1: 2+1+1 = 4,
+        // dim2: 1+1+1 = 3.
+        assert_eq!(
+            p.volume_by_dim(),
+            vec![8 * nodes * block, 4 * nodes * block, 3 * nodes * block]
+        );
+        assert_eq!(p.total_volume(), 15 * nodes * block);
+    }
+
+    #[test]
+    fn final_layout_chains_sweeps() {
+        // Lowering from the final layout of the previous sweep must agree
+        // with symbolically tracing both sweeps in sequence.
+        let d = 2;
+        let partition = BlockPartition::new(12, 2 << d);
+        let s0 = SweepSchedule::sweep(d, OrderingFamily::PermutedBr, 0);
+        let p0 = CommPlan::lower(&s0, &partition, &BlockLayout::canonical(d), 24);
+        let trace = crate::coverage::trace_sweep(&s0, &BlockLayout::canonical(d));
+        assert_eq!(p0.final_layout(), &trace.final_layout);
+        let s1 = SweepSchedule::sweep(d, OrderingFamily::PermutedBr, 1);
+        let p1 = CommPlan::lower(&s1, &partition, p0.final_layout(), 24);
+        assert_eq!(p1.d(), d);
+        // The chained plan still moves every transition's full block volume.
+        let total_cols: usize = (0..partition.len()).map(|b| partition.size(b)).sum();
+        assert_eq!(total_cols, 12);
+    }
+
+    #[test]
+    fn message_counts_scale_with_packetization() {
+        let d = 2;
+        let p = plan(16, d, OrderingFamily::Br, 0);
+        let nodes = 1u64 << d;
+        let transitions = (2u64 << d) - 1;
+        assert_eq!(p.messages_with(&[1, 1]), transitions * nodes);
+        // Splitting phase e=2 (K=3) into 4 packets adds 3·3·4 messages per
+        // node... precisely: exchange transitions of that phase now carry 4
+        // messages each.
+        let piped = p.messages_with(&[4, 2]);
+        let serial = (d as u64 + 1) * nodes; // divisions + last
+        assert_eq!(piped, 3 * 4 * nodes + 2 * nodes + serial);
+    }
+
+    #[test]
+    fn d0_lowers_to_an_empty_plan() {
+        let schedule = SweepSchedule::first_sweep(0, OrderingFamily::Br);
+        let partition = BlockPartition::new(8, 2);
+        let p = CommPlan::lower(&schedule, &partition, &BlockLayout::canonical(0), 16);
+        assert!(p.phases().is_empty());
+        assert_eq!(p.total_volume(), 0);
+        assert_eq!(p.messages_with(&[]), 0);
+    }
+
+    #[test]
+    fn empty_blocks_send_zero_sized_messages() {
+        // m = 3 on d = 1 (4 blocks): blocks of 1,1,1,0 columns. The empty
+        // block still crosses links as zero-element messages.
+        let p = plan(3, 1, OrderingFamily::Br, 0);
+        let zero_sends =
+            p.phases().iter().flat_map(|ph| ph.sends.iter().flatten()).filter(|&&e| e == 0).count();
+        assert!(zero_sends > 0, "the empty block must appear in the plan");
+        assert_eq!(p.total_volume() % (2 * 3) as u64, 0);
+    }
+}

@@ -21,6 +21,10 @@
 //!   the last transition into the `2^{d+1} − 1` transitions of a sweep, and
 //!   [`coverage::validate_sweep_coverage`] machine-checks that one sweep
 //!   pairs every block pair exactly once.
+//! * A [`commplan::CommPlan`] lowers `SweepSchedule × BlockPartition` into
+//!   per-phase link sequences with exact per-node message sizes — the one
+//!   communication description priced by `mph-ccpipe`, simulated by
+//!   `mph-simnet` and executed by the threaded solver.
 //! * [`analysis`] quantifies sequence quality: α (deep pipelining),
 //!   window statistics and *degree* (shallow pipelining).
 //!
@@ -40,10 +44,12 @@
 pub mod analysis;
 pub mod br;
 pub mod columns;
+pub mod commplan;
 pub mod coverage;
 pub mod d4;
 pub mod family;
 pub mod minalpha;
+pub mod partition;
 pub mod pbr;
 pub mod permutation;
 pub mod sweep;
@@ -54,10 +60,12 @@ pub use analysis::{
 };
 pub use br::{br_alpha, br_sequence};
 pub use columns::{column_ordering, validate_column_ordering, ColumnOrdering, ColumnOrderingError};
+pub use commplan::{CommPlan, PhaseKind, PlanPhase};
 pub use coverage::{trace_sweep, validate_sweep_coverage, BlockId, BlockLayout, SweepTrace};
 pub use d4::{d4_alpha, d4_sequence, e_sequence};
 pub use family::OrderingFamily;
 pub use minalpha::{alpha_lower_bound, min_alpha_sequence, published_min_alpha_sequence};
+pub use partition::BlockPartition;
 pub use pbr::{pbr_alpha, pbr_sequence, pbr_sequence_with, pbr_transformations, PbrConvention};
 pub use permutation::Permutation;
 pub use sweep::{sweep_link_permutation, SweepSchedule, Transition, TransitionKind};

@@ -4,6 +4,11 @@
 //! `m/2^{d+1}` columns each, two blocks per node; "if m is not a power of
 //! 2, the number of columns per block will differ in one unit at most"
 //! (footnote 1). This module implements exactly that balanced partition.
+//!
+//! The partition lives in `mph-core` (rather than the eigensolver crate)
+//! because it is one of the two inputs of the [`crate::commplan`] lowering:
+//! block sizes are what turn a sweep schedule's transitions into concrete
+//! message sizes.
 
 /// Balanced contiguous partition of `0..m` into `nblocks` ranges whose
 /// sizes differ by at most one (larger blocks first).

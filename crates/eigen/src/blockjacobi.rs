@@ -17,7 +17,7 @@ use crate::kernel::{
 };
 use crate::offnorm::{diagonal_blocks, off_norm_blocks};
 use crate::options::{EigenResult, JacobiOptions};
-use crate::partition::BlockPartition;
+use mph_core::BlockPartition;
 use mph_core::{BlockLayout, OrderingFamily, SweepSchedule};
 use mph_linalg::block::{two_blocks_mut, ColumnBlock};
 use mph_linalg::Matrix;

@@ -34,7 +34,6 @@ pub mod kernel;
 pub mod offnorm;
 pub mod onesided;
 pub mod options;
-pub mod partition;
 pub mod svd;
 pub mod threaded;
 pub mod twosided;
@@ -45,11 +44,13 @@ pub use kernel::{
     pair_across_blocks, pair_columns, pair_view, pair_within_block, refresh_block_diag,
     PairOutcome, PairingRule, SweepAccumulator,
 };
+pub use mph_core::BlockPartition;
 pub use mph_linalg::block::ColumnBlock;
 pub use offnorm::{diagonal, diagonal_blocks, off_norm, off_norm_blocks};
 pub use onesided::one_sided_cyclic;
-pub use options::{EigenResult, JacobiOptions};
-pub use partition::BlockPartition;
+pub use options::{EigenResult, JacobiOptions, Pipelining};
 pub use svd::{svd_block, svd_cyclic, SvdResult};
-pub use threaded::{block_jacobi_threaded, Msg, NodeOutput};
+pub use threaded::{
+    block_jacobi_threaded, choose_qs, lower_sweeps, packetization_cap, Msg, NodeOutput,
+};
 pub use twosided::two_sided_cyclic;

@@ -1,6 +1,31 @@
 //! Solver options and results.
 
+use mph_ccpipe::Machine;
 use mph_linalg::Matrix;
+
+/// Communication pipelining of the threaded driver's exchange phases
+/// (paper §2.4): each exchange phase splits its block payload into `Q`
+/// column packets, rotating packet `q` of iteration `k` as soon as it
+/// arrives and forwarding it immediately, so rotation compute overlaps
+/// block transmission.
+///
+/// Packetization never changes the result: the pipelined driver performs
+/// the exact same rotation sequence as the unpipelined one and is
+/// bitwise-identical to it (and to the logical driver) for every choice
+/// below — asserted in `threaded.rs`'s tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pipelining {
+    /// Whole-block transitions, one message each (the reference protocol).
+    Off,
+    /// Every exchange phase uses exactly this many packets (values larger
+    /// than the block's column count send empty tail packets — legal, the
+    /// protocol is position-based).
+    Fixed(usize),
+    /// Per-phase optimal `Q` chosen by `mph_ccpipe::optimize_q` on the
+    /// lowered [`mph_core::CommPlan`] for this machine description — the
+    /// cost model acting as the solver's scheduler.
+    Auto(Machine),
+}
 
 /// Options shared by all one-sided Jacobi drivers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,6 +53,10 @@ pub struct JacobiOptions {
     /// the default mode recomputes every inner product, which is the
     /// bitwise-reference ("parity") behavior.
     pub cache_diagonals: bool,
+    /// Communication pipelining of the threaded driver (ignored by the
+    /// logical drivers, which move no messages). Any setting produces the
+    /// same bits; see [`Pipelining`].
+    pub pipelining: Pipelining,
 }
 
 impl Default for JacobiOptions {
@@ -38,6 +67,7 @@ impl Default for JacobiOptions {
             threshold: 0.0,
             force_sweeps: None,
             cache_diagonals: false,
+            pipelining: Pipelining::Off,
         }
     }
 }
@@ -81,6 +111,7 @@ mod tests {
         assert_eq!(o.threshold, 0.0);
         assert!(o.force_sweeps.is_none());
         assert!(!o.cache_diagonals, "bitwise-parity recompute mode must be the default");
+        assert_eq!(o.pipelining, Pipelining::Off, "whole-block protocol must be the default");
     }
 
     #[test]

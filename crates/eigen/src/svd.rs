@@ -22,7 +22,7 @@ use crate::kernel::{
     pair_across_blocks, pair_within_block, refresh_block_diag, PairingRule, SweepAccumulator,
 };
 use crate::options::JacobiOptions;
-use crate::partition::BlockPartition;
+use mph_core::BlockPartition;
 use mph_core::{BlockLayout, OrderingFamily, SweepSchedule};
 use mph_linalg::block::{two_blocks_mut, ColumnBlock};
 use mph_linalg::vecops::dot;

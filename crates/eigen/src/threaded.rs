@@ -1,62 +1,103 @@
 //! The block one-sided Jacobi algorithm on the threaded multicomputer:
 //! one thread per hypercube node, blocks exchanged over channels — the
-//! distributed execution the paper describes, with real message passing.
+//! distributed execution the paper describes, with real message passing
+//! and, when enabled, the paper's communication pipelining (§2.4).
+//!
+//! # The phase machine
 //!
 //! Each node owns two [`ColumnBlock`]s (the A- and U-columns of its two
-//! blocks in one flat allocation each). Transitions move a whole block as
-//! *one* contiguous buffer; division transitions are slot-asymmetric
-//! exactly as in [`mph_core::TransitionKind::Division`]. Convergence is
-//! decided globally by an all-reduce of the largest off-diagonal value seen
-//! during the sweep (`max |M_ij|`), so every node stops at the same sweep.
+//! blocks in one flat allocation each). Every sweep is first lowered to a
+//! [`CommPlan`] — the same plan the cost model prices and the network
+//! simulator replays — and the node walks the plan's phases:
 //!
-//! Every pairing goes through the shared kernel in [`crate::kernel`] — the
-//! same functions, on the same storage layout, as the logical driver
-//! (`block_jacobi`). The two therefore produce bitwise-equal eigensystems
-//! when forced to run the same number of sweeps not by coincidence but by
-//! construction — asserted in the tests below, with and without diagonal
-//! caching.
+//! * an **exchange phase** `e` is a CC-cube loop of `K = 2^e − 1`
+//!   iterations: pair the resident block against the mobile block, then
+//!   ship the mobile block through the phase's next link. With pipelining
+//!   (see [`Pipelining`]) the mobile payload is split into `Q` column
+//!   packets; packet `q` of iteration `k` is received from the previous
+//!   link, paired against the resident block, and forwarded immediately —
+//!   the paper's stage `s = k + q` wavefront, with up to `Q` packetized
+//!   sends in flight per dimension and rotation compute overlapping block
+//!   transmission ([`mph_runtime::pipelined_phase`]);
+//! * **division** and **last** transitions stay serial whole-block moves,
+//!   slot-asymmetric exactly as in [`mph_core::TransitionKind::Division`].
+//!
+//! # Bitwise equality, by construction
+//!
+//! Packets never interact: a cross-block pairing touches one resident and
+//! one mobile column, packets partition the mobile columns, and both the
+//! packetized loop and the whole-block loop visit each column's pairings
+//! in the same relative order. Reordering whole pairings that share no
+//! column is exact (they touch disjoint memory), so the pipelined driver
+//! performs *identical* floating-point work to the unpipelined one — for
+//! every `Q`, with the diagonal cache on or off. Every pairing goes
+//! through the shared kernel in [`crate::kernel`] on the same storage as
+//! the logical driver (`block_jacobi`), so all drivers produce
+//! bitwise-equal eigensystems when forced to run the same number of
+//! sweeps — asserted in the tests below across `Q ∈ {1, 2, 5, ≥K}`.
+//!
+//! Convergence is decided globally by an all-reduce of the largest
+//! off-diagonal value seen during the sweep (`max |M_ij|`); the votes ride
+//! the same links as control-plane messages, metered separately from the
+//! block traffic the paper's tables count.
 
 use crate::kernel::{
     pair_across_blocks, pair_within_block, refresh_block_diag, PairingRule, SweepAccumulator,
 };
-use crate::options::{EigenResult, JacobiOptions};
-use crate::partition::BlockPartition;
-use mph_core::{OrderingFamily, SweepSchedule, TransitionKind};
+use crate::options::{EigenResult, JacobiOptions, Pipelining};
+use mph_ccpipe::plan_pipelining;
+use mph_core::{BlockLayout, BlockPartition, CommPlan, OrderingFamily, PhaseKind, SweepSchedule};
 use mph_linalg::block::ColumnBlock;
 use mph_linalg::vecops::dot;
 use mph_linalg::Matrix;
-use mph_runtime::{run_spmd_metered, Meterable, TrafficMeter};
+use mph_runtime::{pipelined_phase, run_spmd_metered, Meterable, Packet, TrafficMeter};
 
 /// Messages carried by the links: a whole column block (one contiguous
-/// payload) or a convergence-vote scalar.
+/// payload), one framed packet of a pipelined exchange phase, or a
+/// convergence-vote scalar.
 #[derive(Debug, Clone)]
 pub enum Msg {
     Block(ColumnBlock),
+    Packet(Packet<ColumnBlock>),
     Scalar(f64),
 }
 
 impl Meterable for Msg {
     fn elems(&self) -> u64 {
         match self {
-            // A block moves its A-columns, U-columns, and (when caching is
-            // enabled) its diagonal cache.
+            // A block (or packet of one) moves its A-columns, U-columns,
+            // and (when caching is enabled) its diagonal cache.
             Msg::Block(b) => b.payload_elems() as u64,
+            Msg::Packet(p) => p.payload.payload_elems() as u64,
             Msg::Scalar(_) => 1,
         }
+    }
+
+    fn is_control(&self) -> bool {
+        // Convergence votes are protocol, not block data: they must not
+        // pollute the block-traffic totals the paper's tables count.
+        matches!(self, Msg::Scalar(_))
     }
 }
 
 fn expect_block(msg: Msg) -> ColumnBlock {
     match msg {
         Msg::Block(b) => b,
-        Msg::Scalar(_) => panic!("protocol error: expected a block"),
+        _ => panic!("protocol error: expected a block"),
+    }
+}
+
+fn expect_packet(msg: Msg) -> Packet<ColumnBlock> {
+    match msg {
+        Msg::Packet(p) => p,
+        _ => panic!("protocol error: expected a packet"),
     }
 }
 
 fn expect_scalar(msg: Msg) -> f64 {
     match msg {
         Msg::Scalar(x) => x,
-        Msg::Block(_) => panic!("protocol error: expected a scalar"),
+        _ => panic!("protocol error: expected a scalar"),
     }
 }
 
@@ -67,6 +108,55 @@ pub struct NodeOutput {
     pub sweeps: usize,
     pub rotations: u64,
     pub converged: bool,
+}
+
+/// The paper's packetization ceiling for an `m × m` problem on a
+/// `d`-cube: a packet must carry at least one column pair, so
+/// `Q ≤ m / 2^{d+1}` (at least 1). This is the cap the solver hands the
+/// cost model in [`Pipelining::Auto`] mode — benches and examples that
+/// report the solver's schedule must use this same function.
+pub fn packetization_cap(m: usize, d: usize) -> usize {
+    (m / (2 << d)).max(1)
+}
+
+/// Lowers every sweep's communication of a threaded solve up front: plan
+/// `s` starts from plan `s − 1`'s final block layout, so message sizes
+/// stay exact even when the partition is uneven. This is the exact plan
+/// chain [`block_jacobi_threaded`] executes (including the per-column
+/// payload: `2m` elements, plus one when the diagonal cache travels) —
+/// public so benches and conformance tests predict traffic for the same
+/// plans the solver runs, not a near copy.
+pub fn lower_sweeps(
+    m: usize,
+    d: usize,
+    family: OrderingFamily,
+    cache_diagonals: bool,
+    budget: usize,
+) -> Vec<CommPlan> {
+    let partition = BlockPartition::new(m, 2 << d);
+    let elems_per_col = 2 * m + usize::from(cache_diagonals);
+    let mut plans = Vec::with_capacity(budget);
+    let mut layout = BlockLayout::canonical(d);
+    for s in 0..budget {
+        let schedule = SweepSchedule::sweep(d, family, s);
+        let plan = CommPlan::lower(&schedule, &partition, &layout, elems_per_col);
+        layout = plan.final_layout().clone();
+        plans.push(plan);
+    }
+    plans
+}
+
+/// Picks each exchange phase's packet count for one sweep's plan — the
+/// exact schedule [`block_jacobi_threaded`] executes for `pipelining`
+/// (pass [`packetization_cap`] as `q_cap`, as the solver does).
+pub fn choose_qs(plan: &CommPlan, pipelining: &Pipelining, q_cap: usize) -> Vec<usize> {
+    match pipelining {
+        Pipelining::Off => plan.exchange_phases().map(|_| 1).collect(),
+        Pipelining::Fixed(q) => plan.exchange_phases().map(|_| (*q).max(1)).collect(),
+        Pipelining::Auto(machine) => {
+            plan_pipelining(plan, machine, q_cap as f64).iter().map(|c| c.opt.q).collect()
+        }
+    }
 }
 
 /// Distributed solve on a `d`-cube of threads. Returns the assembled
@@ -88,6 +178,14 @@ pub fn block_jacobi_threaded(
     let forced = opts.force_sweeps.is_some();
     let cache = opts.cache_diagonals;
 
+    // One plan per sweep — the single communication description shared
+    // with the cost model (which chooses the packet counts below) and the
+    // network simulator (see the pipeline-traffic tests).
+    let plans = lower_sweeps(m, d, family, cache, budget);
+    let q_cap = packetization_cap(m, d);
+    let phase_qs: Vec<Vec<usize>> =
+        plans.iter().map(|plan| choose_qs(plan, &opts.pipelining, q_cap)).collect();
+
     let (outputs, meter) = run_spmd_metered::<Msg, NodeOutput, _>(d, |ctx| {
         let n = ctx.id();
         // Canonical initial layout: slot0 = block n, slot1 = block n + p.
@@ -100,7 +198,8 @@ pub fn block_jacobi_threaded(
             if sweeps >= budget {
                 break;
             }
-            let schedule = SweepSchedule::sweep(d, family, sweeps);
+            let plan = &plans[sweeps];
+            let qs = &phase_qs[sweeps];
             let mut acc = SweepAccumulator::default();
             if cache {
                 // Periodic exact refresh of the resident blocks' diagonals;
@@ -108,36 +207,89 @@ pub fn block_jacobi_threaded(
                 refresh_block_diag(&mut slot0, PairingRule::Implicit);
                 refresh_block_diag(&mut slot1, PairingRule::Implicit);
             }
-            // Step 0: intra-block + first cross pairing.
+            // Step 0, paper step (1): intra-block pairings. The step-0
+            // cross pairing is the first exchange iteration's compute.
             acc.merge(pair_within_block(&mut slot0, PairingRule::Implicit, threshold));
             acc.merge(pair_within_block(&mut slot1, PairingRule::Implicit, threshold));
-            acc.merge(pair_across_blocks(&mut slot0, &mut slot1, PairingRule::Implicit, threshold));
-            let ts = schedule.transitions();
-            for (idx, t) in ts.iter().enumerate() {
-                match t.kind {
-                    TransitionKind::Exchange { .. } | TransitionKind::LastTransition => {
-                        slot1 = expect_block(ctx.exchange(t.link, Msg::Block(slot1.take())));
+            let mut xq = 0usize;
+            for phase in plan.phases() {
+                match phase.kind {
+                    PhaseKind::Exchange { .. } => {
+                        let q = qs[xq];
+                        xq += 1;
+                        if q <= 1 {
+                            // Whole-block reference loop: pair, then ship.
+                            for &link in &phase.links {
+                                acc.merge(pair_across_blocks(
+                                    &mut slot0,
+                                    &mut slot1,
+                                    PairingRule::Implicit,
+                                    threshold,
+                                ));
+                                slot1 = expect_block(ctx.exchange(link, Msg::Block(slot1.take())));
+                            }
+                        } else {
+                            // Packetized pipeline: pair each arriving
+                            // packet against the resident block and
+                            // forward it at once — identical rotation
+                            // sequence, overlapped transmission.
+                            let packets = slot1.take().split_columns(q);
+                            let (finals, _stats) = pipelined_phase(
+                                ctx,
+                                &phase.links,
+                                packets,
+                                Msg::Packet,
+                                expect_packet,
+                                |_k, _q, pkt: &mut ColumnBlock| {
+                                    acc.merge(pair_across_blocks(
+                                        &mut slot0,
+                                        pkt,
+                                        PairingRule::Implicit,
+                                        threshold,
+                                    ));
+                                },
+                            );
+                            slot1 = ColumnBlock::from_packets(finals);
+                        }
                     }
-                    TransitionKind::Division { .. } => {
+                    PhaseKind::Division { .. } => {
+                        acc.merge(pair_across_blocks(
+                            &mut slot0,
+                            &mut slot1,
+                            PairingRule::Implicit,
+                            threshold,
+                        ));
+                        let link = phase.links[0];
                         // bit = 0 endpoint sends its mobile (slot1) and
                         // receives the partner's resident into slot1;
                         // bit = 1 endpoint sends its resident (slot0) and
                         // receives the partner's mobile into slot0.
-                        if n & (1 << t.link) == 0 {
-                            slot1 = expect_block(ctx.exchange(t.link, Msg::Block(slot1.take())));
+                        if n & (1 << link) == 0 {
+                            slot1 = expect_block(ctx.exchange(link, Msg::Block(slot1.take())));
                         } else {
-                            slot0 = expect_block(ctx.exchange(t.link, Msg::Block(slot0.take())));
+                            slot0 = expect_block(ctx.exchange(link, Msg::Block(slot0.take())));
                         }
                     }
+                    PhaseKind::Last => {
+                        acc.merge(pair_across_blocks(
+                            &mut slot0,
+                            &mut slot1,
+                            PairingRule::Implicit,
+                            threshold,
+                        ));
+                        slot1 =
+                            expect_block(ctx.exchange(phase.links[0], Msg::Block(slot1.take())));
+                    }
                 }
-                if idx + 1 < ts.len() {
-                    acc.merge(pair_across_blocks(
-                        &mut slot0,
-                        &mut slot1,
-                        PairingRule::Implicit,
-                        threshold,
-                    ));
-                }
+            }
+            if d == 0 {
+                // Single node: the whole sweep is step 0's pairings.
+                acc.merge(pair_across_blocks(
+                    &mut slot0,
+                    &mut slot1,
+                    PairingRule::Implicit,
+                    threshold,
+                ));
             }
             rotations += acc.rotations;
             sweeps += 1;
@@ -190,6 +342,7 @@ pub fn block_jacobi_threaded(
 mod tests {
     use super::*;
     use crate::blockjacobi::block_jacobi;
+    use mph_ccpipe::Machine;
     use mph_linalg::matmul::{eigen_residual, orthogonality_defect};
     use mph_linalg::symmetric::random_symmetric;
 
@@ -238,6 +391,84 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_driver_is_bitwise_identical_for_every_q() {
+        // The tentpole invariant: packetizing the exchange phases changes
+        // the message framing and the overlap, not one bit of the result —
+        // across shallow (Q=2), oversplit (Q=5, beyond the 2-column blocks
+        // so empty tail packets fly), and deep (Q ≥ K) degrees, with the
+        // diagonal cache on and off.
+        let m = 16;
+        let a = random_symmetric(m, 90);
+        for cache_diagonals in [false, true] {
+            let base =
+                JacobiOptions { force_sweeps: Some(3), cache_diagonals, ..Default::default() };
+            for d in [1usize, 2] {
+                let k_max = (1 << d) - 1; // K of the longest exchange phase
+                for family in OrderingFamily::ALL {
+                    let reference = block_jacobi_threaded(&a, d, family, &base).0;
+                    for q in [1usize, 2, 5, k_max + 1] {
+                        let opts = JacobiOptions { pipelining: Pipelining::Fixed(q), ..base };
+                        let (piped, _) = block_jacobi_threaded(&a, d, family, &opts);
+                        assert_eq!(
+                            reference.rotations, piped.rotations,
+                            "{family} d={d} q={q} cache={cache_diagonals}"
+                        );
+                        for c in 0..m {
+                            assert_eq!(
+                                reference.eigenvalues[c], piped.eigenvalues[c],
+                                "{family} d={d} q={q} cache={cache_diagonals} λ_{c}"
+                            );
+                            assert_eq!(
+                                reference.eigenvectors.col(c),
+                                piped.eigenvectors.col(c),
+                                "{family} d={d} q={q} cache={cache_diagonals} u_{c}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_pipelining_matches_the_reference_bitwise_and_converges() {
+        // The cost model schedules Q per phase; the result is still the
+        // reference bits, and free-running convergence is unaffected.
+        let a = random_symmetric(24, 61);
+        let auto = JacobiOptions {
+            pipelining: Pipelining::Auto(Machine::paper_figure2()),
+            ..Default::default()
+        };
+        let (r, _) = block_jacobi_threaded(&a, 2, OrderingFamily::PermutedBr, &auto);
+        assert!(r.converged);
+        assert!(eigen_residual(&a, &r.eigenvectors, &r.eigenvalues) < 1e-6);
+        let (base, _) =
+            block_jacobi_threaded(&a, 2, OrderingFamily::PermutedBr, &JacobiOptions::default());
+        assert_eq!(base.sweeps, r.sweeps);
+        for c in 0..24 {
+            assert_eq!(base.eigenvalues[c], r.eigenvalues[c], "λ_{c}");
+        }
+    }
+
+    #[test]
+    fn pipelining_preserves_traffic_volume_and_scales_messages() {
+        // Packetization reframes the same payload: per-dimension data
+        // volume is Q-invariant, message counts scale with the packet
+        // counts, votes stay on the control plane.
+        let a = random_symmetric(32, 17);
+        let d = 2;
+        let base = JacobiOptions { force_sweeps: Some(2), ..Default::default() };
+        let (_, meter0) = block_jacobi_threaded(&a, d, OrderingFamily::Br, &base);
+        for q in [2usize, 3, 8] {
+            let opts = JacobiOptions { pipelining: Pipelining::Fixed(q), ..base };
+            let (_, meter) = block_jacobi_threaded(&a, d, OrderingFamily::Br, &opts);
+            assert_eq!(meter.volume_by_dim(), meter0.volume_by_dim(), "q={q}");
+            assert!(meter.total_messages() > meter0.total_messages(), "q={q}");
+            assert_eq!(meter.total_control_messages(), 0, "forced sweeps cast no votes");
+        }
+    }
+
+    #[test]
     fn cached_diagonals_converge_to_the_same_spectrum() {
         // The cache changes rotation angles only in the last bits; the
         // converged spectrum must agree with the exact-recompute path to
@@ -281,14 +512,32 @@ mod tests {
     fn message_count_matches_schedule() {
         // One sweep exchanges 2^{d+1}−1 blocks per node... precisely: each
         // transition sends one message per node: (2^{d+1}−1) × 2^d block
-        // messages, plus d × 2^d scalars for the convergence all-reduce
-        // (skipped here because sweeps are forced).
+        // messages on the data plane. Convergence votes would ride the
+        // control plane, but forced sweeps cast none.
         let a = random_symmetric(16, 3);
         let d = 2;
         let opts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
         let (_, meter) = block_jacobi_threaded(&a, d, OrderingFamily::Br, &opts);
         let expect = ((1u64 << (d + 1)) - 1) * (1u64 << d);
         assert_eq!(meter.total_messages(), expect);
+        assert_eq!(meter.total_control_messages(), 0);
+    }
+
+    #[test]
+    fn convergence_votes_ride_the_control_plane() {
+        // Free-running solve: d × 2^d scalar votes per sweep, metered
+        // apart from the block traffic (whose volume stays a multiple of
+        // the whole-block payload).
+        let a = random_symmetric(16, 8);
+        let d = 2usize;
+        let (r, meter) =
+            block_jacobi_threaded(&a, d, OrderingFamily::Br, &JacobiOptions::default());
+        let votes = (d as u64) * (1u64 << d) * r.sweeps as u64;
+        assert_eq!(meter.total_control_messages(), votes);
+        assert_eq!(meter.total_control_volume(), votes);
+        // Every data message is one whole block: 2 columns × 2m elements.
+        let block_elems = 2 * 2 * 16;
+        assert_eq!(meter.total_volume() % block_elems, 0);
     }
 
     #[test]

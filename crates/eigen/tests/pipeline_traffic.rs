@@ -1,0 +1,161 @@
+//! Cross-layer conformance of the CommPlan lowering: the threaded
+//! driver's *metered* per-dimension traffic must equal the simnet
+//! *simulated* traffic and the plan's *predicted* traffic for the same
+//! [`CommPlan`] — pipelined and unpipelined, even partitions and odd,
+//! diagonal cache on and off. One plan, three layers, one set of numbers.
+//!
+//! Also pins the kernel-level fact the pipelined driver rests on: the
+//! packetized cross-block pairing is bitwise-equal to the whole-block
+//! pairing for every packet count (packets never interact).
+
+use mph_core::{CommPlan, OrderingFamily};
+use mph_eigen::{
+    block_jacobi_threaded, lower_sweeps, pair_across_blocks, ColumnBlock, JacobiOptions,
+    PairingRule, Pipelining,
+};
+use mph_linalg::symmetric::random_symmetric;
+use mph_simnet::{plan_pipelined_schedule, plan_unpipelined_schedule};
+use proptest::prelude::*;
+
+fn family_strategy() -> impl Strategy<Value = OrderingFamily> {
+    prop_oneof![
+        Just(OrderingFamily::Br),
+        Just(OrderingFamily::PermutedBr),
+        Just(OrderingFamily::Degree4),
+        Just(OrderingFamily::MinAlpha),
+    ]
+}
+
+/// Per-dimension traffic the plans predict (summed over the chain).
+fn predicted_volume(plans: &[CommPlan], d: usize) -> Vec<u64> {
+    let mut v = vec![0u64; d.max(1)];
+    for plan in plans {
+        for (dst, src) in v.iter_mut().zip(plan.volume_by_dim()) {
+            *dst += src;
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn metered_traffic_equals_simulated_and_predicted(
+        family in family_strategy(),
+        d in 1usize..=3,
+        m_factor in 1usize..=3, // m = blocks · factor + remainder → uneven too
+        remainder in 0usize..=3,
+        q in 1usize..=6,
+        cache in any::<bool>(),
+        sweeps in 1usize..=2,
+    ) {
+        let nblocks = 2 << d;
+        let m = nblocks * m_factor + remainder;
+        let a = random_symmetric(m, 7 + m as u64);
+        let plans = lower_sweeps(m, d, family, cache, sweeps);
+        let predicted = predicted_volume(&plans, d);
+
+        // Unpipelined execution vs plan vs simulation.
+        let base = JacobiOptions {
+            force_sweeps: Some(sweeps),
+            cache_diagonals: cache,
+            ..Default::default()
+        };
+        let (_, meter) = block_jacobi_threaded(&a, d, family, &base);
+        prop_assert_eq!(&meter.volume_by_dim(), &predicted, "unpipelined meter vs plan");
+        let sim: Vec<u64> = plans
+            .iter()
+            .fold(vec![0.0f64; d], |acc, plan| {
+                let sched = plan_unpipelined_schedule(plan);
+                acc.iter().zip(sched.volume_by_dim()).map(|(a, b)| a + b).collect()
+            })
+            .into_iter()
+            .map(|x| x.round() as u64)
+            .collect();
+        prop_assert_eq!(&sim, &predicted, "unpipelined simulation vs plan");
+
+        // Pipelined execution with Fixed(q) vs the same plan, same qs.
+        let piped = JacobiOptions { pipelining: Pipelining::Fixed(q), ..base };
+        let (_, meter_q) = block_jacobi_threaded(&a, d, family, &piped);
+        prop_assert_eq!(&meter_q.volume_by_dim(), &predicted, "pipelined meter vs plan");
+        let sim_q: Vec<u64> = plans
+            .iter()
+            .fold(vec![0.0f64; d], |acc, plan| {
+                let qs: Vec<usize> = plan.exchange_phases().map(|_| q).collect();
+                let sched = plan_pipelined_schedule(plan, &qs);
+                acc.iter().zip(sched.volume_by_dim()).map(|(a, b)| a + b).collect()
+            })
+            .into_iter()
+            .map(|x| x.round() as u64)
+            .collect();
+        prop_assert_eq!(&sim_q, &predicted, "pipelined simulation vs plan");
+
+        // Message counts: the plan's formula matches the meter exactly.
+        let per_sweep: u64 = plans
+            .iter()
+            .map(|p| {
+                let qs: Vec<usize> = p.exchange_phases().map(|_| q).collect();
+                p.messages_with(&qs)
+            })
+            .sum();
+        prop_assert_eq!(meter_q.total_messages(), per_sweep, "pipelined message count");
+    }
+
+    #[test]
+    fn packetized_pairing_is_bitwise_equal_to_whole_block(
+        q in 1usize..=9,
+        cache in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        // The kernel-level invariant behind the pipelined driver: pairing
+        // the mobile block packet by packet performs the identical
+        // floating-point work of one whole-block pairing.
+        let m = 12;
+        let a = random_symmetric(m, seed);
+        let mut res_a = ColumnBlock::from_matrix_with_identity(&a, 0..5, m);
+        let mut mob_a = ColumnBlock::from_matrix_with_identity(&a, 5..12, m);
+        let mut res_b = res_a.clone();
+        let mob_b = mob_a.clone();
+        if cache {
+            res_a.refresh_diag(|av, uv| mph_linalg::vecops::dot(uv, av));
+            res_b.refresh_diag(|av, uv| mph_linalg::vecops::dot(uv, av));
+        }
+        let acc_whole = pair_across_blocks(&mut res_a, &mut mob_a, PairingRule::Implicit, 0.0);
+        let mut packets = mob_b.split_columns(q);
+        let mut acc_split = mph_eigen::SweepAccumulator::default();
+        for pkt in packets.iter_mut() {
+            acc_split.merge(pair_across_blocks(&mut res_b, pkt, PairingRule::Implicit, 0.0));
+        }
+        let mob_b = ColumnBlock::from_packets(packets);
+        prop_assert_eq!(acc_whole.rotations, acc_split.rotations);
+        prop_assert_eq!(acc_whole.max_off, acc_split.max_off);
+        prop_assert_eq!(res_a, res_b, "resident blocks diverged (q={})", q);
+        prop_assert_eq!(mob_a, mob_b, "mobile blocks diverged (q={})", q);
+    }
+}
+
+/// The kernel-boundary degrees the tentpole names: Q = 1, Q = K, Q > K —
+/// checked deterministically (K = 2^d − 1 is the longest phase).
+#[test]
+fn boundary_degrees_are_bitwise_identical_and_traffic_exact() {
+    let m = 24;
+    let d = 2usize;
+    let k = (1 << d) - 1;
+    let a = random_symmetric(m, 99);
+    let base = JacobiOptions { force_sweeps: Some(2), ..Default::default() };
+    let reference = block_jacobi_threaded(&a, d, OrderingFamily::Degree4, &base);
+    let plans = lower_sweeps(m, d, OrderingFamily::Degree4, false, 2);
+    let predicted = predicted_volume(&plans, d);
+    assert_eq!(reference.1.volume_by_dim(), predicted);
+    for q in [1usize, k, k + 1, 3 * k] {
+        let opts = JacobiOptions { pipelining: Pipelining::Fixed(q), ..base };
+        let (r, meter) = block_jacobi_threaded(&a, d, OrderingFamily::Degree4, &opts);
+        assert_eq!(r.rotations, reference.0.rotations, "q={q}");
+        for c in 0..m {
+            assert_eq!(r.eigenvalues[c], reference.0.eigenvalues[c], "q={q} λ_{c}");
+            assert_eq!(r.eigenvectors.col(c), reference.0.eigenvectors.col(c), "q={q} u_{c}");
+        }
+        assert_eq!(meter.volume_by_dim(), predicted, "q={q}");
+    }
+}

@@ -236,6 +236,88 @@ impl ColumnBlock {
         diag.extend((0..self.ncols).map(|k| f(self.a_col(k), self.u_col(k))));
         self.diag = diag;
     }
+
+    /// Splits the block into `q` packets of consecutive columns — the
+    /// communication-pipelining packetization. Packet sizes are balanced
+    /// (they differ by at most one column, larger packets first, exactly
+    /// like the paper's block partition); column order, global column
+    /// indices and the cached-diagonal entries are preserved, so
+    /// [`ColumnBlock::from_packets`] is an exact inverse. When `q` exceeds
+    /// the column count the tail packets are empty (they still frame valid
+    /// zero-payload messages, keeping packetized protocols symmetric).
+    ///
+    /// # Panics
+    /// Panics if `q == 0`.
+    pub fn split_columns(self, q: usize) -> Vec<ColumnBlock> {
+        assert!(q >= 1, "cannot split into zero packets");
+        let unit = self.unit();
+        let base = self.ncols / q;
+        let extra = self.ncols % q;
+        let mut packets = Vec::with_capacity(q);
+        let mut col = 0usize;
+        for p in 0..q {
+            let ncols = base + usize::from(p < extra);
+            let data = self.data[col * unit..(col + ncols) * unit].to_vec();
+            let diag = if self.diag.is_empty() {
+                Vec::new()
+            } else {
+                self.diag[col..col + ncols].to_vec()
+            };
+            packets.push(ColumnBlock {
+                start: self.start + col,
+                ncols,
+                arows: self.arows,
+                urows: self.urows,
+                data,
+                diag,
+            });
+            col += ncols;
+        }
+        packets
+    }
+
+    /// Rebuilds a block from consecutive packets — the inverse of
+    /// [`ColumnBlock::split_columns`]. Empty packets are tolerated (they
+    /// carry no columns); non-empty packets must agree on row counts and
+    /// cover a contiguous global column range in order.
+    ///
+    /// # Panics
+    /// Panics on an empty packet list, mismatched row counts, a
+    /// non-contiguous column range, or an inconsistent diagonal cache
+    /// (all non-empty packets must either carry one or none).
+    pub fn from_packets(packets: Vec<ColumnBlock>) -> ColumnBlock {
+        assert!(!packets.is_empty(), "cannot reassemble zero packets");
+        let first = packets.iter().find(|p| !p.is_empty());
+        let Some(first) = first else {
+            // All packets empty: an empty block (shape from packet 0).
+            let p = &packets[0];
+            return ColumnBlock {
+                start: p.start,
+                ncols: 0,
+                arows: p.arows,
+                urows: p.urows,
+                data: Vec::new(),
+                diag: Vec::new(),
+            };
+        };
+        let (start, arows, urows) = (first.start, first.arows, first.urows);
+        let has_diag = first.has_diag();
+        let mut ncols = 0usize;
+        let mut data = Vec::new();
+        let mut diag = Vec::new();
+        for p in &packets {
+            if p.is_empty() {
+                continue;
+            }
+            assert_eq!((p.arows, p.urows), (arows, urows), "packet row counts differ");
+            assert_eq!(p.start, start + ncols, "packets are not contiguous");
+            assert_eq!(p.has_diag(), has_diag, "inconsistent diagonal caches");
+            data.extend_from_slice(&p.data);
+            diag.extend_from_slice(&p.diag);
+            ncols += p.ncols;
+        }
+        ColumnBlock { start, ncols, arows, urows, data, diag }
+    }
 }
 
 /// Mutable access to two *distinct* blocks of a slice — the split borrow a
@@ -404,6 +486,74 @@ mod tests {
             assert_eq!(*v.dj.unwrap(), a0[(1, 1)]);
         }
         assert_eq!(b.payload_elems(), 3 * 10 + 3);
+    }
+
+    #[test]
+    fn split_columns_round_trips_exactly() {
+        let a0 = random_symmetric(6, 13);
+        for cached in [false, true] {
+            for q in [1usize, 2, 3, 5, 9] {
+                let mut b = ColumnBlock::from_matrix_with_identity(&a0, 1..6, 6);
+                if cached {
+                    b.refresh_diag(|a, u| dot(u, a));
+                }
+                let packets = b.clone().split_columns(q);
+                assert_eq!(packets.len(), q);
+                // Balanced sizes, larger first; payload conserved.
+                let sizes: Vec<usize> = packets.iter().map(|p| p.len()).collect();
+                assert_eq!(sizes.iter().sum::<usize>(), 5, "q={q}");
+                assert!(sizes.windows(2).all(|w| w[0] >= w[1] && w[0] - w[1] <= 1), "{sizes:?}");
+                let payload: usize = packets.iter().map(|p| p.payload_elems()).sum();
+                assert_eq!(payload, b.payload_elems(), "q={q} cached={cached}");
+                // Packets view the same columns under the same global ids.
+                let mut col = 0usize;
+                for p in &packets {
+                    for k in 0..p.len() {
+                        assert_eq!(p.global_col(k), b.global_col(col));
+                        assert_eq!(p.a_col(k), b.a_col(col));
+                        assert_eq!(p.u_col(k), b.u_col(col));
+                        if cached {
+                            assert_eq!(p.diag()[k], b.diag()[col]);
+                        }
+                        col += 1;
+                    }
+                }
+                // Exact inverse.
+                assert_eq!(ColumnBlock::from_packets(packets), b, "q={q} cached={cached}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversplit_produces_empty_tail_packets() {
+        let a0 = random_symmetric(4, 3);
+        let b = ColumnBlock::from_matrix_with_identity(&a0, 0..2, 4);
+        let packets = b.clone().split_columns(5);
+        assert_eq!(packets.len(), 5);
+        assert_eq!(packets.iter().filter(|p| p.is_empty()).count(), 3);
+        assert_eq!(packets[0].len(), 1);
+        assert_eq!(packets[1].len(), 1);
+        assert_eq!(ColumnBlock::from_packets(packets), b);
+    }
+
+    #[test]
+    fn reassembling_all_empty_packets_gives_an_empty_block() {
+        let a0 = random_symmetric(3, 8);
+        let b = ColumnBlock::from_matrix_with_identity(&a0, 1..1, 3);
+        let packets = b.split_columns(3);
+        let back = ColumnBlock::from_packets(packets);
+        assert!(back.is_empty());
+        assert_eq!((back.arows(), back.urows()), (3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn from_packets_rejects_out_of_order_packets() {
+        let a0 = random_symmetric(4, 5);
+        let b = ColumnBlock::from_matrix_with_identity(&a0, 0..4, 4);
+        let mut packets = b.split_columns(2);
+        packets.swap(0, 1);
+        let _ = ColumnBlock::from_packets(packets);
     }
 
     #[test]

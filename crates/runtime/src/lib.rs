@@ -10,10 +10,12 @@
 
 pub mod collectives;
 pub mod meter;
+pub mod packet;
 pub mod pipelined;
 pub mod spmd;
 
 pub use collectives::{all_gather, all_reduce, broadcast, gather};
 pub use meter::TrafficMeter;
+pub use packet::{pipelined_phase, Packet, PacketChannel, PhaseStats};
 pub use pipelined::{pipelined_exchange, unpipelined_exchange};
 pub use spmd::{run_spmd, run_spmd_metered, Meterable, NodeCtx};

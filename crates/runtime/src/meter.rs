@@ -5,54 +5,100 @@
 //! an ordering's *executed* traffic matches what the analytic cost models
 //! assumed — e.g. that BR really pushes half of all volume through
 //! dimension 0 while permuted-BR spreads it.
+//!
+//! Accounting is split into two planes:
+//!
+//! * the **data plane** — block payloads, the traffic the paper's tables
+//!   and Figure 2 count; reported by [`TrafficMeter::volume`],
+//!   [`TrafficMeter::messages`] and friends;
+//! * the **control plane** — protocol messages that carry no block data
+//!   (convergence-vote scalars, acknowledgements); reported by the
+//!   `control_*` accessors and kept out of the data totals so a
+//!   convergence vote can never pollute a block-traffic comparison.
+//!
+//! A message's plane is declared by its type via
+//! [`Meterable::is_control`](crate::spmd::Meterable::is_control).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Lock-free per-dimension traffic counters (shared by all node threads).
+/// Lock-free per-dimension traffic counters (shared by all node threads),
+/// kept separately for the data and control planes.
 #[derive(Debug)]
 pub struct TrafficMeter {
     messages: Vec<AtomicU64>,
     elems: Vec<AtomicU64>,
+    control_messages: Vec<AtomicU64>,
+    control_elems: Vec<AtomicU64>,
 }
 
 impl TrafficMeter {
     /// A meter for a `d`-cube.
     pub fn new(d: usize) -> Self {
+        let counters = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        let n = d.max(1);
         TrafficMeter {
-            messages: (0..d.max(1)).map(|_| AtomicU64::new(0)).collect(),
-            elems: (0..d.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            messages: counters(n),
+            elems: counters(n),
+            control_messages: counters(n),
+            control_elems: counters(n),
         }
     }
 
-    /// Records one message of `elems` elements on dimension `dim`.
-    pub fn record(&self, dim: usize, elems: u64) {
-        self.messages[dim].fetch_add(1, Ordering::Relaxed);
-        self.elems[dim].fetch_add(elems, Ordering::Relaxed);
+    /// Records one message of `elems` elements on dimension `dim`, on the
+    /// control plane when `control` is set, on the data plane otherwise.
+    pub fn record(&self, dim: usize, elems: u64, control: bool) {
+        if control {
+            self.control_messages[dim].fetch_add(1, Ordering::Relaxed);
+            self.control_elems[dim].fetch_add(elems, Ordering::Relaxed);
+        } else {
+            self.messages[dim].fetch_add(1, Ordering::Relaxed);
+            self.elems[dim].fetch_add(elems, Ordering::Relaxed);
+        }
     }
 
-    /// Messages sent on `dim` so far.
+    /// Data-plane messages sent on `dim` so far.
     pub fn messages(&self, dim: usize) -> u64 {
         self.messages[dim].load(Ordering::Relaxed)
     }
 
-    /// Elements sent on `dim` so far.
+    /// Data-plane elements sent on `dim` so far.
     pub fn volume(&self, dim: usize) -> u64 {
         self.elems[dim].load(Ordering::Relaxed)
     }
 
-    /// Total messages across dimensions.
+    /// Total data-plane messages across dimensions.
     pub fn total_messages(&self) -> u64 {
         self.messages.iter().map(|a| a.load(Ordering::Relaxed)).sum()
     }
 
-    /// Total volume across dimensions.
+    /// Total data-plane volume across dimensions.
     pub fn total_volume(&self) -> u64 {
         self.elems.iter().map(|a| a.load(Ordering::Relaxed)).sum()
     }
 
-    /// Per-dimension volume snapshot.
+    /// Per-dimension data-plane volume snapshot.
     pub fn volume_by_dim(&self) -> Vec<u64> {
         self.elems.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Control-plane messages sent on `dim` so far.
+    pub fn control_messages(&self, dim: usize) -> u64 {
+        self.control_messages[dim].load(Ordering::Relaxed)
+    }
+
+    /// Control-plane elements sent on `dim` so far.
+    pub fn control_volume(&self, dim: usize) -> u64 {
+        self.control_elems[dim].load(Ordering::Relaxed)
+    }
+
+    /// Total control-plane messages across dimensions.
+    pub fn total_control_messages(&self) -> u64 {
+        self.control_messages.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total control-plane volume across dimensions.
+    pub fn total_control_volume(&self) -> u64 {
+        self.control_elems.iter().map(|a| a.load(Ordering::Relaxed)).sum()
     }
 }
 
@@ -63,9 +109,9 @@ mod tests {
     #[test]
     fn records_accumulate() {
         let m = TrafficMeter::new(3);
-        m.record(0, 10);
-        m.record(0, 5);
-        m.record(2, 7);
+        m.record(0, 10, false);
+        m.record(0, 5, false);
+        m.record(2, 7, false);
         assert_eq!(m.messages(0), 2);
         assert_eq!(m.volume(0), 15);
         assert_eq!(m.messages(1), 0);
@@ -75,21 +121,39 @@ mod tests {
     }
 
     #[test]
+    fn control_plane_is_kept_out_of_data_totals() {
+        let m = TrafficMeter::new(2);
+        m.record(0, 100, false); // a block
+        m.record(0, 1, true); // a convergence vote
+        m.record(1, 1, true);
+        assert_eq!(m.total_volume(), 100, "votes must not pollute block volume");
+        assert_eq!(m.total_messages(), 1);
+        assert_eq!(m.control_messages(0), 1);
+        assert_eq!(m.control_messages(1), 1);
+        assert_eq!(m.total_control_messages(), 2);
+        assert_eq!(m.total_control_volume(), 2);
+        assert_eq!(m.control_volume(0), 1);
+        assert_eq!(m.volume_by_dim(), vec![100, 0]);
+    }
+
+    #[test]
     fn concurrent_recording_is_consistent() {
         let m = std::sync::Arc::new(TrafficMeter::new(2));
         let mut handles = Vec::new();
-        for _ in 0..8 {
+        for i in 0..8 {
             let m = m.clone();
             handles.push(std::thread::spawn(move || {
                 for _ in 0..1000 {
-                    m.record(1, 3);
+                    m.record(1, 3, i % 2 == 0);
                 }
             }));
         }
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(m.messages(1), 8000);
-        assert_eq!(m.volume(1), 24000);
+        assert_eq!(m.messages(1), 4000);
+        assert_eq!(m.volume(1), 12000);
+        assert_eq!(m.control_messages(1), 4000);
+        assert_eq!(m.control_volume(1), 12000);
     }
 }

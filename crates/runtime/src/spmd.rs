@@ -13,11 +13,20 @@ use crate::meter::TrafficMeter;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Barrier;
 
-/// The number of elements a message contributes to traffic accounting.
+/// The number of elements a message contributes to traffic accounting,
+/// and which accounting plane it belongs to.
 pub trait Meterable {
     /// Data volume in elements (used only for metering; default 0).
     fn elems(&self) -> u64 {
         0
+    }
+
+    /// Whether this is a *control-plane* message (convergence votes,
+    /// protocol bookkeeping) rather than block data. Control messages are
+    /// metered separately so they never pollute the data-plane totals the
+    /// paper's tables count. Default: data plane.
+    fn is_control(&self) -> bool {
+        false
     }
 }
 
@@ -68,7 +77,7 @@ impl<'a, M: Send + Meterable> NodeCtx<'a, M> {
 
     /// Sends `msg` to the neighbor across `dim` (non-blocking).
     pub fn send(&self, dim: usize, msg: M) {
-        self.meter.record(dim, msg.elems());
+        self.meter.record(dim, msg.elems(), msg.is_control());
         self.tx[dim].send(msg).expect("neighbor hung up");
     }
 

@@ -20,11 +20,13 @@
 //!   execution ([`simulate_async`]) — quantify how conservative the
 //!   paper's model is.
 
+pub mod plan;
 pub mod schedule;
 pub mod sim;
 pub mod sweepsim;
 pub mod validate;
 
+pub use plan::{plan_pipelined_schedule, plan_unpipelined_schedule};
 pub use schedule::{
     pipelined_phase_schedule, unpipelined_phase_schedule, CommSchedule, CommStage, NodeSend,
 };

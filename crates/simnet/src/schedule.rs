@@ -6,8 +6,15 @@
 //! paper prescribes). The builders produce the two schedule shapes the
 //! Jacobi algorithms generate: the unpipelined sweep (one block message per
 //! transition) and the pipelined exchange phase (windowed packet bundles).
+//!
+//! The paper's schedules are SPMD — every node sends the same bundle — so
+//! a stage stores the bundle **once** behind an [`Arc`] rather than
+//! cloning it `2^d` times; irregular per-node stages remain available for
+//! the simulator's relaxation studies. Access is uniform through
+//! [`CommStage::sends`]/[`CommStage::iter`].
 
 use mph_ccpipe::{pipelined_schedule, CcCube};
+use std::sync::Arc;
 
 /// One message: `elems` data elements across dimension `dim`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,33 +25,77 @@ pub struct NodeSend {
 
 /// One synchronized communication stage.
 ///
-/// `sends[n]` lists node `n`'s outgoing messages, in issue order. In the
-/// SPMD algorithms of the paper all nodes send the same bundle, but the
-/// simulator accepts arbitrary per-node lists.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CommStage {
-    pub sends: Vec<Vec<NodeSend>>,
+/// In the SPMD algorithms of the paper all nodes send the same bundle
+/// (stored once, shared); the simulator also accepts arbitrary per-node
+/// lists for irregular studies.
+#[derive(Debug, Clone)]
+pub enum CommStage {
+    /// Every one of `nodes` nodes sends the same shared bundle.
+    Spmd { nodes: usize, bundle: Arc<[NodeSend]> },
+    /// Arbitrary per-node bundles (`sends[n]` is node `n`'s list).
+    PerNode { sends: Vec<Vec<NodeSend>> },
 }
 
 impl CommStage {
-    /// An SPMD stage: every one of the `2^d` nodes sends `bundle`.
+    /// An SPMD stage: every one of the `2^d` nodes sends `bundle` —
+    /// stored once, not cloned per node.
     pub fn spmd(d: usize, bundle: Vec<NodeSend>) -> Self {
-        CommStage { sends: vec![bundle; 1 << d] }
+        CommStage::Spmd { nodes: 1 << d, bundle: bundle.into() }
+    }
+
+    /// An irregular stage with explicit per-node bundles.
+    pub fn per_node(sends: Vec<Vec<NodeSend>>) -> Self {
+        CommStage::PerNode { sends }
     }
 
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
-        self.sends.len()
+        match self {
+            CommStage::Spmd { nodes, .. } => *nodes,
+            CommStage::PerNode { sends } => sends.len(),
+        }
+    }
+
+    /// Node `n`'s outgoing messages, in issue order.
+    pub fn sends(&self, n: usize) -> &[NodeSend] {
+        match self {
+            CommStage::Spmd { nodes, bundle } => {
+                assert!(n < *nodes, "node {n} out of range");
+                bundle
+            }
+            CommStage::PerNode { sends } => &sends[n],
+        }
+    }
+
+    /// Iterates every node's bundle in node order.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeSend]> {
+        (0..self.nodes()).map(move |n| self.sends(n))
     }
 
     /// Total messages in the stage.
     pub fn message_count(&self) -> usize {
-        self.sends.iter().map(|s| s.len()).sum()
+        match self {
+            CommStage::Spmd { nodes, bundle } => nodes * bundle.len(),
+            CommStage::PerNode { sends } => sends.iter().map(|s| s.len()).sum(),
+        }
     }
 
     /// Total element volume in the stage.
     pub fn volume(&self) -> f64 {
-        self.sends.iter().flatten().map(|m| m.elems).sum()
+        match self {
+            CommStage::Spmd { nodes, bundle } => {
+                *nodes as f64 * bundle.iter().map(|m| m.elems).sum::<f64>()
+            }
+            CommStage::PerNode { sends } => sends.iter().flatten().map(|m| m.elems).sum(),
+        }
+    }
+}
+
+impl PartialEq for CommStage {
+    /// Stages compare by what each node sends, not by representation: an
+    /// SPMD stage equals a per-node stage with identical bundles.
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes() == other.nodes() && self.iter().eq(other.iter())
     }
 }
 
@@ -59,7 +110,7 @@ impl CommSchedule {
     pub fn new(d: usize, stages: Vec<CommStage>) -> Self {
         for st in &stages {
             assert_eq!(st.nodes(), 1 << d, "stage node count must be 2^d");
-            for sends in &st.sends {
+            for sends in st.iter() {
                 for s in sends {
                     assert!(s.dim < d, "dimension {} out of range", s.dim);
                     assert!(s.elems >= 0.0);
@@ -75,6 +126,20 @@ impl CommSchedule {
 
     pub fn volume(&self) -> f64 {
         self.stages.iter().map(|s| s.volume()).sum()
+    }
+
+    /// Per-dimension element volume — the prediction the runtime's traffic
+    /// meter is checked against.
+    pub fn volume_by_dim(&self) -> Vec<f64> {
+        let mut v = vec![0.0; self.d.max(1)];
+        for st in &self.stages {
+            for sends in st.iter() {
+                for s in sends {
+                    v[s.dim] += s.elems;
+                }
+            }
+        }
+        v
     }
 }
 
@@ -152,7 +217,7 @@ mod tests {
         let cc = CcCube::exchange_phase(OrderingFamily::Br, 3, 30.0);
         let s = pipelined_phase_schedule(3, &cc, 3);
         // Stage 2 (first kernel stage) has window 0,1,0.
-        let bundle = &s.stages[2].sends[0];
+        let bundle = s.stages[2].sends(0);
         assert_eq!(bundle.len(), 2);
         assert_eq!(bundle[0], NodeSend { dim: 0, elems: 20.0 });
         assert_eq!(bundle[1], NodeSend { dim: 1, elems: 10.0 });
@@ -169,5 +234,44 @@ mod tests {
     fn q1_pipelined_equals_unpipelined() {
         let cc = CcCube::exchange_phase(OrderingFamily::PermutedBr, 4, 44.0);
         assert_eq!(pipelined_phase_schedule(4, &cc, 1), unpipelined_phase_schedule(4, &cc));
+    }
+
+    #[test]
+    fn spmd_stage_stores_the_bundle_once() {
+        // The 2^d nodes share one allocation; equality still sees through
+        // the representation.
+        let bundle = vec![NodeSend { dim: 0, elems: 3.0 }, NodeSend { dim: 1, elems: 4.0 }];
+        let spmd = CommStage::spmd(3, bundle.clone());
+        match &spmd {
+            CommStage::Spmd { nodes, bundle: shared } => {
+                assert_eq!(*nodes, 8);
+                assert_eq!(Arc::strong_count(shared), 1);
+            }
+            CommStage::PerNode { .. } => panic!("spmd() must build the shared representation"),
+        }
+        for n in 0..8 {
+            assert_eq!(spmd.sends(n), &bundle[..]);
+        }
+        assert_eq!(spmd.message_count(), 16);
+        assert_eq!(spmd.volume(), 8.0 * 7.0);
+        let explicit = CommStage::per_node(vec![bundle; 8]);
+        assert_eq!(spmd, explicit, "representation must not affect equality");
+    }
+
+    #[test]
+    fn volume_by_dim_accumulates_across_stages() {
+        let s = CommSchedule::new(
+            2,
+            vec![
+                CommStage::spmd(2, vec![NodeSend { dim: 0, elems: 5.0 }]),
+                CommStage::per_node(vec![
+                    vec![NodeSend { dim: 1, elems: 2.0 }],
+                    vec![],
+                    vec![NodeSend { dim: 0, elems: 1.0 }],
+                    vec![],
+                ]),
+            ],
+        );
+        assert_eq!(s.volume_by_dim(), vec![4.0 * 5.0 + 1.0, 2.0]);
     }
 }

@@ -136,7 +136,7 @@ pub fn simulate_synchronized(
     for stage in &schedule.stages {
         let start = t;
         let mut end = t;
-        for sends in &stage.sends {
+        for sends in stage.iter() {
             let c = node_stage_completion(sends, machine, startup, start, &mut dim_busy);
             end = end.max(c);
         }
@@ -172,7 +172,7 @@ pub fn simulate_async(
         let mut span = (f64::INFINITY, 0.0f64);
         for n in 0..p {
             let t0 = ready[n];
-            let c = node_stage_completion(&stage.sends[n], machine, startup, t0, &mut dim_busy);
+            let c = node_stage_completion(stage.sends(n), machine, startup, t0, &mut dim_busy);
             completion[n] = c;
             span.0 = span.0.min(t0);
             span.1 = span.1.max(c);
@@ -181,7 +181,7 @@ pub fn simulate_async(
         // Next-stage readiness: own completion plus arrivals from partners.
         let mut next_ready = completion.clone();
         for n in 0..p {
-            for s in &stage.sends[n] {
+            for s in stage.sends(n) {
                 let partner = n ^ (1 << s.dim);
                 // The data this node sent arrives at `partner` when the
                 // node's stage completes (per-message completion would be
@@ -299,8 +299,8 @@ mod tests {
         let heavy = vec![NodeSend { dim: 0, elems: 1000.0 }];
         let idle: Vec<NodeSend> = vec![];
         let light = vec![NodeSend { dim: 0, elems: 1.0 }];
-        let stage0 = CommStage { sends: vec![heavy, idle.clone(), idle.clone(), light.clone()] };
-        let stage1 = CommStage { sends: vec![idle.clone(), idle.clone(), idle.clone(), light] };
+        let stage0 = CommStage::per_node(vec![heavy, idle.clone(), idle.clone(), light.clone()]);
+        let stage1 = CommStage::per_node(vec![idle.clone(), idle.clone(), idle.clone(), light]);
         let sched = CommSchedule::new(d, vec![stage0, stage1]);
         let m = machine();
         let sync = simulate_synchronized(&sched, &m, StartupModel::SerializedThenParallel);

@@ -26,24 +26,26 @@ fn random_schedule() -> impl Strategy<Value = CommSchedule> {
             proptest::collection::vec((0usize..d, 0.0f64..500.0), 0..=d),
             p..=p,
         )
-        .prop_map(move |sends| CommStage {
-            sends: sends
-                .into_iter()
-                .map(|node| {
-                    // At most one message per dimension (combined messages).
-                    let mut seen = [false; 8];
-                    node.into_iter()
-                        .filter_map(|(dim, elems)| {
-                            if seen[dim] {
-                                None
-                            } else {
-                                seen[dim] = true;
-                                Some(NodeSend { dim, elems })
-                            }
-                        })
-                        .collect()
-                })
-                .collect(),
+        .prop_map(move |sends| {
+            CommStage::per_node(
+                sends
+                    .into_iter()
+                    .map(|node| {
+                        // At most one message per dimension (combined messages).
+                        let mut seen = [false; 8];
+                        node.into_iter()
+                            .filter_map(|(dim, elems)| {
+                                if seen[dim] {
+                                    None
+                                } else {
+                                    seen[dim] = true;
+                                    Some(NodeSend { dim, elems })
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            )
         });
         proptest::collection::vec(stage, 1..6).prop_map(move |stages| CommSchedule::new(d, stages))
     })
@@ -115,7 +117,7 @@ proptest! {
         let mut max_single = 0.0f64;
         let mut total = 0.0f64;
         for st in &sched.stages {
-            for node in &st.sends {
+            for node in st.iter() {
                 for s in node {
                     max_single = max_single.max(ts + s.elems * tw);
                     total += ts + s.elems * tw;

@@ -36,6 +36,7 @@ fn expected_examples_are_present() {
     found.sort();
     let want = [
         "comm_cost_model",
+        "eigensolve_pipelined",
         "eigensolve_threaded",
         "ordering_explorer",
         "pipelined_exchange_sim",
