@@ -224,6 +224,51 @@ fn validate(doc: &Json) -> Vec<String> {
         "pipelined.q_per_phase",
         matches!(piped.and_then(|p| p.get("q_per_phase")), Some(Json::Array(a)) if !a.is_empty()),
     );
+    // The throttled-fabric block: measured-vs-predicted per port model.
+    // These are *virtual-clock* quantities — deterministic for a given
+    // geometry — so they gate hard: the fields must exist, the
+    // measured/predicted ratios must be finite and near 1 (the one-port
+    // row is the acceptance bar: within 20% of the prediction), and
+    // serializing the ports must never make the measured wall time
+    // smaller (one-port ≥ all-port).
+    let fabric = doc.get("fabric");
+    require("fabric", fabric.is_some());
+    for key in ["calibrated_channel_ts", "calibrated_channel_tw"] {
+        let ok = fabric
+            .and_then(|f| f.get(key))
+            .and_then(Json::as_number)
+            .is_some_and(|x| x.is_finite() && x > 0.0);
+        require(&format!("fabric.{key}"), ok);
+    }
+    let port_row = |name: &str, key: &str| {
+        fabric.and_then(|f| f.get(name)).and_then(|r| r.get(key)).and_then(Json::as_number)
+    };
+    for name in ["one_port", "all_port"] {
+        require(
+            &format!("fabric.{name}.q_per_phase"),
+            matches!(
+                fabric.and_then(|f| f.get(name)).and_then(|r| r.get("q_per_phase")),
+                Some(Json::Array(a)) if !a.is_empty()
+            ),
+        );
+        for key in ["unpipelined_vtime", "pipelined_vtime", "measured_speedup", "predicted_speedup"]
+        {
+            require(
+                &format!("fabric.{name}.{key}"),
+                port_row(name, key).is_some_and(|x| x.is_finite() && x > 0.0),
+            );
+        }
+        let ok = port_row(name, "measured_over_predicted")
+            .is_some_and(|r| r.is_finite() && (0.8..=1.25).contains(&r));
+        require(&format!("fabric.{name}.measured_over_predicted within [0.8, 1.25]"), ok);
+    }
+    for key in ["unpipelined_vtime", "pipelined_vtime"] {
+        let ordered = match (port_row("one_port", key), port_row("all_port", key)) {
+            (Some(one), Some(all)) => one >= all - 1e-9,
+            _ => false,
+        };
+        require(&format!("fabric one_port.{key} >= all_port.{key}"), ordered);
+    }
     match doc.get("families") {
         Some(Json::Object(fams)) if !fams.is_empty() => {
             for (name, fam) in fams {
@@ -272,20 +317,62 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    #[test]
-    fn parses_and_validates_a_minimal_snapshot() {
-        let text = r#"{
+    fn minimal_snapshot(one_port_ratio: f64, one_port_vtime: f64) -> String {
+        format!(
+            r#"{{
           "bench": "eigen_perf_snapshot", "m": 256, "d": 3, "smoke": false, "seed": 1,
-          "layout_sweep": {"seed_vecvec_ms": 1.0, "columnblock_ms": 1.0,
-                           "columnblock_cached_ms": 1.0, "speedup_contiguous": 1.0},
-          "pipelined": {"unpipelined_ms": 1.0, "pipelined_ms": 1.0, "measured_speedup": 1.0,
+          "layout_sweep": {{"seed_vecvec_ms": 1.0, "columnblock_ms": 1.0,
+                           "columnblock_cached_ms": 1.0, "speedup_contiguous": 1.0}},
+          "pipelined": {{"unpipelined_ms": 1.0, "pipelined_ms": 1.0, "measured_speedup": 1.0,
                         "unpipelined_traffic_elems": 10, "pipelined_traffic_elems": 10,
                         "unpipelined_messages": 5, "pipelined_messages": 9,
-                        "predicted_comm_ratio": 0.5, "q_per_phase": [4, 2, 1]},
-          "families": {"BR": {"logical_ms": 1.0, "threaded_ms": 1.0, "rotations": 10}}
-        }"#;
-        let doc = Parser::new(text).document().expect("parses");
-        assert!(validate(&doc).is_empty());
+                        "predicted_comm_ratio": 0.5, "q_per_phase": [4, 2, 1]}},
+          "fabric": {{"family": "permuted-BR", "force_sweeps": 1,
+                     "machine_ts": 1000.0, "machine_tw": 100.0,
+                     "calibrated_channel_ts": 1.2e-6, "calibrated_channel_tw": 3.4e-10,
+                     "one_port": {{"q_per_phase": [1, 1, 1],
+                                  "unpipelined_vtime": {one_port_vtime},
+                                  "pipelined_vtime": {one_port_vtime},
+                                  "measured_speedup": 1.0, "predicted_speedup": 1.0,
+                                  "measured_over_predicted": {one_port_ratio}}},
+                     "all_port": {{"q_per_phase": [16, 2, 1],
+                                  "unpipelined_vtime": 100.0, "pipelined_vtime": 70.0,
+                                  "measured_speedup": 1.45, "predicted_speedup": 1.44,
+                                  "measured_over_predicted": 1.007}}}},
+          "families": {{"BR": {{"logical_ms": 1.0, "threaded_ms": 1.0, "rotations": 10}}}}
+        }}"#
+        )
+    }
+
+    #[test]
+    fn parses_and_validates_a_minimal_snapshot() {
+        let doc = Parser::new(&minimal_snapshot(1.0, 100.0)).document().expect("parses");
+        assert!(validate(&doc).is_empty(), "{:?}", validate(&doc));
+    }
+
+    #[test]
+    fn gates_the_one_port_measured_over_predicted_band() {
+        // Outside [0.8, 1.25] the acceptance bar is failed and must gate.
+        for bad in [0.5, 1.3] {
+            let doc = Parser::new(&minimal_snapshot(bad, 100.0)).document().expect("parses");
+            let problems = validate(&doc);
+            assert!(
+                problems.iter().any(|p| p.contains("measured_over_predicted")),
+                "ratio {bad} should gate: {problems:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gates_port_ordering_one_port_never_faster_than_all_port() {
+        // one_port vtimes below all_port's (100/70) violate the port
+        // ordering invariant.
+        let doc = Parser::new(&minimal_snapshot(1.0, 50.0)).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("one_port.unpipelined_vtime >=")),
+            "{problems:?}"
+        );
     }
 
     #[test]
@@ -296,6 +383,7 @@ mod tests {
         let problems = validate(&doc);
         assert!(problems.iter().any(|p| p.contains("pipelined")));
         assert!(problems.iter().any(|p| p.contains("layout_sweep.seed_vecvec_ms")));
+        assert!(problems.iter().any(|p| p == "missing or malformed field: fabric"));
     }
 
     #[test]

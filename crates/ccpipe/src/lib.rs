@@ -33,13 +33,14 @@ pub use execution::{
     efficiency, pipelined_sweep_time, speedup, unpipelined_sweep_time, ComputeModel, SweepTime,
 };
 pub use lowerbound::{strict_stage_lower_bound, LowerBoundModel};
+pub use machine::FabricStats;
 pub use machine::{Machine, PortModel};
 pub use optimum::{optimize_q, OptimalQ};
 pub use pipelining::{
     mode_of, pipelined_schedule, PipelineMode, PipelinedSchedule, Stage, StagePhase,
 };
 pub use plancost::{
-    phase_cc, plan_pipelining, plan_sweep_cost, plan_unpipelined_cost, PhaseChoice,
+    phase_cc, plan_cost_with, plan_pipelining, plan_sweep_cost, plan_unpipelined_cost, PhaseChoice,
 };
 pub use sweepcost::{
     elems_per_transfer, figure2_point, lower_bound_sweep_cost, pipelined_sweep_cost,

@@ -1,193 +1,12 @@
 //! Machine model: communication parameters of the hypercube multicomputer.
 //!
-//! The paper's model has two parameters — `Ts`, the start-up time to
-//! initiate a communication through one link, and `Tw`, the transmission
-//! time per data element — plus the port configuration. In an all-port
-//! configuration every node can drive all `d` links simultaneously; in a
-//! one-port configuration a node drives one link at a time (paper §2.1,
-//! after Ni & McKinley \[14\]).
-//!
-//! From the paper's kernel-stage cost `e·Ts + α·S·Tw` we adopt the standard
-//! interpretation (DESIGN.md §6.2): start-ups are issued serially by the
-//! node CPU (one `Ts` per distinct link used in a stage), transmissions then
-//! proceed concurrently on as many links as the port model allows, and
-//! packets sharing a link coalesce into one message.
+//! The model itself lives in `mph_runtime::machine` — the runtime both
+//! *enforces* it (the throttled link fabric charges every message
+//! `Ts + S·Tw` against the port configuration) and *measures* it
+//! (`FabricStats` + [`Machine::calibrate`] fit `Ts`/`Tw` to wall-clock
+//! probes of the live transport). This module re-exports it so the
+//! analytic cost layer and the runtime price with one vocabulary: a
+//! [`Machine`] calibrated from the channel runtime drops straight into
+//! [`crate::optimize_q`] and `Pipelining::Auto`.
 
-/// Port configuration of every node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PortModel {
-    /// One message in flight per node at a time: transmissions serialize.
-    OnePort,
-    /// Up to `k` concurrent transmissions per node.
-    KPort(usize),
-    /// A transmission per link simultaneously (the paper's target).
-    AllPort,
-}
-
-/// Communication parameters of the target machine.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Machine {
-    /// Start-up (per-message initiation) time.
-    pub ts: f64,
-    /// Per-element transmission time.
-    pub tw: f64,
-    /// Port configuration.
-    pub ports: PortModel,
-}
-
-impl Machine {
-    /// The paper's Figure-2 machine: `Ts = 1000`, `Tw = 100`, all-port.
-    pub fn paper_figure2() -> Self {
-        Machine { ts: 1000.0, tw: 100.0, ports: PortModel::AllPort }
-    }
-
-    /// An all-port machine with explicit parameters.
-    pub fn all_port(ts: f64, tw: f64) -> Self {
-        Machine { ts, tw, ports: PortModel::AllPort }
-    }
-
-    /// A one-port machine with explicit parameters.
-    pub fn one_port(ts: f64, tw: f64) -> Self {
-        Machine { ts, tw, ports: PortModel::OnePort }
-    }
-
-    /// Cost of one *unpipelined* transition: a single message of
-    /// `elems` elements over one link.
-    pub fn single_message_cost(&self, elems: f64) -> f64 {
-        self.ts + elems * self.tw
-    }
-
-    /// Cost of one communication stage in which the node sends, through
-    /// each link `l` of `multiplicities`, a combined message of
-    /// `multiplicities[l] × packet_elems` elements (zero entries = unused
-    /// links).
-    ///
-    /// * all-port: `n·Ts + max_mult·S·Tw` — start-ups serialize, the
-    ///   longest transmission dominates;
-    /// * one-port: `n·Ts + total·S·Tw` — everything serializes;
-    /// * k-port: start-ups serialize, transmissions are scheduled on `k`
-    ///   ports with an LPT (longest-processing-time) list schedule.
-    pub fn stage_cost_from_mults(&self, multiplicities: &[usize], packet_elems: f64) -> f64 {
-        let mut n = 0usize;
-        let mut total = 0usize;
-        let mut maxm = 0usize;
-        for &m in multiplicities {
-            if m > 0 {
-                n += 1;
-                total += m;
-                maxm = maxm.max(m);
-            }
-        }
-        self.stage_cost(n, total, maxm, packet_elems, multiplicities)
-    }
-
-    /// Stage cost from precomputed window statistics: `n_distinct` links
-    /// used, `total` packets, `max_mult` packets on the busiest link.
-    /// `mults` is consulted only by the k-port model (may be empty for
-    /// one-port/all-port).
-    pub fn stage_cost(
-        &self,
-        n_distinct: usize,
-        total: usize,
-        max_mult: usize,
-        packet_elems: f64,
-        mults: &[usize],
-    ) -> f64 {
-        if n_distinct == 0 {
-            return 0.0;
-        }
-        let startups = n_distinct as f64 * self.ts;
-        let sw = packet_elems * self.tw;
-        match self.ports {
-            PortModel::AllPort => startups + max_mult as f64 * sw,
-            PortModel::OnePort => startups + total as f64 * sw,
-            PortModel::KPort(k) => {
-                assert!(k >= 1);
-                if k == 1 {
-                    return startups + total as f64 * sw;
-                }
-                // LPT schedule of per-link transmission jobs on k ports.
-                let mut jobs: Vec<usize> = mults.iter().copied().filter(|&m| m > 0).collect();
-                jobs.sort_unstable_by(|a, b| b.cmp(a));
-                let mut ports = vec![0usize; k.min(jobs.len()).max(1)];
-                for j in jobs {
-                    let idx = ports
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, &load)| load)
-                        .map(|(i, _)| i)
-                        .unwrap();
-                    ports[idx] += j;
-                }
-                let makespan = *ports.iter().max().unwrap();
-                startups + makespan as f64 * sw
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn paper_machine_parameters() {
-        let m = Machine::paper_figure2();
-        assert_eq!(m.ts, 1000.0);
-        assert_eq!(m.tw, 100.0);
-        assert_eq!(m.ports, PortModel::AllPort);
-    }
-
-    #[test]
-    fn single_message_cost_is_affine() {
-        let m = Machine::all_port(1000.0, 100.0);
-        assert_eq!(m.single_message_cost(0.0), 1000.0);
-        assert_eq!(m.single_message_cost(10.0), 2000.0);
-    }
-
-    #[test]
-    fn all_port_kernel_stage_matches_paper_formula() {
-        // Deep-pipelining kernel on an e-link window: e·Ts + α·S·Tw.
-        let m = Machine::all_port(1000.0, 100.0);
-        // e = 3 links with multiplicities (4, 2, 1): α = 4, S = 5 elems.
-        let c = m.stage_cost_from_mults(&[4, 2, 1], 5.0);
-        assert_eq!(c, 3.0 * 1000.0 + 4.0 * 5.0 * 100.0);
-    }
-
-    #[test]
-    fn one_port_serializes_everything() {
-        let m = Machine::one_port(1000.0, 100.0);
-        let c = m.stage_cost_from_mults(&[4, 2, 1], 5.0);
-        assert_eq!(c, 3.0 * 1000.0 + 7.0 * 5.0 * 100.0);
-    }
-
-    #[test]
-    fn k_port_interpolates() {
-        let all = Machine::all_port(0.0, 1.0);
-        let one = Machine::one_port(0.0, 1.0);
-        let two = Machine { ts: 0.0, tw: 1.0, ports: PortModel::KPort(2) };
-        let mults = [3usize, 3, 2];
-        let (ca, co, c2) = (
-            all.stage_cost_from_mults(&mults, 1.0),
-            one.stage_cost_from_mults(&mults, 1.0),
-            two.stage_cost_from_mults(&mults, 1.0),
-        );
-        assert!(ca <= c2 && c2 <= co, "{ca} ≤ {c2} ≤ {co} violated");
-        // LPT on 2 ports: jobs 3,3,2 → loads 3+2=5 and 3 → makespan 5.
-        assert_eq!(c2, 5.0);
-    }
-
-    #[test]
-    fn k_port_with_many_ports_equals_all_port() {
-        let mults = [4usize, 1, 2, 2];
-        let kp = Machine { ts: 7.0, tw: 3.0, ports: PortModel::KPort(16) };
-        let ap = Machine { ts: 7.0, tw: 3.0, ports: PortModel::AllPort };
-        assert_eq!(kp.stage_cost_from_mults(&mults, 2.0), ap.stage_cost_from_mults(&mults, 2.0));
-    }
-
-    #[test]
-    fn empty_stage_costs_nothing() {
-        let m = Machine::paper_figure2();
-        assert_eq!(m.stage_cost_from_mults(&[0, 0, 0], 10.0), 0.0);
-    }
-}
+pub use mph_runtime::machine::{FabricStats, Machine, PortModel};

@@ -20,6 +20,7 @@ use crate::cccube::CcCube;
 use crate::cost::PhaseCostModel;
 use crate::machine::Machine;
 use crate::optimum::{optimize_q, OptimalQ};
+use crate::pipelining::mode_of;
 use crate::sweepcost::{PhaseOutcome, SweepCost};
 use mph_core::{CommPlan, PhaseKind, PlanPhase};
 
@@ -67,6 +68,38 @@ pub fn plan_unpipelined_cost(plan: &CommPlan, machine: &Machine) -> f64 {
         .iter()
         .map(|ph| ph.k() as f64 * machine.single_message_cost(ph.max_message_elems() as f64))
         .sum()
+}
+
+/// Communication cost of executing `plan` with *given* per-phase
+/// pipelining degrees (one entry of `qs` per exchange phase, in execution
+/// order; division and last transitions stay single messages) — the price
+/// of exactly the schedule the threaded driver executes under
+/// `Pipelining::Fixed(q)` or any `choose_qs` outcome, which is what the
+/// measured-vs-predicted fabric experiments compare against.
+pub fn plan_cost_with(plan: &CommPlan, machine: &Machine, qs: &[usize]) -> SweepCost {
+    assert_eq!(
+        qs.len(),
+        plan.exchange_phases().count(),
+        "one pipelining degree per exchange phase"
+    );
+    let mut phases = Vec::new();
+    let mut serial = 0.0;
+    let mut xq = 0usize;
+    for ph in plan.phases() {
+        match ph.kind {
+            PhaseKind::Exchange { e } => {
+                let q = qs[xq].max(1);
+                xq += 1;
+                let model = PhaseCostModel::new(&phase_cc(ph), *machine);
+                phases.push(PhaseOutcome { e, q, mode: mode_of(model.k, q), cost: model.cost(q) });
+            }
+            PhaseKind::Division { .. } | PhaseKind::Last => {
+                serial += machine.single_message_cost(ph.max_message_elems() as f64);
+            }
+        }
+    }
+    let total = phases.iter().map(|p| p.cost).sum::<f64>() + serial;
+    SweepCost { d: plan.d(), phases, serial, total }
 }
 
 /// Communication cost of executing `plan` with per-phase optimal
@@ -152,6 +185,30 @@ mod tests {
         }
         // Phases run e = d down to 1.
         assert_eq!(choices.iter().map(|c| c.e).collect::<Vec<_>>(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn fixed_q_cost_agrees_with_the_optimizer_at_its_choices() {
+        // plan_cost_with priced at the optimizer's own qs must reproduce
+        // plan_sweep_cost exactly, and q = 1 everywhere must reproduce the
+        // unpipelined cost.
+        let machine = Machine::paper_figure2();
+        for family in OrderingFamily::ALL {
+            let plan = lower(256, 3, family, 0);
+            let q_max = 256.0 / 16.0;
+            let opt = plan_sweep_cost(&plan, &machine, q_max);
+            let qs: Vec<usize> = opt.phases.iter().map(|p| p.q).collect();
+            let fixed = plan_cost_with(&plan, &machine, &qs);
+            assert!((fixed.total - opt.total).abs() < 1e-9 * opt.total, "{family}");
+            assert_eq!(fixed.serial, opt.serial);
+            for (a, b) in fixed.phases.iter().zip(&opt.phases) {
+                assert_eq!((a.e, a.q, a.mode), (b.e, b.q, b.mode), "{family}");
+            }
+            let ones: Vec<usize> = plan.exchange_phases().map(|_| 1).collect();
+            let base = plan_cost_with(&plan, &machine, &ones).total;
+            let want = plan_unpipelined_cost(&plan, &machine);
+            assert!((base - want).abs() < 1e-9 * want, "{family}");
+        }
     }
 
     #[test]

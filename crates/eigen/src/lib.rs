@@ -46,11 +46,13 @@ pub use kernel::{
 };
 pub use mph_core::BlockPartition;
 pub use mph_linalg::block::ColumnBlock;
+pub use mph_runtime::{FabricModel, FabricReport};
 pub use offnorm::{diagonal, diagonal_blocks, off_norm, off_norm_blocks};
 pub use onesided::one_sided_cyclic;
 pub use options::{EigenResult, JacobiOptions, Pipelining};
 pub use svd::{svd_block, svd_cyclic, SvdResult};
 pub use threaded::{
-    block_jacobi_threaded, choose_qs, lower_sweeps, packetization_cap, Msg, NodeOutput,
+    block_jacobi_threaded, block_jacobi_threaded_fabric, choose_qs, lower_sweeps,
+    packetization_cap, Msg, NodeOutput,
 };
 pub use twosided::two_sided_cyclic;

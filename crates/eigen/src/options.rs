@@ -2,6 +2,7 @@
 
 use mph_ccpipe::Machine;
 use mph_linalg::Matrix;
+use mph_runtime::FabricModel;
 
 /// Communication pipelining of the threaded driver's exchange phases
 /// (paper §2.4): each exchange phase splits its block payload into `Q`
@@ -57,6 +58,15 @@ pub struct JacobiOptions {
     /// logical drivers, which move no messages). Any setting produces the
     /// same bits; see [`Pipelining`].
     pub pipelining: Pipelining,
+    /// Link-fabric model of the threaded driver (ignored by the logical
+    /// drivers). [`FabricModel::Free`] is the raw channel transport;
+    /// [`FabricModel::Throttled`] charges every message `Ts + S·Tw`
+    /// against the machine's port configuration on a deterministic
+    /// virtual clock, so `block_jacobi_threaded_fabric` reports a
+    /// *measured* communication makespan comparable against the cost
+    /// model. The fabric only stamps time — it never reorders the
+    /// protocol — so any setting produces the same bits.
+    pub fabric: FabricModel,
 }
 
 impl Default for JacobiOptions {
@@ -68,6 +78,7 @@ impl Default for JacobiOptions {
             force_sweeps: None,
             cache_diagonals: false,
             pipelining: Pipelining::Off,
+            fabric: FabricModel::Free,
         }
     }
 }
@@ -112,6 +123,7 @@ mod tests {
         assert!(o.force_sweeps.is_none());
         assert!(!o.cache_diagonals, "bitwise-parity recompute mode must be the default");
         assert_eq!(o.pipelining, Pipelining::Off, "whole-block protocol must be the default");
+        assert_eq!(o.fabric, FabricModel::Free, "the raw channel fabric must be the default");
     }
 
     #[test]

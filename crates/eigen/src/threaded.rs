@@ -50,7 +50,9 @@ use mph_core::{BlockLayout, BlockPartition, CommPlan, OrderingFamily, PhaseKind,
 use mph_linalg::block::ColumnBlock;
 use mph_linalg::vecops::dot;
 use mph_linalg::Matrix;
-use mph_runtime::{pipelined_phase, run_spmd_metered, Meterable, Packet, TrafficMeter};
+use mph_runtime::{
+    pipelined_phase, run_spmd_fabric, FabricReport, Meterable, Packet, TrafficMeter,
+};
 
 /// Messages carried by the links: a whole column block (one contiguous
 /// payload), one framed packet of a pipelined exchange phase, or a
@@ -167,6 +169,32 @@ pub fn block_jacobi_threaded(
     family: OrderingFamily,
     opts: &JacobiOptions,
 ) -> (EigenResult, TrafficMeter) {
+    let (result, meter, _) = block_jacobi_threaded_fabric(a0, d, family, opts);
+    (result, meter)
+}
+
+/// [`block_jacobi_threaded`], also returning the link fabric's report:
+/// with [`mph_runtime::FabricModel::Throttled`] in
+/// [`JacobiOptions::fabric`], `report.makespan` is the solve's *measured*
+/// communication time on the enforced `Ts`/`Tw`/port machine — the
+/// deterministic virtual-clock counterpart of the cost the plan layer
+/// predicts (compute is free on the virtual clock, so the two are
+/// directly comparable).
+///
+/// One caveat for exact measured-vs-priced comparisons: the fabric
+/// charges *every* message, including the per-sweep convergence-vote
+/// all-reduce (`d` scalar exchanges per node per sweep) that free-running
+/// solves perform — real traffic on a real machine, but traffic the plan
+/// layer does not price. Set [`JacobiOptions::force_sweeps`] (as all the
+/// conformance tests do) to suppress the votes when the makespan must
+/// equal the plan cost to rounding; otherwise expect the makespan to
+/// exceed it by `sweeps · d · (Ts + Tw)`.
+pub fn block_jacobi_threaded_fabric(
+    a0: &Matrix,
+    d: usize,
+    family: OrderingFamily,
+    opts: &JacobiOptions,
+) -> (EigenResult, TrafficMeter, FabricReport) {
     assert_eq!(a0.rows(), a0.cols());
     let m = a0.cols();
     let p = 1usize << d;
@@ -186,7 +214,7 @@ pub fn block_jacobi_threaded(
     let phase_qs: Vec<Vec<usize>> =
         plans.iter().map(|plan| choose_qs(plan, &opts.pipelining, q_cap)).collect();
 
-    let (outputs, meter) = run_spmd_metered::<Msg, NodeOutput, _>(d, |ctx| {
+    let (outputs, meter, fabric) = run_spmd_fabric::<Msg, NodeOutput, _>(d, opts.fabric, |ctx| {
         let n = ctx.id();
         // Canonical initial layout: slot0 = block n, slot1 = block n + p.
         let mut slot0 = ColumnBlock::from_matrix_with_identity(a0, partition.cols(n), m);
@@ -335,7 +363,7 @@ pub fn block_jacobi_threaded(
         off_history: Vec::new(), // not tracked distributively
         converged,
     };
-    (result, meter)
+    (result, meter, fabric)
 }
 
 #[cfg(test)]
@@ -345,6 +373,7 @@ mod tests {
     use mph_ccpipe::Machine;
     use mph_linalg::matmul::{eigen_residual, orthogonality_defect};
     use mph_linalg::symmetric::random_symmetric;
+    use mph_runtime::FabricModel;
 
     #[test]
     fn threaded_solves_with_small_residual() {
@@ -538,6 +567,86 @@ mod tests {
         // Every data message is one whole block: 2 columns × 2m elements.
         let block_elems = 2 * 2 * 16;
         assert_eq!(meter.total_volume() % block_elems, 0);
+    }
+
+    #[test]
+    fn throttled_unpipelined_makespan_equals_the_plan_cost_exactly() {
+        // Uniform partition (power-of-two m): every transition is the
+        // symmetric exchange of equal blocks, so every node's virtual
+        // clock advances by exactly Ts + S·Tw per transition and the
+        // measured makespan reproduces the plan chain's unpipelined cost.
+        use mph_ccpipe::plan_unpipelined_cost;
+        let a = random_symmetric(32, 5);
+        let d = 2usize;
+        let machine = Machine::all_port(1000.0, 100.0);
+        let sweeps = 2usize;
+        let opts = JacobiOptions {
+            force_sweeps: Some(sweeps),
+            fabric: FabricModel::Throttled(machine),
+            ..Default::default()
+        };
+        for family in OrderingFamily::ALL {
+            let (_, _, report) = block_jacobi_threaded_fabric(&a, d, family, &opts);
+            let want: f64 = lower_sweeps(32, d, family, false, sweeps)
+                .iter()
+                .map(|p| plan_unpipelined_cost(p, &machine))
+                .sum();
+            assert!(
+                (report.makespan - want).abs() <= 1e-9 * want,
+                "{family}: measured {} vs plan {want}",
+                report.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn throttled_fabric_is_deterministic_and_port_ordered() {
+        // Same solve, same machine: the virtual makespan is bit-identical
+        // across runs (no OS-scheduling dependence), and serializing the
+        // ports can only slow it down: one-port ≥ 2-port ≥ all-port.
+        use mph_runtime::PortModel;
+        let a = random_symmetric(32, 11);
+        let d = 2usize;
+        let run = |ports: PortModel, q: usize| {
+            let machine = Machine { ts: 50.0, tw: 2.0, ports };
+            let opts = JacobiOptions {
+                force_sweeps: Some(1),
+                pipelining: Pipelining::Fixed(q),
+                fabric: FabricModel::Throttled(machine),
+                ..Default::default()
+            };
+            block_jacobi_threaded_fabric(&a, d, OrderingFamily::Degree4, &opts).2.makespan
+        };
+        for q in [1usize, 2, 4] {
+            let all = run(PortModel::AllPort, q);
+            assert_eq!(all, run(PortModel::AllPort, q), "q={q}: nondeterministic makespan");
+            let two = run(PortModel::KPort(2), q);
+            let one = run(PortModel::OnePort, q);
+            assert!(all <= two + 1e-9 && two <= one + 1e-9, "q={q}: {all} ≤ {two} ≤ {one}");
+        }
+    }
+
+    #[test]
+    fn throttling_changes_no_bit_and_no_traffic() {
+        // The fabric stamps virtual time; it must not perturb the
+        // protocol: results stay bitwise-identical and the meter agrees.
+        let a = random_symmetric(24, 33);
+        let base = JacobiOptions {
+            force_sweeps: Some(2),
+            pipelining: Pipelining::Fixed(3),
+            ..Default::default()
+        };
+        let throttled =
+            JacobiOptions { fabric: FabricModel::Throttled(Machine::one_port(10.0, 1.0)), ..base };
+        let (r0, m0) = block_jacobi_threaded(&a, 2, OrderingFamily::PermutedBr, &base);
+        let (r1, m1) = block_jacobi_threaded(&a, 2, OrderingFamily::PermutedBr, &throttled);
+        assert_eq!(r0.rotations, r1.rotations);
+        for c in 0..24 {
+            assert_eq!(r0.eigenvalues[c], r1.eigenvalues[c], "λ_{c}");
+            assert_eq!(r0.eigenvectors.col(c), r1.eigenvectors.col(c), "u_{c}");
+        }
+        assert_eq!(m0.volume_by_dim(), m1.volume_by_dim());
+        assert_eq!(m0.total_messages(), m1.total_messages());
     }
 
     #[test]

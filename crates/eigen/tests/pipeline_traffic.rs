@@ -8,10 +8,11 @@
 //! packetized cross-block pairing is bitwise-equal to the whole-block
 //! pairing for every packet count (packets never interact).
 
+use mph_ccpipe::{Machine, PortModel};
 use mph_core::{CommPlan, OrderingFamily};
 use mph_eigen::{
-    block_jacobi_threaded, lower_sweeps, pair_across_blocks, ColumnBlock, JacobiOptions,
-    PairingRule, Pipelining,
+    block_jacobi_threaded, lower_sweeps, pair_across_blocks, ColumnBlock, FabricModel,
+    JacobiOptions, PairingRule, Pipelining,
 };
 use mph_linalg::symmetric::random_symmetric;
 use mph_simnet::{plan_pipelined_schedule, plan_unpipelined_schedule};
@@ -23,6 +24,15 @@ fn family_strategy() -> impl Strategy<Value = OrderingFamily> {
         Just(OrderingFamily::PermutedBr),
         Just(OrderingFamily::Degree4),
         Just(OrderingFamily::MinAlpha),
+    ]
+}
+
+fn fabric_strategy() -> impl Strategy<Value = FabricModel> {
+    prop_oneof![
+        Just(FabricModel::Free),
+        Just(FabricModel::Throttled(Machine::all_port(1000.0, 100.0))),
+        Just(FabricModel::Throttled(Machine::one_port(1000.0, 100.0))),
+        Just(FabricModel::Throttled(Machine { ts: 50.0, tw: 3.0, ports: PortModel::KPort(2) })),
     ]
 }
 
@@ -43,6 +53,7 @@ proptest! {
     #[test]
     fn metered_traffic_equals_simulated_and_predicted(
         family in family_strategy(),
+        fabric in fabric_strategy(),
         d in 1usize..=3,
         m_factor in 1usize..=3, // m = blocks · factor + remainder → uneven too
         remainder in 0usize..=3,
@@ -56,10 +67,13 @@ proptest! {
         let plans = lower_sweeps(m, d, family, cache, sweeps);
         let predicted = predicted_volume(&plans, d);
 
-        // Unpipelined execution vs plan vs simulation.
+        // Unpipelined execution vs plan vs simulation — under every link
+        // fabric: throttling stamps virtual time, it must never change
+        // what travels where.
         let base = JacobiOptions {
             force_sweeps: Some(sweeps),
             cache_diagonals: cache,
+            fabric,
             ..Default::default()
         };
         let (_, meter) = block_jacobi_threaded(&a, d, family, &base);
@@ -132,6 +146,39 @@ proptest! {
         prop_assert_eq!(acc_whole.max_off, acc_split.max_off);
         prop_assert_eq!(res_a, res_b, "resident blocks diverged (q={})", q);
         prop_assert_eq!(mob_a, mob_b, "mobile blocks diverged (q={})", q);
+    }
+}
+
+/// Port-model conformance: under every `PortModel`, pipelined ≡
+/// unpipelined ≡ logical stays bitwise for Q ∈ {1, 2, K} with throttling
+/// on — the fabric charges time, the mathematics must not notice.
+#[test]
+fn every_port_model_preserves_bitwise_equality_across_q() {
+    use mph_eigen::block_jacobi;
+    let m = 24;
+    let d = 2usize;
+    let k = (1 << d) - 1; // longest exchange phase
+    let a = random_symmetric(m, 55);
+    let base = JacobiOptions { force_sweeps: Some(2), ..Default::default() };
+    let logical = block_jacobi(&a, d, OrderingFamily::Degree4, &base);
+    for ports in [PortModel::OnePort, PortModel::KPort(2), PortModel::AllPort] {
+        let fabric = FabricModel::Throttled(Machine { ts: 500.0, tw: 10.0, ports });
+        for q in [1usize, 2, k] {
+            let opts = JacobiOptions { pipelining: Pipelining::Fixed(q), fabric, ..base };
+            let (r, meter) = block_jacobi_threaded(&a, d, OrderingFamily::Degree4, &opts);
+            assert_eq!(r.rotations, logical.rotations, "{ports:?} q={q}");
+            for c in 0..m {
+                assert_eq!(r.eigenvalues[c], logical.eigenvalues[c], "{ports:?} q={q} λ_{c}");
+                assert_eq!(
+                    r.eigenvectors.col(c),
+                    logical.eigenvectors.col(c),
+                    "{ports:?} q={q} u_{c}"
+                );
+            }
+            // And per-dimension traffic still satisfies meter ≡ plan.
+            let plans = lower_sweeps(m, d, OrderingFamily::Degree4, false, 2);
+            assert_eq!(meter.volume_by_dim(), predicted_volume(&plans, d), "{ports:?} q={q}");
+        }
     }
 }
 

@@ -1,0 +1,396 @@
+//! The throttled link fabric: port-model enforcement over the channel
+//! transport, driven by a deterministic virtual clock.
+//!
+//! The raw channel transport of [`crate::spmd`] is effectively an all-port
+//! machine with free transmission — messages are pointers, so measured
+//! wall time cannot track the `Ts + S·Tw` costs the paper's model predicts
+//! (PR 3 measured 0.99x where the model said 1.45x). This module closes
+//! that gap: under [`FabricModel::Throttled`] every send is *charged*
+//! against a [`Machine`] by a per-node virtual clock —
+//!
+//! * the node CPU issues the start-up serially (`now += Ts`);
+//! * the transmission then occupies **a port** (one for
+//!   [`PortModel::OnePort`], `k` for [`PortModel::KPort`], one per link for
+//!   [`PortModel::AllPort`]) **and the outgoing link** for `S·Tw`, starting
+//!   no earlier than the CPU, the acquired port, or the link's previous
+//!   transmission — links serialize, ports are acquired
+//!   earliest-available (a list schedule, the dynamic counterpart of the
+//!   cost model's LPT);
+//! * the message is stamped with its transmission-end time, and the
+//!   receiver's clock advances to that stamp — waiting for data is virtual
+//!   time spent.
+//!
+//! The clocks are max-plus dataflow over the FIFO channel order, so the
+//! measured makespan (`max` over the nodes' final clocks, reported by
+//! [`run_spmd_fabric`](crate::spmd::run_spmd_fabric)) is **deterministic**:
+//! it depends only on the program's message pattern and the machine
+//! parameters, never on OS scheduling. That is what lets tests and benches
+//! compare *measured* phase times against the analytic model and the
+//! network simulator to tight tolerances, and what finally makes ordering
+//! experiments (degree-4 vs BR under shallow pipelining) a measurable
+//! runtime fact instead of only a priced one.
+//!
+//! Computation is deliberately *free* on the virtual clock: the fabric
+//! measures communication, so measured-vs-predicted comparisons against
+//! the (communication-only) cost models are apples to apples. Every
+//! message that moves is charged, control-plane traffic (convergence
+//! votes) included — programs comparing against a price that omits such
+//! protocol messages should disable them (the eigensolver's
+//! `force_sweeps` does exactly that).
+//!
+//! The inverse direction — measuring the channel transport's own
+//! effective parameters with a wall clock — is
+//! [`measure_channel_fabric`], whose samples [`Machine::calibrate`] fits.
+
+use crate::machine::{FabricStats, Machine, PortModel};
+use crate::spmd::run_spmd;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What the link layer enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FabricModel {
+    /// The raw channel transport: all-port, free transmission, no clock.
+    /// This is the historical behavior and the default.
+    #[default]
+    Free,
+    /// Every message is charged `Ts + S·Tw` against the machine's port
+    /// configuration on a deterministic virtual clock.
+    Throttled(Machine),
+}
+
+impl FabricModel {
+    /// Whether this fabric runs a virtual clock.
+    pub fn is_throttled(&self) -> bool {
+        matches!(self, FabricModel::Throttled(_))
+    }
+
+    /// The enforced machine, if throttled.
+    pub fn machine(&self) -> Option<Machine> {
+        match self {
+            FabricModel::Free => None,
+            FabricModel::Throttled(m) => Some(*m),
+        }
+    }
+}
+
+/// Outcome of a fabric run: the virtual times at which each node finished.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricReport {
+    /// The model that was enforced.
+    pub model: FabricModel,
+    /// `max` over nodes of their final virtual clock (0 under
+    /// [`FabricModel::Free`]).
+    pub makespan: f64,
+    /// Each node's final virtual clock, in label order.
+    pub node_times: Vec<f64>,
+}
+
+/// Per-node clock state: the CPU's current virtual time plus the
+/// availability horizon of every outgoing link and transmit port.
+struct ClockState {
+    now: f64,
+    /// Barriers passed so far; its parity selects the [`SharedClock`]
+    /// slot for the next synchronization.
+    barrier_gen: usize,
+    /// `link_free[dim]`: when this node's outgoing link across `dim` ends
+    /// its current transmission. Links are full-duplex — each direction is
+    /// owned by its sender — so this state is node-local, which is what
+    /// keeps the clock deterministic under real thread scheduling.
+    link_free: Vec<f64>,
+    /// Transmit-port availability; empty for all-port (the link array
+    /// already *is* one port per link).
+    port_free: Vec<f64>,
+}
+
+/// A node's view of the fabric: the model plus (when throttled) its clock.
+pub struct LinkClock {
+    model: FabricModel,
+    state: Mutex<ClockState>,
+}
+
+impl LinkClock {
+    /// A clock for one node of a `d`-cube under `model`.
+    pub(crate) fn new(model: FabricModel, d: usize) -> Self {
+        let ports = match model {
+            FabricModel::Free => 0,
+            FabricModel::Throttled(m) => match m.ports {
+                PortModel::AllPort => 0,
+                PortModel::OnePort => 1,
+                PortModel::KPort(k) => {
+                    assert!(k >= 1, "a k-port fabric needs at least one port");
+                    k
+                }
+            },
+        };
+        LinkClock {
+            model,
+            state: Mutex::new(ClockState {
+                now: 0.0,
+                barrier_gen: 0,
+                link_free: vec![0.0; d.max(1)],
+                port_free: vec![0.0; ports],
+            }),
+        }
+    }
+
+    /// Charges one `elems`-element send across `dim`; returns the arrival
+    /// stamp to travel with the message (0 when free).
+    pub(crate) fn on_send(&self, dim: usize, elems: u64) -> f64 {
+        self.on_send_ready(dim, elems, 0.0)
+    }
+
+    /// [`Self::on_send`] with an explicit *data-readiness* time: the
+    /// transmission starts no earlier than `ready` — the arrival stamp of
+    /// the received packet this message forwards. The CPU still issues the
+    /// start-up serially in program order (`now += Ts`), but it does not
+    /// wait for the data: this is the comm-processor model a pipelined
+    /// phase needs, where iteration `k+1`'s early packets depart while
+    /// iteration `k`'s late ones are still in flight.
+    pub(crate) fn on_send_ready(&self, dim: usize, elems: u64, ready: f64) -> f64 {
+        let FabricModel::Throttled(machine) = self.model else {
+            return 0.0;
+        };
+        let mut st = self.state.lock().expect("fabric clock poisoned");
+        // Start-up: issued serially by the node CPU.
+        st.now += machine.ts;
+        // Transmission: waits for the data dependency, then acquires a
+        // port (earliest available) and the outgoing link.
+        let mut start = st.now.max(ready).max(st.link_free[dim]);
+        let port =
+            (0..st.port_free.len()).min_by(|&a, &b| st.port_free[a].total_cmp(&st.port_free[b]));
+        if let Some(p) = port {
+            start = start.max(st.port_free[p]);
+            st.port_free[p] = start + elems as f64 * machine.tw;
+        }
+        let end = start + elems as f64 * machine.tw;
+        st.link_free[dim] = end;
+        end
+    }
+
+    /// Advances the clock to a received message's arrival stamp.
+    pub(crate) fn on_recv(&self, stamp: f64) {
+        if !self.model.is_throttled() {
+            return;
+        }
+        let mut st = self.state.lock().expect("fabric clock poisoned");
+        st.now = st.now.max(stamp);
+    }
+
+    /// This node's current virtual time (0 under [`FabricModel::Free`]).
+    pub fn now(&self) -> f64 {
+        if !self.model.is_throttled() {
+            return 0.0;
+        }
+        self.state.lock().expect("fabric clock poisoned").now
+    }
+
+    /// First half of a barrier's virtual-time synchronization: folds this
+    /// node's clock into the current generation's slot and returns that
+    /// slot. `None` on a free fabric (no sync needed).
+    pub(crate) fn begin_barrier(&self, shared: &SharedClock) -> Option<usize> {
+        if !self.model.is_throttled() {
+            return None;
+        }
+        let mut st = self.state.lock().expect("fabric clock poisoned");
+        let slot = st.barrier_gen & 1;
+        st.barrier_gen += 1;
+        shared.fold_in(slot, st.now);
+        Some(slot)
+    }
+
+    /// Second half, after the real barrier wait: adopts the generation's
+    /// maximum and zeroes the *other* slot for the next generation. The
+    /// caller must pass a second barrier wait after this before any node
+    /// can reach its next `begin_barrier` — that wait is what makes the
+    /// two-slot scheme race-free: a fast node cannot fold generation
+    /// `g + 1` into a slot a slow node is still reading or resetting.
+    pub(crate) fn finish_barrier(&self, shared: &SharedClock, slot: usize) {
+        let t = shared.read(slot);
+        shared.reset(slot ^ 1);
+        let mut st = self.state.lock().expect("fabric clock poisoned");
+        st.now = st.now.max(t);
+    }
+}
+
+/// The barrier clock: one max-only slot per barrier-generation parity.
+/// Non-negative `f64`s order identically to their IEEE-754 bit patterns,
+/// so `fetch_max` on the bits is an atomic floating-point max. Two slots
+/// alternate so one generation's maximum can be read while the next
+/// generation's slot is already zeroed — see
+/// [`LinkClock::finish_barrier`] for the protocol.
+#[derive(Debug, Default)]
+pub(crate) struct SharedClock([AtomicU64; 2]);
+
+impl SharedClock {
+    pub(crate) fn new() -> Self {
+        SharedClock::default()
+    }
+
+    fn fold_in(&self, slot: usize, t: f64) {
+        debug_assert!(t >= 0.0, "virtual time went negative");
+        self.0[slot].fetch_max(t.to_bits(), Ordering::Relaxed);
+    }
+
+    fn read(&self, slot: usize) -> f64 {
+        f64::from_bits(self.0[slot].load(Ordering::Relaxed))
+    }
+
+    fn reset(&self, slot: usize) {
+        self.0[slot].store(0, Ordering::Relaxed);
+    }
+}
+
+/// Measures the live channel transport with a wall clock: every node pair
+/// exchanges messages of each size across dimension 0, the exchange plus
+/// one read pass over the received payload is timed, and every node's
+/// samples are pooled. Feed the result to [`Machine::calibrate`].
+///
+/// The read pass matters: the channels ship pointers, so the bytes only
+/// cross the cache hierarchy when the receiver touches them — which is
+/// exactly when a solver pays for an arrived block. Without it the slope
+/// (`Tw`) would be indistinguishable from scheduler noise.
+pub fn measure_channel_fabric(d: usize, sizes: &[usize], reps: usize) -> FabricStats {
+    assert!(!sizes.is_empty() && reps >= 1);
+    let pooled = Mutex::new(FabricStats::new());
+    run_spmd::<Vec<f64>, (), _>(d, |ctx| {
+        let mut local = FabricStats::new();
+        for &elems in sizes {
+            // Pre-build the payloads: allocation/zeroing is message
+            // *assembly*, not transport, so it stays outside the timer.
+            let mut payloads: Vec<Vec<f64>> = (0..=reps).map(|_| vec![0.0; elems]).collect();
+            // One warm-up exchange per size primes the channel and caches.
+            let warm = ctx.exchange(0, payloads.pop().expect("warm-up payload"));
+            std::hint::black_box(warm.iter().sum::<f64>());
+            for payload in payloads {
+                ctx.barrier();
+                let t0 = Instant::now();
+                let got = ctx.exchange(0, payload);
+                let sum: f64 = got.iter().sum();
+                let secs = t0.elapsed().as_secs_f64();
+                std::hint::black_box(sum);
+                local.record(elems as f64, secs);
+            }
+        }
+        pooled.lock().expect("calibration pool poisoned").merge(&local);
+    });
+    pooled.into_inner().expect("calibration pool poisoned")
+}
+
+/// One-call calibration of the channel runtime: probes dimension-0
+/// exchanges at three sizes and fits a [`Machine`] to the medians. This is
+/// the machine to hand `Pipelining::Auto` when the solve will run on the
+/// channel runtime itself rather than the paper's Figure-2 hardware.
+pub fn calibrate_channel_machine(d: usize) -> Machine {
+    Machine::calibrate(&measure_channel_fabric(d, &[256, 4096, 32768], 9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamps(clock: &LinkClock, sends: &[(usize, u64)]) -> Vec<f64> {
+        sends.iter().map(|&(dim, elems)| clock.on_send(dim, elems)).collect()
+    }
+
+    #[test]
+    fn free_fabric_keeps_the_clock_at_zero() {
+        let clock = LinkClock::new(FabricModel::Free, 3);
+        assert_eq!(clock.on_send(0, 1000), 0.0);
+        clock.on_recv(42.0);
+        assert_eq!(clock.now(), 0.0);
+    }
+
+    #[test]
+    fn all_port_serializes_startups_but_overlaps_links() {
+        // Ts = 1, Tw = 1, 5-element messages on distinct links: start-ups
+        // serialize on the CPU (1, 2, 3), transmissions overlap fully.
+        let m = Machine::all_port(1.0, 1.0);
+        let clock = LinkClock::new(FabricModel::Throttled(m), 3);
+        assert_eq!(stamps(&clock, &[(0, 5), (1, 5), (2, 5)]), vec![6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn same_link_transmissions_serialize_under_every_port_model() {
+        let m = Machine::all_port(1.0, 1.0);
+        let clock = LinkClock::new(FabricModel::Throttled(m), 2);
+        // Second send on link 0 waits for the first to clear the wire.
+        assert_eq!(stamps(&clock, &[(0, 5), (0, 5)]), vec![6.0, 11.0]);
+    }
+
+    #[test]
+    fn one_port_serializes_across_links() {
+        let m = Machine::one_port(1.0, 1.0);
+        let clock = LinkClock::new(FabricModel::Throttled(m), 3);
+        // The single transmit port is busy until 6; the second message
+        // (distinct link!) still queues behind it.
+        assert_eq!(stamps(&clock, &[(0, 5), (1, 5)]), vec![6.0, 11.0]);
+    }
+
+    #[test]
+    fn k_port_runs_k_transmissions_then_queues() {
+        let m = Machine { ts: 1.0, tw: 1.0, ports: PortModel::KPort(2) };
+        let clock = LinkClock::new(FabricModel::Throttled(m), 3);
+        // Ports free at 6 and 7; the third message takes the earliest (6).
+        assert_eq!(stamps(&clock, &[(0, 5), (1, 5), (2, 5)]), vec![6.0, 7.0, 11.0]);
+    }
+
+    #[test]
+    fn recv_advances_to_the_stamp_monotonically() {
+        let m = Machine::all_port(1.0, 1.0);
+        let clock = LinkClock::new(FabricModel::Throttled(m), 1);
+        clock.on_recv(10.0);
+        assert_eq!(clock.now(), 10.0);
+        clock.on_recv(4.0); // late-arriving stamp from the past: no rewind
+        assert_eq!(clock.now(), 10.0);
+        // Next send starts from the advanced clock.
+        assert_eq!(clock.on_send(0, 2), 13.0);
+    }
+
+    #[test]
+    fn shared_clock_is_a_per_slot_float_max() {
+        let shared = SharedClock::new();
+        shared.fold_in(0, 1.5);
+        shared.fold_in(0, 100.25);
+        shared.fold_in(1, 7.0);
+        assert_eq!(shared.read(0), 100.25);
+        assert_eq!(shared.read(1), 7.0, "slots are independent");
+        shared.reset(0);
+        assert_eq!(shared.read(0), 0.0);
+        assert_eq!(shared.read(1), 7.0);
+    }
+
+    #[test]
+    fn barrier_halves_alternate_slots_and_reset_the_other() {
+        let shared = SharedClock::new();
+        let m = Machine::all_port(1.0, 1.0);
+        let clock = LinkClock::new(FabricModel::Throttled(m), 1);
+        clock.on_recv(10.0);
+        let s0 = clock.begin_barrier(&shared).expect("throttled");
+        assert_eq!(s0, 0);
+        clock.finish_barrier(&shared, s0);
+        assert_eq!(clock.now(), 10.0);
+        // Next generation uses the other (freshly zeroed) slot.
+        let s1 = clock.begin_barrier(&shared).expect("throttled");
+        assert_eq!(s1, 1);
+        clock.finish_barrier(&shared, s1);
+        // Generation 2 reuses slot 0, which generation 1 reset: it must
+        // hold only this generation's fold, not the stale 10.0.
+        clock.on_recv(3.0); // below current now; no effect
+        let s2 = clock.begin_barrier(&shared).expect("throttled");
+        assert_eq!(s2, 0);
+        assert_eq!(shared.read(0), 10.0, "fold carries the node's own now");
+    }
+
+    #[test]
+    fn measured_channel_stats_calibrate_to_a_finite_machine() {
+        // Tiny probe (d = 1, small sizes): the fit must come back finite
+        // and positive whatever this box's scheduler does.
+        let stats = measure_channel_fabric(1, &[64, 1024], 5);
+        assert_eq!(stats.len(), 2 * 2 * 5, "2 nodes × 2 sizes × 5 reps");
+        let m = Machine::calibrate(&stats);
+        assert!(m.ts.is_finite() && m.ts > 0.0);
+        assert!(m.tw.is_finite() && m.tw > 0.0);
+    }
+}

@@ -7,15 +7,31 @@
 //! dimension-exchange collectives. Nothing is shared between nodes except
 //! the traffic meter (atomics) — a program written against [`NodeCtx`]
 //! would port to MPI on a real hypercube unchanged in structure.
+//!
+//! The crate also owns the machine *model* ([`Machine`], [`PortModel`] —
+//! re-exported by `mph_ccpipe` for the analytic cost layer) and its two
+//! runtime halves:
+//!
+//! * **enforcement** — [`fabric`]: a throttled link layer charging every
+//!   message `Ts + S·Tw` against the port configuration on a
+//!   deterministic virtual clock ([`run_spmd_fabric`]);
+//! * **measurement** — [`measure_channel_fabric`] probes the live channel
+//!   transport with a wall clock and [`Machine::calibrate`] fits `Ts`/`Tw`
+//!   to the samples, so schedulers can optimize for the machine they
+//!   actually run on.
 
 pub mod collectives;
+pub mod fabric;
+pub mod machine;
 pub mod meter;
 pub mod packet;
 pub mod pipelined;
 pub mod spmd;
 
 pub use collectives::{all_gather, all_reduce, broadcast, gather};
+pub use fabric::{calibrate_channel_machine, measure_channel_fabric, FabricModel, FabricReport};
+pub use machine::{FabricStats, Machine, PortModel};
 pub use meter::TrafficMeter;
 pub use packet::{pipelined_phase, Packet, PacketChannel, PhaseStats};
 pub use pipelined::{pipelined_exchange, unpipelined_exchange};
-pub use spmd::{run_spmd, run_spmd_metered, Meterable, NodeCtx};
+pub use spmd::{run_spmd, run_spmd_fabric, run_spmd_metered, Meterable, NodeCtx};

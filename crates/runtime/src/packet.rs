@@ -97,6 +97,20 @@ impl<'c, 'n, M: Send + Meterable> PacketChannel<'c, 'n, M> {
     /// # Panics
     /// Panics if the dimension already holds `window` in-flight packets.
     pub fn send(&mut self, dim: usize, msg: M) {
+        self.account_send(dim);
+        self.ctx.send(dim, msg);
+    }
+
+    /// [`PacketChannel::send`] with a data-readiness stamp: the packet's
+    /// transmission acquires its port and link through the fabric no
+    /// earlier than `ready` (see [`NodeCtx::send_after`]). Window
+    /// accounting is identical to [`PacketChannel::send`].
+    pub fn send_after(&mut self, dim: usize, msg: M, ready: f64) {
+        self.account_send(dim);
+        self.ctx.send_after(dim, msg, ready);
+    }
+
+    fn account_send(&mut self, dim: usize) {
         assert!(
             self.in_flight[dim] < self.window,
             "dimension {dim} already holds {} in-flight packets (window {})",
@@ -105,7 +119,6 @@ impl<'c, 'n, M: Send + Meterable> PacketChannel<'c, 'n, M> {
         );
         self.in_flight[dim] += 1;
         self.peak[dim] = self.peak[dim].max(self.in_flight[dim]);
-        self.ctx.send(dim, msg);
     }
 
     /// Receives the next packetized message from `dim` (blocking).
@@ -116,13 +129,24 @@ impl<'c, 'n, M: Send + Meterable> PacketChannel<'c, 'n, M> {
     /// raw channel traffic into the windowed protocol, which would
     /// silently corrupt the in-flight accounting.
     pub fn recv(&mut self, dim: usize) -> M {
+        self.account_recv(dim);
+        self.ctx.recv(dim)
+    }
+
+    /// [`PacketChannel::recv`] returning the packet's virtual arrival
+    /// stamp without advancing the node clock (see
+    /// [`NodeCtx::recv_stamped`]).
+    pub fn recv_stamped(&mut self, dim: usize) -> (M, f64) {
+        self.account_recv(dim);
+        self.ctx.recv_stamped(dim)
+    }
+
+    fn account_recv(&mut self, dim: usize) {
         assert!(
             self.in_flight[dim] > 0,
             "dimension {dim} has no in-flight packet to receive (window accounting broken)"
         );
-        let msg = self.ctx.recv(dim);
         self.in_flight[dim] -= 1;
-        msg
     }
 
     /// Current in-flight count on `dim`.
@@ -190,23 +214,33 @@ where
             pkt.q
         );
     };
+    // The phase's virtual-time dataflow: each packet's forwarding departs
+    // when *its own* input has arrived (stamp from the fabric), not when
+    // the node's program counter gets there — the comm-processor model.
+    // Local packets are ready at phase entry.
+    let entry = ctx.virtual_now();
     for k in 0..k_total {
         for q in 0..q_total {
-            let mut payload = if k == 0 {
-                local[q].take().expect("local packet consumed twice")
+            let (mut payload, ready) = if k == 0 {
+                (local[q].take().expect("local packet consumed twice"), entry)
             } else {
-                let pkt = unwrap(chan.recv(links[k - 1]));
+                let (msg, stamp) = chan.recv_stamped(links[k - 1]);
+                let pkt = unwrap(msg);
                 expect(&pkt, k - 1, q);
-                pkt.payload
+                (pkt.payload, stamp)
             };
             process(k, q, &mut payload);
-            chan.send(links[k], wrap(Packet { k: k as u32, q: q as u32, payload }));
+            chan.send_after(links[k], wrap(Packet { k: k as u32, q: q as u32, payload }), ready);
         }
     }
     let finals = (0..q_total)
         .map(|q| {
-            let pkt = unwrap(chan.recv(links[k_total - 1]));
+            let (msg, stamp) = chan.recv_stamped(links[k_total - 1]);
+            let pkt = unwrap(msg);
             expect(&pkt, k_total - 1, q);
+            // The phase completes for this node when it holds the packet:
+            // consuming the arrival advances the virtual clock.
+            ctx.advance_clock_to(stamp);
             pkt.payload
         })
         .collect();

@@ -8,7 +8,15 @@
 //! neighbor-to-neighbor — exactly the discipline the paper's algorithms
 //! obey on a real hypercube multicomputer — which is what makes this
 //! runtime a faithful stand-in for an MPI-on-hypercube deployment.
+//!
+//! Every message travels in an envelope carrying a virtual-time arrival
+//! stamp from the sender's [`LinkClock`]. Under the default
+//! [`FabricModel::Free`] the stamps are zero and the clocks idle; under
+//! [`FabricModel::Throttled`] ([`run_spmd_fabric`]) each send is charged
+//! `Ts + S·Tw` against the machine's port configuration, and barriers
+//! synchronize the nodes' clocks — see [`crate::fabric`].
 
+use crate::fabric::{FabricModel, FabricReport, LinkClock, SharedClock};
 use crate::meter::TrafficMeter;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Barrier;
@@ -47,16 +55,25 @@ impl Meterable for Vec<f64> {
     }
 }
 
-/// Per-node handle: identity, neighbor channels, barrier, traffic meter.
+/// A message plus its virtual-time arrival stamp (0 on a free fabric).
+struct Envelope<M> {
+    msg: M,
+    stamp: f64,
+}
+
+/// Per-node handle: identity, neighbor channels, barrier, traffic meter,
+/// and the node's fabric clock.
 pub struct NodeCtx<'a, M: Send> {
     id: usize,
     d: usize,
     /// `tx[dim]` sends to the neighbor across `dim`.
-    tx: Vec<Sender<M>>,
+    tx: Vec<Sender<Envelope<M>>>,
     /// `rx[dim]` receives from the neighbor across `dim`.
-    rx: Vec<Receiver<M>>,
+    rx: Vec<Receiver<Envelope<M>>>,
     barrier: &'a Barrier,
     meter: &'a TrafficMeter,
+    clock: LinkClock,
+    shared_clock: &'a SharedClock,
 }
 
 impl<'a, M: Send + Meterable> NodeCtx<'a, M> {
@@ -75,15 +92,28 @@ impl<'a, M: Send + Meterable> NodeCtx<'a, M> {
         self.id ^ (1 << dim)
     }
 
-    /// Sends `msg` to the neighbor across `dim` (non-blocking).
-    pub fn send(&self, dim: usize, msg: M) {
-        self.meter.record(dim, msg.elems(), msg.is_control());
-        self.tx[dim].send(msg).expect("neighbor hung up");
+    /// This node's virtual clock, in machine time units (always 0 on a
+    /// [`FabricModel::Free`] fabric).
+    pub fn virtual_now(&self) -> f64 {
+        self.clock.now()
     }
 
-    /// Receives the next message from the neighbor across `dim` (blocking).
+    /// Sends `msg` to the neighbor across `dim` (non-blocking in real
+    /// time; on a throttled fabric the message is charged `Ts + S·Tw`
+    /// against this node's ports and outgoing link on the virtual clock).
+    pub fn send(&self, dim: usize, msg: M) {
+        self.meter.record(dim, msg.elems(), msg.is_control());
+        let stamp = self.clock.on_send(dim, msg.elems());
+        self.tx[dim].send(Envelope { msg, stamp }).expect("neighbor hung up");
+    }
+
+    /// Receives the next message from the neighbor across `dim` (blocking;
+    /// on a throttled fabric this node's clock advances to the message's
+    /// arrival stamp — waiting for data is virtual time spent).
     pub fn recv(&self, dim: usize) -> M {
-        self.rx[dim].recv().expect("neighbor hung up")
+        let env = self.rx[dim].recv().expect("neighbor hung up");
+        self.clock.on_recv(env.stamp);
+        env.msg
     }
 
     /// Symmetric exchange: send `msg` across `dim` and receive the
@@ -93,9 +123,53 @@ impl<'a, M: Send + Meterable> NodeCtx<'a, M> {
         self.recv(dim)
     }
 
-    /// Waits until all `2^d` nodes reach the barrier.
+    /// Like [`NodeCtx::send`], with an explicit *data-readiness* time:
+    /// the transmission departs no earlier than `ready` (typically the
+    /// arrival stamp of the packet this message forwards, from
+    /// [`NodeCtx::recv_stamped`]). The CPU issues the start-up serially
+    /// in program order but does not wait for the data — the
+    /// comm-processor model that lets a software pipeline overlap
+    /// iterations on the virtual clock.
+    pub fn send_after(&self, dim: usize, msg: M, ready: f64) {
+        self.meter.record(dim, msg.elems(), msg.is_control());
+        let stamp = self.clock.on_send_ready(dim, msg.elems(), ready);
+        self.tx[dim].send(Envelope { msg, stamp }).expect("neighbor hung up");
+    }
+
+    /// Like [`NodeCtx::recv`], but returns the message's virtual arrival
+    /// stamp *without* advancing this node's clock: the caller owns the
+    /// dependency bookkeeping (forward the stamp into
+    /// [`NodeCtx::send_after`], and [`NodeCtx::advance_clock_to`] the
+    /// stamps it ultimately consumes). On a free fabric the stamp is 0.
+    pub fn recv_stamped(&self, dim: usize) -> (M, f64) {
+        let env = self.rx[dim].recv().expect("neighbor hung up");
+        (env.msg, env.stamp)
+    }
+
+    /// Advances this node's virtual clock to `t` (no-op if already past,
+    /// or on a free fabric): the moment a stamped arrival is consumed.
+    pub fn advance_clock_to(&self, t: f64) {
+        self.clock.on_recv(t);
+    }
+
+    /// Waits until all `2^d` nodes reach the barrier. On a throttled
+    /// fabric the nodes also synchronize their virtual clocks: everyone
+    /// leaves at the latest participant's time, as a real barrier would
+    /// make them. The sync is two-phase over per-generation slots (fold →
+    /// wait → adopt + reset-other → wait), so a fast node can never fold
+    /// its *next* barrier's time into a slot a slow node is still
+    /// adopting — virtual times stay scheduling-independent.
     pub fn barrier(&self) {
-        self.barrier.wait();
+        match self.clock.begin_barrier(self.shared_clock) {
+            None => {
+                self.barrier.wait();
+            }
+            Some(slot) => {
+                self.barrier.wait();
+                self.clock.finish_barrier(self.shared_clock, slot);
+                self.barrier.wait();
+            }
+        }
     }
 
     /// All-reduce by recursive dimension exchange over *any* message type:
@@ -153,34 +227,64 @@ where
     R: Send,
     F: Fn(&NodeCtx<'_, M>) -> R + Sync,
 {
+    let (results, meter, _) = run_spmd_fabric(d, FabricModel::Free, body);
+    (results, meter)
+}
+
+/// Like [`run_spmd_metered`] but the links run under `fabric`: with
+/// [`FabricModel::Throttled`] every message is charged against the
+/// machine's `Ts`/`Tw`/ports on a deterministic virtual clock, and the
+/// returned [`FabricReport`] carries the measured virtual makespan.
+pub fn run_spmd_fabric<M, R, F>(
+    d: usize,
+    fabric: FabricModel,
+    body: F,
+) -> (Vec<R>, TrafficMeter, FabricReport)
+where
+    M: Send + Meterable,
+    R: Send,
+    F: Fn(&NodeCtx<'_, M>) -> R + Sync,
+{
     let p = 1usize << d;
     let meter = TrafficMeter::new(d);
     let barrier = Barrier::new(p);
+    let shared_clock = SharedClock::new();
 
     // chan[n][dim] = (sender towards n, receiver at n).
-    let mut senders: Vec<Vec<Option<Sender<M>>>> = (0..p).map(|_| vec![None; d]).collect();
-    let mut receivers: Vec<Vec<Option<Receiver<M>>>> = (0..p).map(|_| vec![None; d]).collect();
+    let mut senders: Vec<Vec<Option<Sender<Envelope<M>>>>> =
+        (0..p).map(|_| vec![None; d]).collect();
+    let mut receivers: Vec<Vec<Option<Receiver<Envelope<M>>>>> =
+        (0..p).map(|_| vec![None; d]).collect();
     for n in 0..p {
         for dim in 0..d {
             // One directed channel delivering to n across dim; its sender
             // belongs to n's neighbor. (n, dim) ↦ (n ^ 2^dim, dim) is a
             // bijection, so every slot is filled exactly once.
-            let (tx, rx) = unbounded::<M>();
+            let (tx, rx) = unbounded::<Envelope<M>>();
             senders[n ^ (1 << dim)][dim] = Some(tx);
             receivers[n][dim] = Some(rx);
         }
     }
     let mut ctxs: Vec<NodeCtx<'_, M>> = Vec::with_capacity(p);
-    let sender_lists: Vec<Vec<Sender<M>>> = senders
+    let sender_lists: Vec<Vec<Sender<Envelope<M>>>> = senders
         .into_iter()
         .map(|row| row.into_iter().map(|s| s.expect("sender wired")).collect())
         .collect();
-    let receiver_lists: Vec<Vec<Receiver<M>>> = receivers
+    let receiver_lists: Vec<Vec<Receiver<Envelope<M>>>> = receivers
         .into_iter()
         .map(|row| row.into_iter().map(|r| r.expect("receiver wired")).collect())
         .collect();
     for (n, (tx, rx)) in sender_lists.into_iter().zip(receiver_lists).enumerate() {
-        ctxs.push(NodeCtx { id: n, d, tx, rx, barrier: &barrier, meter: &meter });
+        ctxs.push(NodeCtx {
+            id: n,
+            d,
+            tx,
+            rx,
+            barrier: &barrier,
+            meter: &meter,
+            clock: LinkClock::new(fabric, d),
+            shared_clock: &shared_clock,
+        });
     }
 
     let body = &body;
@@ -189,12 +293,15 @@ where
         handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect()
     })
     .expect("spmd scope failed");
-    (results, meter)
+    let node_times: Vec<f64> = ctxs.iter().map(|ctx| ctx.clock.now()).collect();
+    let makespan = node_times.iter().fold(0.0f64, |a, &b| a.max(b));
+    (results, meter, FabricReport { model: fabric, makespan, node_times })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::machine::Machine;
 
     #[test]
     fn neighbors_identify_each_other() {
@@ -284,5 +391,102 @@ mod tests {
     fn d0_single_node_runs() {
         let results = run_spmd::<(), usize, _>(0, |ctx| ctx.id() + 100);
         assert_eq!(results, vec![100]);
+    }
+
+    #[test]
+    fn free_fabric_reports_zero_makespan() {
+        let (_, _, report) = run_spmd_fabric::<f64, f64, _>(2, FabricModel::Free, |ctx| {
+            ctx.allreduce(1.0, |a, b| a + b)
+        });
+        assert_eq!(report.model, FabricModel::Free);
+        assert_eq!(report.makespan, 0.0);
+        assert_eq!(report.node_times, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn throttled_exchange_costs_ts_plus_s_tw_per_transition() {
+        // The canonical symmetric transition: every exchange of an
+        // S-element message advances every node's clock by exactly
+        // Ts + S·Tw, and the makespan is deterministic.
+        let fabric = FabricModel::Throttled(Machine::all_port(10.0, 2.0));
+        let run = || {
+            let (_, _, report) = run_spmd_fabric::<Vec<f64>, (), _>(2, fabric, |ctx| {
+                for dim in [0usize, 1, 0] {
+                    let _ = ctx.exchange(dim, vec![0.0; 5]);
+                }
+            });
+            report
+        };
+        let report = run();
+        let expect = 3.0 * (10.0 + 5.0 * 2.0);
+        assert_eq!(report.makespan, expect);
+        assert_eq!(report.node_times, vec![expect; 4]);
+        assert_eq!(run(), report, "virtual time must not depend on scheduling");
+    }
+
+    #[test]
+    fn throttled_one_port_serializes_concurrent_sends() {
+        // Two sends on distinct links before any receive: all-port
+        // overlaps the transmissions, one-port queues them.
+        let time_with = |machine: Machine| {
+            let (_, _, report) =
+                run_spmd_fabric::<Vec<f64>, (), _>(2, FabricModel::Throttled(machine), |ctx| {
+                    ctx.send(0, vec![0.0; 100]);
+                    ctx.send(1, vec![0.0; 100]);
+                    let _ = ctx.recv(0);
+                    let _ = ctx.recv(1);
+                });
+            report.makespan
+        };
+        let all = time_with(Machine::all_port(1.0, 1.0));
+        let one = time_with(Machine::one_port(1.0, 1.0));
+        assert_eq!(all, 2.0 + 100.0); // start-ups serial, wires parallel
+                                      // One port: the second transmission queues behind the first
+                                      // (its start-up overlaps the first transmission).
+        assert_eq!(one, 1.0 + 100.0 + 100.0);
+    }
+
+    #[test]
+    fn repeated_throttled_barriers_resync_deterministically() {
+        // The review repro: a fast pair races ahead to its next barrier
+        // while a slow pair is still adopting the previous one. With
+        // per-generation slots the adopted times are exact and identical
+        // across runs regardless of scheduling.
+        let fabric = FabricModel::Throttled(Machine::all_port(0.0, 1.0));
+        let run = || {
+            run_spmd_fabric::<Vec<f64>, Vec<f64>, _>(2, fabric, |ctx| {
+                let mut times = Vec::new();
+                // Round 1: pair (0,1) heavy, pair (2,3) light.
+                let elems = if ctx.id() < 2 { 1000 } else { 10 };
+                let _ = ctx.exchange(0, vec![0.0; elems]);
+                ctx.barrier();
+                times.push(ctx.virtual_now());
+                // Round 2: roles swapped.
+                let elems = if ctx.id() < 2 { 10 } else { 1000 };
+                let _ = ctx.exchange(0, vec![0.0; elems]);
+                ctx.barrier();
+                times.push(ctx.virtual_now());
+                times
+            })
+            .0
+        };
+        let want = vec![vec![1000.0, 2000.0]; 4];
+        for i in 0..20 {
+            assert_eq!(run(), want, "run {i} diverged");
+        }
+    }
+
+    #[test]
+    fn throttled_barrier_synchronizes_clocks() {
+        // Node pairs across dim 0 exchange unequal payloads; after a
+        // barrier every node's clock sits at the slowest participant.
+        let fabric = FabricModel::Throttled(Machine::all_port(0.0, 1.0));
+        let (_, _, report) = run_spmd_fabric::<Vec<f64>, f64, _>(2, fabric, |ctx| {
+            let elems = if ctx.id() < 2 { 10 } else { 1000 };
+            let _ = ctx.exchange(0, vec![0.0; elems]);
+            ctx.barrier();
+            ctx.virtual_now()
+        });
+        assert_eq!(report.node_times, vec![1000.0; 4]);
     }
 }

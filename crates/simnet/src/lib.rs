@@ -26,7 +26,7 @@ pub mod sim;
 pub mod sweepsim;
 pub mod validate;
 
-pub use plan::{plan_pipelined_schedule, plan_unpipelined_schedule};
+pub use plan::{plan_phase_times, plan_pipelined_schedule, plan_unpipelined_schedule};
 pub use schedule::{
     pipelined_phase_schedule, unpipelined_phase_schedule, CommSchedule, CommStage, NodeSend,
 };

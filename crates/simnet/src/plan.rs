@@ -21,6 +21,8 @@
 //! the runtime sends each packet separately.
 
 use crate::schedule::{CommSchedule, CommStage, NodeSend};
+use crate::sim::{simulate_synchronized, StartupModel};
+use mph_ccpipe::Machine;
 use mph_core::{BlockPartition, CommPlan, PlanPhase};
 
 /// One stage per transition; node `n` sends exactly the plan's
@@ -61,6 +63,43 @@ pub fn plan_pipelined_schedule(plan: &CommPlan, qs: &[usize]) -> CommSchedule {
         }
     }
     CommSchedule::new(plan.d(), stages)
+}
+
+/// Simulated makespan of every phase of `plan` separately, in execution
+/// order: exchange phase `i` is packetized into `qs[i]` packets, serial
+/// phases are one whole-block stage, and each phase is played through the
+/// barrier-synchronized simulator on `machine`.
+///
+/// This is the simulator-side reference for cross-validating the
+/// *throttled-measured* phase times of the runtime's link fabric
+/// (`mph_runtime::fabric`) against the simulated ones: all three layers —
+/// cost model, simulator, throttled runtime — price the same lowered plan.
+pub fn plan_phase_times(
+    plan: &CommPlan,
+    machine: &Machine,
+    qs: &[usize],
+    startup: StartupModel,
+) -> Vec<f64> {
+    assert_eq!(
+        qs.len(),
+        plan.exchange_phases().count(),
+        "one pipelining degree per exchange phase"
+    );
+    let mut xq = 0usize;
+    plan.phases()
+        .iter()
+        .map(|ph| {
+            let stages = if ph.is_exchange() {
+                let q = qs[xq].max(1);
+                xq += 1;
+                pipelined_phase_stages(plan, ph, q)
+            } else {
+                let dim = ph.links[0];
+                vec![per_node_stage(ph.sends[0].iter().map(|&e| vec![(dim, e as f64)]).collect())]
+            };
+            simulate_synchronized(&CommSchedule::new(plan.d(), stages), machine, startup).makespan
+        })
+        .collect()
 }
 
 /// Builds the `K + Q − 1` stages of one packetized exchange phase,
@@ -233,6 +272,27 @@ mod tests {
             piped.makespan,
             want.total
         );
+    }
+
+    #[test]
+    fn per_phase_times_sum_to_the_plan_sweep_cost() {
+        // The per-phase simulated makespans, summed, must equal the cost
+        // model's plan_sweep_cost (same qs): one plan, one price.
+        let machine = Machine::paper_figure2();
+        let plan = lower(256, 3, OrderingFamily::PermutedBr, 0);
+        let q_max = 256.0 / 16.0;
+        let qs: Vec<usize> =
+            mph_ccpipe::plan_pipelining(&plan, &machine, q_max).iter().map(|c| c.opt.q).collect();
+        let times = plan_phase_times(&plan, &machine, &qs, StartupModel::SerializedThenParallel);
+        assert_eq!(times.len(), plan.phases().len());
+        let total: f64 = times.iter().sum();
+        let want = mph_ccpipe::plan_sweep_cost(&plan, &machine, q_max).total;
+        assert!((total - want).abs() < 1e-6 * want, "sim per-phase {total} vs model {want}");
+        // Exchange phases run e = d..1; the serial tail is 2 phases
+        // (division + last), each a single whole-block message.
+        let serial: f64 = times[times.len() - 2..].iter().sum();
+        let blk = 2.0 * 256.0 * (256.0 / 16.0);
+        assert!((serial - 2.0 * machine.single_message_cost(blk)).abs() < 1e-9);
     }
 
     #[test]
