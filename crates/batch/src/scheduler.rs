@@ -1,0 +1,282 @@
+//! The batch runner: lower, price, order, execute, report.
+
+use crate::job::Job;
+use crate::policy::Policy;
+use mph_ccpipe::{batch_cost, BatchCost, BatchOrder, Machine, PlannedJob};
+use mph_core::CommPlan;
+use mph_eigen::{lower_job, run_job_batch_planned, JobResult, JobSpan, JobSpec};
+use mph_runtime::{FabricModel, FabricReport, TrafficMeter};
+
+/// Batch-level options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchOptions {
+    /// The one fabric all jobs share. [`FabricModel::Throttled`] gives the
+    /// report a measured virtual makespan (and throughput); the per-job
+    /// `JacobiOptions::fabric` fields are ignored.
+    pub fabric: FabricModel,
+    /// How the jobs share it.
+    pub policy: Policy,
+    /// Machine used to *price* jobs (shortest-plan-first ordering, the
+    /// [`BatchCost`] sheet) when the fabric is [`FabricModel::Free`]; a
+    /// throttled fabric prices on its own enforced machine.
+    pub pricing: Machine,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            fabric: FabricModel::Free,
+            policy: Policy::Fifo,
+            pricing: Machine::paper_figure2(),
+        }
+    }
+}
+
+/// Aggregate throughput on the fabric's virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Completed jobs per unit of virtual time.
+    pub jobs_per_time: f64,
+    /// Data-plane elements moved per unit of virtual time.
+    pub elems_per_time: f64,
+}
+
+/// Everything a batch run produces.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-job results, in submission order — each bitwise identical to
+    /// the job's solo threaded run.
+    pub results: Vec<JobResult>,
+    /// Per-job virtual-clock spans, in submission order.
+    pub spans: Vec<JobSpan>,
+    /// The executed order (the policy's lowering).
+    pub order: BatchOrder,
+    /// The whole batch's measured virtual makespan (0 on a free fabric).
+    pub makespan: f64,
+    /// Shared traffic meter with per-job totals.
+    pub meter: TrafficMeter,
+    /// Fabric report (per-node final clocks).
+    pub fabric: FabricReport,
+    /// The cost sheet: per-job solo prices, FIFO-serial total, fill-floor,
+    /// round-model prediction for `order`, and the serial-tail share.
+    pub cost: BatchCost,
+    /// Aggregate throughput; `None` on a free fabric (no clock ticks).
+    pub throughput: Option<Throughput>,
+}
+
+impl BatchReport {
+    /// Mean per-job completion time (virtual clock) — the latency figure
+    /// shortest-plan-first minimizes.
+    pub fn mean_finish(&self) -> f64 {
+        self.spans.iter().map(|s| s.finish).sum::<f64>() / self.spans.len().max(1) as f64
+    }
+
+    /// Measured throughput gain of this run over the cost sheet's
+    /// FIFO-serial prediction... precisely: `serial_total / makespan`
+    /// (`None` on a free fabric).
+    pub fn measured_gain(&self) -> Option<f64> {
+        (self.makespan > 0.0).then(|| self.cost.serial_total / self.makespan)
+    }
+}
+
+/// Solves `jobs` on a `d`-cube of threads sharing one fabric. Lowers each
+/// job to its [`CommPlan`] chain, prices the batch, lowers the policy to a
+/// concrete order, executes everything on one `run_spmd_fabric` instance,
+/// and assembles the report.
+pub fn solve_batch(d: usize, jobs: &[Job], opts: &BatchOptions) -> BatchReport {
+    assert!(!jobs.is_empty(), "an empty batch solves nothing");
+    let specs: Vec<JobSpec> = jobs.iter().map(Job::to_spec).collect();
+    let lowered: Vec<(Vec<CommPlan>, Vec<Vec<usize>>)> =
+        specs.iter().map(|s| lower_job(s, d)).collect();
+    let planned: Vec<PlannedJob<'_>> =
+        lowered.iter().map(|(plans, qs)| PlannedJob { plans, qs }).collect();
+    let machine = opts.fabric.machine().unwrap_or(opts.pricing);
+    let order = opts.policy.order(&planned, &machine);
+    let cost = batch_cost(&planned, &machine, &order);
+    // The lowering that priced the batch is the one that runs it.
+    let run = run_job_batch_planned(d, &specs, &lowered, opts.fabric, &order);
+    let makespan = run.fabric.makespan;
+    let throughput = (makespan > 0.0).then(|| Throughput {
+        jobs_per_time: jobs.len() as f64 / makespan,
+        elems_per_time: run.meter.total_volume() as f64 / makespan,
+    });
+    BatchReport {
+        results: run.results,
+        spans: run.spans,
+        order,
+        makespan,
+        meter: run.meter,
+        fabric: run.fabric,
+        cost,
+        throughput,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mph_core::OrderingFamily;
+    use mph_eigen::JacobiOptions;
+    use mph_linalg::symmetric::random_symmetric;
+
+    fn forced(sweeps: usize) -> JacobiOptions {
+        JacobiOptions { force_sweeps: Some(sweeps), ..Default::default() }
+    }
+
+    fn mixed_jobs(m: usize) -> Vec<Job> {
+        vec![
+            Job::Eigen { a: random_symmetric(m, 1), family: OrderingFamily::Br, opts: forced(1) },
+            Job::Svd {
+                a: random_symmetric(m, 2),
+                family: OrderingFamily::Degree4,
+                opts: forced(1),
+            },
+            Job::Eigen {
+                a: random_symmetric(m, 3),
+                family: OrderingFamily::PermutedBr,
+                opts: forced(1),
+            },
+        ]
+    }
+
+    #[test]
+    fn free_fabric_reports_no_throughput_but_full_results() {
+        let report = solve_batch(2, &mixed_jobs(16), &BatchOptions::default());
+        assert_eq!(report.results.len(), 3);
+        assert!(report.throughput.is_none());
+        assert_eq!(report.makespan, 0.0);
+        assert!(report.measured_gain().is_none());
+        // Per-job traffic still splits.
+        assert!(report.meter.job_volume(0) > 0);
+        assert_eq!(
+            report.meter.job_volume(0) + report.meter.job_volume(1) + report.meter.job_volume(2),
+            report.meter.total_volume()
+        );
+    }
+
+    #[test]
+    fn interleave_beats_fifo_on_the_throttled_all_port_fabric() {
+        let jobs = mixed_jobs(32);
+        let fabric = FabricModel::Throttled(Machine::all_port(1000.0, 100.0));
+        let fifo = solve_batch(2, &jobs, &BatchOptions { fabric, ..Default::default() });
+        let inter = solve_batch(
+            2,
+            &jobs,
+            &BatchOptions {
+                fabric,
+                policy: Policy::Interleave { stride: 1 },
+                ..Default::default()
+            },
+        );
+        assert!(
+            inter.makespan < fifo.makespan,
+            "interleaved {} vs fifo {}",
+            inter.makespan,
+            fifo.makespan
+        );
+        assert!(inter.measured_gain().expect("throttled") > 1.0);
+        let t_fifo = fifo.throughput.expect("throttled");
+        let t_inter = inter.throughput.expect("throttled");
+        assert!(t_inter.jobs_per_time > t_fifo.jobs_per_time);
+        assert!(t_inter.elems_per_time > t_fifo.elems_per_time);
+        // Results are identical across policies — scheduling is invisible
+        // to the numerics.
+        for (a, b) in fifo.results.iter().zip(&inter.results) {
+            match (a, b) {
+                (JobResult::Eigen(x), JobResult::Eigen(y)) => {
+                    assert_eq!(x.eigenvalues, y.eigenvalues)
+                }
+                (JobResult::Svd(x), JobResult::Svd(y)) => {
+                    assert_eq!(x.singular_values, y.singular_values)
+                }
+                _ => panic!("result kinds diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn round_model_tracks_the_measured_interleaved_makespan() {
+        // The acceptance band in miniature: unpipelined jobs, all-port
+        // throttled fabric — measured/predicted must sit in [0.8, 1.25].
+        let jobs = mixed_jobs(32);
+        let fabric = FabricModel::Throttled(Machine::all_port(1000.0, 100.0));
+        let report = solve_batch(
+            2,
+            &jobs,
+            &BatchOptions {
+                fabric,
+                policy: Policy::Interleave { stride: 1 },
+                ..Default::default()
+            },
+        );
+        let ratio = report.makespan / report.cost.predicted;
+        assert!((0.8..=1.25).contains(&ratio), "measured/predicted = {ratio}");
+        // FIFO measured vs its (serial) prediction is even tighter.
+        let fifo = solve_batch(2, &jobs, &BatchOptions { fabric, ..Default::default() });
+        let fifo_ratio = fifo.makespan / fifo.cost.predicted;
+        assert!((0.95..=1.05).contains(&fifo_ratio), "fifo measured/predicted = {fifo_ratio}");
+    }
+
+    #[test]
+    fn shortest_plan_first_minimizes_mean_completion() {
+        // One big job submitted first, two small ones behind it: SPF must
+        // cut the mean finish time without changing the total makespan.
+        let jobs = vec![
+            Job::Eigen { a: random_symmetric(48, 7), family: OrderingFamily::Br, opts: forced(1) },
+            Job::Eigen { a: random_symmetric(16, 8), family: OrderingFamily::Br, opts: forced(1) },
+            Job::Svd { a: random_symmetric(16, 9), family: OrderingFamily::Br, opts: forced(1) },
+        ];
+        let fabric = FabricModel::Throttled(Machine::all_port(1000.0, 100.0));
+        let fifo = solve_batch(2, &jobs, &BatchOptions { fabric, ..Default::default() });
+        let spf = solve_batch(
+            2,
+            &jobs,
+            &BatchOptions { fabric, policy: Policy::ShortestPlanFirst, ..Default::default() },
+        );
+        assert_eq!(spf.order.jobs()[0], 1, "a small job goes first");
+        assert!(
+            spf.mean_finish() < fifo.mean_finish(),
+            "SPF mean finish {} vs FIFO {}",
+            spf.mean_finish(),
+            fifo.mean_finish()
+        );
+        assert!((spf.makespan - fifo.makespan).abs() <= 1e-9 * fifo.makespan);
+    }
+
+    #[test]
+    fn simnet_replay_cross_validates_the_batch() {
+        // Third opinion: the simulator's serial and interleaved replays of
+        // the same lowered plans bracket the same story — serial equals
+        // the sum of solo simulated makespans, interleaved beats it, and
+        // the runtime's measured interleaved makespan lands within 25% of
+        // the replay.
+        use mph_simnet::{interleaved_replay, job_schedule, serial_replay, simulate_synchronized};
+        let jobs = mixed_jobs(32);
+        let machine = Machine::all_port(1000.0, 100.0);
+        let fabric = FabricModel::Throttled(machine);
+        let specs: Vec<JobSpec> = jobs.iter().map(Job::to_spec).collect();
+        let scheds: Vec<_> = specs
+            .iter()
+            .map(|s| {
+                let (plans, qs) = lower_job(s, 2);
+                job_schedule(&plans, &qs)
+            })
+            .collect();
+        let startup = mph_simnet::StartupModel::SerializedThenParallel;
+        let sim_serial =
+            simulate_synchronized(&serial_replay(&scheds, &[0, 1, 2]), &machine, startup);
+        let sim_inter = simulate_synchronized(&interleaved_replay(&scheds), &machine, startup);
+        assert!(sim_inter.makespan < sim_serial.makespan);
+        let report = solve_batch(
+            2,
+            &jobs,
+            &BatchOptions {
+                fabric,
+                policy: Policy::Interleave { stride: 1 },
+                ..Default::default()
+            },
+        );
+        let ratio = report.makespan / sim_inter.makespan;
+        assert!((0.75..=1.35).contains(&ratio), "measured/simulated = {ratio}");
+    }
+}

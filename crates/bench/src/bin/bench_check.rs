@@ -269,6 +269,58 @@ fn validate(doc: &Json) -> Vec<String> {
         };
         require(&format!("fabric one_port.{key} >= all_port.{key}"), ordered);
     }
+    // The batch block: N jobs multiplexed on one fabric. Virtual-clock
+    // quantities again, so they gate hard: fields finite, interleaving
+    // must not lose to FIFO-serial on the all-port fabric (≥ 1.0×), the
+    // round model must track the measurement within [0.8, 1.25], and the
+    // bitwise flag — every batched job equal to its solo run — must hold.
+    let batch = doc.get("batch");
+    require("batch", batch.is_some());
+    require(
+        "batch.jobs >= 2",
+        batch.and_then(|b| b.get("jobs")).and_then(Json::as_number).is_some_and(|n| n >= 2.0),
+    );
+    require(
+        "batch.bitwise_identical",
+        matches!(batch.and_then(|b| b.get("bitwise_identical")), Some(Json::Bool(true))),
+    );
+    let batch_row = |name: &str, key: &str| {
+        batch.and_then(|b| b.get(name)).and_then(|r| r.get(key)).and_then(Json::as_number)
+    };
+    for name in ["one_port", "all_port"] {
+        for key in [
+            "fifo_vtime",
+            "interleave_vtime",
+            "spf_vtime",
+            "predicted_interleave_vtime",
+            "serial_tail_vtime",
+            "jobs_per_vtime",
+            "elems_per_vtime",
+        ] {
+            require(
+                &format!("batch.{name}.{key}"),
+                batch_row(name, key).is_some_and(|x| x.is_finite() && x > 0.0),
+            );
+        }
+    }
+    require(
+        "batch.all_port.interleave_gain_vs_fifo >= 1.0",
+        batch_row("all_port", "interleave_gain_vs_fifo").is_some_and(|g| g.is_finite() && g >= 1.0),
+    );
+    require(
+        "batch.all_port.measured_over_predicted within [0.8, 1.25]",
+        batch_row("all_port", "measured_over_predicted")
+            .is_some_and(|r| r.is_finite() && (0.8..=1.25).contains(&r)),
+    );
+    // Serializing the ports can only slow the batch down.
+    for key in ["fifo_vtime", "interleave_vtime"] {
+        let ordered = match (batch_row("one_port", key), batch_row("all_port", key)) {
+            (Some(one), Some(all)) => one >= all - 1e-9,
+            _ => false,
+        };
+        require(&format!("batch one_port.{key} >= all_port.{key}"), ordered);
+    }
+
     match doc.get("families") {
         Some(Json::Object(fams)) if !fams.is_empty() => {
             for (name, fam) in fams {
@@ -317,7 +369,13 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    fn minimal_snapshot(one_port_ratio: f64, one_port_vtime: f64) -> String {
+    fn minimal_snapshot_with(
+        one_port_ratio: f64,
+        one_port_vtime: f64,
+        batch_gain: f64,
+        batch_ratio: f64,
+        bitwise: bool,
+    ) -> String {
         format!(
             r#"{{
           "bench": "eigen_perf_snapshot", "m": 256, "d": 3, "smoke": false, "seed": 1,
@@ -339,9 +397,32 @@ mod tests {
                                   "unpipelined_vtime": 100.0, "pipelined_vtime": 70.0,
                                   "measured_speedup": 1.45, "predicted_speedup": 1.44,
                                   "measured_over_predicted": 1.007}}}},
+          "batch": {{"jobs": 4, "force_sweeps": 1,
+                    "machine_ts": 1000.0, "machine_tw": 100.0,
+                    "bitwise_identical": {bitwise},
+                    "one_port": {{"fifo_vtime": 400.0, "interleave_vtime": 398.0,
+                                 "spf_vtime": 400.0, "spf_mean_finish": 200.0,
+                                 "fifo_mean_finish": 250.0,
+                                 "interleave_gain_vs_fifo": 1.005,
+                                 "predicted_interleave_vtime": 400.0,
+                                 "measured_over_predicted": 0.995,
+                                 "serial_tail_vtime": 40.0,
+                                 "jobs_per_vtime": 1.0e-2, "elems_per_vtime": 9.0}},
+                    "all_port": {{"fifo_vtime": 300.0, "interleave_vtime": 180.0,
+                                 "spf_vtime": 300.0, "spf_mean_finish": 150.0,
+                                 "fifo_mean_finish": 187.0,
+                                 "interleave_gain_vs_fifo": {batch_gain},
+                                 "predicted_interleave_vtime": 175.0,
+                                 "measured_over_predicted": {batch_ratio},
+                                 "serial_tail_vtime": 40.0,
+                                 "jobs_per_vtime": 2.2e-2, "elems_per_vtime": 20.0}}}},
           "families": {{"BR": {{"logical_ms": 1.0, "threaded_ms": 1.0, "rotations": 10}}}}
         }}"#
         )
+    }
+
+    fn minimal_snapshot(one_port_ratio: f64, one_port_vtime: f64) -> String {
+        minimal_snapshot_with(one_port_ratio, one_port_vtime, 1.66, 1.03, true)
     }
 
     #[test]
@@ -384,6 +465,39 @@ mod tests {
         assert!(problems.iter().any(|p| p.contains("pipelined")));
         assert!(problems.iter().any(|p| p.contains("layout_sweep.seed_vecvec_ms")));
         assert!(problems.iter().any(|p| p == "missing or malformed field: fabric"));
+        assert!(problems.iter().any(|p| p == "missing or malformed field: batch"));
+    }
+
+    #[test]
+    fn gates_the_batch_interleave_gain_and_band() {
+        // Interleaving losing to FIFO-serial on the all-port fabric gates.
+        let doc = Parser::new(&minimal_snapshot_with(1.0, 100.0, 0.93, 1.0, true))
+            .document()
+            .expect("parses");
+        let problems = validate(&doc);
+        assert!(problems.iter().any(|p| p.contains("interleave_gain_vs_fifo")), "{problems:?}");
+        // A round model off by more than the band gates.
+        for bad in [0.5, 1.6] {
+            let doc = Parser::new(&minimal_snapshot_with(1.0, 100.0, 1.5, bad, true))
+                .document()
+                .expect("parses");
+            let problems = validate(&doc);
+            assert!(
+                problems.iter().any(|p| p.contains("batch.all_port.measured_over_predicted")),
+                "ratio {bad}: {problems:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gates_the_batch_bitwise_flag() {
+        // A batch run whose results diverged from the solo runs must never
+        // pass CI, whatever its throughput numbers say.
+        let doc = Parser::new(&minimal_snapshot_with(1.0, 100.0, 1.5, 1.0, false))
+            .document()
+            .expect("parses");
+        let problems = validate(&doc);
+        assert!(problems.iter().any(|p| p.contains("bitwise_identical")), "{problems:?}");
     }
 
     #[test]

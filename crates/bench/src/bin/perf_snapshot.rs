@@ -12,13 +12,15 @@
 //!   perf_snapshot            # full size (m=256, d=3)
 //!   perf_snapshot --smoke    # reduced size for CI logs (m=64, d=2)
 
+use mph_batch::{solve_batch, BatchOptions, Job, JobResult, Policy};
 use mph_bench::seedpath::{self, VecBlock};
 use mph_bench::{banner, column_block_full_sweep, results_dir};
 use mph_ccpipe::{plan_cost_with, plan_sweep_cost, plan_unpipelined_cost, Machine, PortModel};
 use mph_core::OrderingFamily;
 use mph_eigen::{
     block_jacobi, block_jacobi_threaded, block_jacobi_threaded_fabric, choose_qs, lower_sweeps,
-    packetization_cap, BlockPartition, ColumnBlock, FabricModel, JacobiOptions, Pipelining,
+    packetization_cap, svd_block, BlockPartition, ColumnBlock, FabricModel, JacobiOptions,
+    Pipelining,
 };
 use mph_linalg::symmetric::random_symmetric;
 use mph_runtime::calibrate_channel_machine;
@@ -234,6 +236,116 @@ fn main() {
         calibrated.tw,
     );
 
+    // --- Batch scheduler: N jobs on one fabric, per policy + port ------
+    // Four mixed jobs (three eigensolves, one SVD, distinct families so
+    // their link sequences partially diverge) forced to one sweep each,
+    // unpipelined — the configuration the batch round model prices
+    // exactly. Per port model: FIFO-serial vs micro-op interleave vs
+    // shortest-plan-first, measured on the virtual clock next to the
+    // batch_cost prediction; plus the bitwise flag (every batched result
+    // equals its solo logical run) the gate requires.
+    let batch_n = 4usize;
+    let bopts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
+    let batch_jobs = vec![
+        Job::Eigen { a: random_symmetric(m, seed + 1), family: OrderingFamily::Br, opts: bopts },
+        Job::Eigen {
+            a: random_symmetric(m, seed + 2),
+            family: OrderingFamily::Degree4,
+            opts: bopts,
+        },
+        Job::Svd {
+            a: random_symmetric(m, seed + 3),
+            family: OrderingFamily::PermutedBr,
+            opts: bopts,
+        },
+        Job::Eigen {
+            a: random_symmetric(m, seed + 4),
+            family: OrderingFamily::MinAlpha,
+            opts: bopts,
+        },
+    ];
+    // Solo references, solved once: every batched result below — per port
+    // model AND per policy — must reproduce these bits exactly (the chain
+    // to the threaded drivers is closed by mph-eigen's equality tests).
+    let solo_refs: Vec<JobResult> = batch_jobs
+        .iter()
+        .map(|job| match job {
+            Job::Eigen { a, family, opts } => JobResult::Eigen(block_jacobi(a, d, *family, opts)),
+            Job::Svd { a, family, opts } => JobResult::Svd(svd_block(a, d, *family, opts)),
+        })
+        .collect();
+    let mut batch_rows = String::new();
+    let mut bitwise = true;
+    for (name, ports) in [("one_port", PortModel::OnePort), ("all_port", PortModel::AllPort)] {
+        let bmachine = Machine { ts: fab_ts, tw: fab_tw, ports };
+        let bfabric = FabricModel::Throttled(bmachine);
+        let run = |policy: Policy| {
+            solve_batch(
+                d,
+                &batch_jobs,
+                &BatchOptions { fabric: bfabric, policy, ..Default::default() },
+            )
+        };
+        let fifo = run(Policy::Fifo);
+        let inter = run(Policy::Interleave { stride: 1 });
+        let spf = run(Policy::ShortestPlanFirst);
+        // Bitwise flag: under EVERY policy, every batched result equals
+        // its solo run.
+        for report in [&fifo, &inter, &spf] {
+            for (solo, got) in solo_refs.iter().zip(&report.results) {
+                bitwise &= match (solo, got) {
+                    (JobResult::Eigen(s), JobResult::Eigen(r)) => {
+                        s.eigenvalues == r.eigenvalues
+                            && (0..s.eigenvalues.len())
+                                .all(|c| s.eigenvectors.col(c) == r.eigenvectors.col(c))
+                    }
+                    (JobResult::Svd(s), JobResult::Svd(r)) => {
+                        s.singular_values == r.singular_values
+                            && (0..s.singular_values.len())
+                                .all(|c| s.u.col(c) == r.u.col(c) && s.v.col(c) == r.v.col(c))
+                    }
+                    _ => false,
+                };
+            }
+        }
+        let gain = fifo.makespan / inter.makespan;
+        let ratio = inter.makespan / inter.cost.predicted;
+        let tput = inter.throughput.expect("throttled batch has throughput");
+        println!(
+            "  batch {name:<9}: fifo {:>13.0} | interleave {:>13.0} | spf {:>13.0} vtime | \
+             {gain:.3}x interleave gain | measured/predicted {ratio:.3} | \
+             {:.3e} elems/vtime",
+            fifo.makespan, inter.makespan, spf.makespan, tput.elems_per_time,
+        );
+        write!(
+            batch_rows,
+            ",\n    \"{name}\": {{\"fifo_vtime\": {:.3}, \"interleave_vtime\": {:.3}, \
+             \"spf_vtime\": {:.3}, \"spf_mean_finish\": {:.3}, \
+             \"fifo_mean_finish\": {:.3}, \
+             \"interleave_gain_vs_fifo\": {gain:.4}, \
+             \"predicted_interleave_vtime\": {:.3}, \
+             \"measured_over_predicted\": {ratio:.4}, \
+             \"serial_tail_vtime\": {:.3}, \
+             \"jobs_per_vtime\": {:.6e}, \"elems_per_vtime\": {:.6e}}}",
+            fifo.makespan,
+            inter.makespan,
+            spf.makespan,
+            spf.mean_finish(),
+            fifo.mean_finish(),
+            inter.cost.predicted,
+            inter.cost.tail,
+            tput.jobs_per_time,
+            tput.elems_per_time,
+        )
+        .unwrap();
+    }
+    println!("  batch bitwise    : every batched job == its solo run: {bitwise}");
+    let batch_json = format!(
+        "{{\n    \"jobs\": {batch_n},\n    \"force_sweeps\": 1,\n    \
+         \"machine_ts\": {fab_ts},\n    \"machine_tw\": {fab_tw},\n    \
+         \"bitwise_identical\": {bitwise}{batch_rows}\n  }}"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"eigen_perf_snapshot\",\n  \"m\": {m},\n  \"d\": {d},\n  \
          \"smoke\": {smoke},\n  \"force_sweeps\": 2,\n  \"seed\": {seed},\n  \
@@ -245,6 +357,7 @@ fn main() {
          \"speedup_contiguous_cached\": {speedup_cached:.3}\n  }},\n  \
          \"pipelined\": {pipelined_json},\n  \
          \"fabric\": {fabric_json},\n  \
+         \"batch\": {batch_json},\n  \
          \"families\": {{{family_json}\n  }}\n}}\n"
     );
     println!("{json}");

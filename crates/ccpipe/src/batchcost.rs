@@ -1,0 +1,446 @@
+//! Pricing a *batch* of independent problems multiplexed over one link
+//! fabric — the cost-model layer of the `mph-batch` scheduler.
+//!
+//! A solo solve leaves the links idle whenever its dependency chain stalls:
+//! the serial tail (division + last transitions, one whole-block
+//! `Ts + S·Tw` each, see [`CommPlan::tail_volume`]) and the
+//! prologue/epilogue bubbles of shallow pipelines. Interleaving a second
+//! problem's messages into those bubbles is pure throughput — the wires
+//! were paid for and unused. This module prices that opportunity:
+//!
+//! * [`batch_cost`] returns, for a set of lowered jobs and an interleaving
+//!   [`BatchOrder`]:
+//!   - the **solo** cost of each job (the plan-priced makespan of running
+//!     it alone, [`plan_cost_with`] summed over its sweep chain),
+//!   - the **serial total** `Σ solo` — what FIFO back-to-back execution
+//!     costs, the paper's economics repeated `N` times, bubbles included;
+//!   - a **lower bound** `Ts·(messages per node) + Tw·(busiest-port
+//!     volume per node)` — the cost if interleaving filled *every* bubble
+//!     (start-ups are CPU-serial, the busiest link/port must still carry
+//!     its volume);
+//!   - a **predicted** interleaved makespan from a round-walk model that
+//!     mirrors the cooperative driver's schedule: the jobs' per-transition
+//!     send/receive micro-ops are merged in the order's round-robin
+//!     pattern, and each round is priced `n·Ts` (serial start-ups) plus
+//!     the busiest link's serialized transmissions under the machine's
+//!     port model — colliding jobs queue on the wire, disjoint ones
+//!     overlap;
+//!   - the **tail** cost `Σ` over jobs of their serial-tail messages —
+//!     exactly which bubbles batching fills, reported separately so the
+//!     model *explains* the gain instead of just asserting it.
+//!
+//! The round model deliberately matches the runtime at the same
+//! granularity the cooperative driver schedules (one send or receive per
+//! scheduling slot): for unpipelined jobs on the throttled fabric the
+//! prediction tracks the measured virtual-clock makespan within the
+//! `bench_check` band; pipelined jobs overlap *within* phases through the
+//! fabric's data-readiness stamps, which the round model prices
+//! conservatively (it never credits intra-phase overlap it cannot see).
+//! Convergence votes are control-plane traffic the model does not price —
+//! compare against forced-sweep runs, as every conformance test does.
+
+use crate::machine::{Machine, PortModel};
+use crate::plancost::plan_cost_with;
+use mph_core::{BlockPartition, CommPlan, PhaseKind};
+
+/// How a batch of jobs shares the fabric — the schedule shape the batch
+/// policies (`mph-batch`) lower to and the cooperative driver
+/// (`mph-eigen`) executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOrder {
+    /// Jobs run back-to-back in the given order (FIFO / shortest-first):
+    /// job `order[i+1]` starts where `order[i]` finished.
+    Serial(Vec<usize>),
+    /// Round-robin interleave: each round grants every listed job up to
+    /// `stride` scheduler micro-ops (a send or a receive), in order.
+    RoundRobin { order: Vec<usize>, stride: usize },
+}
+
+impl BatchOrder {
+    /// The job permutation this order visits.
+    pub fn jobs(&self) -> &[usize] {
+        match self {
+            BatchOrder::Serial(o) => o,
+            BatchOrder::RoundRobin { order, .. } => order,
+        }
+    }
+
+    /// Asserts the order is a permutation of `0..njobs`.
+    pub fn validate(&self, njobs: usize) {
+        let order = self.jobs();
+        assert_eq!(order.len(), njobs, "order must list every job exactly once");
+        let mut seen = vec![false; njobs];
+        for &j in order {
+            assert!(j < njobs, "order names job {j}, batch has {njobs}");
+            assert!(!seen[j], "order lists job {j} twice");
+            seen[j] = true;
+        }
+        if let BatchOrder::RoundRobin { stride, .. } = self {
+            assert!(*stride >= 1, "a round-robin stride must grant at least one op");
+        }
+    }
+}
+
+/// One lowered job as the cost model sees it: its sweep-chained plans and
+/// the per-phase pipelining degrees the driver will execute (one `Vec`
+/// per sweep, one entry per exchange phase — `choose_qs` output).
+#[derive(Debug, Clone, Copy)]
+pub struct PlannedJob<'a> {
+    pub plans: &'a [CommPlan],
+    pub qs: &'a [Vec<usize>],
+}
+
+/// The batch price sheet. All quantities are virtual-clock times per the
+/// machine's `Ts`/`Tw`/ports; see the module docs for definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchCost {
+    /// Plan-priced solo makespan of each job.
+    pub solo: Vec<f64>,
+    /// `Σ solo` — the FIFO-serial prediction.
+    pub serial_total: f64,
+    /// Fill-every-bubble floor: start-ups + busiest-port volume.
+    pub lower_bound: f64,
+    /// Round-model makespan of executing the given [`BatchOrder`].
+    pub predicted: f64,
+    /// Serial-tail cost summed over jobs — the bubbles batching fills.
+    pub tail: f64,
+}
+
+impl BatchCost {
+    /// Predicted throughput gain of the order over FIFO-serial execution.
+    pub fn predicted_gain(&self) -> f64 {
+        self.serial_total / self.predicted
+    }
+}
+
+/// One scheduler micro-op of the round model: a send puts `elems` on
+/// `dim`; everything else (receives, drains, local compute slots) only
+/// consumes a scheduling slot.
+#[derive(Debug, Clone, Copy)]
+enum ModelOp {
+    Send { dim: usize, elems: u64 },
+    Slot,
+}
+
+/// Lowers one job to the micro-op sequence the cooperative driver
+/// schedules, at the same granularity (`mph_eigen::run_job_batch`): one
+/// slot for sweep start, send+receive per whole-block transition,
+/// `K·Q` sends plus `Q` drains per pipelined phase, one slot for sweep
+/// end. Message sizes are the phase's largest message — the same bound
+/// every plan-pricing path uses.
+fn job_ops(job: &PlannedJob) -> Vec<ModelOp> {
+    assert_eq!(job.plans.len(), job.qs.len(), "one qs vector per sweep plan");
+    let mut ops = Vec::new();
+    for (plan, qs) in job.plans.iter().zip(job.qs) {
+        assert_eq!(
+            qs.len(),
+            plan.exchange_phases().count(),
+            "one pipelining degree per exchange phase"
+        );
+        ops.push(ModelOp::Slot); // sweep start: intra-block pairings
+        let mut xq = 0usize;
+        for ph in plan.phases() {
+            match ph.kind {
+                PhaseKind::Exchange { .. } => {
+                    let q = qs[xq].max(1);
+                    xq += 1;
+                    if q == 1 {
+                        for (t, &dim) in ph.links.iter().enumerate() {
+                            let elems = ph.sends[t].iter().copied().max().unwrap_or(0);
+                            ops.push(ModelOp::Send { dim, elems });
+                            ops.push(ModelOp::Slot); // the matching receive
+                        }
+                    } else {
+                        // Column-balanced packet split of the phase-entry
+                        // block, as ColumnBlock::split_columns performs it.
+                        let epc = plan.elems_per_col().max(1);
+                        let cols = ph.max_message_elems() as usize / epc;
+                        let split = BlockPartition::new(cols, q);
+                        for &dim in &ph.links {
+                            for pkt in 0..q {
+                                let elems = (split.size(pkt) * epc) as u64;
+                                ops.push(ModelOp::Send { dim, elems });
+                            }
+                        }
+                        for _ in 0..q {
+                            ops.push(ModelOp::Slot); // epilogue drains
+                        }
+                    }
+                }
+                PhaseKind::Division { .. } | PhaseKind::Last => {
+                    let elems = ph.sends[0].iter().copied().max().unwrap_or(0);
+                    ops.push(ModelOp::Send { dim: ph.links[0], elems });
+                    ops.push(ModelOp::Slot);
+                }
+            }
+        }
+        ops.push(ModelOp::Slot); // sweep end
+    }
+    ops
+}
+
+/// Prices one merged round: serial start-ups plus port-model wire time
+/// over the per-dimension serialized volumes.
+fn round_cost(machine: &Machine, sends: &[(usize, u64)], d: usize) -> f64 {
+    if sends.is_empty() {
+        return 0.0;
+    }
+    let mut wire = vec![0.0f64; d.max(1)];
+    for &(dim, elems) in sends {
+        wire[dim] += elems as f64 * machine.tw;
+    }
+    let startups = sends.len() as f64 * machine.ts;
+    startups + port_busy(machine.ports, &wire)
+}
+
+/// Wire time of per-dimension loads under a port model: all-port carries
+/// dimensions concurrently (busiest dominates), one-port serializes
+/// everything, k-port runs an LPT list schedule over the dimension loads.
+fn port_busy(ports: PortModel, wire: &[f64]) -> f64 {
+    match ports {
+        PortModel::AllPort => wire.iter().fold(0.0f64, |a, &b| a.max(b)),
+        PortModel::OnePort => wire.iter().sum(),
+        PortModel::KPort(k) => {
+            let k = k.max(1);
+            let mut jobs: Vec<f64> = wire.iter().copied().filter(|&w| w > 0.0).collect();
+            jobs.sort_by(|a, b| b.total_cmp(a));
+            let mut engines = vec![0.0f64; k.min(jobs.len()).max(1)];
+            for j in jobs {
+                let idx = (0..engines.len())
+                    .min_by(|&a, &b| engines[a].total_cmp(&engines[b]))
+                    .expect("at least one engine");
+                engines[idx] += j;
+            }
+            engines.iter().fold(0.0f64, |a, &b| a.max(b))
+        }
+    }
+}
+
+/// Plan-priced solo cost of each job — the communication makespan of
+/// running it alone with the degrees its driver will use
+/// ([`plan_cost_with`] summed over the sweep chain). This is *the* solo
+/// pricing: [`batch_cost`]'s `solo` column and the shortest-plan-first
+/// policy order both come from here, so they can never diverge.
+pub fn solo_plan_costs(jobs: &[PlannedJob], machine: &Machine) -> Vec<f64> {
+    jobs.iter()
+        .map(|job| {
+            job.plans
+                .iter()
+                .zip(job.qs)
+                .map(|(plan, qs)| plan_cost_with(plan, machine, qs).total)
+                .sum()
+        })
+        .collect()
+}
+
+/// Prices a batch of lowered jobs under `machine` for a given
+/// interleaving order. See the module docs for the exact model.
+pub fn batch_cost(jobs: &[PlannedJob], machine: &Machine, order: &BatchOrder) -> BatchCost {
+    assert!(!jobs.is_empty(), "an empty batch has no cost");
+    order.validate(jobs.len());
+    let d = jobs.iter().flat_map(|j| j.plans.iter()).map(CommPlan::d).max().unwrap_or(0);
+
+    let solo = solo_plan_costs(jobs, machine);
+    let serial_total: f64 = solo.iter().sum();
+
+    // Fill-every-bubble floor: per-node start-ups + busiest-port volume.
+    let p = (1u64 << d) as f64;
+    let mut pernode_wire = vec![0.0f64; d.max(1)];
+    let mut sends_per_node = 0.0f64;
+    let mut tail = 0.0f64;
+    for job in jobs {
+        for (plan, qs) in job.plans.iter().zip(job.qs) {
+            sends_per_node += plan.messages_with(qs) as f64 / p;
+            for (dim, vol) in plan.volume_by_dim().into_iter().enumerate() {
+                pernode_wire[dim] += vol as f64 / p * machine.tw;
+            }
+            tail += plan
+                .phases()
+                .iter()
+                .filter(|ph| !ph.is_exchange())
+                .map(|ph| machine.single_message_cost(ph.max_message_elems() as f64))
+                .sum::<f64>();
+        }
+    }
+    let lower_bound = sends_per_node * machine.ts + port_busy(machine.ports, &pernode_wire);
+
+    // Round-walk prediction of the interleaved execution.
+    let predicted = match order {
+        BatchOrder::Serial(_) => serial_total,
+        BatchOrder::RoundRobin { order, stride } => {
+            let streams: Vec<Vec<ModelOp>> = jobs.iter().map(job_ops).collect();
+            let mut cursor = vec![0usize; jobs.len()];
+            let mut total = 0.0f64;
+            loop {
+                let mut sends: Vec<(usize, u64)> = Vec::new();
+                let mut progressed = false;
+                for &j in order {
+                    let ops = &streams[j];
+                    for _ in 0..*stride {
+                        if cursor[j] >= ops.len() {
+                            break;
+                        }
+                        if let ModelOp::Send { dim, elems } = ops[cursor[j]] {
+                            sends.push((dim, elems));
+                        }
+                        cursor[j] += 1;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+                total += round_cost(machine, &sends, d);
+            }
+            total
+        }
+    };
+
+    BatchCost { solo, serial_total, lower_bound, predicted, tail }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plancost::plan_unpipelined_cost;
+    use mph_core::{BlockLayout, OrderingFamily, SweepSchedule};
+
+    fn lower_chain(m: usize, d: usize, family: OrderingFamily, sweeps: usize) -> Vec<CommPlan> {
+        let partition = BlockPartition::new(m, 2 << d);
+        let mut layout = BlockLayout::canonical(d);
+        (0..sweeps)
+            .map(|s| {
+                let schedule = SweepSchedule::sweep(d, family, s);
+                let plan = CommPlan::lower(&schedule, &partition, &layout, 2 * m);
+                layout = plan.final_layout().clone();
+                plan
+            })
+            .collect()
+    }
+
+    fn ones(plans: &[CommPlan]) -> Vec<Vec<usize>> {
+        plans.iter().map(|p| p.exchange_phases().map(|_| 1).collect()).collect()
+    }
+
+    #[test]
+    fn single_unpipelined_job_prices_like_the_plan_everywhere() {
+        // One job, q = 1: solo, serial, and the round model must all equal
+        // the chained plan_unpipelined_cost exactly — rounds of one
+        // message are transitions.
+        let machine = Machine::all_port(1000.0, 100.0);
+        let plans = lower_chain(32, 2, OrderingFamily::Br, 2);
+        let qs = ones(&plans);
+        let job = PlannedJob { plans: &plans, qs: &qs };
+        let want: f64 = plans.iter().map(|p| plan_unpipelined_cost(p, &machine)).sum();
+        for order in
+            [BatchOrder::Serial(vec![0]), BatchOrder::RoundRobin { order: vec![0], stride: 1 }]
+        {
+            let c = batch_cost(&[job], &machine, &order);
+            assert!((c.solo[0] - want).abs() < 1e-9 * want);
+            assert!((c.serial_total - want).abs() < 1e-9 * want);
+            assert!((c.predicted - want).abs() < 1e-9 * want, "{order:?}: {}", c.predicted);
+        }
+    }
+
+    #[test]
+    fn one_port_interleaving_buys_nothing() {
+        // A single transmit port serializes every wire second: the round
+        // model must price the interleave exactly at the serial total.
+        let machine = Machine::one_port(1000.0, 100.0);
+        let plans_a = lower_chain(32, 2, OrderingFamily::Br, 1);
+        let plans_b = lower_chain(32, 2, OrderingFamily::Degree4, 1);
+        let (qa, qb) = (ones(&plans_a), ones(&plans_b));
+        let jobs =
+            [PlannedJob { plans: &plans_a, qs: &qa }, PlannedJob { plans: &plans_b, qs: &qb }];
+        let order = BatchOrder::RoundRobin { order: vec![0, 1], stride: 1 };
+        let c = batch_cost(&jobs, &machine, &order);
+        assert!(
+            (c.predicted - c.serial_total).abs() < 1e-9 * c.serial_total,
+            "one-port predicted {} vs serial {}",
+            c.predicted,
+            c.serial_total
+        );
+        assert!((c.predicted_gain() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_port_interleaving_of_disjoint_links_overlaps_wires() {
+        // Jobs with different families hit different links in many rounds:
+        // the all-port prediction must fall strictly between the lower
+        // bound and the serial total.
+        let machine = Machine::all_port(1000.0, 100.0);
+        let families = [OrderingFamily::Br, OrderingFamily::Degree4, OrderingFamily::PermutedBr];
+        let chains: Vec<Vec<CommPlan>> =
+            families.iter().map(|&f| lower_chain(64, 3, f, 1)).collect();
+        let qss: Vec<Vec<Vec<usize>>> = chains.iter().map(|c| ones(c)).collect();
+        let jobs: Vec<PlannedJob> =
+            chains.iter().zip(&qss).map(|(plans, qs)| PlannedJob { plans, qs }).collect();
+        let order = BatchOrder::RoundRobin { order: vec![0, 1, 2], stride: 1 };
+        let c = batch_cost(&jobs, &machine, &order);
+        assert!(
+            c.predicted < c.serial_total - 1e-9,
+            "interleave should beat serial: {} vs {}",
+            c.predicted,
+            c.serial_total
+        );
+        assert!(
+            c.lower_bound <= c.predicted + 1e-9,
+            "floor {} above prediction {}",
+            c.lower_bound,
+            c.predicted
+        );
+        assert!(c.predicted_gain() > 1.0);
+    }
+
+    #[test]
+    fn tail_prices_the_serial_transitions() {
+        // d divisions + last per sweep, one whole block each: the batch
+        // tail is N·sweeps·(d+1)·(Ts + S·Tw) for uniform blocks.
+        let machine = Machine::all_port(1000.0, 100.0);
+        let d = 2usize;
+        let m = 32usize;
+        let plans = lower_chain(m, d, OrderingFamily::Br, 2);
+        let qs = ones(&plans);
+        let job = PlannedJob { plans: &plans, qs: &qs };
+        let c = batch_cost(&[job, job], &machine, &BatchOrder::Serial(vec![0, 1]));
+        let block = (m / (2 << d)) as f64 * (2 * m) as f64;
+        let want = 2.0 * 2.0 * (d as f64 + 1.0) * machine.single_message_cost(block);
+        assert!((c.tail - want).abs() < 1e-9 * want, "{} vs {want}", c.tail);
+        // The tail volume is the plans' tail_volume: 2 sweeps × (d + 1)
+        // serial transitions × 2^d nodes × one block each.
+        let tail_elems: u64 = plans.iter().map(CommPlan::tail_volume).sum();
+        assert_eq!(tail_elems, 2 * (d as u64 + 1) * (1u64 << d) * block as u64);
+    }
+
+    #[test]
+    fn pipelined_job_ops_conserve_volume() {
+        // The round model's send ops must carry the same per-dimension
+        // volume as the plan for any q — packetization reframes, never
+        // changes, what crosses the wires.
+        let plans = lower_chain(32, 2, OrderingFamily::PermutedBr, 1);
+        for q in [1usize, 2, 4] {
+            let qs: Vec<Vec<usize>> =
+                plans.iter().map(|p| p.exchange_phases().map(|_| q).collect()).collect();
+            let ops = job_ops(&PlannedJob { plans: &plans, qs: &qs });
+            let mut vol = vec![0u64; 2];
+            for op in &ops {
+                if let ModelOp::Send { dim, elems } = op {
+                    vol[*dim] += elems;
+                }
+            }
+            // Per node: the plan's per-dim volume / p (uniform blocks).
+            let want: Vec<u64> = plans[0].volume_by_dim().iter().map(|v| v / 4).collect();
+            assert_eq!(vol, want, "q={q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lists job 0 twice")]
+    fn duplicate_order_is_rejected() {
+        let machine = Machine::paper_figure2();
+        let plans = lower_chain(16, 1, OrderingFamily::Br, 1);
+        let qs = ones(&plans);
+        let job = PlannedJob { plans: &plans, qs: &qs };
+        let _ = batch_cost(&[job, job], &machine, &BatchOrder::Serial(vec![0, 0]));
+    }
+}

@@ -17,6 +17,7 @@
 //!   [`mph_core::CommPlan`], which is how the cost model schedules the
 //!   threaded solver's pipelining degrees.
 
+pub mod batchcost;
 pub mod cccube;
 pub mod cost;
 pub mod execution;
@@ -27,6 +28,7 @@ pub mod pipelining;
 pub mod plancost;
 pub mod sweepcost;
 
+pub use batchcost::{batch_cost, solo_plan_costs, BatchCost, BatchOrder, PlannedJob};
 pub use cccube::CcCube;
 pub use cost::PhaseCostModel;
 pub use execution::{

@@ -223,6 +223,23 @@ impl CommPlan {
         self.volume_by_dim().iter().sum()
     }
 
+    /// Data volume of the sweep's **serial tail** — the division and last
+    /// transitions, which cross the links as single whole-block messages
+    /// and cannot be pipelined (paper §2.4 leaves them serial). This is
+    /// the traffic whose `Ts + S·Tw` latency a solo solve eats as pure
+    /// bubble time, and exactly the link idle time multi-problem batching
+    /// fills with another job's packets — which is why the batch cost
+    /// model (`mph_ccpipe::batch_cost`) accounts it separately.
+    pub fn tail_volume(&self) -> u64 {
+        self.phases.iter().filter(|ph| !ph.is_exchange()).map(PlanPhase::volume).sum()
+    }
+
+    /// Serial-tail messages per node (`d` divisions + the last transition
+    /// for a full sweep): the start-up count of the unpipelinable part.
+    pub fn tail_messages_per_node(&self) -> u64 {
+        self.phases.iter().filter(|ph| !ph.is_exchange()).map(|ph| ph.k() as u64).sum()
+    }
+
     /// Data-plane messages when every exchange phase `i` is split into
     /// `qs[i]` packets (serial phases always move one message per node).
     /// `qs` must have one entry per exchange phase; unpipelined counts are
@@ -346,6 +363,34 @@ mod tests {
             vec![8 * nodes * block, 4 * nodes * block, 3 * nodes * block]
         );
         assert_eq!(p.total_volume(), 15 * nodes * block);
+    }
+
+    #[test]
+    fn tail_volume_counts_exactly_the_serial_phases() {
+        // Uniform partition: the tail is d divisions + the last transition,
+        // one whole block per node each.
+        for d in 1..=3usize {
+            let m = 32;
+            let p = plan(m, d, OrderingFamily::Br, 0);
+            let block = (m / (2 << d)) as u64 * (2 * m) as u64;
+            let nodes = 1u64 << d;
+            let want = (d as u64 + 1) * nodes * block;
+            assert_eq!(p.tail_volume(), want, "d={d}");
+            assert_eq!(p.tail_messages_per_node(), d as u64 + 1, "d={d}");
+            // Tail + exchange phases = the whole sweep.
+            let exchange: u64 = p.exchange_phases().map(|ph| ph.volume()).sum();
+            assert_eq!(exchange + p.tail_volume(), p.total_volume(), "d={d}");
+        }
+    }
+
+    #[test]
+    fn tail_volume_tracks_uneven_blocks() {
+        // m = 10, d = 1 (see uneven_partition_tracks_block_movement): the
+        // division moves 2- and 3-column blocks, the last transition 3 and
+        // 2 — the tail must charge the blocks actually moved.
+        let p = plan(10, 1, OrderingFamily::Br, 0);
+        let epc = 2 * 10u64;
+        assert_eq!(p.tail_volume(), (2 + 3 + 3 + 2) * epc);
     }
 
     #[test]

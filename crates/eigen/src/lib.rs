@@ -13,10 +13,13 @@
 //!   multicomputer of `mph-runtime`, with real block messages; bitwise
 //!   equal to the logical driver for a fixed sweep count.
 //!
-//! All of them — and both SVD drivers in [`svd`] — store their columns in
-//! the contiguous [`ColumnBlock`] layout of `mph-linalg` and pair through
-//! the single kernel in [`kernel`]: one rotation path, one storage layout,
-//! shared end to end.
+//! All of them — the SVD drivers in [`svd`], the threaded SVD
+//! ([`svd_block_threaded`]), and the cooperative multi-job batch driver
+//! in [`multidrive`] (N independent eigen/SVD problems interleaved over
+//! one link fabric, each bitwise equal to its solo run) — store their
+//! columns in the contiguous [`ColumnBlock`] layout of `mph-linalg` and
+//! pair through the single kernel in [`kernel`]: one rotation path, one
+//! storage layout, shared end to end.
 //!
 //! ```
 //! use mph_eigen::{block_jacobi, JacobiOptions};
@@ -31,6 +34,7 @@
 pub mod blockjacobi;
 pub mod harness;
 pub mod kernel;
+pub mod multidrive;
 pub mod offnorm;
 pub mod onesided;
 pub mod options;
@@ -47,12 +51,16 @@ pub use kernel::{
 pub use mph_core::BlockPartition;
 pub use mph_linalg::block::ColumnBlock;
 pub use mph_runtime::{FabricModel, FabricReport};
+pub use multidrive::{
+    lower_job, run_job_batch, run_job_batch_planned, svd_block_threaded, svd_block_threaded_fabric,
+    BatchMsg, BatchRun, JobKind, JobResult, JobSpan, JobSpec,
+};
 pub use offnorm::{diagonal, diagonal_blocks, off_norm, off_norm_blocks};
 pub use onesided::one_sided_cyclic;
 pub use options::{EigenResult, JacobiOptions, Pipelining};
 pub use svd::{svd_block, svd_cyclic, SvdResult};
 pub use threaded::{
     block_jacobi_threaded, block_jacobi_threaded_fabric, choose_qs, lower_sweeps,
-    packetization_cap, Msg, NodeOutput,
+    lower_sweeps_with, packetization_cap, Msg, NodeOutput,
 };
 pub use twosided::two_sided_cyclic;

@@ -1,0 +1,1005 @@
+//! The cooperative multi-plan driver: N independent eigen/SVD jobs
+//! interleaved over ONE shared link fabric.
+//!
+//! [`crate::threaded`] walks a single problem's [`CommPlan`] chain; this
+//! module walks *several* chains at once. Each job becomes an explicit
+//! per-node state machine ([`JobNode`]) whose `step` advances exactly one
+//! scheduler micro-op — pair-and-send a transition, consume a received
+//! block, process-and-forward one pipeline packet, drain an epilogue
+//! packet, or cast a convergence vote — and a deterministic interleaving
+//! order ([`BatchOrder`], produced by the `mph-batch` policies) merges the
+//! jobs' op streams. Every node executes the *same* merged sequence, so
+//! sends and receives pair up exactly as in a solo SPMD program; the
+//! messages carry job tags and each node demultiplexes arrivals through
+//! [`JobMux`], so per-`(link, job)` FIFO order survives any interleaving.
+//!
+//! Why interleave at micro-op granularity: the virtual clock charges
+//! start-ups serially on the node CPU but lets transmissions ride the
+//! links concurrently (per port model). A solo solve's serial tail —
+//! division and last transitions, `Ts + S·Tw` each with the CPU idle while
+//! the wire drains — and its pipeline prologues/epilogues are exactly the
+//! slots where a *different* job's sends are issued here before the first
+//! job's arrivals are consumed, so problem B's packets occupy links
+//! problem A left idle. On a one-port machine the single transmit port
+//! serializes everything and batching buys ~nothing; on the paper's
+//! multi-port machines it converts bubbles into throughput — the measured
+//! counterpart of `mph_ccpipe::batch_cost`.
+//!
+//! # Bitwise equality, preserved
+//!
+//! Jobs share no data: interleaving changes *when* a job's ops run, never
+//! *which* ops run or in what per-job order. Each [`JobNode`] performs the
+//! exact pairing sequence of its solo driver — [`block_jacobi_threaded`]
+//! for eigen jobs, [`svd_block`] (via the same phase machine) for SVD jobs
+//! — through the same shared kernel, so every batched job's result is
+//! bitwise identical to its solo run under every policy, port model, and
+//! pipelining degree. This is asserted in the tests below and proptested
+//! across random job mixes in `mph-batch`.
+//!
+//! The module is also where the SVD finally runs on the threaded/pipelined
+//! phase machine: [`svd_block_threaded`] is a single-job batch.
+//!
+//! [`block_jacobi_threaded`]: crate::threaded::block_jacobi_threaded
+//! [`svd_block`]: crate::svd::svd_block
+
+use crate::kernel::{
+    pair_across_blocks, pair_within_block, refresh_block_diag, PairingRule, SweepAccumulator,
+};
+use crate::options::{EigenResult, JacobiOptions};
+use crate::svd::{sigma_and_u_col, SvdResult};
+use crate::threaded::{choose_qs, lower_sweeps_with, packetization_cap};
+use mph_ccpipe::BatchOrder;
+use mph_core::{BlockPartition, CommPlan, OrderingFamily, PhaseKind};
+use mph_linalg::block::ColumnBlock;
+use mph_linalg::vecops::dot;
+use mph_linalg::Matrix;
+use mph_runtime::{
+    run_spmd_fabric_jobs, FabricModel, FabricReport, JobMux, Meterable, NodeCtx, Packet,
+    TrafficMeter,
+};
+
+/// What kind of factorization a job asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Symmetric eigendecomposition (`A` must be square symmetric).
+    Eigen,
+    /// One-sided Jacobi SVD of a `rows × n` matrix.
+    Svd,
+}
+
+/// One problem of a batch: the matrix, its ordering family, and the solver
+/// options. The per-job [`JacobiOptions::fabric`] field is ignored — the
+/// batch runs on the fabric the *scheduler* was given, which is the whole
+/// point of sharing one.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    pub kind: JobKind,
+    pub a: Matrix,
+    pub family: OrderingFamily,
+    pub opts: JacobiOptions,
+}
+
+impl JobSpec {
+    /// An eigenproblem job.
+    pub fn eigen(a: Matrix, family: OrderingFamily, opts: JacobiOptions) -> Self {
+        JobSpec { kind: JobKind::Eigen, a, family, opts }
+    }
+
+    /// An SVD job.
+    pub fn svd(a: Matrix, family: OrderingFamily, opts: JacobiOptions) -> Self {
+        JobSpec { kind: JobKind::Svd, a, family, opts }
+    }
+
+    fn rule(&self) -> PairingRule {
+        match self.kind {
+            JobKind::Eigen => PairingRule::Implicit,
+            JobKind::Svd => PairingRule::Gram,
+        }
+    }
+
+    fn budget(&self) -> usize {
+        self.opts.force_sweeps.unwrap_or(self.opts.max_sweeps)
+    }
+}
+
+/// Lowers one job's full communication up front: the sweep-chained plans
+/// (sweep `s` starts from sweep `s − 1`'s final layout) plus the per-phase
+/// pipelining degrees the driver will execute. For eigen jobs this is
+/// exactly [`crate::threaded::lower_sweeps`] + [`choose_qs`]; SVD jobs
+/// differ only in the per-column payload (`rows + n` elements instead of
+/// `2m`). Public so the batch scheduler prices (`mph_ccpipe::batch_cost`)
+/// and replays (`mph_simnet`) the very plans the runtime executes.
+pub fn lower_job(spec: &JobSpec, d: usize) -> (Vec<CommPlan>, Vec<Vec<usize>>) {
+    let n = spec.a.cols();
+    let elems_per_col = spec.a.rows() + n + usize::from(spec.opts.cache_diagonals);
+    let plans = lower_sweeps_with(n, d, spec.family, elems_per_col, spec.budget());
+    let q_cap = packetization_cap(n, d);
+    let qs = plans.iter().map(|p| choose_qs(p, &spec.opts.pipelining, q_cap)).collect();
+    (plans, qs)
+}
+
+/// The batch wire protocol: every frame carries its job tag, so N
+/// problems' blocks, pipeline packets, and convergence votes multiplex one
+/// set of links and demultiplex losslessly at the receiver.
+#[derive(Debug, Clone)]
+pub enum BatchMsg {
+    Block { job: u32, block: ColumnBlock },
+    Packet(Packet<ColumnBlock>),
+    Scalar { job: u32, v: f64 },
+}
+
+impl Meterable for BatchMsg {
+    fn elems(&self) -> u64 {
+        match self {
+            BatchMsg::Block { block, .. } => block.payload_elems() as u64,
+            BatchMsg::Packet(p) => p.payload.payload_elems() as u64,
+            BatchMsg::Scalar { .. } => 1,
+        }
+    }
+
+    fn is_control(&self) -> bool {
+        matches!(self, BatchMsg::Scalar { .. })
+    }
+
+    fn job(&self) -> u32 {
+        match self {
+            BatchMsg::Block { job, .. } => *job,
+            BatchMsg::Packet(p) => p.job,
+            BatchMsg::Scalar { job, .. } => *job,
+        }
+    }
+}
+
+fn expect_block(msg: BatchMsg) -> ColumnBlock {
+    match msg {
+        BatchMsg::Block { block, .. } => block,
+        other => panic!("batch protocol error: expected a block, got {other:?}"),
+    }
+}
+
+fn expect_packet(msg: BatchMsg) -> Packet<ColumnBlock> {
+    match msg {
+        BatchMsg::Packet(p) => p,
+        other => panic!("batch protocol error: expected a packet, got {other:?}"),
+    }
+}
+
+fn expect_scalar(msg: BatchMsg) -> f64 {
+    match msg {
+        BatchMsg::Scalar { v, .. } => v,
+        other => panic!("batch protocol error: expected a scalar, got {other:?}"),
+    }
+}
+
+/// One job's result.
+#[derive(Debug, Clone)]
+pub enum JobResult {
+    Eigen(EigenResult),
+    Svd(SvdResult),
+}
+
+impl JobResult {
+    pub fn eigen(&self) -> Option<&EigenResult> {
+        match self {
+            JobResult::Eigen(r) => Some(r),
+            JobResult::Svd(_) => None,
+        }
+    }
+
+    pub fn svd(&self) -> Option<&SvdResult> {
+        match self {
+            JobResult::Svd(r) => Some(r),
+            JobResult::Eigen(_) => None,
+        }
+    }
+}
+
+/// One job's virtual-clock span within the batch: `start` is the earliest
+/// any node began its first op, `finish` the latest any node completed its
+/// last (both 0 on a [`FabricModel::Free`] fabric, which runs no clock).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpan {
+    pub start: f64,
+    pub finish: f64,
+}
+
+impl JobSpan {
+    /// The job's own wall on the virtual clock.
+    pub fn makespan(&self) -> f64 {
+        self.finish - self.start
+    }
+}
+
+/// Outcome of a batch run.
+#[derive(Debug)]
+pub struct BatchRun {
+    /// Per-job results, in job order.
+    pub results: Vec<JobResult>,
+    /// Per-job virtual-clock spans, in job order.
+    pub spans: Vec<JobSpan>,
+    /// The shared meter, with per-job totals
+    /// ([`TrafficMeter::job_volume`] and friends).
+    pub meter: TrafficMeter,
+    /// The fabric report; `fabric.makespan` is the whole batch's measured
+    /// virtual makespan.
+    pub fabric: FabricReport,
+}
+
+/// Where a job's state machine currently stands (see `step`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pos {
+    SweepStart,
+    Send { phase: usize, t: usize },
+    Recv { phase: usize, t: usize },
+    Pipe { phase: usize, k: usize, q: usize },
+    Drain { phase: usize, q: usize },
+    SweepEnd,
+    Done,
+}
+
+/// Per-node state machine of one job: the two resident blocks plus the
+/// cursor into its plan chain. `step` advances one micro-op; the merged
+/// schedule across jobs is produced by `run_job_batch`'s order walk.
+struct JobNode<'a> {
+    job: u32,
+    spec: &'a JobSpec,
+    plans: &'a [CommPlan],
+    qs: &'a [Vec<usize>],
+    rule: PairingRule,
+    d: usize,
+    node: usize,
+    budget: usize,
+    forced: bool,
+    norm_a: f64,
+    slot0: ColumnBlock,
+    slot1: ColumnBlock,
+    acc: SweepAccumulator,
+    sweeps: usize,
+    rotations: u64,
+    converged: bool,
+    pos: Pos,
+    /// Pipelined-phase scratch: local packets before iteration 0 consumes
+    /// them, then the drained finals.
+    pipe: Vec<Option<ColumnBlock>>,
+    pipe_entry: f64,
+    started: bool,
+    start: f64,
+    finish: f64,
+}
+
+/// One node's share of one finished job.
+struct JobNodeOutput {
+    sweeps: usize,
+    rotations: u64,
+    converged: bool,
+    start: f64,
+    finish: f64,
+    /// Eigen: `(global column, λ, u-column)`.
+    eigen_cols: Vec<(usize, f64, Vec<f64>)>,
+    /// SVD: `(global column, w-column, v-column)`.
+    svd_cols: Vec<(usize, Vec<f64>, Vec<f64>)>,
+}
+
+impl<'a> JobNode<'a> {
+    fn new(
+        job: u32,
+        spec: &'a JobSpec,
+        plans: &'a [CommPlan],
+        qs: &'a [Vec<usize>],
+        d: usize,
+        node: usize,
+    ) -> Self {
+        let p = 1usize << d;
+        let n = spec.a.cols();
+        let partition = BlockPartition::new(n, 2 * p);
+        // The accumulated factor is n × n for both kinds: U for the
+        // eigensolver, V for the SVD.
+        let urows = n;
+        let slot0 = ColumnBlock::from_matrix_with_identity(&spec.a, partition.cols(node), urows);
+        let slot1 =
+            ColumnBlock::from_matrix_with_identity(&spec.a, partition.cols(node + p), urows);
+        let norm_a = match spec.kind {
+            JobKind::Eigen => spec.a.frobenius_norm(),
+            JobKind::Svd => 1.0, // SVD convergence is an absolute cosine
+        };
+        JobNode {
+            job,
+            spec,
+            plans,
+            qs,
+            rule: spec.rule(),
+            d,
+            node,
+            budget: spec.budget(),
+            forced: spec.opts.force_sweeps.is_some(),
+            norm_a,
+            slot0,
+            slot1,
+            acc: SweepAccumulator::default(),
+            sweeps: 0,
+            rotations: 0,
+            converged: false,
+            pos: if spec.budget() == 0 { Pos::Done } else { Pos::SweepStart },
+            pipe: Vec::new(),
+            pipe_entry: 0.0,
+            started: false,
+            start: 0.0,
+            finish: 0.0,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == Pos::Done
+    }
+
+    /// The packet count of exchange phase `idx` of the current sweep
+    /// (1 for serial phases).
+    fn phase_q(&self, idx: usize) -> usize {
+        let plan = &self.plans[self.sweeps];
+        if !plan.phases()[idx].is_exchange() {
+            return 1;
+        }
+        let xq = plan.phases()[..idx].iter().filter(|ph| ph.is_exchange()).count();
+        self.qs[self.sweeps][xq].max(1)
+    }
+
+    fn start_of_phase(&self, idx: usize) -> Pos {
+        if self.phase_q(idx) > 1 {
+            Pos::Pipe { phase: idx, k: 0, q: 0 }
+        } else {
+            Pos::Send { phase: idx, t: 0 }
+        }
+    }
+
+    fn after_phase(&self, idx: usize) -> Pos {
+        if idx + 1 < self.plans[self.sweeps].phases().len() {
+            self.start_of_phase(idx + 1)
+        } else {
+            Pos::SweepEnd
+        }
+    }
+
+    /// Executes one micro-op. The caller guarantees every node invokes
+    /// every job's steps in the same merged order.
+    fn step(&mut self, ctx: &NodeCtx<'_, BatchMsg>, mux: &mut JobMux<'_, '_, BatchMsg>) {
+        if !self.started {
+            self.started = true;
+            self.start = ctx.virtual_now();
+        }
+        let threshold = self.spec.opts.threshold;
+        match self.pos {
+            Pos::SweepStart => {
+                self.acc = SweepAccumulator::default();
+                if self.spec.opts.cache_diagonals {
+                    refresh_block_diag(&mut self.slot0, self.rule);
+                    refresh_block_diag(&mut self.slot1, self.rule);
+                }
+                self.acc.merge(pair_within_block(&mut self.slot0, self.rule, threshold));
+                self.acc.merge(pair_within_block(&mut self.slot1, self.rule, threshold));
+                if self.plans[self.sweeps].phases().is_empty() {
+                    // d = 0: the whole sweep is step 0's pairings.
+                    self.acc.merge(pair_across_blocks(
+                        &mut self.slot0,
+                        &mut self.slot1,
+                        self.rule,
+                        threshold,
+                    ));
+                    self.pos = Pos::SweepEnd;
+                } else {
+                    self.pos = self.start_of_phase(0);
+                }
+            }
+            Pos::Send { phase, t } => {
+                let plan = &self.plans[self.sweeps];
+                let ph = &plan.phases()[phase];
+                let link = ph.links[t];
+                self.acc.merge(pair_across_blocks(
+                    &mut self.slot0,
+                    &mut self.slot1,
+                    self.rule,
+                    threshold,
+                ));
+                let outgoing = match ph.kind {
+                    PhaseKind::Exchange { .. } | PhaseKind::Last => self.slot1.take(),
+                    PhaseKind::Division { .. } => {
+                        // bit = 0 endpoint sends its mobile, bit = 1 its
+                        // resident — the division's slot asymmetry.
+                        if self.node & (1 << link) == 0 {
+                            self.slot1.take()
+                        } else {
+                            self.slot0.take()
+                        }
+                    }
+                };
+                ctx.send(link, BatchMsg::Block { job: self.job, block: outgoing });
+                self.pos = Pos::Recv { phase, t };
+            }
+            Pos::Recv { phase, t } => {
+                let plan = &self.plans[self.sweeps];
+                let ph = &plan.phases()[phase];
+                let link = ph.links[t];
+                let (msg, stamp) = mux.recv_for(link, self.job);
+                ctx.advance_clock_to(stamp);
+                let block = expect_block(msg);
+                match ph.kind {
+                    PhaseKind::Exchange { .. } | PhaseKind::Last => self.slot1 = block,
+                    PhaseKind::Division { .. } => {
+                        if self.node & (1 << link) == 0 {
+                            self.slot1 = block;
+                        } else {
+                            self.slot0 = block;
+                        }
+                    }
+                }
+                self.pos = if ph.is_exchange() && t + 1 < ph.k() {
+                    Pos::Send { phase, t: t + 1 }
+                } else {
+                    self.after_phase(phase)
+                };
+            }
+            Pos::Pipe { phase, k, q } => {
+                let plan = &self.plans[self.sweeps];
+                let ph = &plan.phases()[phase];
+                let q_total = self.phase_q(phase);
+                let k_total = ph.k();
+                if k == 0 && q == 0 {
+                    // Phase entry: split the mobile block into its packets.
+                    self.pipe_entry = ctx.virtual_now();
+                    self.pipe =
+                        self.slot1.take().split_columns(q_total).into_iter().map(Some).collect();
+                }
+                let (mut payload, ready) = if k == 0 {
+                    (self.pipe[q].take().expect("local packet consumed twice"), self.pipe_entry)
+                } else {
+                    let (msg, stamp) = mux.recv_for(ph.links[k - 1], self.job);
+                    let pkt = expect_packet(msg);
+                    assert_eq!(
+                        (pkt.job, pkt.k, pkt.q),
+                        (self.job, (k - 1) as u32, q as u32),
+                        "batch packet protocol violation"
+                    );
+                    (pkt.payload, stamp)
+                };
+                self.acc.merge(pair_across_blocks(
+                    &mut self.slot0,
+                    &mut payload,
+                    self.rule,
+                    threshold,
+                ));
+                ctx.send_after(
+                    ph.links[k],
+                    BatchMsg::Packet(Packet::for_job(self.job, k as u32, q as u32, payload)),
+                    ready,
+                );
+                self.pos = if q + 1 < q_total {
+                    Pos::Pipe { phase, k, q: q + 1 }
+                } else if k + 1 < k_total {
+                    Pos::Pipe { phase, k: k + 1, q: 0 }
+                } else {
+                    Pos::Drain { phase, q: 0 }
+                };
+            }
+            Pos::Drain { phase, q } => {
+                let plan = &self.plans[self.sweeps];
+                let ph = &plan.phases()[phase];
+                let q_total = self.phase_q(phase);
+                let (msg, stamp) = mux.recv_for(ph.links[ph.k() - 1], self.job);
+                let pkt = expect_packet(msg);
+                assert_eq!(
+                    (pkt.job, pkt.k, pkt.q),
+                    (self.job, (ph.k() - 1) as u32, q as u32),
+                    "batch packet protocol violation"
+                );
+                // The phase completes for this packet when the node holds
+                // it: consuming the arrival advances the virtual clock.
+                ctx.advance_clock_to(stamp);
+                self.pipe[q] = Some(pkt.payload);
+                if q + 1 < q_total {
+                    self.pos = Pos::Drain { phase, q: q + 1 };
+                } else {
+                    let finals: Vec<ColumnBlock> =
+                        self.pipe.drain(..).map(|p| p.expect("packet lost")).collect();
+                    self.slot1 = ColumnBlock::from_packets(finals);
+                    self.pos = self.after_phase(phase);
+                }
+            }
+            Pos::SweepEnd => {
+                self.rotations += self.acc.rotations;
+                self.sweeps += 1;
+                if !self.forced {
+                    // Dimension-exchange all-reduce of the sweep's largest
+                    // off measure — the same vote the solo driver casts,
+                    // demultiplexed by job tag.
+                    let mut v = self.acc.max_off;
+                    for dim in 0..self.d {
+                        ctx.send(dim, BatchMsg::Scalar { job: self.job, v });
+                        let (msg, stamp) = mux.recv_for(dim, self.job);
+                        ctx.advance_clock_to(stamp);
+                        v = v.max(expect_scalar(msg));
+                    }
+                    let bar = match self.spec.kind {
+                        JobKind::Eigen => self.spec.opts.tol * self.norm_a,
+                        JobKind::Svd => self.spec.opts.tol,
+                    };
+                    if v <= bar {
+                        self.converged = true;
+                        self.finish(ctx);
+                        return;
+                    }
+                }
+                if self.sweeps >= self.budget {
+                    self.finish(ctx);
+                } else {
+                    self.pos = Pos::SweepStart;
+                }
+            }
+            Pos::Done => panic!("stepped a finished job"),
+        }
+    }
+
+    fn finish(&mut self, ctx: &NodeCtx<'_, BatchMsg>) {
+        self.finish = ctx.virtual_now();
+        self.pos = Pos::Done;
+    }
+
+    fn into_output(self) -> JobNodeOutput {
+        assert!(self.done(), "collecting an unfinished job");
+        let mut out = JobNodeOutput {
+            sweeps: self.sweeps,
+            rotations: self.rotations,
+            converged: self.converged || self.forced,
+            start: self.start,
+            finish: self.finish,
+            eigen_cols: Vec::new(),
+            svd_cols: Vec::new(),
+        };
+        for b in [&self.slot0, &self.slot1] {
+            for k in 0..b.len() {
+                match self.spec.kind {
+                    JobKind::Eigen => {
+                        let lambda = dot(b.u_col(k), b.a_col(k));
+                        out.eigen_cols.push((b.global_col(k), lambda, b.u_col(k).to_vec()));
+                    }
+                    JobKind::Svd => {
+                        out.svd_cols.push((
+                            b.global_col(k),
+                            b.a_col(k).to_vec(),
+                            b.u_col(k).to_vec(),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs `jobs` concurrently on one `d`-cube of threads over one `fabric`,
+/// interleaving their communication per `order`. Returns per-job results
+/// (each bitwise identical to the job's solo threaded run), per-job
+/// virtual-clock spans, the shared per-job-metered traffic meter, and the
+/// fabric report whose makespan is the batch's measured virtual time.
+pub fn run_job_batch(
+    d: usize,
+    jobs: &[JobSpec],
+    fabric: FabricModel,
+    order: &BatchOrder,
+) -> BatchRun {
+    let lowered: Vec<(Vec<CommPlan>, Vec<Vec<usize>>)> =
+        jobs.iter().map(|spec| lower_job(spec, d)).collect();
+    run_job_batch_planned(d, jobs, &lowered, fabric, order)
+}
+
+/// [`run_job_batch`] with the jobs' communication already lowered
+/// (`lowered[j]` = [`lower_job`]`(jobs[j], d)`), so a scheduler that
+/// lowered the plans to price and order the batch (`mph-batch`) does not
+/// lower them a second time to execute it.
+pub fn run_job_batch_planned(
+    d: usize,
+    jobs: &[JobSpec],
+    lowered: &[(Vec<CommPlan>, Vec<Vec<usize>>)],
+    fabric: FabricModel,
+    order: &BatchOrder,
+) -> BatchRun {
+    assert!(!jobs.is_empty(), "an empty batch solves nothing");
+    assert_eq!(jobs.len(), lowered.len(), "one lowered plan chain per job");
+    order.validate(jobs.len());
+    for (j, spec) in jobs.iter().enumerate() {
+        if spec.kind == JobKind::Eigen {
+            assert_eq!(spec.a.rows(), spec.a.cols(), "eigen job {j} needs a square matrix");
+        }
+    }
+
+    let (outputs, meter, fabric_report) =
+        run_spmd_fabric_jobs::<BatchMsg, Vec<JobNodeOutput>, _>(d, fabric, jobs.len(), |ctx| {
+            let mut nodes: Vec<JobNode> = jobs
+                .iter()
+                .zip(lowered)
+                .enumerate()
+                .map(|(j, (spec, (plans, qs)))| {
+                    JobNode::new(j as u32, spec, plans, qs, d, ctx.id())
+                })
+                .collect();
+            let mut mux = JobMux::new(ctx);
+            match order {
+                BatchOrder::Serial(ord) => {
+                    for &j in ord {
+                        while !nodes[j].done() {
+                            nodes[j].step(ctx, &mut mux);
+                        }
+                    }
+                }
+                BatchOrder::RoundRobin { order: ord, stride } => loop {
+                    let mut active = false;
+                    for &j in ord {
+                        for _ in 0..*stride {
+                            if nodes[j].done() {
+                                break;
+                            }
+                            nodes[j].step(ctx, &mut mux);
+                            active = true;
+                        }
+                    }
+                    if !active {
+                        break;
+                    }
+                },
+            }
+            assert_eq!(mux.stashed(), 0, "batch framing corrupt: unconsumed messages");
+            nodes.into_iter().map(JobNode::into_output).collect()
+        });
+
+    // Assemble per-job global results from the per-node column shares.
+    let mut results = Vec::with_capacity(jobs.len());
+    let mut spans = Vec::with_capacity(jobs.len());
+    for (j, spec) in jobs.iter().enumerate() {
+        let per_node: Vec<&JobNodeOutput> = outputs.iter().map(|o| &o[j]).collect();
+        let mut sweeps = 0usize;
+        let mut rotations = 0u64;
+        let mut converged = true;
+        let mut start = f64::INFINITY;
+        let mut finish = 0.0f64;
+        for o in &per_node {
+            sweeps = sweeps.max(o.sweeps);
+            rotations += o.rotations;
+            converged &= o.converged;
+            start = start.min(o.start);
+            finish = finish.max(o.finish);
+        }
+        spans.push(JobSpan { start, finish });
+        let n = spec.a.cols();
+        match spec.kind {
+            JobKind::Eigen => {
+                let mut eigenvalues = vec![0.0; n];
+                let mut u = Matrix::zeros(n, n);
+                for o in &per_node {
+                    for (c, lambda, ucol) in &o.eigen_cols {
+                        eigenvalues[*c] = *lambda;
+                        u.col_mut(*c).copy_from_slice(ucol);
+                    }
+                }
+                results.push(JobResult::Eigen(EigenResult {
+                    eigenvalues,
+                    eigenvectors: u,
+                    sweeps,
+                    rotations,
+                    off_history: Vec::new(),
+                    converged,
+                }));
+            }
+            JobKind::Svd => {
+                let rows = spec.a.rows();
+                let mut w = Matrix::zeros(rows, n);
+                let mut v = Matrix::zeros(n, n);
+                for o in &per_node {
+                    for (c, wcol, vcol) in &o.svd_cols {
+                        w.col_mut(*c).copy_from_slice(wcol);
+                        v.col_mut(*c).copy_from_slice(vcol);
+                    }
+                }
+                let mut singular_values = vec![0.0; n];
+                let mut u = Matrix::zeros(rows, n);
+                for c in 0..n {
+                    singular_values[c] = sigma_and_u_col(w.col(c), u.col_mut(c));
+                }
+                results.push(JobResult::Svd(SvdResult {
+                    singular_values,
+                    u,
+                    v,
+                    sweeps,
+                    rotations,
+                    converged,
+                }));
+            }
+        }
+    }
+    BatchRun { results, spans, meter, fabric: fabric_report }
+}
+
+/// The block one-sided Jacobi SVD on the threaded/pipelined phase machine:
+/// the same phase walk, packet pipeline, link fabric, and metering as
+/// [`block_jacobi_threaded`](crate::threaded::block_jacobi_threaded), with
+/// the Gram pairing rule — implemented as a single-job batch, which it
+/// literally is. Bitwise identical to the logical [`svd_block`] for a
+/// fixed sweep count (asserted in the tests below).
+pub fn svd_block_threaded(
+    a: &Matrix,
+    d: usize,
+    family: OrderingFamily,
+    opts: &JacobiOptions,
+) -> (SvdResult, TrafficMeter) {
+    let (r, meter, _) = svd_block_threaded_fabric(a, d, family, opts);
+    (r, meter)
+}
+
+/// [`svd_block_threaded`], also returning the link fabric's report (see
+/// [`block_jacobi_threaded_fabric`](crate::threaded::block_jacobi_threaded_fabric)
+/// for the semantics of the measured makespan).
+pub fn svd_block_threaded_fabric(
+    a: &Matrix,
+    d: usize,
+    family: OrderingFamily,
+    opts: &JacobiOptions,
+) -> (SvdResult, TrafficMeter, FabricReport) {
+    let spec = JobSpec::svd(a.clone(), family, *opts);
+    let mut run = run_job_batch(d, &[spec], opts.fabric, &BatchOrder::Serial(vec![0]));
+    match run.results.pop() {
+        Some(JobResult::Svd(r)) => (r, run.meter, run.fabric),
+        _ => unreachable!("a single SVD job returns a single SVD result"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockjacobi::block_jacobi;
+    use crate::options::Pipelining;
+    use crate::svd::svd_block;
+    use crate::threaded::{block_jacobi_threaded, block_jacobi_threaded_fabric};
+    use mph_ccpipe::Machine;
+    use mph_linalg::matmul::eigen_residual;
+    use mph_linalg::symmetric::random_symmetric;
+
+    fn assert_eigen_bitwise(a: &EigenResult, b: &EigenResult, what: &str) {
+        assert_eq!(a.rotations, b.rotations, "{what}: rotations");
+        assert_eq!(a.sweeps, b.sweeps, "{what}: sweeps");
+        for c in 0..a.eigenvalues.len() {
+            assert_eq!(a.eigenvalues[c], b.eigenvalues[c], "{what}: λ_{c}");
+            assert_eq!(a.eigenvectors.col(c), b.eigenvectors.col(c), "{what}: u_{c}");
+        }
+    }
+
+    fn assert_svd_bitwise(a: &SvdResult, b: &SvdResult, what: &str) {
+        assert_eq!(a.rotations, b.rotations, "{what}: rotations");
+        assert_eq!(a.sweeps, b.sweeps, "{what}: sweeps");
+        for c in 0..a.singular_values.len() {
+            assert_eq!(a.singular_values[c], b.singular_values[c], "{what}: σ_{c}");
+            assert_eq!(a.u.col(c), b.u.col(c), "{what}: u_{c}");
+            assert_eq!(a.v.col(c), b.v.col(c), "{what}: v_{c}");
+        }
+    }
+
+    #[test]
+    fn single_eigen_job_batch_is_the_solo_threaded_run_bitwise() {
+        let a = random_symmetric(16, 90);
+        for cache in [false, true] {
+            for q in [Pipelining::Off, Pipelining::Fixed(3)] {
+                let opts = JacobiOptions {
+                    force_sweeps: Some(2),
+                    cache_diagonals: cache,
+                    pipelining: q,
+                    ..Default::default()
+                };
+                for d in [1usize, 2] {
+                    for family in [OrderingFamily::Br, OrderingFamily::Degree4] {
+                        let (solo, _) = block_jacobi_threaded(&a, d, family, &opts);
+                        let run = run_job_batch(
+                            d,
+                            &[JobSpec::eigen(a.clone(), family, opts)],
+                            FabricModel::Free,
+                            &BatchOrder::Serial(vec![0]),
+                        );
+                        let got = run.results[0].eigen().expect("eigen job");
+                        assert_eigen_bitwise(got, &solo, &format!("{family} d={d} cache={cache}"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn svd_block_threaded_equals_logical_svd_block_bitwise() {
+        // The ROADMAP item: the SVD on the threaded/pipelined phase
+        // machine, bitwise-equal to the logical block driver — whole-block
+        // and packetized, cache on and off.
+        let a = random_symmetric(16, 33);
+        for cache in [false, true] {
+            for q in [Pipelining::Off, Pipelining::Fixed(2), Pipelining::Fixed(5)] {
+                let opts = JacobiOptions {
+                    force_sweeps: Some(2),
+                    cache_diagonals: cache,
+                    pipelining: q,
+                    ..Default::default()
+                };
+                for d in [1usize, 2] {
+                    for family in OrderingFamily::ALL {
+                        let logical = svd_block(&a, d, family, &opts);
+                        let (threaded, _) = svd_block_threaded(&a, d, family, &opts);
+                        assert_svd_bitwise(
+                            &threaded,
+                            &logical,
+                            &format!("{family} d={d} cache={cache} {q:?}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn svd_block_threaded_converges_free_running() {
+        let a = random_symmetric(12, 7);
+        let (r, _) =
+            svd_block_threaded(&a, 1, OrderingFamily::PermutedBr, &JacobiOptions::default());
+        assert!(r.converged);
+        let reference = svd_block(&a, 1, OrderingFamily::PermutedBr, &JacobiOptions::default());
+        assert_svd_bitwise(&r, &reference, "free-running");
+    }
+
+    #[test]
+    fn interleaved_mixed_batch_is_bitwise_solo_per_job() {
+        // The tentpole invariant in miniature: an eigen job and an SVD job
+        // interleaved op-by-op over one fabric each produce exactly their
+        // solo bits — under a throttled fabric too.
+        let a0 = random_symmetric(16, 1);
+        let a1 = random_symmetric(12, 2);
+        let opts = JacobiOptions { force_sweeps: Some(2), ..Default::default() };
+        let d = 2;
+        let jobs = [
+            JobSpec::eigen(a0.clone(), OrderingFamily::Br, opts),
+            JobSpec::svd(a1.clone(), OrderingFamily::Degree4, opts),
+        ];
+        let solo_e = block_jacobi(&a0, d, OrderingFamily::Br, &opts);
+        let solo_s = svd_block(&a1, d, OrderingFamily::Degree4, &opts);
+        for fabric in [FabricModel::Free, FabricModel::Throttled(Machine::all_port(1000.0, 100.0))]
+        {
+            for stride in [1usize, 2] {
+                let order = BatchOrder::RoundRobin { order: vec![0, 1], stride };
+                let run = run_job_batch(d, &jobs, fabric, &order);
+                assert_eigen_bitwise(
+                    run.results[0].eigen().expect("eigen"),
+                    &solo_e,
+                    &format!("eigen stride={stride}"),
+                );
+                assert_svd_bitwise(
+                    run.results[1].svd().expect("svd"),
+                    &solo_s,
+                    &format!("svd stride={stride}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_job_traffic_is_metered_apart_and_sums_to_the_blend() {
+        let a0 = random_symmetric(16, 5);
+        let a1 = random_symmetric(16, 6);
+        let opts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
+        let d = 2;
+        let jobs = [
+            JobSpec::eigen(a0.clone(), OrderingFamily::Br, opts),
+            JobSpec::eigen(a1.clone(), OrderingFamily::PermutedBr, opts),
+        ];
+        let order = BatchOrder::RoundRobin { order: vec![0, 1], stride: 1 };
+        let run = run_job_batch(d, &jobs, FabricModel::Free, &order);
+        // Each job's metered volume equals its solo run's.
+        for (j, (family, a)) in
+            [(OrderingFamily::Br, &a0), (OrderingFamily::PermutedBr, &a1)].iter().enumerate()
+        {
+            let (_, solo_meter) = block_jacobi_threaded(a, d, *family, &opts);
+            assert_eq!(run.meter.job_volume(j), solo_meter.total_volume(), "job {j}");
+            assert_eq!(run.meter.job_messages(j), solo_meter.total_messages(), "job {j}");
+        }
+        assert_eq!(
+            run.meter.job_volume(0) + run.meter.job_volume(1),
+            run.meter.total_volume(),
+            "per-job volumes partition the blend"
+        );
+        // Forced sweeps cast no votes: the control plane stays silent.
+        assert_eq!(run.meter.total_control_messages(), 0);
+    }
+
+    #[test]
+    fn interleaving_fills_bubbles_on_the_throttled_all_port_fabric() {
+        // Two jobs with different link sequences: the interleaved batch
+        // must beat FIFO-serial on the virtual clock (all-port), and each
+        // job's span must sit inside the batch makespan.
+        let a0 = random_symmetric(32, 11);
+        let a1 = random_symmetric(32, 12);
+        let opts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
+        let d = 2;
+        let machine = Machine::all_port(1000.0, 100.0);
+        let fabric = FabricModel::Throttled(machine);
+        let jobs = [
+            JobSpec::eigen(a0, OrderingFamily::Br, opts),
+            JobSpec::eigen(a1, OrderingFamily::Degree4, opts),
+        ];
+        let serial = run_job_batch(d, &jobs, fabric, &BatchOrder::Serial(vec![0, 1]));
+        let inter = run_job_batch(
+            d,
+            &jobs,
+            fabric,
+            &BatchOrder::RoundRobin { order: vec![0, 1], stride: 1 },
+        );
+        assert!(
+            inter.fabric.makespan < serial.fabric.makespan,
+            "interleaved {} vs serial {}",
+            inter.fabric.makespan,
+            serial.fabric.makespan
+        );
+        for span in &inter.spans {
+            assert!(span.finish <= inter.fabric.makespan + 1e-9);
+            assert!(span.start >= 0.0 && span.makespan() > 0.0);
+        }
+        // Serial spans tile the serial makespan: job 1 starts where job 0
+        // ended (up to barrier-free node skew).
+        assert!(serial.spans[1].start >= serial.spans[0].start);
+        assert!(
+            (serial.spans[1].finish - serial.fabric.makespan).abs() < 1e-9,
+            "last serial job ends the batch"
+        );
+    }
+
+    #[test]
+    fn batch_results_are_numerically_sound() {
+        // Beyond bitwise parity: a free-running mixed batch converges and
+        // reconstructs.
+        let a0 = random_symmetric(16, 21);
+        let a1 = random_symmetric(10, 22);
+        let jobs = [
+            JobSpec::eigen(a0.clone(), OrderingFamily::PermutedBr, JacobiOptions::default()),
+            JobSpec::svd(a1.clone(), OrderingFamily::Br, JacobiOptions::default()),
+        ];
+        let order = BatchOrder::RoundRobin { order: vec![0, 1], stride: 1 };
+        let run = run_job_batch(2, &jobs, FabricModel::Free, &order);
+        let e = run.results[0].eigen().expect("eigen");
+        assert!(e.converged);
+        assert!(eigen_residual(&a0, &e.eigenvectors, &e.eigenvalues) < 1e-6);
+        let s = run.results[1].svd().expect("svd");
+        assert!(s.converged);
+        let rec = s.reconstruct();
+        let mut err = 0.0f64;
+        for c in 0..a1.cols() {
+            for r in 0..a1.rows() {
+                err += (a1[(r, c)] - rec[(r, c)]).powi(2);
+            }
+        }
+        assert!(err.sqrt() < 1e-8, "reconstruction error {}", err.sqrt());
+    }
+
+    #[test]
+    fn throttled_single_job_batch_reproduces_the_solo_makespan() {
+        // A Serial([0]) batch is the solo threaded run: same bits AND the
+        // same measured virtual makespan.
+        let a = random_symmetric(32, 44);
+        let machine = Machine::all_port(500.0, 10.0);
+        let opts = JacobiOptions {
+            force_sweeps: Some(2),
+            fabric: FabricModel::Throttled(machine),
+            ..Default::default()
+        };
+        let (_, _, solo_report) = block_jacobi_threaded_fabric(&a, 2, OrderingFamily::Br, &opts);
+        let run = run_job_batch(
+            2,
+            &[JobSpec::eigen(a, OrderingFamily::Br, opts)],
+            FabricModel::Throttled(machine),
+            &BatchOrder::Serial(vec![0]),
+        );
+        assert!(
+            (run.fabric.makespan - solo_report.makespan).abs() <= 1e-9 * solo_report.makespan,
+            "batch {} vs solo {}",
+            run.fabric.makespan,
+            solo_report.makespan
+        );
+    }
+}

@@ -74,6 +74,22 @@ impl SvdResult {
     }
 }
 
+/// Normalizes one orthogonalized `W`-column into `dst` and returns its
+/// norm `σ = ‖w‖` (zero columns leave `dst` untouched — rank deficiency).
+/// This is *the* extraction arithmetic, shared by the logical drivers here
+/// and the threaded/batched drivers in [`crate::multidrive`], so every
+/// path produces bitwise-identical factors from the same column bits.
+pub(crate) fn sigma_and_u_col(col: &[f64], dst: &mut [f64]) -> f64 {
+    let norm = dot(col, col).sqrt();
+    if norm > 0.0 {
+        let inv = 1.0 / norm;
+        for (d, &x) in dst.iter_mut().zip(col) {
+            *d = x * inv;
+        }
+    }
+    norm
+}
+
 /// Extracts `(Σ, U, V)` from orthogonalized blocks: `σ_k = ‖w_k‖`,
 /// `u_k = w_k/σ_k` (zero columns get a zero vector — rank deficiency), and
 /// `V` reassembled from the blocks' `U` slots.
@@ -85,16 +101,7 @@ fn extract_usv_blocks(blocks: &[ColumnBlock], rows: usize, n: usize) -> (Vec<f64
         blk.store_u_into(&mut v);
         for k in 0..blk.len() {
             let c = blk.global_col(k);
-            let col = blk.a_col(k);
-            let norm = dot(col, col).sqrt();
-            sigma[c] = norm;
-            if norm > 0.0 {
-                let inv = 1.0 / norm;
-                let dst = u.col_mut(c);
-                for r in 0..rows {
-                    dst[r] = col[r] * inv;
-                }
-            }
+            sigma[c] = sigma_and_u_col(blk.a_col(k), u.col_mut(c));
         }
     }
     (sigma, u, v)

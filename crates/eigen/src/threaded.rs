@@ -135,8 +135,22 @@ pub fn lower_sweeps(
     cache_diagonals: bool,
     budget: usize,
 ) -> Vec<CommPlan> {
-    let partition = BlockPartition::new(m, 2 << d);
-    let elems_per_col = 2 * m + usize::from(cache_diagonals);
+    lower_sweeps_with(m, d, family, 2 * m + usize::from(cache_diagonals), budget)
+}
+
+/// [`lower_sweeps`] with an explicit per-column payload — the one
+/// sweep-chaining path shared by the solo threaded solver (square eigen:
+/// `2m` elements per column, plus the diagonal cache) and the batch
+/// driver's SVD jobs (`rows + n`): whatever the payload, the plans the
+/// cost model prices are the plans the runtime executes.
+pub fn lower_sweeps_with(
+    n_cols: usize,
+    d: usize,
+    family: OrderingFamily,
+    elems_per_col: usize,
+    budget: usize,
+) -> Vec<CommPlan> {
+    let partition = BlockPartition::new(n_cols, 2 << d);
     let mut plans = Vec::with_capacity(budget);
     let mut layout = BlockLayout::canonical(d);
     for s in 0..budget {

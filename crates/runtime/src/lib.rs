@@ -22,6 +22,7 @@
 
 pub mod collectives;
 pub mod fabric;
+pub mod jobmux;
 pub mod machine;
 pub mod meter;
 pub mod packet;
@@ -30,8 +31,11 @@ pub mod spmd;
 
 pub use collectives::{all_gather, all_reduce, broadcast, gather};
 pub use fabric::{calibrate_channel_machine, measure_channel_fabric, FabricModel, FabricReport};
+pub use jobmux::JobMux;
 pub use machine::{FabricStats, Machine, PortModel};
 pub use meter::TrafficMeter;
 pub use packet::{pipelined_phase, Packet, PacketChannel, PhaseStats};
 pub use pipelined::{pipelined_exchange, unpipelined_exchange};
-pub use spmd::{run_spmd, run_spmd_fabric, run_spmd_metered, Meterable, NodeCtx};
+pub use spmd::{
+    run_spmd, run_spmd_fabric, run_spmd_fabric_jobs, run_spmd_metered, Meterable, NodeCtx,
+};

@@ -40,13 +40,31 @@ use crate::spmd::{Meterable, NodeCtx};
 /// A framed packet: pipeline coordinates plus payload.
 ///
 /// `k` is the iteration (hop) that sent the packet, `q` the packet index
-/// within the payload split. Receivers assert both, turning a silent
-/// protocol slip into an immediate panic.
+/// within the payload split, and `job` the batch-job id when several
+/// independent problems multiplex one fabric (0 for solo programs).
+/// Receivers assert the header, turning a silent protocol slip into an
+/// immediate panic; the job tag is what lets a receiver demultiplex
+/// interleaved jobs' packets off one FIFO link
+/// ([`crate::jobmux::JobMux`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Packet<P> {
+    pub job: u32,
     pub k: u32,
     pub q: u32,
     pub payload: P,
+}
+
+impl<P> Packet<P> {
+    /// A solo (job-0) packet — the framing every single-problem driver
+    /// uses.
+    pub fn new(k: u32, q: u32, payload: P) -> Self {
+        Packet { job: 0, k, q, payload }
+    }
+
+    /// A packet tagged for batch job `job`.
+    pub fn for_job(job: u32, k: u32, q: u32, payload: P) -> Self {
+        Packet { job, k, q, payload }
+    }
 }
 
 impl<P: Meterable> Meterable for Packet<P> {
@@ -56,6 +74,10 @@ impl<P: Meterable> Meterable for Packet<P> {
 
     fn is_control(&self) -> bool {
         self.payload.is_control()
+    }
+
+    fn job(&self) -> u32 {
+        self.job
     }
 }
 
@@ -230,7 +252,7 @@ where
                 (pkt.payload, stamp)
             };
             process(k, q, &mut payload);
-            chan.send_after(links[k], wrap(Packet { k: k as u32, q: q as u32, payload }), ready);
+            chan.send_after(links[k], wrap(Packet::new(k as u32, q as u32, payload)), ready);
         }
     }
     let finals = (0..q_total)
@@ -269,7 +291,7 @@ mod tests {
                     p.push(state);
                 }
                 for (qi, p) in packets.drain(..).enumerate() {
-                    ctx.send(link, Packet { k: k as u32, q: qi as u32, payload: p });
+                    ctx.send(link, Packet::new(k as u32, qi as u32, p));
                 }
                 packets = (0..q).map(|_| ctx.recv(link).payload).collect();
             }
@@ -375,7 +397,7 @@ mod tests {
         let results = run_spmd::<Packet<Log>, String, _>(1, |ctx| {
             let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let mut chan = PacketChannel::new(ctx, 1);
-                let mk = |q| Packet { k: 0, q, payload: vec![0.0] };
+                let mk = |q| Packet::new(0, q, vec![0.0]);
                 chan.send(0, mk(0));
                 chan.send(0, mk(1)); // second in-flight packet: beyond window
             }))

@@ -36,6 +36,16 @@ pub trait Meterable {
     fn is_control(&self) -> bool {
         false
     }
+
+    /// Which batch job this message belongs to, when several independent
+    /// problems share one fabric (see
+    /// [`run_spmd_fabric_jobs`](crate::spmd::run_spmd_fabric_jobs)). The
+    /// meter keeps per-job totals and the job demultiplexer
+    /// ([`crate::jobmux::JobMux`]) routes by this tag. Solo programs use
+    /// the default job 0.
+    fn job(&self) -> u32 {
+        0
+    }
 }
 
 impl Meterable for () {}
@@ -102,7 +112,7 @@ impl<'a, M: Send + Meterable> NodeCtx<'a, M> {
     /// time; on a throttled fabric the message is charged `Ts + S·Tw`
     /// against this node's ports and outgoing link on the virtual clock).
     pub fn send(&self, dim: usize, msg: M) {
-        self.meter.record(dim, msg.elems(), msg.is_control());
+        self.meter.record(dim, msg.elems(), msg.is_control(), msg.job());
         let stamp = self.clock.on_send(dim, msg.elems());
         self.tx[dim].send(Envelope { msg, stamp }).expect("neighbor hung up");
     }
@@ -131,7 +141,7 @@ impl<'a, M: Send + Meterable> NodeCtx<'a, M> {
     /// comm-processor model that lets a software pipeline overlap
     /// iterations on the virtual clock.
     pub fn send_after(&self, dim: usize, msg: M, ready: f64) {
-        self.meter.record(dim, msg.elems(), msg.is_control());
+        self.meter.record(dim, msg.elems(), msg.is_control(), msg.job());
         let stamp = self.clock.on_send_ready(dim, msg.elems(), ready);
         self.tx[dim].send(Envelope { msg, stamp }).expect("neighbor hung up");
     }
@@ -245,8 +255,26 @@ where
     R: Send,
     F: Fn(&NodeCtx<'_, M>) -> R + Sync,
 {
+    run_spmd_fabric_jobs(d, fabric, 1, body)
+}
+
+/// Like [`run_spmd_fabric`] for a program multiplexing `njobs` independent
+/// batch jobs over the links: the traffic meter keeps per-job totals
+/// (messages declare their job via [`Meterable::job`]) next to the blended
+/// per-dimension ones. `run_spmd_fabric` is this with a single job.
+pub fn run_spmd_fabric_jobs<M, R, F>(
+    d: usize,
+    fabric: FabricModel,
+    njobs: usize,
+    body: F,
+) -> (Vec<R>, TrafficMeter, FabricReport)
+where
+    M: Send + Meterable,
+    R: Send,
+    F: Fn(&NodeCtx<'_, M>) -> R + Sync,
+{
     let p = 1usize << d;
-    let meter = TrafficMeter::new(d);
+    let meter = TrafficMeter::with_jobs(d, njobs);
     let barrier = Barrier::new(p);
     let shared_clock = SharedClock::new();
 

@@ -142,7 +142,7 @@ fn packet_channel_enforces_the_window_and_reports_exact_peaks() {
     // sends/receives across two dimensions; the per-dimension peak must be
     // the exact high-water mark, not merely ≤ the window.
     let results = run_spmd::<Packet<Vec<f64>>, (), _>(2, |ctx| {
-        let mk = |k: u32, q: u32| Packet { k, q, payload: vec![0.0; 4] };
+        let mk = |k: u32, q: u32| Packet::new(k, q, vec![0.0; 4]);
         let mut chan = PacketChannel::new(ctx, 3);
         // dim 0: fill to 2, drain 1, refill to 3 (the window) — peak 3.
         chan.send(0, mk(0, 0));

@@ -1,0 +1,216 @@
+//! Batch schedule replay: the simulator view of multi-problem batching.
+//!
+//! The batch scheduler runs `N` independent jobs' lowered plans over one
+//! fabric; this module rebuilds that execution as [`CommSchedule`]s so the
+//! network simulator can cross-validate the runtime's measured makespans
+//! and the `mph_ccpipe::batch_cost` predictions against a third,
+//! independent implementation of the machine model:
+//!
+//! * [`job_schedule`] — one job's full communication (its plan chain with
+//!   the driver's per-phase pipelining degrees) as a stage schedule;
+//! * [`serial_replay`] — FIFO execution: the jobs' stages concatenated in
+//!   order, exactly the back-to-back makespan;
+//! * [`interleaved_replay`] — round-robin execution: stage `i` of the
+//!   merged schedule carries stage `i` of *every* job, with a node's
+//!   same-dimension sends of one stage combined into a single message
+//!   (the simulator's combining assumption, the same one
+//!   [`plan_pipelined_schedule`](crate::plan::plan_pipelined_schedule)
+//!   makes within a job). On an all-port machine jobs whose stages hit
+//!   different dimensions overlap fully; colliding stages serialize on
+//!   the shared wire — which is precisely the gain and the limit the
+//!   batch cost model prices.
+//!
+//! Volumes are conserved exactly by construction (the replay moves the
+//! plans' element counts); the makespans bound the runtime from both
+//! sides: the synchronized simulator's per-stage barrier is slightly
+//! stricter than the runtime's dataflow clock, so `interleaved_replay` is
+//! an upper-shaped estimate, while combining start-ups makes it cheaper by
+//! `(n − 1)·Ts` per collision — both effects are small against the block
+//! transmission times the batch targets.
+
+use crate::schedule::{CommSchedule, CommStage, NodeSend};
+use mph_core::CommPlan;
+
+/// One job's whole communication as a stage schedule: its sweep-chained
+/// plans lowered with the driver's per-phase packet counts (`qs[s]` for
+/// sweep `s`, one entry per exchange phase — `choose_qs` output).
+pub fn job_schedule(plans: &[CommPlan], qs: &[Vec<usize>]) -> CommSchedule {
+    assert_eq!(plans.len(), qs.len(), "one qs vector per sweep plan");
+    assert!(!plans.is_empty(), "a job needs at least one sweep plan");
+    let d = plans[0].d();
+    let mut stages = Vec::new();
+    for (plan, q) in plans.iter().zip(qs) {
+        stages.extend(crate::plan::plan_pipelined_schedule(plan, q).stages);
+    }
+    CommSchedule::new(d, stages)
+}
+
+/// FIFO-serial replay: every job's stages, back to back in `order`.
+pub fn serial_replay(jobs: &[CommSchedule], order: &[usize]) -> CommSchedule {
+    assert!(!jobs.is_empty(), "an empty batch has no schedule");
+    let d = jobs[0].d;
+    let mut stages = Vec::new();
+    for &j in order {
+        assert_eq!(jobs[j].d, d, "all jobs must share one cube");
+        stages.extend(jobs[j].stages.iter().cloned());
+    }
+    CommSchedule::new(d, stages)
+}
+
+/// Round-robin replay: merged stage `i` unions every job's stage `i`,
+/// combining a node's same-dimension sends into one message. Jobs shorter
+/// than the longest simply stop contributing.
+pub fn interleaved_replay(jobs: &[CommSchedule]) -> CommSchedule {
+    assert!(!jobs.is_empty(), "an empty batch has no schedule");
+    let d = jobs[0].d;
+    let p = 1usize << d;
+    let longest = jobs.iter().map(|j| j.stages.len()).max().unwrap_or(0);
+    let mut stages = Vec::with_capacity(longest);
+    for i in 0..longest {
+        let mut per_node: Vec<Vec<NodeSend>> = vec![Vec::new(); p];
+        for job in jobs {
+            assert_eq!(job.d, d, "all jobs must share one cube");
+            let Some(stage) = job.stages.get(i) else { continue };
+            for (n, bundle) in per_node.iter_mut().enumerate() {
+                for s in stage.sends(n) {
+                    match bundle.iter_mut().find(|b| b.dim == s.dim) {
+                        Some(b) => b.elems += s.elems,
+                        None => bundle.push(*s),
+                    }
+                }
+            }
+        }
+        stages.push(CommStage::per_node(per_node));
+    }
+    CommSchedule::new(d, stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{simulate_synchronized, StartupModel};
+    use mph_ccpipe::Machine;
+    use mph_core::{BlockLayout, BlockPartition, OrderingFamily, SweepSchedule};
+
+    fn chain(m: usize, d: usize, family: OrderingFamily, sweeps: usize) -> Vec<CommPlan> {
+        let partition = BlockPartition::new(m, 2 << d);
+        let mut layout = BlockLayout::canonical(d);
+        (0..sweeps)
+            .map(|s| {
+                let schedule = SweepSchedule::sweep(d, family, s);
+                let plan = CommPlan::lower(&schedule, &partition, &layout, 2 * m);
+                layout = plan.final_layout().clone();
+                plan
+            })
+            .collect()
+    }
+
+    fn ones(plans: &[CommPlan]) -> Vec<Vec<usize>> {
+        plans.iter().map(|p| p.exchange_phases().map(|_| 1).collect()).collect()
+    }
+
+    fn sched(m: usize, d: usize, family: OrderingFamily) -> CommSchedule {
+        let plans = chain(m, d, family, 1);
+        let qs = ones(&plans);
+        job_schedule(&plans, &qs)
+    }
+
+    #[test]
+    fn replays_conserve_volume_exactly() {
+        let d = 2;
+        let a = sched(32, d, OrderingFamily::Br);
+        let b = sched(24, d, OrderingFamily::Degree4);
+        let want: Vec<f64> =
+            a.volume_by_dim().iter().zip(b.volume_by_dim()).map(|(x, y)| x + y).collect();
+        let serial = serial_replay(&[a.clone(), b.clone()], &[0, 1]);
+        let inter = interleaved_replay(&[a, b]);
+        assert_eq!(serial.volume_by_dim(), want);
+        assert_eq!(inter.volume_by_dim(), want);
+    }
+
+    #[test]
+    fn serial_replay_makespan_is_the_sum_of_solo_makespans() {
+        let machine = Machine::all_port(1000.0, 100.0);
+        let jobs = [sched(32, 2, OrderingFamily::Br), sched(32, 2, OrderingFamily::PermutedBr)];
+        let solo: f64 = jobs
+            .iter()
+            .map(|j| simulate_synchronized(j, &machine, StartupModel::SerializedThenParallel))
+            .map(|r| r.makespan)
+            .sum();
+        let serial = serial_replay(&jobs, &[0, 1]);
+        let r = simulate_synchronized(&serial, &machine, StartupModel::SerializedThenParallel);
+        assert!((r.makespan - solo).abs() < 1e-9 * solo, "{} vs {solo}", r.makespan);
+    }
+
+    #[test]
+    fn interleaved_replay_never_beats_the_wire_and_beats_serial_on_all_port() {
+        // Different families → partially disjoint links: interleaving
+        // overlaps transmissions on the all-port machine and must land
+        // strictly below the serial replay, but not below the busiest
+        // dimension's pure wire time.
+        let machine = Machine::all_port(1000.0, 100.0);
+        let jobs = [
+            sched(64, 3, OrderingFamily::Br),
+            sched(64, 3, OrderingFamily::Degree4),
+            sched(64, 3, OrderingFamily::PermutedBr),
+        ];
+        let serial = simulate_synchronized(
+            &serial_replay(&jobs, &[0, 1, 2]),
+            &machine,
+            StartupModel::SerializedThenParallel,
+        );
+        let inter = simulate_synchronized(
+            &interleaved_replay(&jobs),
+            &machine,
+            StartupModel::SerializedThenParallel,
+        );
+        assert!(
+            inter.makespan < serial.makespan,
+            "interleave {} vs serial {}",
+            inter.makespan,
+            serial.makespan
+        );
+        // Busiest dimension's per-link wire time is a hard floor: each of
+        // the p nodes owns one outgoing link per dimension, so a
+        // dimension's busy time spreads over p directed links at best.
+        let p = 8.0;
+        let floor = inter.dim_busy.iter().fold(0.0f64, |a, &b| a.max(b)) / p;
+        assert!(inter.makespan >= floor, "makespan {} under wire floor {floor}", inter.makespan);
+    }
+
+    #[test]
+    fn one_port_interleaving_gains_nothing_in_the_replay() {
+        // A single port serializes all wire seconds; the replay's combined
+        // stages must cost at least the serial stages' wire time (they
+        // save only start-up combining).
+        let machine = Machine::one_port(1000.0, 100.0);
+        let jobs = [sched(32, 2, OrderingFamily::Br), sched(32, 2, OrderingFamily::Degree4)];
+        let serial = simulate_synchronized(
+            &serial_replay(&jobs, &[0, 1]),
+            &machine,
+            StartupModel::SerializedThenParallel,
+        );
+        let inter = simulate_synchronized(
+            &interleaved_replay(&jobs),
+            &machine,
+            StartupModel::SerializedThenParallel,
+        );
+        // Wire time is conserved; only start-ups can combine away. The
+        // gain must therefore be bounded by the start-up share.
+        let max_startup_saving = serial.messages as f64 * machine.ts;
+        assert!(inter.makespan >= serial.makespan - max_startup_saving);
+    }
+
+    #[test]
+    fn jobs_of_unequal_length_still_merge() {
+        let a = sched(32, 2, OrderingFamily::Br); // 1 sweep
+        let plans = chain(32, 2, OrderingFamily::Br, 2);
+        let qs = ones(&plans);
+        let b = job_schedule(&plans, &qs); // 2 sweeps
+        let inter = interleaved_replay(&[a.clone(), b.clone()]);
+        assert_eq!(inter.stages.len(), b.stages.len());
+        let want: Vec<f64> =
+            a.volume_by_dim().iter().zip(b.volume_by_dim()).map(|(x, y)| x + y).collect();
+        assert_eq!(inter.volume_by_dim(), want);
+    }
+}

@@ -20,12 +20,14 @@
 //!   execution ([`simulate_async`]) — quantify how conservative the
 //!   paper's model is.
 
+pub mod batch;
 pub mod plan;
 pub mod schedule;
 pub mod sim;
 pub mod sweepsim;
 pub mod validate;
 
+pub use batch::{interleaved_replay, job_schedule, serial_replay};
 pub use plan::{plan_phase_times, plan_pipelined_schedule, plan_unpipelined_schedule};
 pub use schedule::{
     pipelined_phase_schedule, unpipelined_phase_schedule, CommSchedule, CommStage, NodeSend,

@@ -10,6 +10,7 @@
 //! assert_eq!(d4.len(), 31);
 //! ```
 
+pub use mph_batch as batch;
 pub use mph_ccpipe as ccpipe;
 pub use mph_core as core;
 pub use mph_eigen as eigen;

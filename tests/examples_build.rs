@@ -35,6 +35,7 @@ fn expected_examples_are_present() {
         .collect();
     found.sort();
     let want = [
+        "batch_solve",
         "comm_cost_model",
         "eigensolve_pipelined",
         "eigensolve_threaded",
