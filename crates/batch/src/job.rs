@@ -36,6 +36,14 @@ impl Job {
         }
     }
 
+    /// The job's ordering family — with [`Job::cols`], the signature that
+    /// determines its link walk (what the admission layer staggers by).
+    pub fn family(&self) -> OrderingFamily {
+        match self {
+            Job::Eigen { family, .. } | Job::Svd { family, .. } => *family,
+        }
+    }
+
     /// Lowers to the driver's job description.
     pub fn to_spec(&self) -> JobSpec {
         match self {

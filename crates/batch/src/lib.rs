@@ -28,12 +28,14 @@
 //! model, pipelining degree, and cache setting — batching changes when
 //! messages move, never what any job computes.
 
+pub mod admission;
 pub mod job;
 pub mod policy;
 pub mod scheduler;
 
+pub use admission::{admission_priorities, service_plan, stagger_keys, AdmissionConfig};
 pub use job::Job;
-pub use mph_ccpipe::{batch_cost, BatchCost, BatchOrder, PlannedJob};
-pub use mph_eigen::{JobResult, JobSpan, JobSpec};
+pub use mph_ccpipe::{batch_cost, partial_batch_cost, BatchCost, BatchOrder, PlannedJob};
+pub use mph_eigen::{JobResult, JobSpan, JobSpec, ServicePlan};
 pub use policy::Policy;
-pub use scheduler::{solve_batch, BatchOptions, BatchReport, Throughput};
+pub use scheduler::{solve_batch, BatchConfigError, BatchOptions, BatchReport, Throughput};

@@ -12,6 +12,13 @@ pub enum Policy {
     /// job's packets fill the link idle time the others leave behind.
     /// Maximizes fabric utilization and batch throughput on multi-port
     /// machines (a one-port machine serializes the wires anyway).
+    ///
+    /// Clamp contract: `stride: 0` grants no micro-ops per turn, which
+    /// interleaves nothing — [`Policy::order`] clamps it to 1 so a
+    /// hand-built struct literal still lowers to a runnable schedule.
+    /// The checked path, [`crate::BatchOptions::new`], rejects it with
+    /// [`crate::BatchConfigError::ZeroStride`] instead; prefer it when
+    /// the stride comes from configuration rather than code.
     Interleave { stride: usize },
     /// Serial, but in ascending plan-priced cost
     /// ([`solo_plan_costs`]: `plan_cost_with` summed over each job's

@@ -32,6 +32,43 @@ impl Default for BatchOptions {
     }
 }
 
+/// A batch configuration the scheduler refuses to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchConfigError {
+    /// `Policy::Interleave { stride: 0 }` grants no micro-ops per turn —
+    /// it would interleave nothing. The legacy lowering path silently
+    /// clamps it to 1 (see [`Policy::order`]); the checked constructor
+    /// rejects it instead so the caller's intent stays visible.
+    ZeroStride,
+}
+
+impl std::fmt::Display for BatchConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchConfigError::ZeroStride => {
+                write!(f, "Policy::Interleave stride must be >= 1 (0 grants no micro-ops)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchConfigError {}
+
+impl BatchOptions {
+    /// Checked constructor: rejects configurations the direct struct
+    /// literal would only clamp ([`BatchConfigError::ZeroStride`]).
+    pub fn new(
+        fabric: FabricModel,
+        policy: Policy,
+        pricing: Machine,
+    ) -> Result<BatchOptions, BatchConfigError> {
+        if matches!(policy, Policy::Interleave { stride: 0 }) {
+            return Err(BatchConfigError::ZeroStride);
+        }
+        Ok(BatchOptions { fabric, policy, pricing })
+    }
+}
+
 /// Aggregate throughput on the fabric's virtual clock.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Throughput {
@@ -39,6 +76,20 @@ pub struct Throughput {
     pub jobs_per_time: f64,
     /// Data-plane elements moved per unit of virtual time.
     pub elems_per_time: f64,
+}
+
+impl Throughput {
+    /// Rates `jobs` completions and `elems` moved elements against a
+    /// measured virtual `makespan`. `None` when the makespan is zero —
+    /// a [`FabricModel::Free`] run ticks no clock, so its rate is
+    /// undefined, not infinite. Shared by the batch scheduler and the
+    /// online serving layer.
+    pub fn measure(jobs: usize, elems: u64, makespan: f64) -> Option<Throughput> {
+        (makespan > 0.0).then(|| Throughput {
+            jobs_per_time: jobs as f64 / makespan,
+            elems_per_time: elems as f64 / makespan,
+        })
+    }
 }
 
 /// Everything a batch run produces.
@@ -96,10 +147,7 @@ pub fn solve_batch(d: usize, jobs: &[Job], opts: &BatchOptions) -> BatchReport {
     // The lowering that priced the batch is the one that runs it.
     let run = run_job_batch_planned(d, &specs, &lowered, opts.fabric, &order);
     let makespan = run.fabric.makespan;
-    let throughput = (makespan > 0.0).then(|| Throughput {
-        jobs_per_time: jobs.len() as f64 / makespan,
-        elems_per_time: run.meter.total_volume() as f64 / makespan,
-    });
+    let throughput = Throughput::measure(jobs.len(), run.meter.total_volume(), makespan);
     BatchReport {
         results: run.results,
         spans: run.spans,
@@ -137,6 +185,37 @@ mod tests {
                 opts: forced(1),
             },
         ]
+    }
+
+    #[test]
+    fn checked_options_reject_a_zero_interleave_stride() {
+        let err = BatchOptions::new(
+            FabricModel::Free,
+            Policy::Interleave { stride: 0 },
+            Machine::paper_figure2(),
+        )
+        .expect_err("stride 0 grants no micro-ops");
+        assert_eq!(err, BatchConfigError::ZeroStride);
+        assert!(err.to_string().contains("stride"));
+        // Any stride >= 1 (and the non-interleaved policies) pass through.
+        let ok = BatchOptions::new(
+            FabricModel::Free,
+            Policy::Interleave { stride: 1 },
+            Machine::paper_figure2(),
+        )
+        .expect("stride 1 is the minimal legal interleave");
+        assert_eq!(ok.policy, Policy::Interleave { stride: 1 });
+        assert!(
+            BatchOptions::new(FabricModel::Free, Policy::Fifo, Machine::paper_figure2()).is_ok()
+        );
+    }
+
+    #[test]
+    fn throughput_measure_guards_the_zero_makespan() {
+        assert_eq!(Throughput::measure(3, 600, 0.0), None, "free fabric: no clock, no rate");
+        let t = Throughput::measure(3, 600, 2.0).expect("positive makespan rates");
+        assert_eq!(t.jobs_per_time, 1.5);
+        assert_eq!(t.elems_per_time, 300.0);
     }
 
     #[test]

@@ -321,6 +321,66 @@ fn validate(doc: &Json) -> Vec<String> {
         require(&format!("batch one_port.{key} >= all_port.{key}"), ordered);
     }
 
+    // The serve block: open-loop arrivals served online at the
+    // calibration load point (arrivals paced under one-port capacity).
+    // Virtual-clock quantities, deterministic, so they gate hard: SLO
+    // fields finite and positive, percentiles ordered (p50 ≤ p99), the
+    // all-port fabric must serve the shared arrival sequence at least as
+    // fast as the one-port fabric (jobs/vtime), and the calibration load
+    // must shed nothing — a rejection here means admission or pacing
+    // regressed, not that the scenario was hard.
+    let serve = doc.get("serve");
+    require("serve", serve.is_some());
+    let serve_row = |size: &str, port: &str, key: &str| {
+        serve
+            .and_then(|s| s.get(size))
+            .and_then(|r| r.get(port))
+            .and_then(|r| r.get(key))
+            .and_then(Json::as_number)
+    };
+    for size in ["m64", "m256"] {
+        require(
+            &format!("serve.{size}.mean_interarrival"),
+            serve
+                .and_then(|s| s.get(size))
+                .and_then(|r| r.get("mean_interarrival"))
+                .and_then(Json::as_number)
+                .is_some_and(|x| x.is_finite() && x > 0.0),
+        );
+        for port in ["one_port", "all_port"] {
+            for key in ["p50", "p90", "p99", "jobs_per_vtime", "elems_per_vtime", "makespan"] {
+                require(
+                    &format!("serve.{size}.{port}.{key}"),
+                    serve_row(size, port, key).is_some_and(|x| x.is_finite() && x > 0.0),
+                );
+            }
+            let ordered = match (serve_row(size, port, "p50"), serve_row(size, port, "p99")) {
+                (Some(p50), Some(p99)) => p50 <= p99,
+                _ => false,
+            };
+            require(&format!("serve.{size}.{port}.p50 <= p99"), ordered);
+            require(
+                &format!("serve.{size}.{port}.rejected == 0 at the calibration load"),
+                serve_row(size, port, "rejected") == Some(0.0),
+            );
+            require(
+                &format!("serve.{size}.{port}.served >= 1"),
+                serve_row(size, port, "served").is_some_and(|s| s >= 1.0),
+            );
+        }
+        let no_worse = match (
+            serve_row(size, "all_port", "jobs_per_vtime"),
+            serve_row(size, "one_port", "jobs_per_vtime"),
+        ) {
+            (Some(all), Some(one)) => all >= one - 1e-12,
+            _ => false,
+        };
+        require(
+            &format!("serve.{size} all_port.jobs_per_vtime >= one_port.jobs_per_vtime"),
+            no_worse,
+        );
+    }
+
     match doc.get("families") {
         Some(Json::Object(fams)) if !fams.is_empty() => {
             for (name, fam) in fams {
@@ -369,13 +429,36 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    fn minimal_snapshot_with(
+    fn serve_size_block(rejected: f64, all_port_jobs_per_vtime: f64) -> String {
+        format!(
+            r#"{{"mean_interarrival": 5.0e5,
+               "one_port": {{"p50": 1.0e5, "p90": 2.0e5, "p99": 3.0e5,
+                            "mean_latency": 1.5e5, "max_latency": 3.0e5,
+                            "queue_wait_p99": 1.0e4,
+                            "jobs_per_vtime": 1.0e-5, "elems_per_vtime": 10.0,
+                            "served": 8, "rejected": {rejected},
+                            "peak_queue_depth": 2, "makespan": 4.0e6}},
+               "all_port": {{"p50": 0.5e5, "p90": 1.0e5, "p99": 1.5e5,
+                            "mean_latency": 0.7e5, "max_latency": 1.5e5,
+                            "queue_wait_p99": 5.0e3,
+                            "jobs_per_vtime": {all_port_jobs_per_vtime},
+                            "elems_per_vtime": 20.0,
+                            "served": 8, "rejected": 0,
+                            "peak_queue_depth": 1, "makespan": 3.0e6}}}}"#
+        )
+    }
+
+    fn minimal_snapshot_serving(
         one_port_ratio: f64,
         one_port_vtime: f64,
         batch_gain: f64,
         batch_ratio: f64,
         bitwise: bool,
+        serve_rejected: f64,
+        serve_all_port_jobs: f64,
     ) -> String {
+        let serve_m64 = serve_size_block(serve_rejected, serve_all_port_jobs);
+        let serve_m256 = serve_size_block(0.0, 2.0e-5);
         format!(
             r#"{{
           "bench": "eigen_perf_snapshot", "m": 256, "d": 3, "smoke": false, "seed": 1,
@@ -416,8 +499,30 @@ mod tests {
                                  "measured_over_predicted": {batch_ratio},
                                  "serial_tail_vtime": 40.0,
                                  "jobs_per_vtime": 2.2e-2, "elems_per_vtime": 20.0}}}},
+          "serve": {{"jobs": 8, "force_sweeps": 1,
+                    "machine_ts": 1000.0, "machine_tw": 100.0,
+                    "m64": {serve_m64},
+                    "m256": {serve_m256}}},
           "families": {{"BR": {{"logical_ms": 1.0, "threaded_ms": 1.0, "rotations": 10}}}}
         }}"#
+        )
+    }
+
+    fn minimal_snapshot_with(
+        one_port_ratio: f64,
+        one_port_vtime: f64,
+        batch_gain: f64,
+        batch_ratio: f64,
+        bitwise: bool,
+    ) -> String {
+        minimal_snapshot_serving(
+            one_port_ratio,
+            one_port_vtime,
+            batch_gain,
+            batch_ratio,
+            bitwise,
+            0.0,
+            2.0e-5,
         )
     }
 
@@ -466,6 +571,28 @@ mod tests {
         assert!(problems.iter().any(|p| p.contains("layout_sweep.seed_vecvec_ms")));
         assert!(problems.iter().any(|p| p == "missing or malformed field: fabric"));
         assert!(problems.iter().any(|p| p == "missing or malformed field: batch"));
+        assert!(problems.iter().any(|p| p == "missing or malformed field: serve"));
+    }
+
+    #[test]
+    fn gates_serve_backpressure_and_port_ordering() {
+        // A shed job at the calibration load point gates — the pacing is
+        // sized so the queue never fills.
+        let doc = Parser::new(&minimal_snapshot_serving(1.0, 100.0, 1.5, 1.0, true, 1.0, 2.0e-5))
+            .document()
+            .expect("parses");
+        let problems = validate(&doc);
+        assert!(problems.iter().any(|p| p.contains("serve.m64.one_port.rejected")), "{problems:?}");
+        // The all-port fabric serving the same arrivals slower than the
+        // one-port fabric gates (one_port row pins 1.0e-5 jobs/vtime).
+        let doc = Parser::new(&minimal_snapshot_serving(1.0, 100.0, 1.5, 1.0, true, 0.0, 0.5e-5))
+            .document()
+            .expect("parses");
+        let problems = validate(&doc);
+        assert!(problems.iter().any(|p| p.contains("all_port.jobs_per_vtime >=")), "{problems:?}");
+        // The happy path with both knobs healthy has no serve problems.
+        let doc = Parser::new(&minimal_snapshot(1.0, 100.0)).document().expect("parses");
+        assert!(validate(&doc).iter().all(|p| !p.contains("serve")), "{:?}", validate(&doc));
     }
 
     #[test]

@@ -12,18 +12,22 @@
 //!   perf_snapshot            # full size (m=256, d=3)
 //!   perf_snapshot --smoke    # reduced size for CI logs (m=64, d=2)
 
-use mph_batch::{solve_batch, BatchOptions, Job, JobResult, Policy};
+use mph_batch::{solve_batch, AdmissionConfig, BatchOptions, Job, JobResult, Policy};
 use mph_bench::seedpath::{self, VecBlock};
 use mph_bench::{banner, column_block_full_sweep, results_dir};
-use mph_ccpipe::{plan_cost_with, plan_sweep_cost, plan_unpipelined_cost, Machine, PortModel};
+use mph_ccpipe::{
+    plan_cost_with, plan_sweep_cost, plan_unpipelined_cost, solo_plan_costs, Machine, PlannedJob,
+    PortModel,
+};
 use mph_core::OrderingFamily;
 use mph_eigen::{
-    block_jacobi, block_jacobi_threaded, block_jacobi_threaded_fabric, choose_qs, lower_sweeps,
-    packetization_cap, svd_block, BlockPartition, ColumnBlock, FabricModel, JacobiOptions,
-    Pipelining,
+    block_jacobi, block_jacobi_threaded, block_jacobi_threaded_fabric, choose_qs, lower_job,
+    lower_sweeps, packetization_cap, svd_block, BlockPartition, ColumnBlock, FabricModel,
+    JacobiOptions, JobSpec, Pipelining,
 };
 use mph_linalg::symmetric::random_symmetric;
 use mph_runtime::calibrate_channel_machine;
+use mph_serve::{serve, JobClass, ScenarioGen, ServeOptions};
 use std::fmt::Write as _;
 use std::fs;
 use std::hint::black_box;
@@ -346,6 +350,104 @@ fn main() {
          \"bitwise_identical\": {bitwise}{batch_rows}\n  }}"
     );
 
+    // --- Serving layer: open-loop arrivals on one throttled fabric ------
+    // A seeded scenario per job size (2:1 eigen/SVD mix, one forced
+    // sweep), paced at 1.5× the mean one-port solo cost — the calibration
+    // load point: sustained traffic under capacity, so the gate can
+    // require zero shed jobs. The same arrival sequence runs on the
+    // one-port and all-port fabrics; all-port drains faster, so its
+    // jobs/vtime must come out no worse.
+    let serve_n = 8usize;
+    let serve_sizes: [usize; 2] = if smoke { [16, 32] } else { [64, 256] };
+    let mut serve_rows = String::new();
+    for sm in serve_sizes {
+        let mut sgen = ScenarioGen::new(
+            seed + sm as u64,
+            serve_n,
+            1.0,
+            vec![
+                JobClass { m: sm, svd: false, family: OrderingFamily::Br, weight: 2.0 },
+                JobClass { m: sm, svd: true, family: OrderingFamily::Degree4, weight: 1.0 },
+            ],
+        );
+        sgen.opts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
+        // Price the drawn jobs solo on the one-port machine, then
+        // regenerate with the paced gap — same seed, same jobs, same
+        // uniform draws, arrivals scaled to the sustained rate.
+        let probe = sgen.generate();
+        let sspecs: Vec<JobSpec> = probe.jobs.iter().map(|j| j.to_spec()).collect();
+        let slowered: Vec<_> = sspecs.iter().map(|s| lower_job(s, d)).collect();
+        let splanned: Vec<PlannedJob<'_>> =
+            slowered.iter().map(|(plans, qs)| PlannedJob { plans, qs }).collect();
+        let one_port = Machine { ts: fab_ts, tw: fab_tw, ports: PortModel::OnePort };
+        let costs = solo_plan_costs(&splanned, &one_port);
+        let mean_cost = costs.iter().sum::<f64>() / costs.len() as f64;
+        sgen.mean_interarrival = 1.5 * mean_cost;
+        let scenario = sgen.generate();
+        let mut port_cols = String::new();
+        for (pname, ports) in [("one_port", PortModel::OnePort), ("all_port", PortModel::AllPort)] {
+            let report = serve(
+                d,
+                &scenario,
+                &ServeOptions {
+                    fabric: FabricModel::Throttled(Machine { ts: fab_ts, tw: fab_tw, ports }),
+                    policy: Policy::ShortestPlanFirst,
+                    admission: AdmissionConfig {
+                        queue_cap: serve_n,
+                        max_active: 4,
+                        stagger_slots: 2,
+                    },
+                    ..Default::default()
+                },
+            );
+            let lat = report.latency.expect("a throttled service reports latencies");
+            let wait = report.queue_wait.expect("served jobs report waits");
+            let tput = report.throughput.expect("a throttled service has throughput");
+            println!(
+                "  serve m={sm:<4} {pname:<9}: p50 {:>12.0} | p99 {:>12.0} vtime | \
+                 {:.3e} jobs/vtime | served {}/{} | peak queue {}",
+                lat.p50,
+                lat.p99,
+                tput.jobs_per_time,
+                report.served(),
+                serve_n,
+                report.peak_queue_depth(),
+            );
+            write!(
+                port_cols,
+                ",\n      \"{pname}\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \
+                 \"mean_latency\": {:.3}, \"max_latency\": {:.3}, \
+                 \"queue_wait_p99\": {:.3}, \
+                 \"jobs_per_vtime\": {:.6e}, \"elems_per_vtime\": {:.6e}, \
+                 \"served\": {}, \"rejected\": {}, \"peak_queue_depth\": {}, \
+                 \"makespan\": {:.3}}}",
+                lat.p50,
+                lat.p90,
+                lat.p99,
+                lat.mean,
+                lat.max,
+                wait.p99,
+                tput.jobs_per_time,
+                tput.elems_per_time,
+                report.served(),
+                report.rejected(),
+                report.peak_queue_depth(),
+                report.makespan,
+            )
+            .unwrap();
+        }
+        write!(
+            serve_rows,
+            ",\n    \"m{sm}\": {{\"mean_interarrival\": {:.3}{port_cols}\n    }}",
+            sgen.mean_interarrival,
+        )
+        .unwrap();
+    }
+    let serve_json = format!(
+        "{{\n    \"jobs\": {serve_n},\n    \"force_sweeps\": 1,\n    \
+         \"machine_ts\": {fab_ts},\n    \"machine_tw\": {fab_tw}{serve_rows}\n  }}"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"eigen_perf_snapshot\",\n  \"m\": {m},\n  \"d\": {d},\n  \
          \"smoke\": {smoke},\n  \"force_sweeps\": 2,\n  \"seed\": {seed},\n  \
@@ -358,6 +460,7 @@ fn main() {
          \"pipelined\": {pipelined_json},\n  \
          \"fabric\": {fabric_json},\n  \
          \"batch\": {batch_json},\n  \
+         \"serve\": {serve_json},\n  \
          \"families\": {{{family_json}\n  }}\n}}\n"
     );
     println!("{json}");

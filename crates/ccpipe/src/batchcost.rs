@@ -90,6 +90,23 @@ pub struct PlannedJob<'a> {
     pub qs: &'a [Vec<usize>],
 }
 
+impl<'a> PlannedJob<'a> {
+    /// The job's unexecuted remainder after `sweeps_done` completed
+    /// sweeps: the same job with the first `sweeps_done` plans (and their
+    /// pipelining degrees) sliced off. Past-the-end progress saturates to
+    /// an empty (fully executed) job, so callers can feed completed jobs
+    /// through [`partial_batch_cost`] without special-casing them.
+    pub fn remaining(&self, sweeps_done: usize) -> PlannedJob<'a> {
+        let done = sweeps_done.min(self.plans.len());
+        PlannedJob { plans: &self.plans[done..], qs: &self.qs[done..] }
+    }
+
+    /// Total sweeps this job was lowered to.
+    pub fn sweeps(&self) -> usize {
+        self.plans.len()
+    }
+}
+
 /// The batch price sheet. All quantities are virtual-clock times per the
 /// machine's `Ts`/`Tw`/ports; see the module docs for definitions.
 #[derive(Debug, Clone, PartialEq)]
@@ -299,6 +316,27 @@ pub fn batch_cost(jobs: &[PlannedJob], machine: &Machine, order: &BatchOrder) ->
     BatchCost { solo, serial_total, lower_bound, predicted, tail }
 }
 
+/// Prices the *unexecuted remainder* of a partially-run batch: job `j`
+/// has completed `progress[j]` of its sweeps (saturating — a finished job
+/// contributes nothing), and the sheet covers only what is still to run.
+/// This is how a serving layer prices its in-flight backlog at a sweep
+/// boundary: `serial_total` is the remaining work if nothing overlapped,
+/// `predicted` the round-model makespan of draining it under `order`.
+///
+/// With `progress` all zero this is exactly [`batch_cost`]; with every
+/// job complete all quantities are 0.
+pub fn partial_batch_cost(
+    jobs: &[PlannedJob],
+    progress: &[usize],
+    machine: &Machine,
+    order: &BatchOrder,
+) -> BatchCost {
+    assert_eq!(jobs.len(), progress.len(), "one progress mark per job");
+    let rest: Vec<PlannedJob> =
+        jobs.iter().zip(progress).map(|(job, &done)| job.remaining(done)).collect();
+    batch_cost(&rest, machine, order)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +470,71 @@ mod tests {
             let want: Vec<u64> = plans[0].volume_by_dim().iter().map(|v| v / 4).collect();
             assert_eq!(vol, want, "q={q}");
         }
+    }
+
+    #[test]
+    fn partial_cost_walks_from_full_batch_down_to_zero() {
+        // Zero progress reproduces batch_cost exactly; each completed
+        // sweep strictly shrinks the remaining serial total; full
+        // progress prices to nothing — and saturates past the end.
+        let machine = Machine::all_port(1000.0, 100.0);
+        let plans_a = lower_chain(32, 2, OrderingFamily::Br, 2);
+        let plans_b = lower_chain(32, 2, OrderingFamily::Degree4, 2);
+        let (qa, qb) = (ones(&plans_a), ones(&plans_b));
+        let jobs =
+            [PlannedJob { plans: &plans_a, qs: &qa }, PlannedJob { plans: &plans_b, qs: &qb }];
+        let order = BatchOrder::RoundRobin { order: vec![0, 1], stride: 1 };
+        let full = batch_cost(&jobs, &machine, &order);
+        let fresh = partial_batch_cost(&jobs, &[0, 0], &machine, &order);
+        assert_eq!(fresh, full, "no progress means the whole batch remains");
+        let mut prev = full.serial_total;
+        for done in 1..=2usize {
+            let c = partial_batch_cost(&jobs, &[done, done], &machine, &order);
+            assert!(
+                c.serial_total < prev,
+                "progress {done}: serial total {} should shrink below {prev}",
+                c.serial_total
+            );
+            assert!(c.predicted <= prev + 1e-9);
+            prev = c.serial_total;
+        }
+        assert_eq!(prev, 0.0, "a fully executed batch has no remaining cost");
+        let over = partial_batch_cost(&jobs, &[9, 9], &machine, &order);
+        assert_eq!(over.serial_total, 0.0, "progress saturates past the budget");
+        assert_eq!(over.predicted, 0.0);
+    }
+
+    #[test]
+    fn partial_cost_prices_the_straggler_alone() {
+        // Job 0 done, job 1 untouched: the remainder is exactly job 1's
+        // solo price, under any order shape.
+        let machine = Machine::all_port(1000.0, 100.0);
+        let plans_a = lower_chain(16, 1, OrderingFamily::Br, 1);
+        let plans_b = lower_chain(32, 1, OrderingFamily::Br, 2);
+        let (qa, qb) = (ones(&plans_a), ones(&plans_b));
+        let jobs =
+            [PlannedJob { plans: &plans_a, qs: &qa }, PlannedJob { plans: &plans_b, qs: &qb }];
+        let solo = solo_plan_costs(&jobs, &machine);
+        let c = partial_batch_cost(
+            &jobs,
+            &[jobs[0].sweeps(), 0],
+            &machine,
+            &BatchOrder::Serial(vec![0, 1]),
+        );
+        assert_eq!(c.solo[0], 0.0);
+        assert!((c.serial_total - solo[1]).abs() < 1e-9 * solo[1]);
+    }
+
+    #[test]
+    fn remaining_slices_plans_and_degrees_together() {
+        let plans = lower_chain(16, 1, OrderingFamily::Br, 3);
+        let qs = ones(&plans);
+        let job = PlannedJob { plans: &plans, qs: &qs };
+        let rest = job.remaining(2);
+        assert_eq!(rest.plans.len(), 1);
+        assert_eq!(rest.qs.len(), 1);
+        assert_eq!(rest.plans[0], plans[2]);
+        assert_eq!(job.remaining(5).sweeps(), 0, "saturating slice");
     }
 
     #[test]

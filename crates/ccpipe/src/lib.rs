@@ -28,7 +28,9 @@ pub mod pipelining;
 pub mod plancost;
 pub mod sweepcost;
 
-pub use batchcost::{batch_cost, solo_plan_costs, BatchCost, BatchOrder, PlannedJob};
+pub use batchcost::{
+    batch_cost, partial_batch_cost, solo_plan_costs, BatchCost, BatchOrder, PlannedJob,
+};
 pub use cccube::CcCube;
 pub use cost::PhaseCostModel;
 pub use execution::{
@@ -36,7 +38,7 @@ pub use execution::{
 };
 pub use lowerbound::{strict_stage_lower_bound, LowerBoundModel};
 pub use machine::FabricStats;
-pub use machine::{Machine, PortModel};
+pub use machine::{CalibrationError, Machine, PortModel};
 pub use optimum::{optimize_q, OptimalQ};
 pub use pipelining::{
     mode_of, pipelined_schedule, PipelineMode, PipelinedSchedule, Stage, StagePhase,

@@ -9,4 +9,4 @@
 //! [`Machine`] calibrated from the channel runtime drops straight into
 //! [`crate::optimize_q`] and `Pipelining::Auto`.
 
-pub use mph_runtime::machine::{FabricStats, Machine, PortModel};
+pub use mph_runtime::machine::{CalibrationError, FabricStats, Machine, PortModel};

@@ -52,8 +52,9 @@ pub use mph_core::BlockPartition;
 pub use mph_linalg::block::ColumnBlock;
 pub use mph_runtime::{FabricModel, FabricReport};
 pub use multidrive::{
-    lower_job, run_job_batch, run_job_batch_planned, svd_block_threaded, svd_block_threaded_fabric,
-    BatchMsg, BatchRun, JobKind, JobResult, JobSpan, JobSpec,
+    lower_job, run_job_batch, run_job_batch_planned, run_job_service, svd_block_threaded,
+    svd_block_threaded_fabric, BatchMsg, BatchRun, BoundarySample, JobKind, JobOutcome, JobResult,
+    JobSpan, JobSpec, Rejected, ServicePlan, ServiceRun,
 };
 pub use offnorm::{diagonal, diagonal_blocks, off_norm, off_norm_blocks};
 pub use onesided::one_sided_cyclic;

@@ -654,66 +654,464 @@ pub fn run_job_batch_planned(
     let mut spans = Vec::with_capacity(jobs.len());
     for (j, spec) in jobs.iter().enumerate() {
         let per_node: Vec<&JobNodeOutput> = outputs.iter().map(|o| &o[j]).collect();
-        let mut sweeps = 0usize;
-        let mut rotations = 0u64;
-        let mut converged = true;
-        let mut start = f64::INFINITY;
-        let mut finish = 0.0f64;
-        for o in &per_node {
-            sweeps = sweeps.max(o.sweeps);
-            rotations += o.rotations;
-            converged &= o.converged;
-            start = start.min(o.start);
-            finish = finish.max(o.finish);
-        }
-        spans.push(JobSpan { start, finish });
-        let n = spec.a.cols();
-        match spec.kind {
-            JobKind::Eigen => {
-                let mut eigenvalues = vec![0.0; n];
-                let mut u = Matrix::zeros(n, n);
-                for o in &per_node {
-                    for (c, lambda, ucol) in &o.eigen_cols {
-                        eigenvalues[*c] = *lambda;
-                        u.col_mut(*c).copy_from_slice(ucol);
-                    }
-                }
-                results.push(JobResult::Eigen(EigenResult {
-                    eigenvalues,
-                    eigenvectors: u,
-                    sweeps,
-                    rotations,
-                    off_history: Vec::new(),
-                    converged,
-                }));
-            }
-            JobKind::Svd => {
-                let rows = spec.a.rows();
-                let mut w = Matrix::zeros(rows, n);
-                let mut v = Matrix::zeros(n, n);
-                for o in &per_node {
-                    for (c, wcol, vcol) in &o.svd_cols {
-                        w.col_mut(*c).copy_from_slice(wcol);
-                        v.col_mut(*c).copy_from_slice(vcol);
-                    }
-                }
-                let mut singular_values = vec![0.0; n];
-                let mut u = Matrix::zeros(rows, n);
-                for c in 0..n {
-                    singular_values[c] = sigma_and_u_col(w.col(c), u.col_mut(c));
-                }
-                results.push(JobResult::Svd(SvdResult {
-                    singular_values,
-                    u,
-                    v,
-                    sweeps,
-                    rotations,
-                    converged,
-                }));
-            }
-        }
+        let (result, span) = assemble_job(spec, &per_node);
+        results.push(result);
+        spans.push(span);
     }
     BatchRun { results, spans, meter, fabric: fabric_report }
+}
+
+/// Merges one job's per-node column shares into its global result and
+/// virtual-clock span — the assembly both the batch and the service
+/// drivers perform once their SPMD run returns.
+fn assemble_job(spec: &JobSpec, per_node: &[&JobNodeOutput]) -> (JobResult, JobSpan) {
+    let mut sweeps = 0usize;
+    let mut rotations = 0u64;
+    let mut converged = true;
+    let mut start = f64::INFINITY;
+    let mut finish = 0.0f64;
+    for o in per_node {
+        sweeps = sweeps.max(o.sweeps);
+        rotations += o.rotations;
+        converged &= o.converged;
+        start = start.min(o.start);
+        finish = finish.max(o.finish);
+    }
+    let span = JobSpan { start, finish };
+    let n = spec.a.cols();
+    let result = match spec.kind {
+        JobKind::Eigen => {
+            let mut eigenvalues = vec![0.0; n];
+            let mut u = Matrix::zeros(n, n);
+            for o in per_node {
+                for (c, lambda, ucol) in &o.eigen_cols {
+                    eigenvalues[*c] = *lambda;
+                    u.col_mut(*c).copy_from_slice(ucol);
+                }
+            }
+            JobResult::Eigen(EigenResult {
+                eigenvalues,
+                eigenvectors: u,
+                sweeps,
+                rotations,
+                off_history: Vec::new(),
+                converged,
+            })
+        }
+        JobKind::Svd => {
+            let rows = spec.a.rows();
+            let mut w = Matrix::zeros(rows, n);
+            let mut v = Matrix::zeros(n, n);
+            for o in per_node {
+                for (c, wcol, vcol) in &o.svd_cols {
+                    w.col_mut(*c).copy_from_slice(wcol);
+                    v.col_mut(*c).copy_from_slice(vcol);
+                }
+            }
+            let mut singular_values = vec![0.0; n];
+            let mut u = Matrix::zeros(rows, n);
+            for c in 0..n {
+                singular_values[c] = sigma_and_u_col(w.col(c), u.col_mut(c));
+            }
+            JobResult::Svd(SvdResult { singular_values, u, v, sweeps, rotations, converged })
+        }
+    };
+    (result, span)
+}
+
+/// The admission script of an online service run (see
+/// [`run_job_service`]): when each job arrives on the fabric's virtual
+/// clock, how deep the bounded admission queue is, how many jobs may be
+/// interleaved mid-flight at once, each job's admission priority, and the
+/// de-phasing applied to same-key jobs.
+///
+/// The script is *data*, fixed before the run starts: every node reads
+/// the same plan and, because sweep boundaries synchronize the virtual
+/// clocks (a barrier adopts the maximum), every node makes the identical
+/// admission/rejection decision at the identical boundary — the service
+/// loop stays an SPMD program even though its job set changes mid-flight.
+#[derive(Debug, Clone)]
+pub struct ServicePlan {
+    /// Arrival time of job `j` on the virtual clock, finite and
+    /// non-decreasing in `j`. A [`FabricModel::Free`] fabric runs no
+    /// clock, so there every job is treated as already arrived (the
+    /// service still bounds its queue and active set, but latencies
+    /// collapse to 0).
+    pub arrivals: Vec<f64>,
+    /// Bounded admission queue: an arrival finding this many jobs queued
+    /// is shed with [`Rejected::QueueFull`] — the backpressure signal.
+    pub queue_cap: usize,
+    /// At most this many jobs interleave mid-flight at once.
+    pub max_active: usize,
+    /// Admission priority of each job: smaller admits first (ties fall
+    /// back to arrival order). Shortest-plan-first admission passes the
+    /// jobs' priced solo costs (`mph_ccpipe::solo_plan_costs`) here.
+    pub priority: Vec<f64>,
+    /// De-phasing key: same-key jobs walk the same link sequence (same
+    /// family and size), so each service round staggers them by
+    /// `stagger_slots` micro-ops per rank to pull their sends onto
+    /// different links of the round.
+    pub stagger_key: Vec<u32>,
+    /// Micro-op offset between same-key active jobs per service round
+    /// (0 disables de-phasing).
+    pub stagger_slots: usize,
+    /// Micro-ops granted per job per pass of a service round, the
+    /// round-robin stride of the merged op walk.
+    pub stride: usize,
+}
+
+impl ServicePlan {
+    /// The plainest service: jobs admitted in arrival order, no
+    /// de-phasing, queue and active set wide enough to never shed.
+    pub fn fifo(arrivals: Vec<f64>) -> Self {
+        let n = arrivals.len();
+        ServicePlan {
+            queue_cap: n.max(1),
+            max_active: n.max(1),
+            priority: (0..n).map(|j| j as f64).collect(),
+            stagger_key: (0..n).map(|j| j as u32).collect(),
+            stagger_slots: 0,
+            stride: 1,
+            arrivals,
+        }
+    }
+
+    fn validate(&self, njobs: usize) {
+        assert_eq!(self.arrivals.len(), njobs, "one arrival time per job");
+        assert_eq!(self.priority.len(), njobs, "one priority per job");
+        assert_eq!(self.stagger_key.len(), njobs, "one stagger key per job");
+        assert!(self.queue_cap >= 1, "a service needs at least one queue slot");
+        assert!(self.max_active >= 1, "a service must run at least one job at a time");
+        assert!(self.stride >= 1, "a service round must grant at least one op");
+        let mut prev = 0.0f64;
+        for (j, &t) in self.arrivals.iter().enumerate() {
+            assert!(
+                t.is_finite() && t >= prev,
+                "arrival {j} ({t}) must be finite, non-negative, and non-decreasing"
+            );
+            prev = t;
+        }
+        for (j, &p) in self.priority.iter().enumerate() {
+            assert!(p.is_finite(), "priority {j} ({p}) must be finite");
+        }
+    }
+}
+
+/// Why the service shed a job — the typed backpressure outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Rejected {
+    /// The bounded admission queue was full when the job arrived:
+    /// `queue_depth` jobs (the cap) were already waiting at `arrival`.
+    QueueFull { arrival: f64, queue_depth: usize },
+}
+
+/// Per-job outcome of a service run, on the fabric's virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobOutcome {
+    /// Admitted at a sweep boundary and solved to completion.
+    Served { arrival: f64, admitted: f64, finish: f64 },
+    /// Shed by backpressure; the job never touched the fabric.
+    Rejected(Rejected),
+}
+
+impl JobOutcome {
+    /// Arrival→finish latency — the SLO quantity (`None` if rejected).
+    pub fn latency(&self) -> Option<f64> {
+        match self {
+            JobOutcome::Served { arrival, finish, .. } => Some(finish - arrival),
+            JobOutcome::Rejected(_) => None,
+        }
+    }
+
+    /// Time spent in the admission queue (`None` if rejected).
+    pub fn queue_wait(&self) -> Option<f64> {
+        match self {
+            JobOutcome::Served { arrival, admitted, .. } => Some(admitted - arrival),
+            JobOutcome::Rejected(_) => None,
+        }
+    }
+
+    /// Whether the job was shed.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, JobOutcome::Rejected(_))
+    }
+}
+
+/// One sweep-boundary snapshot: the service-level time series a dashboard
+/// would plot. Identical on every node (asserted by [`run_job_service`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundarySample {
+    /// The boundary's barrier-synchronized virtual time.
+    pub time: f64,
+    /// Jobs waiting in the admission queue after this boundary's
+    /// admissions, in arrival order.
+    pub queued: Vec<usize>,
+    /// Jobs admitted at this boundary, in admission order.
+    pub admitted: Vec<usize>,
+    /// The active set after admission: `(job, sweeps completed)`.
+    pub active: Vec<(usize, usize)>,
+    /// Jobs completed before this boundary.
+    pub completed: usize,
+}
+
+impl BoundarySample {
+    /// Queue depth after this boundary's admissions.
+    pub fn queue_depth(&self) -> usize {
+        self.queued.len()
+    }
+}
+
+/// Outcome of a service run.
+#[derive(Debug)]
+pub struct ServiceRun {
+    /// Per-job results in job order; `None` for rejected jobs. Every
+    /// served result is bitwise identical to the job's solo threaded run.
+    pub results: Vec<Option<JobResult>>,
+    /// Per-job outcomes in job order.
+    pub outcomes: Vec<JobOutcome>,
+    /// The sweep-boundary time series.
+    pub boundaries: Vec<BoundarySample>,
+    /// Shared traffic meter with per-job totals (rejected jobs meter 0).
+    pub meter: TrafficMeter,
+    /// Fabric report; its makespan is when the service drained.
+    pub fabric: FabricReport,
+}
+
+impl ServiceRun {
+    /// Number of jobs served to completion.
+    pub fn served(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.is_rejected()).count()
+    }
+
+    /// Number of jobs shed by backpressure.
+    pub fn rejected(&self) -> usize {
+        self.outcomes.len() - self.served()
+    }
+}
+
+/// One node's record of a service run: per-job outputs plus the admission
+/// trace, which must come out identical on every node.
+struct NodeService {
+    outputs: Vec<Option<JobNodeOutput>>,
+    admitted_at: Vec<Option<f64>>,
+    rejected: Vec<Option<Rejected>>,
+    boundaries: Vec<BoundarySample>,
+}
+
+/// Runs an *online* job service on one `d`-cube of threads sharing one
+/// `fabric`: jobs arrive on the virtual clock per `plan.arrivals`, wait in
+/// a bounded queue, and join the running mix at sweep boundaries.
+///
+/// The service loop per node:
+/// 1. **Sweep boundary** — a barrier synchronizes every node's virtual
+///    clock to the maximum, so all nodes share one notion of "now". If
+///    the fabric is idle (nothing active or queued), the clock skips
+///    forward to the next arrival.
+/// 2. **Intake** — every job with `arrival ≤ now` joins the bounded
+///    queue; arrivals finding it full are shed with
+///    [`Rejected::QueueFull`]. (On a free fabric the clock never moves,
+///    so all arrivals are taken at the first boundary.)
+/// 3. **Admission** — while the active set has room, the queued job with
+///    the smallest `plan.priority` (ties to the earlier arrival) is
+///    admitted, preemption-free: its [`JobNode`] state machine is built
+///    and joins the interleave at the *next* micro-op, never mid-sweep.
+/// 4. **Service round** — every active job advances exactly one sweep,
+///    round-robin with `plan.stride` micro-ops per turn; same-key jobs
+///    are staggered by `plan.stagger_slots` micro-ops per rank, which
+///    de-phases identical link walks onto different wires. Jobs that
+///    finish (convergence vote or budget) retire at the round's end.
+///
+/// Every decision above is a function of barrier-synced time and the
+/// shared `plan`, so all nodes run the same merged op sequence and the
+/// batch driver's pairing guarantees carry over unchanged — including
+/// bitwise equality of every served job with its solo run.
+pub fn run_job_service(
+    d: usize,
+    jobs: &[JobSpec],
+    lowered: &[(Vec<CommPlan>, Vec<Vec<usize>>)],
+    fabric: FabricModel,
+    plan: &ServicePlan,
+) -> ServiceRun {
+    assert!(!jobs.is_empty(), "an empty service serves nothing");
+    assert_eq!(jobs.len(), lowered.len(), "one lowered plan chain per job");
+    plan.validate(jobs.len());
+    for (j, spec) in jobs.iter().enumerate() {
+        if spec.kind == JobKind::Eigen {
+            assert_eq!(spec.a.rows(), spec.a.cols(), "eigen job {j} needs a square matrix");
+        }
+    }
+    let njobs = jobs.len();
+    let throttled = matches!(fabric, FabricModel::Throttled(_));
+
+    let (node_logs, meter, fabric_report) =
+        run_spmd_fabric_jobs::<BatchMsg, NodeService, _>(d, fabric, njobs, |ctx| {
+            let mut mux = JobMux::new(ctx);
+            let mut nodes: Vec<Option<JobNode>> = (0..njobs).map(|_| None).collect();
+            let mut queue: Vec<usize> = Vec::new();
+            let mut active: Vec<usize> = Vec::new();
+            let mut admitted_at: Vec<Option<f64>> = vec![None; njobs];
+            let mut rejected: Vec<Option<Rejected>> = vec![None; njobs];
+            let mut boundaries: Vec<BoundarySample> = Vec::new();
+            let mut next_arrival = 0usize;
+            let mut completed = 0usize;
+
+            loop {
+                // 1. Sweep boundary: one shared clock across the cube.
+                ctx.barrier();
+                if active.is_empty() && queue.is_empty() {
+                    if next_arrival >= njobs {
+                        break; // drained
+                    }
+                    ctx.advance_clock_to(plan.arrivals[next_arrival]);
+                }
+                let now = ctx.virtual_now();
+                // A free fabric runs no clock: every job has "arrived".
+                let horizon = if throttled { now } else { f64::INFINITY };
+
+                // 2 + 3. Intake and admission, interleaved in arrival
+                // order: an arrival finding the active set with room is
+                // admitted straight through (the queue never holds it);
+                // one finding the queue full is shed. Between arrivals
+                // the queued job with the smallest priority (ties to the
+                // earlier arrival) takes any freed capacity — the
+                // preemption-free SPF discipline.
+                let mut admitted: Vec<usize> = Vec::new();
+                loop {
+                    while active.len() < plan.max_active && !queue.is_empty() {
+                        let pick = (0..queue.len())
+                            .min_by(|&a, &b| {
+                                plan.priority[queue[a]]
+                                    .total_cmp(&plan.priority[queue[b]])
+                                    .then(queue[a].cmp(&queue[b]))
+                            })
+                            .expect("non-empty queue");
+                        let j = queue.remove(pick);
+                        let (plans, qs) = &lowered[j];
+                        nodes[j] = Some(JobNode::new(j as u32, &jobs[j], plans, qs, d, ctx.id()));
+                        admitted_at[j] = Some(now);
+                        active.push(j);
+                        admitted.push(j);
+                    }
+                    if next_arrival >= njobs || plan.arrivals[next_arrival] > horizon {
+                        break;
+                    }
+                    let j = next_arrival;
+                    next_arrival += 1;
+                    if queue.len() >= plan.queue_cap {
+                        rejected[j] = Some(Rejected::QueueFull {
+                            arrival: plan.arrivals[j],
+                            queue_depth: queue.len(),
+                        });
+                    } else {
+                        queue.push(j);
+                    }
+                }
+
+                boundaries.push(BoundarySample {
+                    time: now,
+                    queued: queue.clone(),
+                    admitted,
+                    active: active
+                        .iter()
+                        .map(|&j| (j, nodes[j].as_ref().expect("active job lowered").sweeps))
+                        .collect(),
+                    completed,
+                });
+
+                // 4. One service round: each active job advances exactly
+                // one sweep. Same-key jobs burn `stagger_slots` skip
+                // turns per rank first, de-phasing their link walks.
+                let mut skip: Vec<usize> = active
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &j)| {
+                        let rank = active[..i]
+                            .iter()
+                            .filter(|&&o| plan.stagger_key[o] == plan.stagger_key[j])
+                            .count();
+                        rank * plan.stagger_slots
+                    })
+                    .collect();
+                let mut crossed: Vec<bool> = active
+                    .iter()
+                    .map(|&j| nodes[j].as_ref().expect("active job lowered").done())
+                    .collect();
+                loop {
+                    let mut in_flight = false;
+                    for (i, &j) in active.iter().enumerate() {
+                        for _ in 0..plan.stride {
+                            if crossed[i] {
+                                break;
+                            }
+                            in_flight = true;
+                            if skip[i] > 0 {
+                                skip[i] -= 1;
+                                continue;
+                            }
+                            let node = nodes[j].as_mut().expect("active job lowered");
+                            let before = node.sweeps;
+                            node.step(ctx, &mut mux);
+                            if node.done() || node.sweeps > before {
+                                crossed[i] = true;
+                            }
+                        }
+                    }
+                    if !in_flight {
+                        break;
+                    }
+                }
+                for i in (0..active.len()).rev() {
+                    let j = active[i];
+                    if nodes[j].as_ref().expect("active job lowered").done() {
+                        active.remove(i);
+                        completed += 1;
+                    }
+                }
+            }
+            assert_eq!(mux.stashed(), 0, "service framing corrupt: unconsumed messages");
+
+            NodeService {
+                outputs: nodes.into_iter().map(|n| n.map(JobNode::into_output)).collect(),
+                admitted_at,
+                rejected,
+                boundaries,
+            }
+        });
+
+    // The admission trace is a function of barrier-synced state, so every
+    // node must have recorded the same one; node 0's is the record.
+    let log0 = &node_logs[0];
+    for (n, log) in node_logs.iter().enumerate().skip(1) {
+        assert_eq!(log.admitted_at, log0.admitted_at, "node {n} admitted differently");
+        assert_eq!(log.rejected, log0.rejected, "node {n} rejected differently");
+        assert_eq!(log.boundaries, log0.boundaries, "node {n} saw different boundaries");
+    }
+
+    let mut results: Vec<Option<JobResult>> = Vec::with_capacity(njobs);
+    let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(njobs);
+    for (j, spec) in jobs.iter().enumerate() {
+        if let Some(rej) = log0.rejected[j] {
+            results.push(None);
+            outcomes.push(JobOutcome::Rejected(rej));
+            continue;
+        }
+        let per_node: Vec<&JobNodeOutput> = node_logs
+            .iter()
+            .map(|log| log.outputs[j].as_ref().expect("admitted job ran on every node"))
+            .collect();
+        let (result, span) = assemble_job(spec, &per_node);
+        let admitted = log0.admitted_at[j].expect("a job is admitted or rejected");
+        // A zero-budget job never steps, so its span is empty; it
+        // finishes the moment it is admitted.
+        let finish = span.finish.max(admitted);
+        // Served instants live on the virtual clock; a free fabric runs
+        // none, so there everything happens at 0 and latencies vanish.
+        let arrival = if throttled { plan.arrivals[j] } else { 0.0 };
+        results.push(Some(result));
+        outcomes.push(JobOutcome::Served { arrival, admitted, finish });
+    }
+    let boundaries = node_logs.into_iter().next().expect("at least one node").boundaries;
+    ServiceRun { results, outcomes, boundaries, meter, fabric: fabric_report }
 }
 
 /// The block one-sided Jacobi SVD on the threaded/pipelined phase machine:
@@ -975,6 +1373,262 @@ mod tests {
             }
         }
         assert!(err.sqrt() < 1e-8, "reconstruction error {}", err.sqrt());
+    }
+
+    fn lower_all(jobs: &[JobSpec], d: usize) -> Vec<(Vec<CommPlan>, Vec<Vec<usize>>)> {
+        jobs.iter().map(|s| lower_job(s, d)).collect()
+    }
+
+    #[test]
+    fn service_of_one_job_is_the_solo_run_bitwise() {
+        let a = random_symmetric(16, 61);
+        let opts = JacobiOptions { force_sweeps: Some(2), ..Default::default() };
+        let d = 2;
+        let (solo, _) = block_jacobi_threaded(&a, d, OrderingFamily::Br, &opts);
+        let jobs = [JobSpec::eigen(a, OrderingFamily::Br, opts)];
+        let lowered = lower_all(&jobs, d);
+        for fabric in [FabricModel::Free, FabricModel::Throttled(Machine::all_port(1000.0, 100.0))]
+        {
+            let run = run_job_service(d, &jobs, &lowered, fabric, &ServicePlan::fifo(vec![0.0]));
+            assert_eq!(run.served(), 1);
+            assert_eq!(run.rejected(), 0);
+            let got = run.results[0].as_ref().and_then(JobResult::eigen).expect("served");
+            assert_eigen_bitwise(got, &solo, "service of one");
+        }
+    }
+
+    #[test]
+    fn mid_flight_admission_keeps_every_job_bitwise_solo() {
+        // Job 1 arrives while job 0 is mid-run: it must join at a sweep
+        // boundary (admitted strictly after its arrival and after the
+        // service started job 0), and both results stay bitwise solo.
+        let a0 = random_symmetric(16, 71);
+        let a1 = random_symmetric(12, 72);
+        let opts = JacobiOptions { force_sweeps: Some(3), ..Default::default() };
+        let d = 2;
+        let jobs = [
+            JobSpec::eigen(a0.clone(), OrderingFamily::Br, opts),
+            JobSpec::svd(a1.clone(), OrderingFamily::Degree4, opts),
+        ];
+        let lowered = lower_all(&jobs, d);
+        let machine = Machine::all_port(1000.0, 100.0);
+        let fabric = FabricModel::Throttled(machine);
+        // First measure job 0 alone to place job 1's arrival mid-run.
+        let probe =
+            run_job_service(d, &jobs[..1], &lowered[..1], fabric, &ServicePlan::fifo(vec![0.0]));
+        let solo_makespan = run_outcome_finish(&probe.outcomes[0]);
+        let mid = solo_makespan * 0.4;
+        let run = run_job_service(d, &jobs, &lowered, fabric, &ServicePlan::fifo(vec![0.0, mid]));
+        assert_eq!(run.served(), 2);
+        match run.outcomes[1] {
+            JobOutcome::Served { arrival, admitted, finish } => {
+                assert_eq!(arrival, mid);
+                assert!(admitted >= arrival, "admission waits for the arrival");
+                assert!(
+                    run.boundaries.iter().any(|b| b.admitted.contains(&1) && b.time > 0.0),
+                    "job 1 joined at a later sweep boundary"
+                );
+                assert!(finish > admitted);
+            }
+            ref other => panic!("job 1 should be served, got {other:?}"),
+        }
+        let (solo_e, _) = block_jacobi_threaded(&a0, d, OrderingFamily::Br, &opts);
+        let solo_s = svd_block(&a1, d, OrderingFamily::Degree4, &opts);
+        assert_eigen_bitwise(
+            run.results[0].as_ref().and_then(JobResult::eigen).expect("eigen"),
+            &solo_e,
+            "mid-flight eigen",
+        );
+        assert_svd_bitwise(
+            run.results[1].as_ref().and_then(JobResult::svd).expect("svd"),
+            &solo_s,
+            "mid-flight svd",
+        );
+    }
+
+    fn run_outcome_finish(o: &JobOutcome) -> f64 {
+        match o {
+            JobOutcome::Served { finish, .. } => *finish,
+            JobOutcome::Rejected(_) => panic!("expected a served job"),
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_with_a_typed_rejection() {
+        // queue_cap 1, max_active 1, three simultaneous arrivals on a
+        // throttled fabric: one runs, one queues, one is shed.
+        let opts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
+        let d = 1;
+        let jobs: Vec<JobSpec> = (0..3)
+            .map(|s| JobSpec::eigen(random_symmetric(8, 80 + s), OrderingFamily::Br, opts))
+            .collect();
+        let lowered = lower_all(&jobs, d);
+        let plan =
+            ServicePlan { queue_cap: 1, max_active: 1, ..ServicePlan::fifo(vec![0.0, 0.0, 0.0]) };
+        let run = run_job_service(
+            d,
+            &jobs,
+            &lowered,
+            FabricModel::Throttled(Machine::all_port(1000.0, 100.0)),
+            &plan,
+        );
+        assert_eq!(run.served(), 2);
+        assert_eq!(run.rejected(), 1);
+        assert_eq!(
+            run.outcomes[2],
+            JobOutcome::Rejected(Rejected::QueueFull { arrival: 0.0, queue_depth: 1 }),
+            "the third simultaneous arrival finds the single queue slot taken"
+        );
+        assert!(run.results[2].is_none());
+        assert_eq!(run.meter.job_volume(2), 0, "a shed job never touches the fabric");
+        assert!(run.meter.job_volume(0) > 0 && run.meter.job_volume(1) > 0);
+    }
+
+    #[test]
+    fn priority_admission_picks_the_cheapest_queued_job() {
+        // Big job running; a big and a small job queued behind it with
+        // SPF-style priorities: the small one must be admitted first.
+        let opts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
+        let d = 1;
+        let jobs = [
+            JobSpec::eigen(random_symmetric(24, 91), OrderingFamily::Br, opts),
+            JobSpec::eigen(random_symmetric(24, 92), OrderingFamily::Br, opts),
+            JobSpec::eigen(random_symmetric(8, 93), OrderingFamily::Br, opts),
+        ];
+        let lowered = lower_all(&jobs, d);
+        let plan = ServicePlan {
+            max_active: 1,
+            priority: vec![10.0, 10.0, 1.0],
+            ..ServicePlan::fifo(vec![0.0, 0.0, 0.0])
+        };
+        let run = run_job_service(
+            d,
+            &jobs,
+            &lowered,
+            FabricModel::Throttled(Machine::all_port(1000.0, 100.0)),
+            &plan,
+        );
+        let admit = |j: usize| match run.outcomes[j] {
+            JobOutcome::Served { admitted, .. } => admitted,
+            _ => panic!("all served"),
+        };
+        assert!(admit(2) < admit(1), "the cheap job jumps the earlier expensive one");
+        assert_eq!(admit(0), 0.0, "the first arrival starts immediately");
+    }
+
+    #[test]
+    fn idle_service_advances_the_clock_to_the_next_arrival() {
+        // A late lone arrival: the drained service must skip its clock
+        // forward instead of spinning, and the job's queue wait is 0.
+        let opts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
+        let d = 1;
+        let jobs = [JobSpec::eigen(random_symmetric(8, 95), OrderingFamily::Br, opts)];
+        let lowered = lower_all(&jobs, d);
+        let late = 1e6;
+        let run = run_job_service(
+            d,
+            &jobs,
+            &lowered,
+            FabricModel::Throttled(Machine::all_port(1000.0, 100.0)),
+            &ServicePlan::fifo(vec![late]),
+        );
+        match run.outcomes[0] {
+            JobOutcome::Served { arrival, admitted, finish } => {
+                assert_eq!(arrival, late);
+                assert_eq!(admitted, late, "an idle service admits on arrival");
+                assert!(finish > late);
+            }
+            ref other => panic!("served expected, got {other:?}"),
+        }
+        assert!(run.fabric.makespan > late);
+    }
+
+    #[test]
+    fn service_runs_are_deterministic() {
+        let opts = JacobiOptions { force_sweeps: Some(2), ..Default::default() };
+        let d = 2;
+        let jobs: Vec<JobSpec> = (0..4)
+            .map(|s| {
+                JobSpec::eigen(
+                    random_symmetric(12 + 4 * (s % 2), 60 + s as u64),
+                    OrderingFamily::Br,
+                    opts,
+                )
+            })
+            .collect();
+        let lowered = lower_all(&jobs, d);
+        let plan = ServicePlan {
+            max_active: 2,
+            stagger_slots: 2,
+            stagger_key: vec![0, 1, 0, 1],
+            ..ServicePlan::fifo(vec![0.0, 10_000.0, 20_000.0, 30_000.0])
+        };
+        let fabric = FabricModel::Throttled(Machine::all_port(1000.0, 100.0));
+        let a = run_job_service(d, &jobs, &lowered, fabric, &plan);
+        let b = run_job_service(d, &jobs, &lowered, fabric, &plan);
+        assert_eq!(a.outcomes, b.outcomes, "virtual-clock outcomes must not depend on scheduling");
+        assert_eq!(a.boundaries, b.boundaries);
+        assert_eq!(a.fabric.makespan, b.fabric.makespan);
+    }
+
+    #[test]
+    fn free_fabric_service_takes_everything_at_once() {
+        // No clock: all arrivals land at the first boundary, latencies
+        // collapse to 0, but queue/active bounds still apply.
+        let opts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
+        let d = 1;
+        let jobs: Vec<JobSpec> = (0..3)
+            .map(|s| JobSpec::eigen(random_symmetric(8, 50 + s), OrderingFamily::Br, opts))
+            .collect();
+        let lowered = lower_all(&jobs, d);
+        let plan = ServicePlan { max_active: 2, ..ServicePlan::fifo(vec![0.0, 5_000.0, 10_000.0]) };
+        let run = run_job_service(d, &jobs, &lowered, FabricModel::Free, &plan);
+        assert_eq!(run.served(), 3);
+        for o in &run.outcomes {
+            assert_eq!(o.latency(), Some(0.0), "a free fabric has no virtual latency");
+        }
+        assert_eq!(run.boundaries[0].active.len(), 2, "active set still bounded");
+        assert_eq!(run.boundaries[0].queue_depth(), 1);
+    }
+
+    #[test]
+    fn staggered_same_family_jobs_drop_the_all_port_makespan() {
+        // Two identical-family, identical-size jobs collide on every link
+        // when in phase; a one-transition stagger pulls their sends onto
+        // different links of each round, which the all-port fabric
+        // overlaps. De-phasing must not cost anything and must win here.
+        let opts = JacobiOptions { force_sweeps: Some(2), ..Default::default() };
+        let d = 2;
+        let jobs = [
+            JobSpec::eigen(random_symmetric(32, 55), OrderingFamily::Br, opts),
+            JobSpec::eigen(random_symmetric(32, 56), OrderingFamily::Br, opts),
+        ];
+        let lowered = lower_all(&jobs, d);
+        let fabric = FabricModel::Throttled(Machine::all_port(1000.0, 100.0));
+        let base = ServicePlan { stagger_key: vec![7, 7], ..ServicePlan::fifo(vec![0.0, 0.0]) };
+        let in_phase = run_job_service(d, &jobs, &lowered, fabric, &base);
+        let staggered = run_job_service(
+            d,
+            &jobs,
+            &lowered,
+            fabric,
+            &ServicePlan { stagger_slots: 2, ..base.clone() },
+        );
+        assert!(
+            staggered.fabric.makespan < in_phase.fabric.makespan,
+            "staggered {} vs in-phase {}",
+            staggered.fabric.makespan,
+            in_phase.fabric.makespan
+        );
+        // De-phasing shifts schedules, never bits.
+        for j in 0..2 {
+            match (&in_phase.results[j], &staggered.results[j]) {
+                (Some(JobResult::Eigen(x)), Some(JobResult::Eigen(y))) => {
+                    assert_eigen_bitwise(x, y, "stagger invariance")
+                }
+                _ => panic!("both eigen results present"),
+            }
+        }
     }
 
     #[test]

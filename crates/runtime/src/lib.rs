@@ -32,7 +32,7 @@ pub mod spmd;
 pub use collectives::{all_gather, all_reduce, broadcast, gather};
 pub use fabric::{calibrate_channel_machine, measure_channel_fabric, FabricModel, FabricReport};
 pub use jobmux::JobMux;
-pub use machine::{FabricStats, Machine, PortModel};
+pub use machine::{CalibrationError, FabricStats, Machine, PortModel};
 pub use meter::TrafficMeter;
 pub use packet::{pipelined_phase, Packet, PacketChannel, PhaseStats};
 pub use pipelined::{pipelined_exchange, unpipelined_exchange};

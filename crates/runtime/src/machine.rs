@@ -153,16 +153,26 @@ impl Machine {
     /// port limit of its own. Callers wanting to *model* a port-limited
     /// deployment override `ports` afterwards.
     ///
-    /// # Panics
-    /// Panics if `stats` holds fewer than two distinct message sizes — a
-    /// slope needs two abscissae.
-    pub fn calibrate(stats: &FabricStats) -> Machine {
+    /// # Errors
+    /// Degenerate inputs return a typed [`CalibrationError`] instead of
+    /// the panic-or-fallback mix earlier revisions had: an empty sample
+    /// set ([`CalibrationError::Empty`]), any non-finite sample
+    /// ([`CalibrationError::NonFiniteSample`]), or fewer than two
+    /// distinct message sizes — a slope needs two abscissae — including
+    /// the all-identical-samples case ([`CalibrationError::SingleSize`]).
+    /// Callers that want the old infallible behavior use
+    /// [`Machine::calibrate_or_default`].
+    pub fn calibrate(stats: &FabricStats) -> Result<Machine, CalibrationError> {
+        if stats.is_empty() {
+            return Err(CalibrationError::Empty);
+        }
+        if stats.samples().iter().any(|&(x, y)| !x.is_finite() || !y.is_finite()) {
+            return Err(CalibrationError::NonFiniteSample);
+        }
         let medians = stats.median_by_size();
-        assert!(
-            medians.len() >= 2,
-            "calibration needs samples at >= 2 distinct message sizes, got {}",
-            medians.len()
-        );
+        if medians.len() < 2 {
+            return Err(CalibrationError::SingleSize { distinct: medians.len() });
+        }
         // Least squares of secs on elems over the per-size medians.
         let n = medians.len() as f64;
         let sx: f64 = medians.iter().map(|&(x, _)| x).sum();
@@ -177,9 +187,48 @@ impl Machine {
         let smallest_median = medians[0].1;
         let ts = if intercept > 0.0 { intercept } else { (smallest_median * 0.5).max(1e-12) };
         let tw = slope.max(1e-15);
-        Machine { ts, tw, ports: PortModel::AllPort }
+        Ok(Machine { ts, tw, ports: PortModel::AllPort })
+    }
+
+    /// Infallible [`Machine::calibrate`]: degenerate probe data falls back
+    /// to the paper's Figure-2 constants ([`Machine::paper_figure2`])
+    /// instead of an error — a *modeled* machine, clearly labeled as such
+    /// by being exactly the paper's, rather than a half-fitted one. Use
+    /// this where a calibration failure should degrade to analytic
+    /// pricing, and [`Machine::calibrate`] where it should be surfaced.
+    pub fn calibrate_or_default(stats: &FabricStats) -> Machine {
+        Machine::calibrate(stats).unwrap_or_else(|_| Machine::paper_figure2())
     }
 }
+
+/// Why [`Machine::calibrate`] could not fit the affine cost law.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationError {
+    /// No samples were recorded at all.
+    Empty,
+    /// A sample's size or time was NaN or infinite.
+    NonFiniteSample,
+    /// Fewer than two distinct message sizes (this many): a slope needs
+    /// two abscissae. Covers the all-samples-identical case too.
+    SingleSize { distinct: usize },
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrationError::Empty => write!(f, "calibration got an empty sample set"),
+            CalibrationError::NonFiniteSample => {
+                write!(f, "calibration got a non-finite sample")
+            }
+            CalibrationError::SingleSize { distinct } => write!(
+                f,
+                "calibration needs samples at >= 2 distinct message sizes, got {distinct}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
 
 /// Wall-clock transfer samples gathered from a live transport, the input
 /// to [`Machine::calibrate`]. Each sample is one timed message:
@@ -310,7 +359,7 @@ mod tests {
                 stats.record(elems, 2e-6 + 3e-9 * elems);
             }
         }
-        let m = Machine::calibrate(&stats);
+        let m = Machine::calibrate(&stats).expect("three distinct sizes fit");
         assert!((m.ts - 2e-6).abs() < 1e-12, "ts = {}", m.ts);
         assert!((m.tw - 3e-9).abs() < 1e-15, "tw = {}", m.tw);
         assert_eq!(m.ports, PortModel::AllPort);
@@ -327,7 +376,7 @@ mod tests {
             stats.record(elems, clean);
             stats.record(elems, clean * 500.0); // outlier
         }
-        let m = Machine::calibrate(&stats);
+        let m = Machine::calibrate(&stats).expect("two distinct sizes fit");
         assert!((m.ts - 1e-6).abs() < 1e-10, "ts = {}", m.ts);
         assert!((m.tw - 1e-9).abs() < 1e-13, "tw = {}", m.tw);
     }
@@ -339,7 +388,7 @@ mod tests {
         let mut stats = FabricStats::new();
         stats.record(100.0, 5e-7);
         stats.record(10000.0, 4e-7); // *faster* for the bigger message
-        let m = Machine::calibrate(&stats);
+        let m = Machine::calibrate(&stats).expect("two distinct sizes fit");
         assert!(m.ts > 0.0 && m.ts.is_finite());
         assert!(m.tw > 0.0 && m.tw.is_finite());
     }
@@ -353,18 +402,64 @@ mod tests {
         stats.record(10.0, 1.0);
         stats.record(100.0, 5.0);
         stats.record(1000.0, 400.0);
-        let m = Machine::calibrate(&stats);
+        let m = Machine::calibrate(&stats).expect("three distinct sizes fit");
         assert_eq!(m.ts, 0.5, "Ts should be half the smallest median");
         assert!(m.tw > 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "2 distinct message sizes")]
     fn calibrate_rejects_a_single_size() {
+        // One probe size — including the all-samples-identical case — is
+        // a typed error, not a panic.
         let mut stats = FabricStats::new();
         stats.record(64.0, 1e-6);
         stats.record(64.0, 2e-6);
-        let _ = Machine::calibrate(&stats);
+        assert_eq!(Machine::calibrate(&stats), Err(CalibrationError::SingleSize { distinct: 1 }));
+        let mut identical = FabricStats::new();
+        for _ in 0..5 {
+            identical.record(256.0, 3e-6);
+        }
+        assert_eq!(
+            Machine::calibrate(&identical),
+            Err(CalibrationError::SingleSize { distinct: 1 })
+        );
+    }
+
+    #[test]
+    fn calibrate_rejects_empty_and_non_finite_stats() {
+        assert_eq!(Machine::calibrate(&FabricStats::new()), Err(CalibrationError::Empty));
+        let mut nan = FabricStats::new();
+        nan.record(64.0, 1e-6);
+        nan.record(4096.0, f64::NAN);
+        assert_eq!(Machine::calibrate(&nan), Err(CalibrationError::NonFiniteSample));
+        let mut inf = FabricStats::new();
+        inf.record(f64::INFINITY, 1e-6);
+        inf.record(4096.0, 2e-6);
+        assert_eq!(Machine::calibrate(&inf), Err(CalibrationError::NonFiniteSample));
+    }
+
+    #[test]
+    fn calibrate_or_default_degrades_to_the_paper_machine() {
+        // The infallible shim: every degenerate input maps to Figure 2...
+        assert_eq!(Machine::calibrate_or_default(&FabricStats::new()), Machine::paper_figure2());
+        let mut single = FabricStats::new();
+        single.record(64.0, 1e-6);
+        assert_eq!(Machine::calibrate_or_default(&single), Machine::paper_figure2());
+        // ...while well-formed probes still fit.
+        let mut good = FabricStats::new();
+        for &elems in &[100.0, 1000.0] {
+            good.record(elems, 2e-6 + 3e-9 * elems);
+        }
+        let m = Machine::calibrate_or_default(&good);
+        assert!((m.ts - 2e-6).abs() < 1e-12);
+        assert_ne!(m, Machine::paper_figure2());
+    }
+
+    #[test]
+    fn calibration_errors_display_their_cause() {
+        assert!(CalibrationError::Empty.to_string().contains("empty"));
+        assert!(CalibrationError::NonFiniteSample.to_string().contains("non-finite"));
+        assert!(CalibrationError::SingleSize { distinct: 1 }.to_string().contains("got 1"));
     }
 
     #[test]

@@ -194,7 +194,7 @@ fn channel_fabric_calibration_is_finite_positive_and_stable() {
     let probe = || {
         let stats = measure_channel_fabric(1, &[256, 4096, 32768], 9);
         assert_eq!(stats.len(), 2 * 3 * 9, "2 nodes × 3 sizes × 9 reps");
-        Machine::calibrate(&stats)
+        Machine::calibrate(&stats).expect("three distinct probe sizes fit")
     };
     let (a, b) = (probe(), probe());
     for m in [&a, &b] {

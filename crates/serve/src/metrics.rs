@@ -1,0 +1,81 @@
+//! SLO metrics: latency percentiles over a service run.
+
+/// Order statistics of a latency sample, virtual-clock units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Sample size.
+    pub count: usize,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Worst case.
+    pub max: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample:
+/// `sorted[ceil(p/100 · n) - 1]`, the standard inclusive definition —
+/// `percentile(s, 100)` is the max, `percentile(s, 50)` of `[1,2,3,4]`
+/// is `2`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile rank out of range: {p}");
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+/// Summarizes a latency sample; `None` when it is empty (a run where
+/// everything was shed has no latency distribution, not a zero one).
+pub fn latency_stats(latencies: &[f64]) -> Option<LatencyStats> {
+    if latencies.is_empty() {
+        return None;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(LatencyStats {
+        count: sorted.len(),
+        p50: percentile(&sorted, 50.0),
+        p90: percentile(&sorted, 90.0),
+        p99: percentile(&sorted, 99.0),
+        mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        max: *sorted.last().expect("non-empty"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_the_textbook_cases() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 50.0), 2.0);
+        assert_eq!(percentile(&s, 75.0), 3.0);
+        assert_eq!(percentile(&s, 100.0), 4.0);
+        assert_eq!(percentile(&s, 0.0), 1.0, "rank clamps to the first sample");
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn stats_summarize_and_order_their_percentiles() {
+        let sample: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let stats = latency_stats(&sample).expect("non-empty");
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.p50, 50.0);
+        assert_eq!(stats.p90, 90.0);
+        assert_eq!(stats.p99, 99.0);
+        assert_eq!(stats.max, 100.0);
+        assert_eq!(stats.mean, 50.5);
+        assert!(stats.p50 <= stats.p90 && stats.p90 <= stats.p99 && stats.p99 <= stats.max);
+    }
+
+    #[test]
+    fn empty_samples_have_no_distribution() {
+        assert_eq!(latency_stats(&[]), None);
+    }
+}

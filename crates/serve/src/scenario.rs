@@ -1,0 +1,150 @@
+//! Seeded open-loop arrival scenarios: the traffic the service is
+//! measured under.
+//!
+//! A [`ScenarioGen`] draws a fixed number of jobs from a weighted class
+//! mix and spaces them with exponential interarrival gaps on the
+//! fabric's virtual clock — the standard open-loop (Poisson-like) load
+//! model, except fully deterministic: the same seed always produces the
+//! same matrices and the same arrival instants, so a serving benchmark
+//! is replayable bit for bit.
+
+use mph_batch::Job;
+use mph_core::OrderingFamily;
+use mph_eigen::JacobiOptions;
+use mph_linalg::symmetric::random_symmetric;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One class in the job-size mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobClass {
+    /// Problem size (matrix is `m × m`).
+    pub m: usize,
+    /// SVD instead of symmetric eigendecomposition.
+    pub svd: bool,
+    /// The ordering family the job's sweeps walk.
+    pub family: OrderingFamily,
+    /// Relative draw weight within the mix (need not be normalized).
+    pub weight: f64,
+}
+
+/// A concrete, replayable workload: jobs plus their arrival instants
+/// (finite, non-decreasing, starting at 0).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub jobs: Vec<Job>,
+    pub arrivals: Vec<f64>,
+}
+
+/// The seeded generator.
+#[derive(Debug, Clone)]
+pub struct ScenarioGen {
+    /// Master seed; every matrix and every gap derives from it.
+    pub seed: u64,
+    /// Number of jobs to draw.
+    pub n_jobs: usize,
+    /// Mean of the exponential interarrival gap (virtual-clock units).
+    /// Non-positive means all jobs arrive at time 0.
+    pub mean_interarrival: f64,
+    /// Weighted class mix to draw each job from.
+    pub mix: Vec<JobClass>,
+    /// Solver options stamped on every job (the serving benchmarks force
+    /// a fixed sweep count so the load is size-determined).
+    pub opts: JacobiOptions,
+}
+
+impl ScenarioGen {
+    /// A generator over `mix` with default solver options.
+    pub fn new(seed: u64, n_jobs: usize, mean_interarrival: f64, mix: Vec<JobClass>) -> Self {
+        ScenarioGen { seed, n_jobs, mean_interarrival, mix, opts: JacobiOptions::default() }
+    }
+
+    /// Draws the scenario. Deterministic in `self`.
+    pub fn generate(&self) -> Scenario {
+        assert!(self.n_jobs > 0, "a scenario needs at least one job");
+        assert!(!self.mix.is_empty(), "a scenario needs at least one job class");
+        let total_weight: f64 = self.mix.iter().map(|c| c.weight.max(0.0)).sum();
+        assert!(total_weight > 0.0, "the class mix needs positive total weight");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut jobs = Vec::with_capacity(self.n_jobs);
+        let mut arrivals = Vec::with_capacity(self.n_jobs);
+        let mut now = 0.0_f64;
+        for j in 0..self.n_jobs {
+            // Weighted class pick by cumulative weight.
+            let mut pick = rng.gen_range(0.0..total_weight);
+            let mut class = self.mix[self.mix.len() - 1];
+            for c in &self.mix {
+                let w = c.weight.max(0.0);
+                if pick < w {
+                    class = *c;
+                    break;
+                }
+                pick -= w;
+            }
+            // Fresh matrix seed per job, decorrelated from the draws above.
+            let a =
+                random_symmetric(class.m, self.seed.wrapping_mul(0x9e37).wrapping_add(j as u64));
+            jobs.push(if class.svd {
+                Job::Svd { a, family: class.family, opts: self.opts }
+            } else {
+                Job::Eigen { a, family: class.family, opts: self.opts }
+            });
+            arrivals.push(now);
+            if self.mean_interarrival > 0.0 {
+                // Inverse-CDF exponential draw; 1 - u keeps ln() finite.
+                let u: f64 = rng.gen_range(0.0_f64..1.0_f64);
+                now += -self.mean_interarrival * (1.0 - u).ln();
+            }
+        }
+        Scenario { jobs, arrivals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> Vec<JobClass> {
+        vec![
+            JobClass { m: 8, svd: false, family: OrderingFamily::Br, weight: 2.0 },
+            JobClass { m: 16, svd: true, family: OrderingFamily::Degree4, weight: 1.0 },
+        ]
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_in_the_seed() {
+        let gen = ScenarioGen::new(7, 6, 100.0, mix());
+        let (a, b) = (gen.generate(), gen.generate());
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_eq!(a.jobs.len(), 6);
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.cols(), y.cols());
+            assert_eq!(x.family(), y.family());
+        }
+        // A different seed moves the arrival sequence.
+        let c = ScenarioGen::new(8, 6, 100.0, mix()).generate();
+        assert_ne!(a.arrivals, c.arrivals);
+    }
+
+    #[test]
+    fn arrivals_start_at_zero_and_never_decrease() {
+        let s = ScenarioGen::new(3, 20, 50.0, mix()).generate();
+        assert_eq!(s.arrivals[0], 0.0);
+        for w in s.arrivals.windows(2) {
+            assert!(w[1] >= w[0] && w[1].is_finite(), "non-decreasing finite arrivals: {w:?}");
+        }
+        // Mean gap lands within a loose factor of the configured mean.
+        let mean_gap = s.arrivals.last().unwrap() / (s.arrivals.len() - 1) as f64;
+        assert!((10.0..=250.0).contains(&mean_gap), "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn zero_interarrival_means_a_burst_and_the_mix_is_honored() {
+        let s = ScenarioGen::new(11, 12, 0.0, mix()).generate();
+        assert!(s.arrivals.iter().all(|&t| t == 0.0));
+        assert!(s.jobs.iter().all(|j| j.cols() == 8 || j.cols() == 16));
+        // Both classes appear over a dozen draws at 2:1 weights.
+        assert!(s.jobs.iter().any(|j| j.cols() == 8));
+        assert!(s.jobs.iter().any(|j| j.cols() == 16));
+    }
+}

@@ -17,4 +17,5 @@ pub use mph_eigen as eigen;
 pub use mph_hypercube as hypercube;
 pub use mph_linalg as linalg;
 pub use mph_runtime as runtime;
+pub use mph_serve as serve;
 pub use mph_simnet as simnet;

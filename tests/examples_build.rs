@@ -42,6 +42,7 @@ fn expected_examples_are_present() {
         "ordering_explorer",
         "pipelined_exchange_sim",
         "quickstart",
+        "serve_loop",
         "svd_demo",
     ];
     assert_eq!(found, want, "examples roster changed; update this test deliberately");
