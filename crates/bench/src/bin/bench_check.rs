@@ -203,6 +203,34 @@ fn validate(doc: &Json) -> Vec<String> {
             layout.and_then(|l| l.get(key)).and_then(Json::as_number).is_some(),
         );
     }
+    // The kernel block: the single-node hot path, scalar vs lanes vs the
+    // intra-node worker pool, on one full block sweep. Wall-clock medians,
+    // so these are acceptance bars rather than a two-sided band: the lane
+    // kernels must be worth ≥ 1.3x, lanes + workers ≥ 2.0x, and the
+    // bitwise flag — tiled scalar == untiled reference AND tournament
+    // output invariant across worker counts — must hold.
+    let kernel = doc.get("kernel");
+    require("kernel", kernel.is_some());
+    let kernel_num = |key: &str| kernel.and_then(|k| k.get(key)).and_then(Json::as_number);
+    for key in ["scalar_ms", "lanes_ms", "lanes_parallel_ms"] {
+        require(
+            &format!("kernel.{key}"),
+            kernel_num(key).is_some_and(|x| x.is_finite() && x > 0.0),
+        );
+    }
+    require("kernel.workers >= 1", kernel_num("workers").is_some_and(|w| w >= 1.0));
+    require(
+        "kernel.speedup_lanes >= 1.3",
+        kernel_num("speedup_lanes").is_some_and(|s| s.is_finite() && s >= 1.3),
+    );
+    require(
+        "kernel.speedup_lanes_parallel >= 2.0",
+        kernel_num("speedup_lanes_parallel").is_some_and(|s| s.is_finite() && s >= 2.0),
+    );
+    require(
+        "kernel.bitwise_identical",
+        matches!(kernel.and_then(|k| k.get("bitwise_identical")), Some(Json::Bool(true))),
+    );
     let piped = doc.get("pipelined");
     require("pipelined", piped.is_some());
     for key in [
@@ -464,6 +492,9 @@ mod tests {
           "bench": "eigen_perf_snapshot", "m": 256, "d": 3, "smoke": false, "seed": 1,
           "layout_sweep": {{"seed_vecvec_ms": 1.0, "columnblock_ms": 1.0,
                            "columnblock_cached_ms": 1.0, "speedup_contiguous": 1.0}},
+          "kernel": {{"reps": 5, "scalar_ms": 10.0, "lanes_ms": 5.4, "lanes_parallel_ms": 4.1,
+                     "workers": 1, "speedup_lanes": 1.85, "speedup_lanes_parallel": 2.43,
+                     "bitwise_identical": true}},
           "pipelined": {{"unpipelined_ms": 1.0, "pipelined_ms": 1.0, "measured_speedup": 1.0,
                         "unpipelined_traffic_elems": 10, "pipelined_traffic_elems": 10,
                         "unpipelined_messages": 5, "pipelined_messages": 9,
@@ -625,6 +656,42 @@ mod tests {
             .expect("parses");
         let problems = validate(&doc);
         assert!(problems.iter().any(|p| p.contains("bitwise_identical")), "{problems:?}");
+    }
+
+    #[test]
+    fn gates_the_kernel_speedup_bars() {
+        // A lane path worth less than 1.3x gates.
+        let text = minimal_snapshot(1.0, 100.0)
+            .replace("\"speedup_lanes\": 1.85", "\"speedup_lanes\": 1.12");
+        let doc = Parser::new(&text).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(problems.iter().any(|p| p.contains("speedup_lanes >= 1.3")), "{problems:?}");
+        // The combined lanes + workers path below 2x gates.
+        let text = minimal_snapshot(1.0, 100.0)
+            .replace("\"speedup_lanes_parallel\": 2.43", "\"speedup_lanes_parallel\": 1.7");
+        let doc = Parser::new(&text).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("speedup_lanes_parallel >= 2.0")),
+            "{problems:?}"
+        );
+        // A non-finite timing field gates.
+        let text = minimal_snapshot(1.0, 100.0).replace("\"lanes_ms\": 5.4", "\"lanes_ms\": -1.0");
+        let doc = Parser::new(&text).document().expect("parses");
+        assert!(validate(&doc).iter().any(|p| p.contains("kernel.lanes_ms")));
+    }
+
+    #[test]
+    fn gates_the_kernel_bitwise_flag() {
+        // A kernel path that changed the reference bits must never pass,
+        // whatever its speedup says.
+        let text = minimal_snapshot(1.0, 100.0).replace(
+            "\"speedup_lanes_parallel\": 2.43,\n                     \"bitwise_identical\": true",
+            "\"speedup_lanes_parallel\": 2.43,\n                     \"bitwise_identical\": false",
+        );
+        let doc = Parser::new(&text).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(problems.iter().any(|p| p.contains("kernel.bitwise_identical")), "{problems:?}");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use mph_batch::{solve_batch, AdmissionConfig, BatchOptions, Job, JobResult, Policy};
 use mph_bench::seedpath::{self, VecBlock};
-use mph_bench::{banner, column_block_full_sweep, results_dir};
+use mph_bench::{banner, column_block_full_sweep, column_block_full_sweep_kernel, results_dir};
 use mph_ccpipe::{
     plan_cost_with, plan_sweep_cost, plan_unpipelined_cost, solo_plan_costs, Machine, PlannedJob,
     PortModel,
@@ -23,7 +23,7 @@ use mph_core::OrderingFamily;
 use mph_eigen::{
     block_jacobi, block_jacobi_threaded, block_jacobi_threaded_fabric, choose_qs, lower_job,
     lower_sweeps, packetization_cap, svd_block, BlockPartition, ColumnBlock, FabricModel,
-    JacobiOptions, JobSpec, Pipelining,
+    JacobiOptions, JobSpec, KernelPath, Pipelining,
 };
 use mph_linalg::symmetric::random_symmetric;
 use mph_runtime::calibrate_channel_machine;
@@ -86,6 +86,65 @@ fn main() {
         "  block sweep, contiguous ColumnBlock  : {contiguous_ms:9.3} ms ({speedup_contiguous:.2}x)"
     );
     println!("  block sweep, ColumnBlock + diag cache: {cached_ms:9.3} ms ({speedup_cached:.2}x)");
+
+    // --- Kernel layer: scalar vs lanes vs lanes + worker pool -----------
+    // The same full block sweep, routed through a configured SweepKernel:
+    // the single-node hot path behind every driver. The scalar baseline is
+    // the default (tiled serial) path; lanes adds the runtime-dispatched
+    // SIMD rotate + fused triple; lanes_parallel adds the intra-node
+    // worker pool at the host's available parallelism. The bitwise flag is
+    // computed in-process: the tiled scalar kernel must reproduce the
+    // untiled reference bit for bit, and the tournament order must be
+    // worker-count-invariant.
+    let kworkers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Each sample sweeps pristine blocks (a converged matrix is not the
+    // workload) and only the sweep is timed; one warmup pass per
+    // configuration stabilises the median.
+    let kernel_median_ms = |path: KernelPath, workers: usize| -> f64 {
+        let mut warm = make_col_blocks();
+        black_box(column_block_full_sweep_kernel(&mut warm, 0.0, false, path, workers));
+        let mut samples: Vec<f64> = (0..reps)
+            .map(|_| {
+                let mut blocks = make_col_blocks();
+                let t0 = Instant::now();
+                black_box(column_block_full_sweep_kernel(&mut blocks, 0.0, false, path, workers));
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples[samples.len() / 2]
+    };
+    let kernel_scalar_ms = kernel_median_ms(KernelPath::Scalar, 0);
+    let kernel_lanes_ms = kernel_median_ms(KernelPath::Lanes, 0);
+    let kernel_parallel_ms = kernel_median_ms(KernelPath::Lanes, kworkers);
+    let speedup_lanes = kernel_scalar_ms / kernel_lanes_ms;
+    let speedup_lanes_parallel = kernel_scalar_ms / kernel_parallel_ms;
+    let (mut kref, mut ktiled) = (make_col_blocks(), make_col_blocks());
+    column_block_full_sweep(&mut kref, 0.0, false);
+    column_block_full_sweep_kernel(&mut ktiled, 0.0, false, KernelPath::Scalar, 0);
+    let (mut kw1, mut kw4) = (make_col_blocks(), make_col_blocks());
+    column_block_full_sweep_kernel(&mut kw1, 0.0, false, KernelPath::Lanes, 1);
+    column_block_full_sweep_kernel(&mut kw4, 0.0, false, KernelPath::Lanes, 4);
+    let kernel_bitwise = kref == ktiled && kw1 == kw4;
+    println!("  kernel sweep, scalar (default path)  : {kernel_scalar_ms:9.3} ms");
+    println!(
+        "  kernel sweep, lanes                  : {kernel_lanes_ms:9.3} ms ({speedup_lanes:.2}x)"
+    );
+    println!(
+        "  kernel sweep, lanes + {kworkers} worker(s)    : {kernel_parallel_ms:9.3} ms \
+         ({speedup_lanes_parallel:.2}x)"
+    );
+    println!("  kernel bitwise   : tiled == reference && worker-invariant: {kernel_bitwise}");
+    let kernel_json = format!(
+        "{{\n    \"reps\": {reps},\n    \
+         \"scalar_ms\": {kernel_scalar_ms:.3},\n    \
+         \"lanes_ms\": {kernel_lanes_ms:.3},\n    \
+         \"lanes_parallel_ms\": {kernel_parallel_ms:.3},\n    \
+         \"workers\": {kworkers},\n    \
+         \"speedup_lanes\": {speedup_lanes:.3},\n    \
+         \"speedup_lanes_parallel\": {speedup_lanes_parallel:.3},\n    \
+         \"bitwise_identical\": {kernel_bitwise}\n  }}"
+    );
 
     // --- Fixed eigensolve, every ordering family ------------------------
     let opts = JacobiOptions { force_sweeps: Some(2), ..Default::default() };
@@ -457,6 +516,7 @@ fn main() {
          \"columnblock_cached_ms\": {cached_ms:.3},\n    \
          \"speedup_contiguous\": {speedup_contiguous:.3},\n    \
          \"speedup_contiguous_cached\": {speedup_cached:.3}\n  }},\n  \
+         \"kernel\": {kernel_json},\n  \
          \"pipelined\": {pipelined_json},\n  \
          \"fabric\": {fabric_json},\n  \
          \"batch\": {batch_json},\n  \

@@ -62,6 +62,40 @@ pub fn column_block_full_sweep(
     rotations
 }
 
+/// [`column_block_full_sweep`] routed through a configured [`SweepKernel`]
+/// instead of the untiled reference free functions: the tiled sweeps, lane
+/// kernels, and intra-node worker pool of the real drivers, selected by
+/// `kernel`/`workers` exactly as [`JacobiOptions`] would. This is the
+/// workload behind `perf_snapshot`'s `"kernel"` block.
+///
+/// [`JacobiOptions`]: mph_eigen::JacobiOptions
+/// [`SweepKernel`]: mph_eigen::SweepKernel
+pub fn column_block_full_sweep_kernel(
+    blocks: &mut [mph_eigen::ColumnBlock],
+    threshold: f64,
+    cache_diagonals: bool,
+    path: mph_eigen::KernelPath,
+    workers: usize,
+) -> u64 {
+    use mph_eigen::{refresh_block_diag, PairingRule, SweepKernel};
+    use mph_linalg::block::two_blocks_mut;
+    let kern = SweepKernel { rule: PairingRule::Implicit, threshold, path, workers };
+    let mut rotations = 0;
+    for b in blocks.iter_mut() {
+        if cache_diagonals {
+            refresh_block_diag(b, PairingRule::Implicit);
+        }
+        rotations += kern.within(b).rotations;
+    }
+    for bi in 0..blocks.len() {
+        for bj in (bi + 1)..blocks.len() {
+            let (left, right) = two_blocks_mut(blocks, bi, bj);
+            rotations += kern.across(left, right).rotations;
+        }
+    }
+    rotations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,9 +12,7 @@
 //! is the convergence-measurement workhorse for Table 2: deterministic,
 //! fast, and faithful to the ordering's rotation sequence.
 
-use crate::kernel::{
-    pair_across_blocks, pair_within_block, refresh_block_diag, PairingRule, SweepAccumulator,
-};
+use crate::kernel::{refresh_block_diag, PairingRule, SweepAccumulator, SweepKernel};
 use crate::offnorm::{diagonal_blocks, off_norm_blocks};
 use crate::options::{EigenResult, JacobiOptions};
 use mph_core::BlockPartition;
@@ -49,6 +47,7 @@ pub fn block_jacobi(
     let mut converged = off_history[0] <= opts.tol * norm_a && opts.force_sweeps.is_none();
     let budget = opts.force_sweeps.unwrap_or(opts.max_sweeps);
 
+    let kern = SweepKernel::from_options(PairingRule::Implicit, opts);
     let mut layout = BlockLayout::canonical(d);
     while !converged && sweeps < budget {
         let schedule = SweepSchedule::sweep(d, family, sweeps);
@@ -64,13 +63,13 @@ pub fn block_jacobi(
             if step_idx == 0 {
                 // Paper step (1): intra-block pairings, every block.
                 for b in blocks.iter_mut() {
-                    acc.merge(pair_within_block(b, PairingRule::Implicit, opts.threshold));
+                    acc.merge(kern.within(b));
                 }
             }
             // Paper step (2): pair the two co-located blocks at each node.
             for &(b0, b1) in step {
                 let (left, right) = two_blocks_mut(&mut blocks, b0, b1);
-                acc.merge(pair_across_blocks(left, right, PairingRule::Implicit, opts.threshold));
+                acc.merge(kern.across(left, right));
             }
         }
         layout = trace.final_layout;

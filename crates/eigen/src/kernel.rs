@@ -25,10 +25,11 @@
 //! from three to one; the per-sweep [`refresh_block_diag`] recomputes them
 //! exactly so rounding drift cannot accumulate.
 
-use mph_linalg::block::{cross_pair_mut, ColumnBlock, PairViewMut};
+use crate::options::JacobiOptions;
+use mph_linalg::block::{cross_pair_mut, ColumnBlock, ColumnViewMut, PairViewMut};
 use mph_linalg::rotation::{apply_to_block, symmetric_schur};
-use mph_linalg::vecops::dot;
-use mph_linalg::Matrix;
+use mph_linalg::vecops::{dot, dot_lanes, fused_triple};
+use mph_linalg::{KernelPath, Matrix};
 
 /// Outcome of one pairing.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,15 +70,55 @@ impl PairingRule {
 /// Pairs one column pair presented as raw views — the shared core every
 /// driver funnels through. Reads the diagonal entries from the view's
 /// cache slots when present (maintaining them under rotation), recomputes
-/// them otherwise.
-pub fn pair_view(mut v: PairViewMut<'_>, rule: PairingRule, threshold: f64) -> PairOutcome {
-    let (app, aqq) = match (&v.di, &v.dj) {
-        (Some(di), Some(dj)) => (**di, **dj),
-        _ => (rule.diag_entry(v.ai, v.ui), rule.diag_entry(v.aj, v.uj)),
-    };
-    let apq = match rule {
-        PairingRule::Implicit => dot(v.ui, v.aj),
-        PairingRule::Gram => dot(v.ai, v.aj),
+/// them otherwise. Runs on the scalar kernel path; see [`pair_view_with`]
+/// for the path-selected form.
+pub fn pair_view(v: PairViewMut<'_>, rule: PairingRule, threshold: f64) -> PairOutcome {
+    pair_view_with(v, rule, threshold, KernelPath::Scalar)
+}
+
+/// [`pair_view`] on the kernel path selected by `path`.
+///
+/// `Scalar` reproduces the reference pairing bit for bit. `Lanes` computes
+/// the uncached 2×2 block through the one-pass [`fused_triple`] (three
+/// inner products, one traversal) and the cached off-diagonal through
+/// [`dot_lanes`]; the rotation itself goes through the lane rotator, which
+/// is bitwise identical to the scalar one — so `Lanes` differs from
+/// `Scalar` only in the last bits of the inner products feeding the
+/// rotation angle.
+pub fn pair_view_with(
+    mut v: PairViewMut<'_>,
+    rule: PairingRule,
+    threshold: f64,
+    path: KernelPath,
+) -> PairOutcome {
+    let (app, apq, aqq) = match path {
+        KernelPath::Scalar => {
+            let (app, aqq) = match (&v.di, &v.dj) {
+                (Some(di), Some(dj)) => (**di, **dj),
+                _ => (rule.diag_entry(v.ai, v.ui), rule.diag_entry(v.aj, v.uj)),
+            };
+            let apq = match rule {
+                PairingRule::Implicit => dot(v.ui, v.aj),
+                PairingRule::Gram => dot(v.ai, v.aj),
+            };
+            (app, apq, aqq)
+        }
+        KernelPath::Lanes => match (&v.di, &v.dj) {
+            (Some(di), Some(dj)) => {
+                let (app, aqq) = (**di, **dj);
+                let apq = match rule {
+                    PairingRule::Implicit => dot_lanes(v.ui, v.aj),
+                    PairingRule::Gram => dot_lanes(v.ai, v.aj),
+                };
+                (app, apq, aqq)
+            }
+            // Uncached (or mixed cache, where the scalar path recomputes
+            // both diagonals too): one fused pass over the pair's columns.
+            _ => match rule {
+                PairingRule::Implicit => fused_triple(v.ui, v.ai, v.uj, v.aj),
+                PairingRule::Gram => fused_triple(v.ai, v.ai, v.aj, v.aj),
+            },
+        },
     };
     let off_before = match rule {
         PairingRule::Implicit => apq.abs(),
@@ -96,7 +137,7 @@ pub fn pair_view(mut v: PairViewMut<'_>, rule: PairingRule, threshold: f64) -> P
         return PairOutcome { off_before, rotated: false };
     }
     let rot = symmetric_schur(app, apq, aqq);
-    v.rotate(rot.c, rot.s);
+    v.rotate_with(rot.c, rot.s, path);
     if v.di.is_some() || v.dj.is_some() {
         // The rotation annihilates the off-diagonal; the new diagonal is
         // the exact 2×2 similarity image of the old block. Update every
@@ -157,6 +198,303 @@ pub fn pair_across_blocks(
         }
     }
     acc
+}
+
+/// Right-column tile width of the serial sweep loops: with `m = 256` rows
+/// a `(A|U)` unit is 4 KiB, so an 8-column tile plus the walking left
+/// column stays L1-resident across the pairings that reuse it.
+const ACROSS_TILE: usize = 8;
+
+/// The circle-method tournament for all pairs among `b` indices: `b-1`
+/// rounds (b even; `b` rounds padded with a bye when odd) of `⌊b/2⌋`
+/// disjoint pairs, each unordered pair `{i, j}` appearing exactly once,
+/// oriented `(min, max)`. The kernel schedules *column tiles* with it:
+/// because a round's pairs share no index — hence no column — they commute
+/// exactly, which is what lets a worker pool apply them concurrently with
+/// bits independent of the worker count.
+fn within_rounds(b: usize) -> Vec<Vec<(usize, usize)>> {
+    if b < 2 {
+        return Vec::new();
+    }
+    let n = b + (b % 2); // pad to even with a bye column (index n-1 ≥ b)
+    let ring = |k: usize| 1 + k % (n - 1);
+    (0..n - 1)
+        .map(|r| {
+            let mut pairs = Vec::with_capacity(n / 2);
+            let mut push = |x: usize, y: usize| {
+                if x < b && y < b {
+                    pairs.push((x.min(y), x.max(y)));
+                }
+            };
+            push(0, ring(r + n - 2));
+            for k in 0..n / 2 - 1 {
+                push(ring(r + k), ring(r + n - 3 - k));
+            }
+            pairs
+        })
+        .collect()
+}
+
+/// The cross tournament on `bl` left × `br` right indices: `max(bl, br)`
+/// rounds, round `r` holding the pairs `(i, (i + r) mod max)` that land
+/// inside the right range — each of the `bl·br` cross pairs exactly once
+/// (`r = (j − i) mod max`), each round's pairs disjoint on both sides. The
+/// kernel schedules left/right *column tiles* with it.
+fn across_rounds(bl: usize, br: usize) -> Vec<Vec<(usize, usize)>> {
+    let rmax = bl.max(br);
+    (0..rmax)
+        .map(|r| {
+            (0..bl)
+                .filter_map(|i| {
+                    let j = (i + r) % rmax;
+                    (j < br).then_some((i, j))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One sub-sweep's pairing configuration — rule, threshold, kernel path,
+/// and worker count — threaded from `JacobiOptions` through every driver
+/// so the logical, threaded, and batch drivers keep performing identical
+/// floating-point work for identical options.
+///
+/// With `workers == 0` (the default) the sweeps run the legacy serial
+/// row-major pairing order, tiled over right columns for cache residency —
+/// a pure reordering of *commuting* operations that preserves every bit of
+/// the untiled reference ([`pair_within_block`]/[`pair_across_blocks`],
+/// asserted in tests). With `workers ≥ 1` the sweeps run the deterministic
+/// *tile tournament*: columns are grouped into [`ACROSS_TILE`]-wide tiles,
+/// [`within_rounds`]/[`across_rounds`] schedule rounds of column-disjoint
+/// tile tasks, and each task is a serial row-major micro-sweep of its tile
+/// pair (the L1-resident inner loop of the serial path). Tasks of a round
+/// share no column, so they commute exactly: partitioning them over
+/// `workers` scoped threads by task index yields bits identical for every
+/// worker count, and `workers == 1` runs inline without spawning.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepKernel {
+    /// How pairings derive their 2×2 block.
+    pub rule: PairingRule,
+    /// Rotation threshold (see `JacobiOptions::threshold`).
+    pub threshold: f64,
+    /// Scalar or lane compute path.
+    pub path: KernelPath,
+    /// Worker threads for intra-node parallel pairing (0 = legacy serial).
+    pub workers: usize,
+}
+
+impl SweepKernel {
+    /// The kernel a driver derives from its options.
+    pub fn from_options(rule: PairingRule, opts: &JacobiOptions) -> Self {
+        SweepKernel { rule, threshold: opts.threshold, path: opts.kernel, workers: opts.workers }
+    }
+
+    /// The scalar serial reference kernel at `threshold`.
+    pub fn reference(rule: PairingRule, threshold: f64) -> Self {
+        SweepKernel { rule, threshold, path: KernelPath::Scalar, workers: 0 }
+    }
+
+    /// Pairs every column pair within `block` — [`pair_within_block`] on
+    /// this kernel's path/worker configuration.
+    pub fn within(&self, block: &mut ColumnBlock) -> SweepAccumulator {
+        if self.workers == 0 {
+            return self.within_serial(block);
+        }
+        let nt = block.len().div_ceil(ACROSS_TILE);
+        let mut acc = SweepAccumulator::default();
+        // One view table for the whole tournament; each round borrows its
+        // disjoint tile slices out of it via `chunks_mut`.
+        let mut cols: Vec<ColumnViewMut<'_>> = block.columns_mut();
+        // Round 0: every tile's internal pairs — the tiles are disjoint.
+        let tasks = cols.chunks_mut(ACROSS_TILE).map(TileTask::Intra).collect();
+        acc.merge(self.run_round(tasks));
+        // Then the tile tournament: rounds of disjoint tile pairs, each a
+        // row-major micro-sweep (tile u < tile v ⇒ every i < every j).
+        for round in within_rounds(nt) {
+            let mut tiles: Vec<Option<&mut [ColumnViewMut<'_>]>> =
+                cols.chunks_mut(ACROSS_TILE).map(Some).collect();
+            let tasks = round
+                .iter()
+                .map(|&(u, v)| TileTask::Cross(take_tile(&mut tiles, u), take_tile(&mut tiles, v)))
+                .collect();
+            acc.merge(self.run_round(tasks));
+        }
+        acc
+    }
+
+    /// Pairs every column of `left` with every column of `right` —
+    /// [`pair_across_blocks`] on this kernel's path/worker configuration.
+    /// `left` plays the `i` role, exactly as in the serial form.
+    pub fn across(&self, left: &mut ColumnBlock, right: &mut ColumnBlock) -> SweepAccumulator {
+        if self.workers == 0 {
+            return self.across_serial(left, right);
+        }
+        let (lt, rt) = (left.len().div_ceil(ACROSS_TILE), right.len().div_ceil(ACROSS_TILE));
+        let mut acc = SweepAccumulator::default();
+        // One view table per side for the whole tournament; each round
+        // borrows its disjoint tile slices out of them via `chunks_mut`.
+        let mut lcols: Vec<ColumnViewMut<'_>> = left.columns_mut();
+        let mut rcols: Vec<ColumnViewMut<'_>> = right.columns_mut();
+        for round in across_rounds(lt, rt) {
+            let mut ltiles: Vec<Option<&mut [ColumnViewMut<'_>]>> =
+                lcols.chunks_mut(ACROSS_TILE).map(Some).collect();
+            let mut rtiles: Vec<Option<&mut [ColumnViewMut<'_>]>> =
+                rcols.chunks_mut(ACROSS_TILE).map(Some).collect();
+            let tasks = round
+                .iter()
+                .map(|&(u, v)| {
+                    TileTask::Cross(take_tile(&mut ltiles, u), take_tile(&mut rtiles, v))
+                })
+                .collect();
+            acc.merge(self.run_round(tasks));
+        }
+        acc
+    }
+
+    /// Serial within-block sweep, tiled over the `j` columns. For ops
+    /// sharing a column the row-major relative order is preserved (for a
+    /// shared left column, `j` still ascends across tiles; for a shared
+    /// right column, `i` still ascends inside its tile), and ops sharing no
+    /// column commute exactly — so the tiling is bitwise invisible.
+    fn within_serial(&self, block: &mut ColumnBlock) -> SweepAccumulator {
+        let mut acc = SweepAccumulator::default();
+        let b = block.len();
+        let mut t0 = 0usize;
+        while t0 < b {
+            let t1 = (t0 + ACROSS_TILE).min(b);
+            for i in 0..t1.saturating_sub(1) {
+                for j in (i + 1).max(t0)..t1 {
+                    acc.absorb(pair_view_with(
+                        block.pair_mut(i, j),
+                        self.rule,
+                        self.threshold,
+                        self.path,
+                    ));
+                }
+            }
+            t0 = t1;
+        }
+        acc
+    }
+
+    /// Serial cross-block sweep, tiled over the right block's columns —
+    /// same bitwise-invisible reordering argument as [`Self::within_serial`].
+    fn across_serial(&self, left: &mut ColumnBlock, right: &mut ColumnBlock) -> SweepAccumulator {
+        let mut acc = SweepAccumulator::default();
+        let br = right.len();
+        let mut t0 = 0usize;
+        while t0 < br {
+            let t1 = (t0 + ACROSS_TILE).min(br);
+            for i in 0..left.len() {
+                for j in t0..t1 {
+                    acc.absorb(pair_view_with(
+                        cross_pair_mut(left, i, right, j),
+                        self.rule,
+                        self.threshold,
+                        self.path,
+                    ));
+                }
+            }
+            t0 = t1;
+        }
+        acc
+    }
+
+    /// Applies one round of column-disjoint tile tasks: inline when one
+    /// worker suffices, otherwise on scoped threads with task `t` on worker
+    /// `t % workers` and the per-worker accumulators merged in worker
+    /// order. Disjointness makes the tasks commute exactly, and the
+    /// accumulator is a sum/max (order-insensitive), so the result is
+    /// bitwise identical for every worker count.
+    fn run_round(&self, tasks: Vec<TileTask<'_, '_>>) -> SweepAccumulator {
+        let w = self.workers.max(1).min(tasks.len().max(1));
+        let mut acc = SweepAccumulator::default();
+        if w <= 1 {
+            for t in tasks {
+                acc.merge(self.run_task(t));
+            }
+            return acc;
+        }
+        let mut buckets: Vec<Vec<TileTask<'_, '_>>> = (0..w).map(|_| Vec::new()).collect();
+        for (t, task) in tasks.into_iter().enumerate() {
+            buckets[t % w].push(task);
+        }
+        let per_worker: Vec<SweepAccumulator> = std::thread::scope(|s| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    s.spawn(move || {
+                        let mut wacc = SweepAccumulator::default();
+                        for task in bucket {
+                            wacc.merge(self.run_task(task));
+                        }
+                        wacc
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("pairing worker panicked")).collect()
+        });
+        for wacc in per_worker {
+            acc.merge(wacc);
+        }
+        acc
+    }
+
+    /// Serially sweeps one tile task in row-major order — the L1-resident
+    /// inner loop of the serial path (each left column is reused against
+    /// the whole right tile before moving on).
+    fn run_task(&self, task: TileTask<'_, '_>) -> SweepAccumulator {
+        let mut acc = SweepAccumulator::default();
+        match task {
+            TileTask::Intra(cols) => {
+                for i in 0..cols.len().saturating_sub(1) {
+                    let (lo, hi) = cols.split_at_mut(i + 1);
+                    let ci = &mut lo[i];
+                    for cj in hi.iter_mut() {
+                        acc.absorb(pair_view_with(
+                            ColumnViewMut::pair_mut(ci, cj),
+                            self.rule,
+                            self.threshold,
+                            self.path,
+                        ));
+                    }
+                }
+            }
+            TileTask::Cross(lcols, rcols) => {
+                for ci in lcols.iter_mut() {
+                    for cj in rcols.iter_mut() {
+                        acc.absorb(pair_view_with(
+                            ColumnViewMut::pair_mut(ci, cj),
+                            self.rule,
+                            self.threshold,
+                            self.path,
+                        ));
+                    }
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// One column-disjoint unit of a tournament round: a tile's internal pairs
+/// (`Intra`, row-major `i < j`) or a left tile × right tile micro-sweep
+/// (`Cross`, row-major). A task borrows its tile slices out of the sweep's
+/// view table for the round, so tasks can move to worker threads without
+/// allocating; within a task the views are reborrowed per pairing
+/// ([`ColumnViewMut::pair_mut`]) for serial column reuse.
+enum TileTask<'t, 'a> {
+    Intra(&'t mut [ColumnViewMut<'a>]),
+    Cross(&'t mut [ColumnViewMut<'a>], &'t mut [ColumnViewMut<'a>]),
+}
+
+/// Takes tile `t`'s slice out of the round's tile table — panicking on
+/// reuse, which the tournament schedules rule out.
+fn take_tile<'t, 'a>(
+    tiles: &mut [Option<&'t mut [ColumnViewMut<'a>]>],
+    t: usize,
+) -> &'t mut [ColumnViewMut<'a>] {
+    tiles[t].take().expect("tournament tiles are column-disjoint")
 }
 
 /// Pairs columns `i` and `j` of the full matrices `(a, u)`, annihilating
@@ -411,6 +749,152 @@ mod tests {
                 let ni = dot(blk.a_col(i), blk.a_col(i)).sqrt();
                 let nj = dot(blk.a_col(j), blk.a_col(j)).sqrt();
                 assert!(wij.abs() <= 1e-8 * (ni * nj).max(1e-30), "({i},{j}): {wij}");
+            }
+        }
+    }
+
+    #[test]
+    fn within_rounds_cover_every_pair_once_with_disjoint_rounds() {
+        for b in 0..=9usize {
+            let rounds = within_rounds(b);
+            let mut seen = std::collections::HashSet::new();
+            for round in &rounds {
+                let mut used = std::collections::HashSet::new();
+                for &(i, j) in round {
+                    assert!(i < j && j < b, "b={b}: bad pair ({i},{j})");
+                    assert!(used.insert(i) && used.insert(j), "b={b}: round reuses a column");
+                    assert!(seen.insert((i, j)), "b={b}: pair ({i},{j}) repeated");
+                }
+            }
+            assert_eq!(seen.len(), b * b.saturating_sub(1) / 2, "b={b}");
+        }
+    }
+
+    #[test]
+    fn across_rounds_cover_the_product_once_with_disjoint_rounds() {
+        for (bl, br) in [(0, 0), (1, 1), (3, 3), (4, 4), (2, 5), (5, 2), (4, 7), (7, 4)] {
+            let rounds = across_rounds(bl, br);
+            let mut seen = std::collections::HashSet::new();
+            for round in &rounds {
+                let mut li = std::collections::HashSet::new();
+                let mut rj = std::collections::HashSet::new();
+                for &(i, j) in round {
+                    assert!(i < bl && j < br, "{bl}x{br}: bad pair ({i},{j})");
+                    assert!(li.insert(i) && rj.insert(j), "{bl}x{br}: round reuses a column");
+                    assert!(seen.insert((i, j)), "{bl}x{br}: pair repeated");
+                }
+            }
+            assert_eq!(seen.len(), bl * br, "{bl}x{br}");
+        }
+    }
+
+    #[test]
+    fn tiled_serial_kernel_is_bitwise_the_untiled_reference() {
+        // The default-path guarantee: SweepKernel with workers == 0 must
+        // reproduce pair_within_block / pair_across_blocks exactly, tiling
+        // included, across block sizes straddling the tile width and both
+        // cache modes.
+        let m = 24;
+        let a0 = random_symmetric(m, 91);
+        for rule in [PairingRule::Implicit, PairingRule::Gram] {
+            for cached in [false, true] {
+                for split in [5usize, 8, 12, 17] {
+                    let mut l_ref = ColumnBlock::from_matrix_with_identity(&a0, 0..split, m);
+                    let mut r_ref = ColumnBlock::from_matrix_with_identity(&a0, split..m, m);
+                    if cached {
+                        refresh_block_diag(&mut l_ref, rule);
+                        refresh_block_diag(&mut r_ref, rule);
+                    }
+                    let mut l_new = l_ref.clone();
+                    let mut r_new = r_ref.clone();
+
+                    let mut acc_ref = pair_within_block(&mut l_ref, rule, 0.0);
+                    acc_ref.merge(pair_within_block(&mut r_ref, rule, 0.0));
+                    acc_ref.merge(pair_across_blocks(&mut l_ref, &mut r_ref, rule, 0.0));
+
+                    let kern = SweepKernel::reference(rule, 0.0);
+                    let mut acc_new = kern.within(&mut l_new);
+                    acc_new.merge(kern.within(&mut r_new));
+                    acc_new.merge(kern.across(&mut l_new, &mut r_new));
+
+                    assert_eq!(acc_ref, acc_new, "{rule:?} cached={cached} split={split}");
+                    assert_eq!(l_ref, l_new, "{rule:?} cached={cached} split={split}");
+                    assert_eq!(r_ref, r_new, "{rule:?} cached={cached} split={split}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tournament_bits_are_identical_for_every_worker_count() {
+        let m = 20;
+        let a0 = random_symmetric(m, 57);
+        for path in [KernelPath::Scalar, KernelPath::Lanes] {
+            let mut want: Option<(ColumnBlock, ColumnBlock, SweepAccumulator)> = None;
+            for workers in [1usize, 2, 3, 4, 8] {
+                let mut left = ColumnBlock::from_matrix_with_identity(&a0, 0..9, m);
+                let mut right = ColumnBlock::from_matrix_with_identity(&a0, 9..m, m);
+                let kern =
+                    SweepKernel { rule: PairingRule::Implicit, threshold: 0.0, path, workers };
+                let mut acc = kern.within(&mut left);
+                acc.merge(kern.within(&mut right));
+                acc.merge(kern.across(&mut left, &mut right));
+                match &want {
+                    None => want = Some((left, right, acc)),
+                    Some((wl, wr, wa)) => {
+                        assert_eq!(&left, wl, "{path:?} workers={workers}");
+                        assert_eq!(&right, wr, "{path:?} workers={workers}");
+                        assert_eq!(&acc, wa, "{path:?} workers={workers}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tournament_covers_the_same_pairs_as_the_serial_order() {
+        // Same pair set ⇒ same pairing count; the off-diagonal mass after a
+        // full sweep must drop comparably even though the order differs.
+        let m = 12;
+        let a0 = random_symmetric(m, 63);
+        let mut serial = ColumnBlock::from_matrix_with_identity(&a0, 0..m, m);
+        let mut tourney = serial.clone();
+        let acc_s = SweepKernel::reference(PairingRule::Implicit, 0.0).within(&mut serial);
+        let kern = SweepKernel {
+            rule: PairingRule::Implicit,
+            threshold: 0.0,
+            path: KernelPath::Scalar,
+            workers: 2,
+        };
+        let acc_t = kern.within(&mut tourney);
+        assert_eq!(acc_s.pairings, acc_t.pairings);
+        assert_eq!(acc_s.pairings, (m * (m - 1) / 2) as u64);
+    }
+
+    #[test]
+    fn lanes_path_pairs_equivalently_to_scalar() {
+        // Lanes reassociates the inner products (≤1e-12 relative), so the
+        // rotated columns agree to tight tolerance rather than bitwise.
+        let m = 16;
+        let a0 = random_symmetric(m, 29);
+        for cached in [false, true] {
+            let mut scalar = ColumnBlock::from_matrix_with_identity(&a0, 0..m, m);
+            if cached {
+                refresh_block_diag(&mut scalar, PairingRule::Implicit);
+            }
+            let mut lanes = scalar.clone();
+            let _ = SweepKernel::reference(PairingRule::Implicit, 0.0).within(&mut scalar);
+            let kern = SweepKernel {
+                rule: PairingRule::Implicit,
+                threshold: 0.0,
+                path: KernelPath::Lanes,
+                workers: 0,
+            };
+            let _ = kern.within(&mut lanes);
+            for k in 0..m {
+                for (g, w) in lanes.a_col(k).iter().zip(scalar.a_col(k)) {
+                    assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "cached={cached} col {k}");
+                }
             }
         }
     }

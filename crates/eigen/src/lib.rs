@@ -45,11 +45,12 @@ pub mod twosided;
 pub use blockjacobi::block_jacobi;
 pub use harness::{convergence_stats, table2_grid, ConvergenceStats};
 pub use kernel::{
-    pair_across_blocks, pair_columns, pair_view, pair_within_block, refresh_block_diag,
-    PairOutcome, PairingRule, SweepAccumulator,
+    pair_across_blocks, pair_columns, pair_view, pair_view_with, pair_within_block,
+    refresh_block_diag, PairOutcome, PairingRule, SweepAccumulator, SweepKernel,
 };
 pub use mph_core::BlockPartition;
 pub use mph_linalg::block::ColumnBlock;
+pub use mph_linalg::KernelPath;
 pub use mph_runtime::{FabricModel, FabricReport};
 pub use multidrive::{
     lower_job, run_job_batch, run_job_batch_planned, run_job_service, svd_block_threaded,

@@ -42,9 +42,7 @@
 //! [`block_jacobi_threaded`]: crate::threaded::block_jacobi_threaded
 //! [`svd_block`]: crate::svd::svd_block
 
-use crate::kernel::{
-    pair_across_blocks, pair_within_block, refresh_block_diag, PairingRule, SweepAccumulator,
-};
+use crate::kernel::{refresh_block_diag, PairingRule, SweepAccumulator, SweepKernel};
 use crate::options::{EigenResult, JacobiOptions};
 use crate::svd::{sigma_and_u_col, SvdResult};
 use crate::threaded::{choose_qs, lower_sweeps_with, packetization_cap};
@@ -245,7 +243,7 @@ struct JobNode<'a> {
     spec: &'a JobSpec,
     plans: &'a [CommPlan],
     qs: &'a [Vec<usize>],
-    rule: PairingRule,
+    kern: SweepKernel,
     d: usize,
     node: usize,
     budget: usize,
@@ -307,7 +305,7 @@ impl<'a> JobNode<'a> {
             spec,
             plans,
             qs,
-            rule: spec.rule(),
+            kern: SweepKernel::from_options(spec.rule(), &spec.opts),
             d,
             node,
             budget: spec.budget(),
@@ -366,24 +364,18 @@ impl<'a> JobNode<'a> {
             self.started = true;
             self.start = ctx.virtual_now();
         }
-        let threshold = self.spec.opts.threshold;
         match self.pos {
             Pos::SweepStart => {
                 self.acc = SweepAccumulator::default();
                 if self.spec.opts.cache_diagonals {
-                    refresh_block_diag(&mut self.slot0, self.rule);
-                    refresh_block_diag(&mut self.slot1, self.rule);
+                    refresh_block_diag(&mut self.slot0, self.kern.rule);
+                    refresh_block_diag(&mut self.slot1, self.kern.rule);
                 }
-                self.acc.merge(pair_within_block(&mut self.slot0, self.rule, threshold));
-                self.acc.merge(pair_within_block(&mut self.slot1, self.rule, threshold));
+                self.acc.merge(self.kern.within(&mut self.slot0));
+                self.acc.merge(self.kern.within(&mut self.slot1));
                 if self.plans[self.sweeps].phases().is_empty() {
                     // d = 0: the whole sweep is step 0's pairings.
-                    self.acc.merge(pair_across_blocks(
-                        &mut self.slot0,
-                        &mut self.slot1,
-                        self.rule,
-                        threshold,
-                    ));
+                    self.acc.merge(self.kern.across(&mut self.slot0, &mut self.slot1));
                     self.pos = Pos::SweepEnd;
                 } else {
                     self.pos = self.start_of_phase(0);
@@ -393,12 +385,7 @@ impl<'a> JobNode<'a> {
                 let plan = &self.plans[self.sweeps];
                 let ph = &plan.phases()[phase];
                 let link = ph.links[t];
-                self.acc.merge(pair_across_blocks(
-                    &mut self.slot0,
-                    &mut self.slot1,
-                    self.rule,
-                    threshold,
-                ));
+                self.acc.merge(self.kern.across(&mut self.slot0, &mut self.slot1));
                 let outgoing = match ph.kind {
                     PhaseKind::Exchange { .. } | PhaseKind::Last => self.slot1.take(),
                     PhaseKind::Division { .. } => {
@@ -460,12 +447,7 @@ impl<'a> JobNode<'a> {
                     );
                     (pkt.payload, stamp)
                 };
-                self.acc.merge(pair_across_blocks(
-                    &mut self.slot0,
-                    &mut payload,
-                    self.rule,
-                    threshold,
-                ));
+                self.acc.merge(self.kern.across(&mut self.slot0, &mut payload));
                 ctx.send_after(
                     ph.links[k],
                     BatchMsg::Packet(Packet::for_job(self.job, k as u32, q as u32, payload)),

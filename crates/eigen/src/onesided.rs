@@ -7,7 +7,7 @@
 //! sequential reference exercises the one shared kernel rather than a
 //! private rotation loop.
 
-use crate::kernel::{pair_within_block, refresh_block_diag, PairingRule, SweepAccumulator};
+use crate::kernel::{refresh_block_diag, PairingRule, SweepAccumulator, SweepKernel};
 use crate::offnorm::{diagonal_blocks, off_norm_blocks};
 use crate::options::{EigenResult, JacobiOptions};
 use mph_linalg::block::ColumnBlock;
@@ -27,13 +27,13 @@ pub fn one_sided_cyclic(a0: &Matrix, opts: &JacobiOptions) -> EigenResult {
     let mut sweeps = 0usize;
     let mut converged = off_history[0] <= opts.tol * norm_a && opts.force_sweeps.is_none();
 
+    let kern = SweepKernel::from_options(PairingRule::Implicit, opts);
     let sweep_budget = opts.force_sweeps.unwrap_or(opts.max_sweeps);
     while !converged && sweeps < sweep_budget {
         if opts.cache_diagonals {
             refresh_block_diag(&mut blk, PairingRule::Implicit);
         }
-        let acc: SweepAccumulator =
-            pair_within_block(&mut blk, PairingRule::Implicit, opts.threshold);
+        let acc: SweepAccumulator = kern.within(&mut blk);
         rotations += acc.rotations;
         sweeps += 1;
         let off = off_norm_blocks(std::slice::from_ref(&blk));

@@ -1,7 +1,7 @@
 //! Solver options and results.
 
 use mph_ccpipe::Machine;
-use mph_linalg::Matrix;
+use mph_linalg::{KernelPath, Matrix};
 use mph_runtime::FabricModel;
 
 /// Communication pipelining of the threaded driver's exchange phases
@@ -67,6 +67,26 @@ pub struct JacobiOptions {
     /// model. The fabric only stamps time — it never reorders the
     /// protocol — so any setting produces the same bits.
     pub fabric: FabricModel,
+    /// Compute path of the rotation kernels (see
+    /// [`mph_linalg::KernelPath`]). `Scalar` (the default) is the bitwise
+    /// reference; `Lanes` dispatches to the widest vector unit the CPU
+    /// offers — rotations stay bitwise identical, but the fused inner
+    /// products reassociate (≤1e-12 relative), so `Lanes` is opt-in like
+    /// `cache_diagonals`.
+    pub kernel: KernelPath,
+    /// Intra-node parallel pairing: how many scoped worker threads apply a
+    /// sub-sweep's column-disjoint pairings concurrently.
+    ///
+    /// `0` (the default) is the legacy serial path — row-major pairing
+    /// order, bitwise parity with previous releases. Any value ≥ 1 switches
+    /// to the deterministic tournament-round schedule, whose pairing order
+    /// is fixed by pair index (never by the scheduler): a round's pairs
+    /// touch disjoint columns and therefore commute *exactly*, so every
+    /// worker count ≥ 1 produces identical bits (`workers == 1` runs the
+    /// rounds inline without spawning). The tournament order visits the
+    /// same pair set as the serial order, so convergence behavior matches;
+    /// only last-bit rotation angles may differ between `0` and `≥ 1`.
+    pub workers: usize,
 }
 
 impl Default for JacobiOptions {
@@ -79,6 +99,8 @@ impl Default for JacobiOptions {
             cache_diagonals: false,
             pipelining: Pipelining::Off,
             fabric: FabricModel::Free,
+            kernel: KernelPath::Scalar,
+            workers: 0,
         }
     }
 }
@@ -124,6 +146,8 @@ mod tests {
         assert!(!o.cache_diagonals, "bitwise-parity recompute mode must be the default");
         assert_eq!(o.pipelining, Pipelining::Off, "whole-block protocol must be the default");
         assert_eq!(o.fabric, FabricModel::Free, "the raw channel fabric must be the default");
+        assert_eq!(o.kernel, KernelPath::Scalar, "scalar kernels must be the default");
+        assert_eq!(o.workers, 0, "serial legacy pairing order must be the default");
     }
 
     #[test]

@@ -18,9 +18,7 @@
 //! [`PairingRule::Gram`] — the SVD is the third consumer of the one pairing
 //! kernel, not a reimplementation.
 
-use crate::kernel::{
-    pair_across_blocks, pair_within_block, refresh_block_diag, PairingRule, SweepAccumulator,
-};
+use crate::kernel::{refresh_block_diag, PairingRule, SweepAccumulator, SweepKernel};
 use crate::options::JacobiOptions;
 use mph_core::BlockPartition;
 use mph_core::{BlockLayout, OrderingFamily, SweepSchedule};
@@ -120,11 +118,12 @@ pub fn svd_cyclic(a: &Matrix, opts: &JacobiOptions) -> SvdResult {
     let mut rotations = 0u64;
     let mut converged = false;
     let budget = opts.force_sweeps.unwrap_or(opts.max_sweeps);
+    let kern = SweepKernel::from_options(PairingRule::Gram, opts);
     while sweeps < budget {
         if opts.cache_diagonals {
             refresh_block_diag(&mut blk, PairingRule::Gram);
         }
-        let acc = pair_within_block(&mut blk, PairingRule::Gram, opts.threshold);
+        let acc = kern.within(&mut blk);
         rotations += acc.rotations;
         sweeps += 1;
         if opts.force_sweeps.is_none() && acc.max_off <= opts.tol {
@@ -156,6 +155,7 @@ pub fn svd_block(a: &Matrix, d: usize, family: OrderingFamily, opts: &JacobiOpti
     let mut rotations = 0u64;
     let mut converged = false;
     let budget = opts.force_sweeps.unwrap_or(opts.max_sweeps);
+    let kern = SweepKernel::from_options(PairingRule::Gram, opts);
     while sweeps < budget {
         let schedule = SweepSchedule::sweep(d, family, sweeps);
         let trace = mph_core::trace_sweep(&schedule, &layout);
@@ -168,12 +168,12 @@ pub fn svd_block(a: &Matrix, d: usize, family: OrderingFamily, opts: &JacobiOpti
         for (step_idx, step) in trace.steps.iter().enumerate() {
             if step_idx == 0 {
                 for b in blocks.iter_mut() {
-                    acc.merge(pair_within_block(b, PairingRule::Gram, opts.threshold));
+                    acc.merge(kern.within(b));
                 }
             }
             for &(b0, b1) in step {
                 let (left, right) = two_blocks_mut(&mut blocks, b0, b1);
-                acc.merge(pair_across_blocks(left, right, PairingRule::Gram, opts.threshold));
+                acc.merge(kern.across(left, right));
             }
         }
         layout = trace.final_layout;

@@ -41,9 +41,7 @@
 //! the same links as control-plane messages, metered separately from the
 //! block traffic the paper's tables count.
 
-use crate::kernel::{
-    pair_across_blocks, pair_within_block, refresh_block_diag, PairingRule, SweepAccumulator,
-};
+use crate::kernel::{refresh_block_diag, PairingRule, SweepAccumulator, SweepKernel};
 use crate::options::{EigenResult, JacobiOptions, Pipelining};
 use mph_ccpipe::plan_pipelining;
 use mph_core::{BlockLayout, BlockPartition, CommPlan, OrderingFamily, PhaseKind, SweepSchedule};
@@ -214,7 +212,7 @@ pub fn block_jacobi_threaded_fabric(
     let p = 1usize << d;
     let partition = BlockPartition::new(m, 2 * p);
     let norm_a = a0.frobenius_norm();
-    let threshold = opts.threshold;
+    let kern = SweepKernel::from_options(PairingRule::Implicit, opts);
     let tol = opts.tol;
     let budget = opts.force_sweeps.unwrap_or(opts.max_sweeps);
     let forced = opts.force_sweeps.is_some();
@@ -251,8 +249,8 @@ pub fn block_jacobi_threaded_fabric(
             }
             // Step 0, paper step (1): intra-block pairings. The step-0
             // cross pairing is the first exchange iteration's compute.
-            acc.merge(pair_within_block(&mut slot0, PairingRule::Implicit, threshold));
-            acc.merge(pair_within_block(&mut slot1, PairingRule::Implicit, threshold));
+            acc.merge(kern.within(&mut slot0));
+            acc.merge(kern.within(&mut slot1));
             let mut xq = 0usize;
             for phase in plan.phases() {
                 match phase.kind {
@@ -262,12 +260,7 @@ pub fn block_jacobi_threaded_fabric(
                         if q <= 1 {
                             // Whole-block reference loop: pair, then ship.
                             for &link in &phase.links {
-                                acc.merge(pair_across_blocks(
-                                    &mut slot0,
-                                    &mut slot1,
-                                    PairingRule::Implicit,
-                                    threshold,
-                                ));
+                                acc.merge(kern.across(&mut slot0, &mut slot1));
                                 slot1 = expect_block(ctx.exchange(link, Msg::Block(slot1.take())));
                             }
                         } else {
@@ -283,24 +276,14 @@ pub fn block_jacobi_threaded_fabric(
                                 Msg::Packet,
                                 expect_packet,
                                 |_k, _q, pkt: &mut ColumnBlock| {
-                                    acc.merge(pair_across_blocks(
-                                        &mut slot0,
-                                        pkt,
-                                        PairingRule::Implicit,
-                                        threshold,
-                                    ));
+                                    acc.merge(kern.across(&mut slot0, pkt));
                                 },
                             );
                             slot1 = ColumnBlock::from_packets(finals);
                         }
                     }
                     PhaseKind::Division { .. } => {
-                        acc.merge(pair_across_blocks(
-                            &mut slot0,
-                            &mut slot1,
-                            PairingRule::Implicit,
-                            threshold,
-                        ));
+                        acc.merge(kern.across(&mut slot0, &mut slot1));
                         let link = phase.links[0];
                         // bit = 0 endpoint sends its mobile (slot1) and
                         // receives the partner's resident into slot1;
@@ -313,12 +296,7 @@ pub fn block_jacobi_threaded_fabric(
                         }
                     }
                     PhaseKind::Last => {
-                        acc.merge(pair_across_blocks(
-                            &mut slot0,
-                            &mut slot1,
-                            PairingRule::Implicit,
-                            threshold,
-                        ));
+                        acc.merge(kern.across(&mut slot0, &mut slot1));
                         slot1 =
                             expect_block(ctx.exchange(phase.links[0], Msg::Block(slot1.take())));
                     }
@@ -326,12 +304,7 @@ pub fn block_jacobi_threaded_fabric(
             }
             if d == 0 {
                 // Single node: the whole sweep is step 0's pairings.
-                acc.merge(pair_across_blocks(
-                    &mut slot0,
-                    &mut slot1,
-                    PairingRule::Implicit,
-                    threshold,
-                ));
+                acc.merge(kern.across(&mut slot0, &mut slot1));
             }
             rotations += acc.rotations;
             sweeps += 1;

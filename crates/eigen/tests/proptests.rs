@@ -3,7 +3,10 @@
 //! residual) hold on arbitrary symmetric inputs.
 
 use mph_core::OrderingFamily;
-use mph_eigen::{block_jacobi, one_sided_cyclic, two_sided_cyclic, JacobiOptions};
+use mph_eigen::{
+    block_jacobi, block_jacobi_threaded, one_sided_cyclic, two_sided_cyclic, JacobiOptions,
+    KernelPath, Pipelining,
+};
 use mph_linalg::matmul::{eigen_residual, orthogonality_defect};
 use mph_linalg::Matrix;
 use proptest::prelude::*;
@@ -100,5 +103,41 @@ proptest! {
         let r = one_sided_cyclic(&a, &opts);
         prop_assert_eq!(r.sweeps, k);
         prop_assert_eq!(r.off_history.len(), k + 1);
+    }
+
+    #[test]
+    fn worker_counts_are_bitwise_identical_through_the_threaded_driver(
+        a in symmetric(12),
+        family in family_strategy(),
+        cache in any::<bool>(),
+        q2 in any::<bool>(),
+        lanes in any::<bool>(),
+        sweeps in 1usize..=2,
+    ) {
+        // The tournament partitioning contract: pair work is split by pair
+        // index, so EVERY worker count executes the identical rotation
+        // sequence — bits and all — under diagonal caching, pipelining, and
+        // both kernel paths.
+        let base = JacobiOptions {
+            force_sweeps: Some(sweeps),
+            cache_diagonals: cache,
+            pipelining: if q2 { Pipelining::Fixed(2) } else { Pipelining::Off },
+            kernel: if lanes { KernelPath::Lanes } else { KernelPath::Scalar },
+            workers: 1,
+            ..Default::default()
+        };
+        let (reference, _) = block_jacobi_threaded(&a, 1, family, &base);
+        for workers in [2usize, 4, 8] {
+            let opts = JacobiOptions { workers, ..base };
+            let (r, _) = block_jacobi_threaded(&a, 1, family, &opts);
+            prop_assert_eq!(r.rotations, reference.rotations, "workers={}", workers);
+            prop_assert_eq!(r.sweeps, reference.sweeps, "workers={}", workers);
+            for c in 0..12 {
+                prop_assert_eq!(r.eigenvalues[c], reference.eigenvalues[c],
+                    "workers={} λ_{}", workers, c);
+                prop_assert_eq!(r.eigenvectors.col(c), reference.eigenvectors.col(c),
+                    "workers={} u_{}", workers, c);
+            }
+        }
     }
 }

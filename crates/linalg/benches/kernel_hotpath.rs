@@ -1,0 +1,111 @@
+//! Single-pair kernel hot path, scalar vs lanes: the inner products that
+//! feed `symmetric_schur` (dot / fused triple) and the 4-stream rotation
+//! that applies it, at the column lengths the block drivers actually see.
+//!
+//! These are the micro-counterparts of `perf_snapshot`'s `"kernel"` block:
+//! that measures a whole block sweep end to end; this isolates each
+//! primitive so a regression can be attributed to one kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mph_linalg::vecops::{dot, dot_lanes, fused_triple, pair_rotate, pair_rotate_lanes};
+use std::hint::black_box;
+use std::time::Duration;
+
+const SIZES: [usize; 3] = [64, 256, 1024];
+
+fn filled(n: usize, seed: u64) -> Vec<f64> {
+    // Cheap deterministic fill; the kernels are data-oblivious.
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(seed ^ 0x9e3779b97f4a7c15) % 2048) as f64 / 1024.0 - 1.0)
+        .collect()
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dot");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for m in SIZES {
+        let x = filled(m, 1);
+        let y = filled(m, 2);
+        g.bench_with_input(BenchmarkId::new("scalar", m), &m, |b, _| {
+            b.iter(|| black_box(dot(black_box(&x), black_box(&y))))
+        });
+        g.bench_with_input(BenchmarkId::new("lanes", m), &m, |b, _| {
+            b.iter(|| black_box(dot_lanes(black_box(&x), black_box(&y))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fused_triple(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fused_triple");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for m in SIZES {
+        let ui = filled(m, 3);
+        let ai = filled(m, 4);
+        let uj = filled(m, 5);
+        let aj = filled(m, 6);
+        g.bench_with_input(BenchmarkId::new("three_dots", m), &m, |b, _| {
+            b.iter(|| {
+                let app = dot(black_box(&ui), black_box(&ai));
+                let apq = dot(black_box(&ui), black_box(&aj));
+                let aqq = dot(black_box(&uj), black_box(&aj));
+                black_box((app, apq, aqq))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fused", m), &m, |b, _| {
+            b.iter(|| {
+                black_box(fused_triple(
+                    black_box(&ui),
+                    black_box(&ai),
+                    black_box(&uj),
+                    black_box(&aj),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rotate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pair_rotate");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let (cth, sth) = (0.8, 0.6);
+    for m in SIZES {
+        let mut ai = filled(m, 7);
+        let mut aj = filled(m, 8);
+        let mut ui = filled(m, 9);
+        let mut uj = filled(m, 10);
+        g.bench_with_input(BenchmarkId::new("scalar", m), &m, |b, _| {
+            b.iter(|| {
+                pair_rotate(
+                    black_box(&mut ai),
+                    black_box(&mut aj),
+                    black_box(&mut ui),
+                    black_box(&mut uj),
+                    cth,
+                    sth,
+                )
+            })
+        });
+        let mut ai = filled(m, 7);
+        let mut aj = filled(m, 8);
+        let mut ui = filled(m, 9);
+        let mut uj = filled(m, 10);
+        g.bench_with_input(BenchmarkId::new("lanes", m), &m, |b, _| {
+            b.iter(|| {
+                pair_rotate_lanes(
+                    black_box(&mut ai),
+                    black_box(&mut aj),
+                    black_box(&mut ui),
+                    black_box(&mut uj),
+                    cth,
+                    sth,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dot, bench_fused_triple, bench_rotate);
+criterion_main!(benches);

@@ -75,6 +75,66 @@ impl<'a> PairViewMut<'a> {
     pub fn rotate(&mut self, c: f64, s: f64) {
         crate::vecops::pair_rotate(self.ai, self.aj, self.ui, self.uj, c, s);
     }
+
+    /// [`PairViewMut::rotate`] on the kernel path selected by `path`. Both
+    /// paths are bitwise identical (the lane rotate uses no FMA); the
+    /// selection only changes how fast the same bits are produced.
+    #[inline]
+    pub fn rotate_with(&mut self, c: f64, s: f64, path: crate::vecops::KernelPath) {
+        match path {
+            crate::vecops::KernelPath::Scalar => {
+                crate::vecops::pair_rotate(self.ai, self.aj, self.ui, self.uj, c, s)
+            }
+            crate::vecops::KernelPath::Lanes => {
+                crate::vecops::pair_rotate_lanes(self.ai, self.aj, self.ui, self.uj, c, s)
+            }
+        }
+    }
+}
+
+/// One column's mutable slices — the unit of work a *parallel* pairing
+/// round hands to a worker. A round's pairs touch disjoint columns, so a
+/// `Vec<ColumnViewMut>` produced by [`ColumnBlock::columns_mut`] can be
+/// carved into per-pair [`PairViewMut`]s (the fields are public precisely
+/// so the pairing kernel can assemble them) and sent to scoped threads
+/// without any further borrow gymnastics.
+#[derive(Debug)]
+pub struct ColumnViewMut<'a> {
+    /// The column's `A`-slice.
+    pub a: &'a mut [f64],
+    /// The column's `U`-slice.
+    pub u: &'a mut [f64],
+    /// The column's cached-diagonal slot (`None` when the cache is off).
+    pub d: Option<&'a mut f64>,
+}
+
+impl<'a> ColumnViewMut<'a> {
+    /// Assembles the pairing view of two column views — the parallel
+    /// counterpart of [`ColumnBlock::pair_mut`]/[`cross_pair_mut`], used
+    /// once a round's disjoint pairs have been distributed to workers.
+    #[inline]
+    pub fn pair(i: ColumnViewMut<'a>, j: ColumnViewMut<'a>) -> PairViewMut<'a> {
+        PairViewMut { ai: i.a, ui: i.u, aj: j.a, uj: j.u, di: i.d, dj: j.d }
+    }
+
+    /// Reborrowing form of [`ColumnViewMut::pair`]: pairs two column views
+    /// without consuming them, so a serial tile sweep can pair the same
+    /// column repeatedly — the primitive behind the tournament's tile
+    /// tasks.
+    #[inline]
+    pub fn pair_mut<'b>(
+        i: &'b mut ColumnViewMut<'a>,
+        j: &'b mut ColumnViewMut<'a>,
+    ) -> PairViewMut<'b> {
+        PairViewMut {
+            ai: &mut *i.a,
+            ui: &mut *i.u,
+            aj: &mut *j.a,
+            uj: &mut *j.u,
+            di: i.d.as_deref_mut(),
+            dj: j.d.as_deref_mut(),
+        }
+    }
 }
 
 impl ColumnBlock {
@@ -195,6 +255,31 @@ impl ColumnBlock {
         } else {
             PairViewMut { ai: a_hi, ui: u_hi, aj: a_lo, uj: u_lo, di: d_hi, dj: d_lo }
         }
+    }
+
+    /// Splits the whole block into one disjoint mutable view per column —
+    /// the distribution primitive for intra-node parallel pairing, where a
+    /// round of column-disjoint pairs is handed to a pool of scoped
+    /// threads. Views are returned in block-column order.
+    pub fn columns_mut(&mut self) -> Vec<ColumnViewMut<'_>> {
+        let (arows, unit, has_diag) = (self.arows, self.unit(), !self.diag.is_empty());
+        let mut cols = Vec::with_capacity(self.ncols);
+        let mut rest: &mut [f64] = &mut self.data;
+        let mut drest: &mut [f64] = &mut self.diag;
+        for _ in 0..self.ncols {
+            let (chunk, r) = rest.split_at_mut(unit);
+            rest = r;
+            let (a, u) = chunk.split_at_mut(arows);
+            let d = if has_diag {
+                let (d0, dr) = drest.split_first_mut().expect("diag len == ncols");
+                drest = dr;
+                Some(d0)
+            } else {
+                None
+            };
+            cols.push(ColumnViewMut { a, u, d });
+        }
+        cols
     }
 
     /// Moves the block out of `self` in O(1), leaving an empty block — the
@@ -562,6 +647,65 @@ mod tests {
         let b = ColumnBlock::from_matrix_with_identity(&a0, 2..2, 3);
         assert!(b.is_empty());
         assert_eq!(b.payload_elems(), 0);
+    }
+
+    #[test]
+    fn columns_mut_views_every_column_disjointly() {
+        let a0 = random_symmetric(5, 17);
+        for cached in [false, true] {
+            let mut b = ColumnBlock::from_matrix_with_identity(&a0, 1..5, 5);
+            if cached {
+                b.refresh_diag(|a, u| dot(u, a));
+            }
+            let want: Vec<(Vec<f64>, Vec<f64>)> =
+                (0..4).map(|k| (b.a_col(k).to_vec(), b.u_col(k).to_vec())).collect();
+            let mut cols = b.columns_mut();
+            assert_eq!(cols.len(), 4);
+            for (k, col) in cols.iter().enumerate() {
+                assert_eq!(col.a, want[k].0, "col {k}");
+                assert_eq!(col.u, want[k].1, "col {k}");
+                assert_eq!(col.d.is_some(), cached, "col {k}");
+            }
+            // Writes through the views land in the block.
+            cols[2].a[0] = 99.0;
+            if let Some(d) = cols[3].d.as_deref_mut() {
+                *d = -7.0;
+            }
+            drop(cols);
+            assert_eq!(b.a_col(2)[0], 99.0);
+            if cached {
+                assert_eq!(b.diag()[3], -7.0);
+            }
+        }
+    }
+
+    #[test]
+    fn column_view_pair_rotates_like_pair_mut() {
+        let a0 = random_symmetric(6, 23);
+        let mut b = ColumnBlock::from_matrix_with_identity(&a0, 0..6, 6);
+        let mut reference = b.clone();
+        let (c, s) = (0.96, 0.28);
+        reference.pair_mut(1, 4).rotate(c, s);
+        {
+            let mut slots: Vec<Option<ColumnViewMut<'_>>> =
+                b.columns_mut().into_iter().map(Some).collect();
+            let ci = slots[1].take().unwrap();
+            let cj = slots[4].take().unwrap();
+            ColumnViewMut::pair(ci, cj).rotate(c, s);
+        }
+        assert_eq!(b, reference);
+    }
+
+    #[test]
+    fn rotate_with_is_bitwise_identical_across_paths() {
+        use crate::vecops::KernelPath;
+        let a0 = random_symmetric(9, 31);
+        let mut scalar = ColumnBlock::from_matrix_with_identity(&a0, 0..9, 9);
+        let mut lanes = scalar.clone();
+        let (c, s) = (0.642, -0.766);
+        scalar.pair_mut(2, 7).rotate_with(c, s, KernelPath::Scalar);
+        lanes.pair_mut(2, 7).rotate_with(c, s, KernelPath::Lanes);
+        assert_eq!(scalar, lanes);
     }
 
     #[test]

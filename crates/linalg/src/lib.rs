@@ -11,7 +11,8 @@
 //!   with zero-copy views, split-borrow pair access, and cached diagonals —
 //!   the unit every parallel driver pairs locally and ships across links;
 //! * [`vecops`] — the handful of BLAS-1 kernels the solver needs (`dot`,
-//!   `axpy`, `nrm2`, fused column-pair rotation);
+//!   `axpy`, `nrm2`, fused column-pair rotation), each with a reference
+//!   scalar form and an opt-in lane form selected by [`KernelPath`];
 //! * [`rotation`] — the symmetric 2×2 Schur decomposition that produces the
 //!   rotation `(c, s)` annihilating an off-diagonal element;
 //! * [`symmetric`] — random and classical symmetric test-matrix generators
@@ -26,8 +27,11 @@ pub mod rotation;
 pub mod symmetric;
 pub mod vecops;
 
-pub use block::{cross_pair_mut, two_blocks_mut, ColumnBlock, PairViewMut};
+pub use block::{cross_pair_mut, two_blocks_mut, ColumnBlock, ColumnViewMut, PairViewMut};
 pub use matrix::Matrix;
 pub use rotation::{symmetric_schur, JacobiRotation};
 pub use symmetric::{frank_matrix, off_diagonal_frobenius, random_symmetric, wilkinson_matrix};
-pub use vecops::{axpy, dot, nrm2, pair_rotate, rotate_pair};
+pub use vecops::{
+    axpy, dot, dot_lanes, fused_triple, nrm2, pair_rotate, pair_rotate_lanes, rotate_pair,
+    KernelPath,
+};

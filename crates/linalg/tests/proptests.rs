@@ -2,7 +2,9 @@
 //! eigensolver's correctness rests on.
 
 use mph_linalg::rotation::{apply_to_block, symmetric_schur};
-use mph_linalg::vecops::{axpy, dot, nrm2, pair_rotate, rotate_pair};
+use mph_linalg::vecops::{
+    axpy, dot, dot_lanes, fused_triple, nrm2, pair_rotate, pair_rotate_lanes, rotate_pair,
+};
 use mph_linalg::Matrix;
 use proptest::prelude::*;
 
@@ -14,6 +16,15 @@ fn finite_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
 /// column pair's `(A_i, A_j, U_i, U_j)` slices.
 fn quad_vecs() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)> {
     (0usize..=24).prop_flat_map(|n| (finite_vec(n), finite_vec(n), finite_vec(n), finite_vec(n)))
+}
+
+/// Like [`quad_vecs`] but long enough that the widest SIMD body (8 lanes)
+/// runs at least full iterations with every scalar-tail length 0..=16.
+fn quad_vecs_laned() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)> {
+    (0usize..=16).prop_flat_map(|tail| {
+        let n = 24 + tail; // 3 full 8-lane iterations + the drawn tail
+        (finite_vec(n), finite_vec(n), finite_vec(n), finite_vec(n))
+    })
 }
 
 proptest! {
@@ -73,6 +84,73 @@ proptest! {
         prop_assert_eq!(fa_j, ra_j);
         prop_assert_eq!(fu_i, ru_i);
         prop_assert_eq!(fu_j, ru_j);
+    }
+
+    #[test]
+    fn lanes_rotate_is_bitwise_the_scalar_rotate(
+        quads in quad_vecs_laned(),
+        theta in -3.2f64..3.2,
+    ) {
+        // The lane path's contract is BITWISE equality for the rotation:
+        // the SIMD body multiplies then adds/subtracts — no FMA — so every
+        // element sees the exact scalar arithmetic, at every tail length.
+        let (ai, aj, ui, uj) = quads;
+        let (c, s) = (theta.cos(), theta.sin());
+        let (mut la_i, mut la_j, mut lu_i, mut lu_j) =
+            (ai.clone(), aj.clone(), ui.clone(), uj.clone());
+        pair_rotate_lanes(&mut la_i, &mut la_j, &mut lu_i, &mut lu_j, c, s);
+        let (mut sa_i, mut sa_j, mut su_i, mut su_j) = (ai, aj, ui, uj);
+        pair_rotate(&mut sa_i, &mut sa_j, &mut su_i, &mut su_j, c, s);
+        prop_assert_eq!(la_i, sa_i);
+        prop_assert_eq!(la_j, sa_j);
+        prop_assert_eq!(lu_i, su_i);
+        prop_assert_eq!(lu_j, su_j);
+    }
+
+    #[test]
+    fn lanes_rotate_is_bitwise_on_mismatched_lengths(
+        quads in quad_vecs_laned(),
+        cut in 0usize..=16,
+        theta in -3.2f64..3.2,
+    ) {
+        // Same bitwise contract on the fused-prefix mismatched path
+        // (A-columns longer than U-columns, as in rectangular SVD jobs).
+        let (ai, aj, mut ui, mut uj) = quads;
+        let nu = ui.len() - cut.min(ui.len());
+        ui.truncate(nu);
+        uj.truncate(nu);
+        let (c, s) = (theta.cos(), theta.sin());
+        let (mut la_i, mut la_j, mut lu_i, mut lu_j) =
+            (ai.clone(), aj.clone(), ui.clone(), uj.clone());
+        pair_rotate_lanes(&mut la_i, &mut la_j, &mut lu_i, &mut lu_j, c, s);
+        let (mut sa_i, mut sa_j, mut su_i, mut su_j) = (ai, aj, ui, uj);
+        pair_rotate(&mut sa_i, &mut sa_j, &mut su_i, &mut su_j, c, s);
+        prop_assert_eq!(la_i, sa_i);
+        prop_assert_eq!(la_j, sa_j);
+        prop_assert_eq!(lu_i, su_i);
+        prop_assert_eq!(lu_j, su_j);
+    }
+
+    #[test]
+    fn fused_triple_is_within_1e12_of_three_dots(quads in quad_vecs_laned()) {
+        // The fused triple MAY re-associate (FMA lanes), so its contract is
+        // ≤ 1e-12 relative error against the three separate dots — at every
+        // tail length the dispatcher can see.
+        let (x, a, y, b) = quads;
+        let (app, apq, aqq) = fused_triple(&x, &a, &y, &b);
+        for (got, want) in [(app, dot(&x, &a)), (apq, dot(&x, &b)), (aqq, dot(&y, &b))] {
+            prop_assert!(
+                (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                "{got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_lanes_is_within_1e12_of_dot(quads in quad_vecs_laned()) {
+        let (x, y, _, _) = quads;
+        let (got, want) = (dot_lanes(&x, &y), dot(&x, &y));
+        prop_assert!((got - want).abs() <= 1e-12 * want.abs().max(1.0), "{got} vs {want}");
     }
 
     #[test]
