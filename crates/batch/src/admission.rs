@@ -109,7 +109,7 @@ mod tests {
     }
 
     fn planned(lowered: &[(Vec<mph_core::CommPlan>, Vec<Vec<usize>>)]) -> Vec<PlannedJob<'_>> {
-        lowered.iter().map(|(plans, qs)| PlannedJob { plans, qs }).collect()
+        lowered.iter().map(|(plans, qs)| PlannedJob { plans, qs, tail_q: 1 }).collect()
     }
 
     #[test]

@@ -76,7 +76,10 @@ mod tests {
         let big = chain(64, 2, 1);
         let small = chain(16, 2, 1);
         let (qb, qs) = (ones(&big), ones(&small));
-        let planned = [PlannedJob { plans: &big, qs: &qb }, PlannedJob { plans: &small, qs: &qs }];
+        let planned = [
+            PlannedJob { plans: &big, qs: &qb, tail_q: 1 },
+            PlannedJob { plans: &small, qs: &qs, tail_q: 1 },
+        ];
         let machine = Machine::paper_figure2();
         let order = Policy::ShortestPlanFirst.order(&planned, &machine);
         assert_eq!(order, BatchOrder::Serial(vec![1, 0]), "small job first");
@@ -88,7 +91,10 @@ mod tests {
     fn fifo_and_interleave_keep_submission_order() {
         let a = chain(16, 1, 1);
         let qa = ones(&a);
-        let planned = [PlannedJob { plans: &a, qs: &qa }, PlannedJob { plans: &a, qs: &qa }];
+        let planned = [
+            PlannedJob { plans: &a, qs: &qa, tail_q: 1 },
+            PlannedJob { plans: &a, qs: &qa, tail_q: 1 },
+        ];
         let machine = Machine::paper_figure2();
         assert_eq!(Policy::Fifo.order(&planned, &machine), BatchOrder::Serial(vec![0, 1]));
         assert_eq!(

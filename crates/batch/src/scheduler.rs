@@ -4,7 +4,10 @@ use crate::job::Job;
 use crate::policy::Policy;
 use mph_ccpipe::{batch_cost, BatchCost, BatchOrder, Machine, PlannedJob};
 use mph_core::CommPlan;
-use mph_eigen::{lower_job, run_job_batch_planned, JobResult, JobSpan, JobSpec};
+use mph_eigen::{
+    choose_tail_qs, lower_job, packetization_cap, run_job_batch_planned, JobResult, JobSpan,
+    JobSpec,
+};
 use mph_runtime::{FabricModel, FabricReport, TrafficMeter};
 
 /// Batch-level options.
@@ -139,8 +142,20 @@ pub fn solve_batch(d: usize, jobs: &[Job], opts: &BatchOptions) -> BatchReport {
     let specs: Vec<JobSpec> = jobs.iter().map(Job::to_spec).collect();
     let lowered: Vec<(Vec<CommPlan>, Vec<Vec<usize>>)> =
         specs.iter().map(|s| lower_job(s, d)).collect();
-    let planned: Vec<PlannedJob<'_>> =
-        lowered.iter().map(|(plans, qs)| PlannedJob { plans, qs }).collect();
+    // The tail degree the runtime will execute (JobNode computes the same
+    // per-plan choice; plans of one job share it for Off/Fixed, and Auto
+    // converges per plan — the first plan's choice prices the job).
+    let planned: Vec<PlannedJob<'_>> = lowered
+        .iter()
+        .zip(&specs)
+        .map(|((plans, qs), spec)| PlannedJob {
+            plans,
+            qs,
+            tail_q: plans.first().map_or(1, |p| {
+                choose_tail_qs(p, &spec.opts.tail_pipelining, packetization_cap(spec.a.cols(), d))
+            }),
+        })
+        .collect();
     let machine = opts.fabric.machine().unwrap_or(opts.pricing);
     let order = opts.policy.order(&planned, &machine);
     let cost = batch_cost(&planned, &machine, &order);

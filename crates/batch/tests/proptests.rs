@@ -138,6 +138,61 @@ proptest! {
     }
 
     #[test]
+    fn tail_packetization_is_bitwise_invisible_through_solve_batch(
+        d in 1usize..=2,
+        seed in 0u64..1000,
+        cache in any::<bool>(),
+        fabric in fabric_strategy(),
+        tsel in 0usize..=4,
+    ) {
+        // The batch driver's tail machine (TailSend/TailRecv) pairs each
+        // division/last packet before shipping it — the reference pairing
+        // re-tiled by packet boundary — so every tail degree (including Q
+        // larger than any chained run and the cost-driven Auto choice)
+        // reproduces the tail-off batch bit for bit on every fabric.
+        let tail = [
+            Pipelining::Fixed(1),
+            Pipelining::Fixed(2),
+            Pipelining::Fixed(5),
+            Pipelining::Fixed(8),
+            Pipelining::Auto(Machine::all_port(1000.0, 100.0)),
+        ][tsel];
+        let mk = |tail_pipelining| JacobiOptions {
+            force_sweeps: Some(1),
+            cache_diagonals: cache,
+            tail_pipelining,
+            ..Default::default()
+        };
+        let batch_opts = BatchOptions { fabric, ..Default::default() };
+        let base = solve_batch(d, &job_mix(2, d, seed, mk(Pipelining::Off)), &batch_opts);
+        let run = solve_batch(d, &job_mix(2, d, seed, mk(tail)), &batch_opts);
+        for (i, (x, y)) in base.results.iter().zip(&run.results).enumerate() {
+            match (x.eigen(), y.eigen()) {
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.rotations, b.rotations, "{:?} job {}", tail, i);
+                    for c in 0..a.eigenvalues.len() {
+                        prop_assert_eq!(a.eigenvalues[c], b.eigenvalues[c],
+                            "{:?} job {} λ_{}", tail, i, c);
+                        prop_assert_eq!(a.eigenvectors.col(c), b.eigenvectors.col(c),
+                            "{:?} job {} u_{}", tail, i, c);
+                    }
+                }
+                _ => {
+                    let a = x.svd().expect("svd result");
+                    let b = y.svd().expect("svd result");
+                    prop_assert_eq!(a.rotations, b.rotations, "{:?} job {}", tail, i);
+                    for c in 0..a.singular_values.len() {
+                        prop_assert_eq!(a.singular_values[c], b.singular_values[c],
+                            "{:?} job {} σ_{}", tail, i, c);
+                        prop_assert_eq!(a.u.col(c), b.u.col(c), "{:?} job {} u_{}", tail, i, c);
+                        prop_assert_eq!(a.v.col(c), b.v.col(c), "{:?} job {} v_{}", tail, i, c);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn worker_counts_are_bitwise_identical_through_solve_batch(
         d in 1usize..=2,
         seed in 0u64..1000,

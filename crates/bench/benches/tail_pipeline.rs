@@ -1,0 +1,43 @@
+//! Tail pipelining: packetized division/last chains vs the whole-block
+//! serial tail, through the threaded driver. The channel runtime ships
+//! blocks by pointer, so the transmission term the chained-tail model
+//! prices is nearly free here; what this bench isolates is the wall-clock
+//! cost of the packetized path itself — the pooled splits, per-packet
+//! pairing, and reassembly that buy the virtual-clock overlap must stay
+//! cheap enough to be a free rider on real hardware.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mph_ccpipe::Machine;
+use mph_core::OrderingFamily;
+use mph_eigen::{block_jacobi_threaded, JacobiOptions, Pipelining};
+use mph_linalg::symmetric::random_symmetric;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_tail_pipeline(c: &mut Criterion) {
+    let a = random_symmetric(128, 17);
+    let base = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
+    let mut g = c.benchmark_group("tail_pipeline");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    let family = OrderingFamily::PermutedBr;
+    g.bench_function("tail_off_m128_d3", |b| {
+        b.iter(|| black_box(block_jacobi_threaded(&a, 3, family, &base)))
+    });
+    for q in [2usize, 4, 8] {
+        let opts = JacobiOptions { tail_pipelining: Pipelining::Fixed(q), ..base };
+        g.bench_function(format!("tail_q{q}_m128_d3"), |b| {
+            b.iter(|| black_box(block_jacobi_threaded(&a, 3, family, &opts)))
+        });
+    }
+    let auto =
+        JacobiOptions { tail_pipelining: Pipelining::Auto(Machine::paper_figure2()), ..base };
+    g.bench_function("tail_auto_m128_d3", |b| {
+        b.iter(|| black_box(block_jacobi_threaded(&a, 3, family, &auto)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tail_pipeline);
+criterion_main!(benches);

@@ -297,6 +297,60 @@ fn validate(doc: &Json) -> Vec<String> {
         };
         require(&format!("fabric one_port.{key} >= all_port.{key}"), ordered);
     }
+    // The tail block: the packetized division/last chain, per scale
+    // point, on the all-port machine. Virtual-clock quantities again, so
+    // they gate hard: the chosen tail degree must actually chain
+    // (tail_q ≥ 2), packetizing must not grow the tail's share of the
+    // sweep price, the measured speedup must track the chained-tail model
+    // within [0.8, 1.25], the large-m scale point must be worth ≥ 1.05x
+    // measured, and the bitwise flag — tail-on equal to tail-off — must
+    // hold at every size.
+    let tail = doc.get("tail");
+    require("tail", tail.is_some());
+    let tail_row = |name: &str, key: &str| {
+        tail.and_then(|t| t.get(name)).and_then(|r| r.get(key)).and_then(Json::as_number)
+    };
+    for name in ["m256", "m1024"] {
+        require(
+            &format!("tail.{name}.tail_q >= 2"),
+            tail_row(name, "tail_q").is_some_and(|q| q >= 2.0),
+        );
+        for key in ["tail_share_before", "tail_share_after"] {
+            require(
+                &format!("tail.{name}.{key}"),
+                tail_row(name, key).is_some_and(|x| x.is_finite() && x > 0.0 && x < 1.0),
+            );
+        }
+        for key in ["tail_off_vtime", "tail_on_vtime", "measured_speedup", "predicted_speedup"] {
+            require(
+                &format!("tail.{name}.{key}"),
+                tail_row(name, key).is_some_and(|x| x.is_finite() && x > 0.0),
+            );
+        }
+        let shrinks =
+            match (tail_row(name, "tail_share_after"), tail_row(name, "tail_share_before")) {
+                (Some(after), Some(before)) => after <= before + 1e-9,
+                _ => false,
+            };
+        require(&format!("tail.{name}.tail_share_after <= tail_share_before"), shrinks);
+        require(
+            &format!("tail.{name}.measured_over_predicted within [0.8, 1.25]"),
+            tail_row(name, "measured_over_predicted")
+                .is_some_and(|r| r.is_finite() && (0.8..=1.25).contains(&r)),
+        );
+        require(
+            &format!("tail.{name}.bitwise_identical"),
+            matches!(
+                tail.and_then(|t| t.get(name)).and_then(|r| r.get("bitwise_identical")),
+                Some(Json::Bool(true))
+            ),
+        );
+    }
+    require(
+        "tail.m1024.measured_speedup >= 1.05",
+        tail_row("m1024", "measured_speedup").is_some_and(|s| s.is_finite() && s >= 1.05),
+    );
+
     // The batch block: N jobs multiplexed on one fabric. Virtual-clock
     // quantities again, so they gate hard: fields finite, interleaving
     // must not lose to FIFO-serial on the all-port fabric (≥ 1.0×), the
@@ -511,6 +565,16 @@ mod tests {
                                   "unpipelined_vtime": 100.0, "pipelined_vtime": 70.0,
                                   "measured_speedup": 1.45, "predicted_speedup": 1.44,
                                   "measured_over_predicted": 1.007}}}},
+          "tail": {{"family": "permuted-BR", "force_sweeps": 1,
+                   "machine_ts": 1000.0, "machine_tw": 100.0,
+                   "m256": {{"tail_q": 4, "tail_share_before": 0.42, "tail_share_after": 0.35,
+                            "tail_off_vtime": 9.0e6, "tail_on_vtime": 8.2e6,
+                            "measured_speedup": 1.09, "predicted_speedup": 1.08,
+                            "measured_over_predicted": 1.009, "bitwise_identical": true}},
+                   "m1024": {{"tail_q": 16, "tail_share_before": 0.55, "tail_share_after": 0.44,
+                             "tail_off_vtime": 9.0e7, "tail_on_vtime": 6.9e7,
+                             "measured_speedup": 1.30, "predicted_speedup": 1.31,
+                             "measured_over_predicted": 0.992, "bitwise_identical": true}}}},
           "batch": {{"jobs": 4, "force_sweeps": 1,
                     "machine_ts": 1000.0, "machine_tw": 100.0,
                     "bitwise_identical": {bitwise},
@@ -656,6 +720,57 @@ mod tests {
             .expect("parses");
         let problems = validate(&doc);
         assert!(problems.iter().any(|p| p.contains("bitwise_identical")), "{problems:?}");
+    }
+
+    #[test]
+    fn gates_the_tail_block() {
+        // A large-m tail speedup below the 1.05x acceptance bar gates.
+        let text = minimal_snapshot(1.0, 100.0)
+            .replace("\"measured_speedup\": 1.30", "\"measured_speedup\": 1.02");
+        let doc = Parser::new(&text).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("tail.m1024.measured_speedup >= 1.05")),
+            "{problems:?}"
+        );
+        // A tail measurement off the chained-tail model by more than the
+        // band gates.
+        let text = minimal_snapshot(1.0, 100.0)
+            .replace("\"measured_over_predicted\": 0.992", "\"measured_over_predicted\": 1.4");
+        let doc = Parser::new(&text).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("tail.m1024.measured_over_predicted")),
+            "{problems:?}"
+        );
+        // A tail run that changed the reference bits must never pass.
+        let text = minimal_snapshot(1.0, 100.0).replace(
+            "\"measured_over_predicted\": 1.009, \"bitwise_identical\": true",
+            "\"measured_over_predicted\": 1.009, \"bitwise_identical\": false",
+        );
+        let doc = Parser::new(&text).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(problems.iter().any(|p| p.contains("tail.m256.bitwise_identical")), "{problems:?}");
+        // A tail degree that never chains (Q = 1) gates — the feature is
+        // off, whatever the other numbers say.
+        let text = minimal_snapshot(1.0, 100.0).replace("\"tail_q\": 16", "\"tail_q\": 1");
+        let doc = Parser::new(&text).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(problems.iter().any(|p| p.contains("tail.m1024.tail_q >= 2")), "{problems:?}");
+        // Packetizing must not grow the tail's share of the sweep price.
+        let text = minimal_snapshot(1.0, 100.0)
+            .replace("\"tail_share_after\": 0.44", "\"tail_share_after\": 0.60");
+        let doc = Parser::new(&text).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("tail.m1024.tail_share_after <=")),
+            "{problems:?}"
+        );
+        // A snapshot missing the block entirely gates.
+        let text = r#"{"bench": "eigen_perf_snapshot", "m": 1, "d": 1, "seed": 1,
+            "layout_sweep": {}, "families": {"BR": {}}}"#;
+        let doc = Parser::new(text).document().expect("parses");
+        assert!(validate(&doc).iter().any(|p| p == "missing or malformed field: tail"));
     }
 
     #[test]

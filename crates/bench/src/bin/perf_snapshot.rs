@@ -16,14 +16,14 @@ use mph_batch::{solve_batch, AdmissionConfig, BatchOptions, Job, JobResult, Poli
 use mph_bench::seedpath::{self, VecBlock};
 use mph_bench::{banner, column_block_full_sweep, column_block_full_sweep_kernel, results_dir};
 use mph_ccpipe::{
-    plan_cost_with, plan_sweep_cost, plan_unpipelined_cost, solo_plan_costs, Machine, PlannedJob,
-    PortModel,
+    plan_cost_with, plan_cost_with_tail, plan_sweep_cost, plan_unpipelined_cost, solo_plan_costs,
+    Machine, PlannedJob, PortModel,
 };
 use mph_core::OrderingFamily;
 use mph_eigen::{
-    block_jacobi, block_jacobi_threaded, block_jacobi_threaded_fabric, choose_qs, lower_job,
-    lower_sweeps, packetization_cap, svd_block, BlockPartition, ColumnBlock, FabricModel,
-    JacobiOptions, JobSpec, KernelPath, Pipelining,
+    block_jacobi, block_jacobi_threaded, block_jacobi_threaded_fabric, choose_qs, choose_tail_qs,
+    lower_job, lower_sweeps, packetization_cap, svd_block, BlockPartition, ColumnBlock,
+    FabricModel, JacobiOptions, JobSpec, KernelPath, Pipelining,
 };
 use mph_linalg::symmetric::random_symmetric;
 use mph_runtime::calibrate_channel_machine;
@@ -299,6 +299,69 @@ fn main() {
         calibrated.tw,
     );
 
+    // --- Tail pipelining: the serial division/last chain, packetized ----
+    // The exchange phases above pipeline inside one phase; the serial tail
+    // (division + last transitions, one message per phase) pipelines
+    // *across* phases: packets of the outgoing block are paired and
+    // shipped while their predecessors are still in flight. Per scale
+    // point, on the all-port machine: the tail's share of the unpipelined
+    // sweep price before and after chaining, the measured virtual-clock
+    // makespan of the real threaded solver with the tail off vs on
+    // (everything else identical — exchange unpipelined, one forced
+    // sweep), the model's predicted gain, and the bitwise flag the whole
+    // feature is contracted on.
+    let tail_machine = Machine { ts: fab_ts, tw: fab_tw, ports: PortModel::AllPort };
+    let tail_sizes: &[usize] = if smoke { &[64] } else { &[256, 1024] };
+    let mut tail_rows = String::new();
+    for &tm in tail_sizes {
+        let ta = if tm == m { a.clone() } else { random_symmetric(tm, seed + tm as u64) };
+        let tplan = &lower_sweeps(tm, d, pipe_family, false, 1)[0];
+        let tcap = packetization_cap(tm, d);
+        let tq = choose_tail_qs(tplan, &Pipelining::Auto(tail_machine), tcap);
+        let ones = choose_qs(tplan, &Pipelining::Off, tcap);
+        let before = plan_cost_with_tail(tplan, &tail_machine, &ones, 1);
+        let after = plan_cost_with_tail(tplan, &tail_machine, &ones, tq);
+        let share_before = before.serial / before.total;
+        let share_after = after.serial / after.total;
+        let predicted = before.total / after.total;
+        let toff = JacobiOptions {
+            force_sweeps: Some(1),
+            fabric: FabricModel::Throttled(tail_machine),
+            ..Default::default()
+        };
+        let ton = JacobiOptions { tail_pipelining: Pipelining::Auto(tail_machine), ..toff };
+        let (r_off, _, f_off) = block_jacobi_threaded_fabric(&ta, d, pipe_family, &toff);
+        let (r_on, _, f_on) = block_jacobi_threaded_fabric(&ta, d, pipe_family, &ton);
+        let measured = f_off.makespan / f_on.makespan;
+        let ratio = measured / predicted;
+        let tail_bitwise = r_off.rotations == r_on.rotations
+            && r_off.eigenvalues == r_on.eigenvalues
+            && (0..tm).all(|c| r_off.eigenvectors.col(c) == r_on.eigenvectors.col(c));
+        println!(
+            "  tail m={tm:<5}: share {share_before:.3} -> {share_after:.3} (Q={tq}) | \
+             off {:>12.0} | on {:>12.0} vtime | {measured:.3}x measured vs {predicted:.3}x \
+             predicted ({ratio:.3}) | bitwise {tail_bitwise}",
+            f_off.makespan, f_on.makespan,
+        );
+        write!(
+            tail_rows,
+            ",\n    \"m{tm}\": {{\"tail_q\": {tq}, \
+             \"tail_share_before\": {share_before:.4}, \
+             \"tail_share_after\": {share_after:.4}, \
+             \"tail_off_vtime\": {:.3}, \"tail_on_vtime\": {:.3}, \
+             \"measured_speedup\": {measured:.4}, \"predicted_speedup\": {predicted:.4}, \
+             \"measured_over_predicted\": {ratio:.4}, \
+             \"bitwise_identical\": {tail_bitwise}}}",
+            f_off.makespan, f_on.makespan,
+        )
+        .unwrap();
+    }
+    let tail_json = format!(
+        "{{\n    \"family\": \"{}\",\n    \"force_sweeps\": 1,\n    \
+         \"machine_ts\": {fab_ts},\n    \"machine_tw\": {fab_tw}{tail_rows}\n  }}",
+        pipe_family.name(),
+    );
+
     // --- Batch scheduler: N jobs on one fabric, per policy + port ------
     // Four mixed jobs (three eigensolves, one SVD, distinct families so
     // their link sequences partially diverge) forced to one sweep each,
@@ -437,7 +500,7 @@ fn main() {
         let sspecs: Vec<JobSpec> = probe.jobs.iter().map(|j| j.to_spec()).collect();
         let slowered: Vec<_> = sspecs.iter().map(|s| lower_job(s, d)).collect();
         let splanned: Vec<PlannedJob<'_>> =
-            slowered.iter().map(|(plans, qs)| PlannedJob { plans, qs }).collect();
+            slowered.iter().map(|(plans, qs)| PlannedJob { plans, qs, tail_q: 1 }).collect();
         let one_port = Machine { ts: fab_ts, tw: fab_tw, ports: PortModel::OnePort };
         let costs = solo_plan_costs(&splanned, &one_port);
         let mean_cost = costs.iter().sum::<f64>() / costs.len() as f64;
@@ -519,6 +582,7 @@ fn main() {
          \"kernel\": {kernel_json},\n  \
          \"pipelined\": {pipelined_json},\n  \
          \"fabric\": {fabric_json},\n  \
+         \"tail\": {tail_json},\n  \
          \"batch\": {batch_json},\n  \
          \"serve\": {serve_json},\n  \
          \"families\": {{{family_json}\n  }}\n}}\n"

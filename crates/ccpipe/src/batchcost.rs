@@ -40,7 +40,7 @@
 //! compare against forced-sweep runs, as every conformance test does.
 
 use crate::machine::{Machine, PortModel};
-use crate::plancost::plan_cost_with;
+use crate::plancost::{chained_tail_cost, plan_cost_with_tail};
 use mph_core::{BlockPartition, CommPlan, PhaseKind};
 
 /// How a batch of jobs shares the fabric — the schedule shape the batch
@@ -88,6 +88,10 @@ impl BatchOrder {
 pub struct PlannedJob<'a> {
     pub plans: &'a [CommPlan],
     pub qs: &'a [Vec<usize>],
+    /// Packet degree of the serial tail (division/last transitions).
+    /// `1` is the classical whole-block tail; `> 1` chains the tail run's
+    /// packets across phases exactly as the driver executes them.
+    pub tail_q: usize,
 }
 
 impl<'a> PlannedJob<'a> {
@@ -98,7 +102,7 @@ impl<'a> PlannedJob<'a> {
     /// through [`partial_batch_cost`] without special-casing them.
     pub fn remaining(&self, sweeps_done: usize) -> PlannedJob<'a> {
         let done = sweeps_done.min(self.plans.len());
-        PlannedJob { plans: &self.plans[done..], qs: &self.qs[done..] }
+        PlannedJob { plans: &self.plans[done..], qs: &self.qs[done..], tail_q: self.tail_q }
     }
 
     /// Total sweeps this job was lowered to.
@@ -159,7 +163,9 @@ fn job_ops(job: &PlannedJob) -> Vec<ModelOp> {
         for ph in plan.phases() {
             match ph.kind {
                 PhaseKind::Exchange { .. } => {
-                    let q = qs[xq].max(1);
+                    // A K = 1 exchange inside a chained tail run is framed
+                    // at the run's tail degree, overriding its exchange q.
+                    let q = if job.tail_q > 1 && ph.k() == 1 { job.tail_q } else { qs[xq].max(1) };
                     xq += 1;
                     if q == 1 {
                         for (t, &dim) in ph.links.iter().enumerate() {
@@ -185,9 +191,23 @@ fn job_ops(job: &PlannedJob) -> Vec<ModelOp> {
                     }
                 }
                 PhaseKind::Division { .. } | PhaseKind::Last => {
-                    let elems = ph.sends[0].iter().copied().max().unwrap_or(0);
-                    ops.push(ModelOp::Send { dim: ph.links[0], elems });
-                    ops.push(ModelOp::Slot);
+                    let tq = job.tail_q.max(1);
+                    if tq == 1 {
+                        let elems = ph.sends[0].iter().copied().max().unwrap_or(0);
+                        ops.push(ModelOp::Send { dim: ph.links[0], elems });
+                        ops.push(ModelOp::Slot);
+                    } else {
+                        let epc = plan.elems_per_col().max(1);
+                        let cols = ph.max_message_elems() as usize / epc;
+                        let split = BlockPartition::new(cols, tq);
+                        for pkt in 0..tq {
+                            let elems = (split.size(pkt) * epc) as u64;
+                            ops.push(ModelOp::Send { dim: ph.links[0], elems });
+                        }
+                        for _ in 0..tq {
+                            ops.push(ModelOp::Slot); // packet reassembly drains
+                        }
+                    }
                 }
             }
         }
@@ -244,7 +264,7 @@ pub fn solo_plan_costs(jobs: &[PlannedJob], machine: &Machine) -> Vec<f64> {
             job.plans
                 .iter()
                 .zip(job.qs)
-                .map(|(plan, qs)| plan_cost_with(plan, machine, qs).total)
+                .map(|(plan, qs)| plan_cost_with_tail(plan, machine, qs, job.tail_q).total)
                 .sum()
         })
         .collect()
@@ -267,16 +287,19 @@ pub fn batch_cost(jobs: &[PlannedJob], machine: &Machine, order: &BatchOrder) ->
     let mut tail = 0.0f64;
     for job in jobs {
         for (plan, qs) in job.plans.iter().zip(job.qs) {
-            sends_per_node += plan.messages_with(qs) as f64 / p;
+            sends_per_node += plan.messages_with_tail(qs, job.tail_q) as f64 / p;
             for (dim, vol) in plan.volume_by_dim().into_iter().enumerate() {
                 pernode_wire[dim] += vol as f64 / p * machine.tw;
             }
-            tail += plan
-                .phases()
-                .iter()
-                .filter(|ph| !ph.is_exchange())
-                .map(|ph| machine.single_message_cost(ph.max_message_elems() as f64))
-                .sum::<f64>();
+            tail += if job.tail_q > 1 {
+                chained_tail_cost(plan, machine, job.tail_q)
+            } else {
+                plan.phases()
+                    .iter()
+                    .filter(|ph| !ph.is_exchange())
+                    .map(|ph| machine.single_message_cost(ph.max_message_elems() as f64))
+                    .sum::<f64>()
+            };
         }
     }
     let lower_bound = sends_per_node * machine.ts + port_busy(machine.ports, &pernode_wire);
@@ -368,7 +391,7 @@ mod tests {
         let machine = Machine::all_port(1000.0, 100.0);
         let plans = lower_chain(32, 2, OrderingFamily::Br, 2);
         let qs = ones(&plans);
-        let job = PlannedJob { plans: &plans, qs: &qs };
+        let job = PlannedJob { plans: &plans, qs: &qs, tail_q: 1 };
         let want: f64 = plans.iter().map(|p| plan_unpipelined_cost(p, &machine)).sum();
         for order in
             [BatchOrder::Serial(vec![0]), BatchOrder::RoundRobin { order: vec![0], stride: 1 }]
@@ -388,8 +411,10 @@ mod tests {
         let plans_a = lower_chain(32, 2, OrderingFamily::Br, 1);
         let plans_b = lower_chain(32, 2, OrderingFamily::Degree4, 1);
         let (qa, qb) = (ones(&plans_a), ones(&plans_b));
-        let jobs =
-            [PlannedJob { plans: &plans_a, qs: &qa }, PlannedJob { plans: &plans_b, qs: &qb }];
+        let jobs = [
+            PlannedJob { plans: &plans_a, qs: &qa, tail_q: 1 },
+            PlannedJob { plans: &plans_b, qs: &qb, tail_q: 1 },
+        ];
         let order = BatchOrder::RoundRobin { order: vec![0, 1], stride: 1 };
         let c = batch_cost(&jobs, &machine, &order);
         assert!(
@@ -411,8 +436,11 @@ mod tests {
         let chains: Vec<Vec<CommPlan>> =
             families.iter().map(|&f| lower_chain(64, 3, f, 1)).collect();
         let qss: Vec<Vec<Vec<usize>>> = chains.iter().map(|c| ones(c)).collect();
-        let jobs: Vec<PlannedJob> =
-            chains.iter().zip(&qss).map(|(plans, qs)| PlannedJob { plans, qs }).collect();
+        let jobs: Vec<PlannedJob> = chains
+            .iter()
+            .zip(&qss)
+            .map(|(plans, qs)| PlannedJob { plans, qs, tail_q: 1 })
+            .collect();
         let order = BatchOrder::RoundRobin { order: vec![0, 1, 2], stride: 1 };
         let c = batch_cost(&jobs, &machine, &order);
         assert!(
@@ -439,7 +467,7 @@ mod tests {
         let m = 32usize;
         let plans = lower_chain(m, d, OrderingFamily::Br, 2);
         let qs = ones(&plans);
-        let job = PlannedJob { plans: &plans, qs: &qs };
+        let job = PlannedJob { plans: &plans, qs: &qs, tail_q: 1 };
         let c = batch_cost(&[job, job], &machine, &BatchOrder::Serial(vec![0, 1]));
         let block = (m / (2 << d)) as f64 * (2 * m) as f64;
         let want = 2.0 * 2.0 * (d as f64 + 1.0) * machine.single_message_cost(block);
@@ -451,6 +479,36 @@ mod tests {
     }
 
     #[test]
+    fn tail_packetized_jobs_price_the_chained_tail() {
+        // tail_q > 1 swaps the whole-block serial sum for the chained-run
+        // price in both the solo column and the tail line, and conserves
+        // volume in the round model's micro-ops.
+        let machine = Machine::all_port(1000.0, 100.0);
+        let plans = lower_chain(256, 3, OrderingFamily::Br, 1);
+        let qs = ones(&plans);
+        let base = PlannedJob { plans: &plans, qs: &qs, tail_q: 1 };
+        let piped = PlannedJob { plans: &plans, qs: &qs, tail_q: 4 };
+        let order = BatchOrder::Serial(vec![0]);
+        let cb = batch_cost(&[base], &machine, &order);
+        let cp = batch_cost(&[piped], &machine, &order);
+        let want: f64 = plans.iter().map(|p| chained_tail_cost(p, &machine, 4)).sum();
+        assert!((cp.tail - want).abs() < 1e-9 * want, "{} vs {want}", cp.tail);
+        assert!(cp.tail < cb.tail, "chaining must undercut the serial sum");
+        assert!(cp.solo[0] < cb.solo[0], "solo price must inherit the cheaper tail");
+        // Volume conservation across framings.
+        let vol = |job: &PlannedJob| {
+            let mut v = vec![0u64; 3];
+            for op in job_ops(job) {
+                if let ModelOp::Send { dim, elems } = op {
+                    v[dim] += elems;
+                }
+            }
+            v
+        };
+        assert_eq!(vol(&base), vol(&piped), "packetization reframes, never changes, volume");
+    }
+
+    #[test]
     fn pipelined_job_ops_conserve_volume() {
         // The round model's send ops must carry the same per-dimension
         // volume as the plan for any q — packetization reframes, never
@@ -459,7 +517,7 @@ mod tests {
         for q in [1usize, 2, 4] {
             let qs: Vec<Vec<usize>> =
                 plans.iter().map(|p| p.exchange_phases().map(|_| q).collect()).collect();
-            let ops = job_ops(&PlannedJob { plans: &plans, qs: &qs });
+            let ops = job_ops(&PlannedJob { plans: &plans, qs: &qs, tail_q: 1 });
             let mut vol = vec![0u64; 2];
             for op in &ops {
                 if let ModelOp::Send { dim, elems } = op {
@@ -481,8 +539,10 @@ mod tests {
         let plans_a = lower_chain(32, 2, OrderingFamily::Br, 2);
         let plans_b = lower_chain(32, 2, OrderingFamily::Degree4, 2);
         let (qa, qb) = (ones(&plans_a), ones(&plans_b));
-        let jobs =
-            [PlannedJob { plans: &plans_a, qs: &qa }, PlannedJob { plans: &plans_b, qs: &qb }];
+        let jobs = [
+            PlannedJob { plans: &plans_a, qs: &qa, tail_q: 1 },
+            PlannedJob { plans: &plans_b, qs: &qb, tail_q: 1 },
+        ];
         let order = BatchOrder::RoundRobin { order: vec![0, 1], stride: 1 };
         let full = batch_cost(&jobs, &machine, &order);
         let fresh = partial_batch_cost(&jobs, &[0, 0], &machine, &order);
@@ -512,8 +572,10 @@ mod tests {
         let plans_a = lower_chain(16, 1, OrderingFamily::Br, 1);
         let plans_b = lower_chain(32, 1, OrderingFamily::Br, 2);
         let (qa, qb) = (ones(&plans_a), ones(&plans_b));
-        let jobs =
-            [PlannedJob { plans: &plans_a, qs: &qa }, PlannedJob { plans: &plans_b, qs: &qb }];
+        let jobs = [
+            PlannedJob { plans: &plans_a, qs: &qa, tail_q: 1 },
+            PlannedJob { plans: &plans_b, qs: &qb, tail_q: 1 },
+        ];
         let solo = solo_plan_costs(&jobs, &machine);
         let c = partial_batch_cost(
             &jobs,
@@ -529,7 +591,7 @@ mod tests {
     fn remaining_slices_plans_and_degrees_together() {
         let plans = lower_chain(16, 1, OrderingFamily::Br, 3);
         let qs = ones(&plans);
-        let job = PlannedJob { plans: &plans, qs: &qs };
+        let job = PlannedJob { plans: &plans, qs: &qs, tail_q: 1 };
         let rest = job.remaining(2);
         assert_eq!(rest.plans.len(), 1);
         assert_eq!(rest.qs.len(), 1);
@@ -543,7 +605,7 @@ mod tests {
         let machine = Machine::paper_figure2();
         let plans = lower_chain(16, 1, OrderingFamily::Br, 1);
         let qs = ones(&plans);
-        let job = PlannedJob { plans: &plans, qs: &qs };
+        let job = PlannedJob { plans: &plans, qs: &qs, tail_q: 1 };
         let _ = batch_cost(&[job, job], &machine, &BatchOrder::Serial(vec![0, 0]));
     }
 }

@@ -18,7 +18,7 @@
 
 use crate::cccube::CcCube;
 use crate::cost::PhaseCostModel;
-use crate::machine::Machine;
+use crate::machine::{Machine, PortModel};
 use crate::optimum::{optimize_q, OptimalQ};
 use crate::pipelining::mode_of;
 use crate::sweepcost::{PhaseOutcome, SweepCost};
@@ -99,7 +99,136 @@ pub fn plan_cost_with(plan: &CommPlan, machine: &Machine, qs: &[usize]) -> Sweep
         }
     }
     let total = phases.iter().map(|p| p.cost).sum::<f64>() + serial;
-    SweepCost { d: plan.d(), phases, serial, total }
+    SweepCost { d: plan.d(), phases, serial, tail_q: 1, total }
+}
+
+/// Exact max-plus price of executing every **tail run** of `plan`
+/// (see [`CommPlan::tail_runs`]) packetized at degree `tail_q` and
+/// phase-chained: each phase of a run splits its whole-block message into
+/// `tail_q` balanced column-group packets, and packet `p` of phase `i + 1`
+/// departs as soon as packet `p` of phase `i` has arrived — the
+/// comm-processor forwarding discipline of
+/// `NodeCtx::send_after`/`recv_stamped`.
+///
+/// The recurrence mirrors the throttled fabric's `LinkClock` exactly, per
+/// symmetric node: every send first charges a serial start-up
+/// (`now += Ts`), then the transmission starts no earlier than the CPU,
+/// the data dependency (the previous phase's packet-`p` stamp), the
+/// outgoing link's previous transmission, and the earliest available
+/// transmit port; it occupies the link and port for `S_p·Tw`. A run's
+/// price is the time from run entry to the last packet's arrival, and the
+/// runs are additive (the driver syncs its clock at the end of each run).
+///
+/// `tail_q = 1` chains whole blocks; the *unchained* baseline the paper
+/// describes (and the drivers execute with tail pipelining off) is the
+/// plain `Σ Ts + S·Tw` serial sum of [`plan_cost_with`].
+pub fn chained_tail_cost(plan: &CommPlan, machine: &Machine, tail_q: usize) -> f64 {
+    let q = tail_q.max(1);
+    let epc = plan.elems_per_col().max(1);
+    let nports = match machine.ports {
+        PortModel::AllPort => 0,
+        PortModel::OnePort => 1,
+        PortModel::KPort(k) => k.max(1),
+    };
+    let ndims = plan.phases().iter().flat_map(|ph| ph.links.iter()).max().map_or(1, |&l| l + 1);
+    let mut total = 0.0f64;
+    for run in plan.tail_runs() {
+        let mut now = 0.0f64;
+        let mut stamps = vec![0.0f64; q];
+        let mut link_free = vec![0.0f64; ndims];
+        let mut port_free = vec![0.0f64; nports];
+        for idx in run {
+            let ph = &plan.phases()[idx];
+            let dim = ph.links[0];
+            // Balanced column-group packets, exactly `split_columns`:
+            // larger packets first.
+            let cols = ph.max_message_elems() as usize / epc;
+            let (base, extra) = (cols / q, cols % q);
+            for p in 0..q {
+                let elems = ((base + usize::from(p < extra)) * epc) as f64;
+                now += machine.ts;
+                let mut start = now.max(stamps[p]).max(link_free[dim]);
+                if !port_free.is_empty() {
+                    let pt = (0..port_free.len())
+                        .min_by(|&a, &b| port_free[a].total_cmp(&port_free[b]))
+                        .expect("at least one port");
+                    start = start.max(port_free[pt]);
+                    port_free[pt] = start + elems * machine.tw;
+                }
+                let end = start + elems * machine.tw;
+                link_free[dim] = end;
+                stamps[p] = end;
+            }
+        }
+        total += stamps.iter().fold(now, |a, &b| a.max(b));
+    }
+    total
+}
+
+/// [`plan_cost_with`] with the serial tail additionally packetized at
+/// `tail_q` and phase-chained. `tail_q = 1` delegates to
+/// [`plan_cost_with`] verbatim — the old serial sum, bit for bit. For
+/// `tail_q > 1` the out-of-run exchange phases are priced exactly as
+/// before, the tail runs are priced by [`chained_tail_cost`] (reported in
+/// `serial`), and the in-run `e = 1` exchange phase — which the chained
+/// tail executes at the run's degree — is recorded with `q = tail_q` and
+/// zero standalone cost, preserving `total = Σ phases + serial`.
+pub fn plan_cost_with_tail(
+    plan: &CommPlan,
+    machine: &Machine,
+    qs: &[usize],
+    tail_q: usize,
+) -> SweepCost {
+    if tail_q <= 1 {
+        return plan_cost_with(plan, machine, qs);
+    }
+    assert_eq!(
+        qs.len(),
+        plan.exchange_phases().count(),
+        "one pipelining degree per exchange phase"
+    );
+    let mut phases = Vec::new();
+    let mut xq = 0usize;
+    for ph in plan.phases() {
+        if let PhaseKind::Exchange { e } = ph.kind {
+            let q = qs[xq].max(1);
+            xq += 1;
+            if ph.k() == 1 {
+                phases.push(PhaseOutcome { e, q: tail_q, mode: mode_of(1, tail_q), cost: 0.0 });
+            } else {
+                let model = PhaseCostModel::new(&phase_cc(ph), *machine);
+                phases.push(PhaseOutcome { e, q, mode: mode_of(model.k, q), cost: model.cost(q) });
+            }
+        }
+    }
+    let serial = chained_tail_cost(plan, machine, tail_q);
+    let total = phases.iter().map(|p| p.cost).sum::<f64>() + serial;
+    SweepCost { d: plan.d(), phases, serial, tail_q, total }
+}
+
+/// The optimal tail packet degree for `plan` on `machine`: the integer
+/// `Q ∈ [1, q_max]` minimizing [`chained_tail_cost`], scanned over the
+/// same candidate structure as [`optimize_q`] (all small `Q`, a geometric
+/// grid, the cap). This is what `Pipelining::Auto` tail scheduling calls.
+pub fn plan_tail_pipelining(plan: &CommPlan, machine: &Machine, q_max: f64) -> usize {
+    let q_max = q_max.min(2f64.powi(20)).max(1.0) as usize;
+    let mut candidates: Vec<usize> = (1..=64.min(q_max)).collect();
+    let mut g = 64f64;
+    while (g as usize) < q_max {
+        g *= 1.25;
+        candidates.push((g as usize).min(q_max));
+    }
+    candidates.push(q_max);
+    candidates.sort_unstable();
+    candidates.dedup();
+    let mut best = (1usize, f64::INFINITY);
+    for &c in &candidates {
+        let cost = chained_tail_cost(plan, machine, c);
+        if cost < best.1 {
+            best = (c, cost);
+        }
+    }
+    best.0
 }
 
 /// Communication cost of executing `plan` with per-phase optimal
@@ -124,7 +253,7 @@ pub fn plan_sweep_cost(plan: &CommPlan, machine: &Machine, q_max: f64) -> SweepC
         }
     }
     let total = phases.iter().map(|p| p.cost).sum::<f64>() + serial;
-    SweepCost { d: plan.d(), phases, serial, total }
+    SweepCost { d: plan.d(), phases, serial, tail_q: 1, total }
 }
 
 #[cfg(test)]
@@ -242,5 +371,108 @@ mod tests {
         let division = &plan.phases()[1];
         assert!(!division.is_exchange());
         let _ = phase_cc(division);
+    }
+
+    #[test]
+    fn tail_q_of_one_reproduces_the_old_serial_sum_bit_for_bit() {
+        // The satellite contract: with tail_q = 1, plan_cost_with_tail IS
+        // plan_cost_with — every f64 identical to the bit.
+        for machine in
+            [Machine::paper_figure2(), Machine::one_port(500.0, 10.0), Machine::all_port(0.0, 7.0)]
+        {
+            for family in OrderingFamily::ALL {
+                for (m, d) in [(64usize, 2usize), (256, 3), (10, 1)] {
+                    let plan = lower(m, d, family, 0);
+                    let qs: Vec<usize> = plan.exchange_phases().map(|ph| ph.k().min(3)).collect();
+                    let old = plan_cost_with(&plan, &machine, &qs);
+                    let new = plan_cost_with_tail(&plan, &machine, &qs, 1);
+                    assert_eq!(new.serial.to_bits(), old.serial.to_bits(), "{family} d={d}");
+                    assert_eq!(new.total.to_bits(), old.total.to_bits(), "{family} d={d}");
+                    assert_eq!(new.phases, old.phases, "{family} d={d}");
+                    assert_eq!(new.tail_q, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chained_tail_at_the_optimum_never_costs_more_than_the_serial_sum() {
+        // Chaining overlaps start-ups and (for Q > 1) transmissions; the
+        // optimizer may always fall back to Q = 1, whose chained price is
+        // itself ≤ the unchained serial sum.
+        for machine in [Machine::paper_figure2(), Machine::one_port(1000.0, 100.0)] {
+            for family in OrderingFamily::ALL {
+                for (m, d) in [(64usize, 2usize), (256, 3), (1024, 3)] {
+                    let plan = lower(m, d, family, 0);
+                    let qs: Vec<usize> = plan.exchange_phases().map(|_| 1).collect();
+                    let cap = (m / (2 << d)).max(1) as f64;
+                    let tq = plan_tail_pipelining(&plan, &machine, cap);
+                    assert!(tq >= 1 && tq as f64 <= cap);
+                    // The chained tail absorbs any in-run K = 1 exchange
+                    // phase, so the like-for-like comparison is totals.
+                    let old = plan_cost_with(&plan, &machine, &qs);
+                    let new = plan_cost_with_tail(&plan, &machine, &qs, tq);
+                    assert!(
+                        new.total <= old.total * (1.0 + 1e-12),
+                        "{family} d={d} m={m}: tail-priced {} vs classical {}",
+                        new.total,
+                        old.total
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_blocks_make_the_chained_tail_strictly_cheaper() {
+        // m = 1024 on d = 3, all-port: the 4-phase run [Div_2, X_1, Div_1,
+        // Last] chains into ~(L + Q − 1) packet slots instead of L whole
+        // messages — a real constant-factor win, which is the tentpole's
+        // whole point.
+        let machine = Machine::all_port(1000.0, 100.0);
+        let plan = lower(1024, 3, OrderingFamily::Br, 0);
+        let qs: Vec<usize> = plan.exchange_phases().map(|_| 1).collect();
+        let cap = (1024 / 16) as f64;
+        let tq = plan_tail_pipelining(&plan, &machine, cap);
+        assert!(tq > 1, "the optimizer must choose to packetize, got {tq}");
+        let old = plan_cost_with(&plan, &machine, &qs);
+        let new = plan_cost_with_tail(&plan, &machine, &qs, tq);
+        // Two of the run's phases share a link dimension, so the wire
+        // keeps ~3 whole-block transmissions on the chain: the win is the
+        // fourth transmission plus every start-up, not a 1/Q collapse.
+        assert!(
+            new.serial < 0.8 * old.serial,
+            "chained tail {} vs serial sum {}",
+            new.serial,
+            old.serial
+        );
+        assert_eq!(new.tail_q, tq);
+        // Bookkeeping: the in-run e = 1 exchange phase is carried at the
+        // run's degree with zero standalone cost; totals stay additive.
+        let x1 = new.phases.iter().find(|p| p.e == 1).expect("e = 1 outcome");
+        assert_eq!(x1.q, tq);
+        assert_eq!(x1.cost, 0.0);
+        let sum: f64 = new.phases.iter().map(|p| p.cost).sum::<f64>() + new.serial;
+        assert!((new.total - sum).abs() < 1e-9 * sum.max(1.0));
+    }
+
+    #[test]
+    fn one_port_tail_gains_come_only_from_startup_overlap() {
+        // A single transmit port serializes every packet: Σ widths·Tw is
+        // invariant under Q, so chaining can only hide start-ups under
+        // transmissions — the chained price stays within Ts-scale of the
+        // serial sum and never beats the pure wire time.
+        let machine = Machine::one_port(1000.0, 100.0);
+        let plan = lower(256, 2, OrderingFamily::Br, 0);
+        let wire: f64 = plan
+            .phases()
+            .iter()
+            .filter(|ph| ph.k() == 1)
+            .map(|ph| ph.max_message_elems() as f64 * machine.tw)
+            .sum();
+        for q in [1usize, 2, 4, 8] {
+            let c = chained_tail_cost(&plan, &machine, q);
+            assert!(c >= wire - 1e-9, "q={q}: {c} below wire floor {wire}");
+        }
     }
 }

@@ -71,8 +71,15 @@ pub struct SweepCost {
     pub d: usize,
     /// Exchange-phase outcomes, e = d down to 1.
     pub phases: Vec<PhaseOutcome>,
-    /// Division transitions + last transition (d + 1 single messages).
+    /// Division transitions + last transition. With `tail_q = 1` this is
+    /// the classical `d + 1` single whole-block messages; with
+    /// `tail_q > 1` it is the exact max-plus price of the packetized,
+    /// phase-chained tail runs (see
+    /// [`chained_tail_cost`](crate::plancost::chained_tail_cost)).
     pub serial: f64,
+    /// The packet degree the serial tail was priced at (1 = whole-block,
+    /// the paper's unpipelined division/last transitions).
+    pub tail_q: usize,
     pub total: f64,
 }
 
@@ -113,7 +120,7 @@ pub fn pipelined_sweep_cost(family: OrderingFamily, w: &Workload, machine: &Mach
     }
     let serial = (d as f64 + 1.0) * machine.single_message_cost(elems);
     let total = phases.iter().map(|p| p.cost).sum::<f64>() + serial;
-    SweepCost { d, phases, serial, total }
+    SweepCost { d, phases, serial, tail_q: 1, total }
 }
 
 /// Lower-bound sweep cost (ideal sequences in every phase; division/last
@@ -130,7 +137,7 @@ pub fn lower_bound_sweep_cost(w: &Workload, machine: &Machine) -> SweepCost {
     }
     let serial = (d as f64 + 1.0) * machine.single_message_cost(elems);
     let total = phases.iter().map(|p| p.cost).sum::<f64>() + serial;
-    SweepCost { d, phases, serial, total }
+    SweepCost { d, phases, serial, tail_q: 1, total }
 }
 
 /// One point of Figure 2: all five series at `(d, m)`.

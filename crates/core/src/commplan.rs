@@ -240,6 +240,38 @@ impl CommPlan {
         self.phases.iter().filter(|ph| !ph.is_exchange()).map(|ph| ph.k() as u64).sum()
     }
 
+    /// The plan's **tail runs**: maximal runs of consecutive
+    /// single-transition phases (`k() == 1` — the divisions, the last
+    /// transition, and the `e = 1` exchange phase sandwiched between
+    /// them). Within a run every phase moves one whole block over one
+    /// link, so packetizing the run and forwarding each packet as soon as
+    /// its predecessor arrives chains the phases into one software
+    /// pipeline — the serial-tail counterpart of the exchange-phase
+    /// pipelining. For a full sweep on `d ≥ 2` the runs are
+    /// `[Div_d]`, …, `[Div_2, X_1, Div_1, Last]`; on `d = 1` the whole
+    /// plan is one run.
+    pub fn tail_runs(&self) -> Vec<std::ops::Range<usize>> {
+        let mut runs = Vec::new();
+        let mut start = None;
+        for (i, ph) in self.phases.iter().enumerate() {
+            if ph.k() == 1 {
+                start.get_or_insert(i);
+            } else if let Some(s) = start.take() {
+                runs.push(s..i);
+            }
+        }
+        if let Some(s) = start {
+            runs.push(s..self.phases.len());
+        }
+        runs
+    }
+
+    /// Whether phase `idx` belongs to a tail run (see
+    /// [`CommPlan::tail_runs`]).
+    pub fn in_tail_run(&self, idx: usize) -> bool {
+        self.phases[idx].k() == 1
+    }
+
     /// Data-plane messages when every exchange phase `i` is split into
     /// `qs[i]` packets (serial phases always move one message per node).
     /// `qs` must have one entry per exchange phase; unpipelined counts are
@@ -255,6 +287,37 @@ impl CommPlan {
                 let q = qs[xq] as u64;
                 xq += 1;
                 q.max(1)
+            } else {
+                1
+            };
+            total += ph.k() as u64 * p * per_transition;
+        }
+        total
+    }
+
+    /// [`CommPlan::messages_with`] when the serial tail is additionally
+    /// packetized: every phase of every tail run carries `tail_q` framed
+    /// packets per node (including the in-run `e = 1` exchange phase,
+    /// which the chained tail executes at the run's degree, overriding its
+    /// per-phase `qs` entry). `tail_q = 1` reproduces
+    /// [`CommPlan::messages_with`] exactly.
+    pub fn messages_with_tail(&self, qs: &[usize], tail_q: usize) -> u64 {
+        let p = (1usize << self.d) as u64;
+        assert_eq!(qs.len(), self.exchange_phases().count(), "one q per exchange phase");
+        let tail_q = tail_q.max(1);
+        let mut xq = 0usize;
+        let mut total = 0u64;
+        for ph in &self.phases {
+            let per_transition = if ph.is_exchange() {
+                let q = (qs[xq] as u64).max(1);
+                xq += 1;
+                if ph.k() == 1 && tail_q > 1 {
+                    tail_q as u64
+                } else {
+                    q
+                }
+            } else if tail_q > 1 {
+                tail_q as u64
             } else {
                 1
             };
@@ -424,6 +487,43 @@ mod tests {
         let piped = p.messages_with(&[4, 2]);
         let serial = (d as u64 + 1) * nodes; // divisions + last
         assert_eq!(piped, 3 * 4 * nodes + 2 * nodes + serial);
+    }
+
+    #[test]
+    fn tail_runs_group_the_consecutive_single_transition_phases() {
+        // d = 3: X_3 Div_3 X_2 Div_2 X_1 Div_1 Last → runs [Div_3] and
+        // [Div_2, X_1, Div_1, Last].
+        let p = plan(64, 3, OrderingFamily::Br, 0);
+        assert_eq!(p.tail_runs(), vec![1..2, 3..7]);
+        // d = 1: the whole plan (X_1 Div_1 Last) is one run.
+        let p = plan(16, 1, OrderingFamily::Degree4, 0);
+        assert_eq!(p.tail_runs(), vec![0..3]);
+        // d = 2: X_2 Div_2 X_1 Div_1 Last → one run after X_2.
+        let p = plan(32, 2, OrderingFamily::PermutedBr, 0);
+        assert_eq!(p.tail_runs(), vec![1..5]);
+        for runs in [p.tail_runs()] {
+            for r in runs {
+                for i in r {
+                    assert!(p.in_tail_run(i));
+                    assert_eq!(p.phases()[i].k(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tail_message_counts_scale_with_the_tail_degree() {
+        let d = 2;
+        let p = plan(16, d, OrderingFamily::Br, 0);
+        let nodes = 1u64 << d;
+        // tail_q = 1 is exactly messages_with, for any exchange qs.
+        for qs in [[1usize, 1], [4, 2], [2, 5]] {
+            assert_eq!(p.messages_with_tail(&qs, 1), p.messages_with(&qs));
+        }
+        // tail_q = 3: the run [Div_2, X_1, Div_1, Last] carries 3 packets
+        // per node per phase; X_2 (K=3) keeps its own q.
+        let got = p.messages_with_tail(&[4, 2], 3);
+        assert_eq!(got, 3 * 4 * nodes + 4 * 3 * nodes);
     }
 
     #[test]

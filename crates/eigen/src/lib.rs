@@ -62,7 +62,7 @@ pub use onesided::one_sided_cyclic;
 pub use options::{EigenResult, JacobiOptions, Pipelining};
 pub use svd::{svd_block, svd_cyclic, SvdResult};
 pub use threaded::{
-    block_jacobi_threaded, block_jacobi_threaded_fabric, choose_qs, lower_sweeps,
+    block_jacobi_threaded, block_jacobi_threaded_fabric, choose_qs, choose_tail_qs, lower_sweeps,
     lower_sweeps_with, packetization_cap, Msg, NodeOutput,
 };
 pub use twosided::two_sided_cyclic;

@@ -45,10 +45,10 @@
 use crate::kernel::{refresh_block_diag, PairingRule, SweepAccumulator, SweepKernel};
 use crate::options::{EigenResult, JacobiOptions};
 use crate::svd::{sigma_and_u_col, SvdResult};
-use crate::threaded::{choose_qs, lower_sweeps_with, packetization_cap};
+use crate::threaded::{choose_qs, choose_tail_qs, lower_sweeps_with, packetization_cap};
 use mph_ccpipe::BatchOrder;
 use mph_core::{BlockPartition, CommPlan, OrderingFamily, PhaseKind};
-use mph_linalg::block::ColumnBlock;
+use mph_linalg::block::{BufferPool, ColumnBlock};
 use mph_linalg::vecops::dot;
 use mph_linalg::Matrix;
 use mph_runtime::{
@@ -227,10 +227,36 @@ pub struct BatchRun {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Pos {
     SweepStart,
-    Send { phase: usize, t: usize },
-    Recv { phase: usize, t: usize },
-    Pipe { phase: usize, k: usize, q: usize },
-    Drain { phase: usize, q: usize },
+    Send {
+        phase: usize,
+        t: usize,
+    },
+    Recv {
+        phase: usize,
+        t: usize,
+    },
+    Pipe {
+        phase: usize,
+        k: usize,
+        q: usize,
+    },
+    Drain {
+        phase: usize,
+        q: usize,
+    },
+    /// Tail run: pair-and-ship one packet of a chained single-link
+    /// transition (the packet departs on its readiness stamp, threaded
+    /// from the previous transition's arrival).
+    TailSend {
+        phase: usize,
+        q: usize,
+    },
+    /// Tail run: consume one arrived packet, recording its stamp for the
+    /// next transition — the clock only advances at the run's end.
+    TailRecv {
+        phase: usize,
+        q: usize,
+    },
     SweepEnd,
     Done,
 }
@@ -260,6 +286,14 @@ struct JobNode<'a> {
     /// them, then the drained finals.
     pipe: Vec<Option<ColumnBlock>>,
     pipe_entry: f64,
+    /// Tail-run schedule: packet degree and the phase-index runs of each
+    /// sweep's plan (see [`CommPlan::tail_runs`]).
+    tail_qs: Vec<usize>,
+    tail_runs: Vec<Vec<std::ops::Range<usize>>>,
+    /// Per-packet readiness stamps threaded through a tail run.
+    tail_stamps: Vec<f64>,
+    /// Packet backing stores, reused across phases and sweeps.
+    pool: BufferPool,
     started: bool,
     start: f64,
     finish: f64,
@@ -300,6 +334,12 @@ impl<'a> JobNode<'a> {
             JobKind::Eigen => spec.a.frobenius_norm(),
             JobKind::Svd => 1.0, // SVD convergence is an absolute cosine
         };
+        let q_cap = packetization_cap(n, d);
+        let tail_qs = plans
+            .iter()
+            .map(|plan| choose_tail_qs(plan, &spec.opts.tail_pipelining, q_cap))
+            .collect();
+        let tail_runs = plans.iter().map(CommPlan::tail_runs).collect();
         JobNode {
             job,
             spec,
@@ -320,6 +360,10 @@ impl<'a> JobNode<'a> {
             pos: if spec.budget() == 0 { Pos::Done } else { Pos::SweepStart },
             pipe: Vec::new(),
             pipe_entry: 0.0,
+            tail_qs,
+            tail_runs,
+            tail_stamps: Vec::new(),
+            pool: BufferPool::new(),
             started: false,
             start: 0.0,
             finish: 0.0,
@@ -341,8 +385,30 @@ impl<'a> JobNode<'a> {
         self.qs[self.sweeps][xq].max(1)
     }
 
+    /// The tail run of the current sweep containing phase `idx`, as
+    /// `(start, end)` — `None` when the phase is not a single-link
+    /// transition or tail pipelining is off for this sweep.
+    fn tail_run_at(&self, idx: usize) -> Option<(usize, usize)> {
+        if self.tail_qs[self.sweeps] <= 1 {
+            return None;
+        }
+        self.tail_runs[self.sweeps]
+            .iter()
+            .find(|r| r.start <= idx && idx < r.end)
+            .map(|r| (r.start, r.end))
+    }
+
+    /// Whether the resident block (slot0) is the one travelling in tail
+    /// phase `idx` — the division slot asymmetry's bit = 1 endpoint.
+    fn tail_resident_out(&self, idx: usize) -> bool {
+        let ph = &self.plans[self.sweeps].phases()[idx];
+        matches!(ph.kind, PhaseKind::Division { .. }) && self.node & (1 << ph.links[0]) != 0
+    }
+
     fn start_of_phase(&self, idx: usize) -> Pos {
-        if self.phase_q(idx) > 1 {
+        if self.tail_run_at(idx).is_some_and(|(start, _)| start == idx) {
+            Pos::TailSend { phase: idx, q: 0 }
+        } else if self.phase_q(idx) > 1 {
             Pos::Pipe { phase: idx, k: 0, q: 0 }
         } else {
             Pos::Send { phase: idx, t: 0 }
@@ -432,8 +498,13 @@ impl<'a> JobNode<'a> {
                 if k == 0 && q == 0 {
                     // Phase entry: split the mobile block into its packets.
                     self.pipe_entry = ctx.virtual_now();
-                    self.pipe =
-                        self.slot1.take().split_columns(q_total).into_iter().map(Some).collect();
+                    self.pipe = self
+                        .slot1
+                        .take()
+                        .split_columns_pooled(q_total, &mut self.pool)
+                        .into_iter()
+                        .map(Some)
+                        .collect();
                 }
                 let (mut payload, ready) = if k == 0 {
                     (self.pipe[q].take().expect("local packet consumed twice"), self.pipe_entry)
@@ -481,7 +552,83 @@ impl<'a> JobNode<'a> {
                 } else {
                     let finals: Vec<ColumnBlock> =
                         self.pipe.drain(..).map(|p| p.expect("packet lost")).collect();
-                    self.slot1 = ColumnBlock::from_packets(finals);
+                    self.slot1 = ColumnBlock::from_packets_pooled(finals, &mut self.pool);
+                    self.pos = self.after_phase(phase);
+                }
+            }
+            Pos::TailSend { phase, q } => {
+                let plan = &self.plans[self.sweeps];
+                let ph = &plan.phases()[phase];
+                let tq = self.tail_qs[self.sweeps];
+                let link = ph.links[0];
+                let resident_out = self.tail_resident_out(phase);
+                if q == 0 {
+                    let (run_start, _) = self.tail_run_at(phase).expect("tail op outside a run");
+                    if phase == run_start {
+                        // Run entry: every packet is ready now.
+                        self.tail_stamps = vec![ctx.virtual_now(); tq];
+                    }
+                    let outgoing = if resident_out { self.slot0.take() } else { self.slot1.take() };
+                    self.pipe = outgoing
+                        .split_columns_pooled(tq, &mut self.pool)
+                        .into_iter()
+                        .map(Some)
+                        .collect();
+                }
+                // Pair before ship — the reference pairing re-tiled by
+                // packet boundary (bitwise equal to the whole-block op),
+                // then the packet departs on its own readiness stamp.
+                let mut payload = self.pipe[q].take().expect("tail packet consumed twice");
+                if resident_out {
+                    self.acc.merge(self.kern.across(&mut payload, &mut self.slot1));
+                } else {
+                    self.acc.merge(self.kern.across(&mut self.slot0, &mut payload));
+                }
+                ctx.send_after(
+                    link,
+                    BatchMsg::Packet(Packet::for_job(self.job, 0, q as u32, payload)),
+                    self.tail_stamps[q],
+                );
+                self.pos = if q + 1 < tq {
+                    Pos::TailSend { phase, q: q + 1 }
+                } else {
+                    Pos::TailRecv { phase, q: 0 }
+                };
+            }
+            Pos::TailRecv { phase, q } => {
+                let plan = &self.plans[self.sweeps];
+                let ph = &plan.phases()[phase];
+                let tq = self.tail_qs[self.sweeps];
+                let (msg, stamp) = mux.recv_for(ph.links[0], self.job);
+                let pkt = expect_packet(msg);
+                assert_eq!(
+                    (pkt.job, pkt.k, pkt.q),
+                    (self.job, 0, q as u32),
+                    "batch tail packet protocol violation"
+                );
+                // The stamp is next transition's readiness, not a clock
+                // advance: the node only waits at the run's end.
+                self.tail_stamps[q] = stamp;
+                self.pipe[q] = Some(pkt.payload);
+                if q + 1 < tq {
+                    self.pos = Pos::TailRecv { phase, q: q + 1 };
+                    return;
+                }
+                let finals: Vec<ColumnBlock> =
+                    self.pipe.drain(..).map(|p| p.expect("tail packet lost")).collect();
+                let block = ColumnBlock::from_packets_pooled(finals, &mut self.pool);
+                if self.tail_resident_out(phase) {
+                    self.slot0 = block;
+                } else {
+                    self.slot1 = block;
+                }
+                let (_, run_end) = self.tail_run_at(phase).expect("tail op outside a run");
+                if phase + 1 < run_end {
+                    self.pos = Pos::TailSend { phase: phase + 1, q: 0 };
+                } else {
+                    for &s in &self.tail_stamps {
+                        ctx.advance_clock_to(s);
+                    }
                     self.pos = self.after_phase(phase);
                 }
             }
@@ -1616,26 +1763,71 @@ mod tests {
     #[test]
     fn throttled_single_job_batch_reproduces_the_solo_makespan() {
         // A Serial([0]) batch is the solo threaded run: same bits AND the
-        // same measured virtual makespan.
+        // same measured virtual makespan — with the tail whole-block and
+        // chained alike.
         let a = random_symmetric(32, 44);
         let machine = Machine::all_port(500.0, 10.0);
-        let opts = JacobiOptions {
-            force_sweeps: Some(2),
-            fabric: FabricModel::Throttled(machine),
-            ..Default::default()
-        };
-        let (_, _, solo_report) = block_jacobi_threaded_fabric(&a, 2, OrderingFamily::Br, &opts);
-        let run = run_job_batch(
-            2,
-            &[JobSpec::eigen(a, OrderingFamily::Br, opts)],
-            FabricModel::Throttled(machine),
-            &BatchOrder::Serial(vec![0]),
-        );
-        assert!(
-            (run.fabric.makespan - solo_report.makespan).abs() <= 1e-9 * solo_report.makespan,
-            "batch {} vs solo {}",
-            run.fabric.makespan,
-            solo_report.makespan
-        );
+        for tail in [Pipelining::Off, Pipelining::Fixed(3)] {
+            let opts = JacobiOptions {
+                force_sweeps: Some(2),
+                tail_pipelining: tail,
+                fabric: FabricModel::Throttled(machine),
+                ..Default::default()
+            };
+            let (_, _, solo_report) =
+                block_jacobi_threaded_fabric(&a, 2, OrderingFamily::Br, &opts);
+            let run = run_job_batch(
+                2,
+                &[JobSpec::eigen(a.clone(), OrderingFamily::Br, opts)],
+                FabricModel::Throttled(machine),
+                &BatchOrder::Serial(vec![0]),
+            );
+            assert!(
+                (run.fabric.makespan - solo_report.makespan).abs() <= 1e-9 * solo_report.makespan,
+                "{tail:?}: batch {} vs solo {}",
+                run.fabric.makespan,
+                solo_report.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn tail_pipelined_batch_jobs_stay_bitwise_solo() {
+        // The tail pipeline through the batch state machine: eigen and SVD
+        // jobs with chained tails, interleaved over free and throttled
+        // fabrics, still produce exactly their solo (whole-block) bits —
+        // alone, combined with exchange pipelining, and across degrees.
+        let a0 = random_symmetric(16, 12);
+        let a1 = random_symmetric(12, 13);
+        let d = 2;
+        let base = JacobiOptions { force_sweeps: Some(2), ..Default::default() };
+        let solo_e = block_jacobi(&a0, d, OrderingFamily::Br, &base);
+        let solo_s = svd_block(&a1, d, OrderingFamily::Degree4, &base);
+        for tq in [2usize, 3, 5] {
+            for pipelining in [Pipelining::Off, Pipelining::Fixed(2)] {
+                let opts =
+                    JacobiOptions { pipelining, tail_pipelining: Pipelining::Fixed(tq), ..base };
+                let jobs = [
+                    JobSpec::eigen(a0.clone(), OrderingFamily::Br, opts),
+                    JobSpec::svd(a1.clone(), OrderingFamily::Degree4, opts),
+                ];
+                for fabric in
+                    [FabricModel::Free, FabricModel::Throttled(Machine::all_port(1000.0, 100.0))]
+                {
+                    let order = BatchOrder::RoundRobin { order: vec![0, 1], stride: 2 };
+                    let run = run_job_batch(d, &jobs, fabric, &order);
+                    assert_eigen_bitwise(
+                        run.results[0].eigen().expect("eigen"),
+                        &solo_e,
+                        &format!("eigen tail_q={tq} {pipelining:?}"),
+                    );
+                    assert_svd_bitwise(
+                        run.results[1].svd().expect("svd"),
+                        &solo_s,
+                        &format!("svd tail_q={tq} {pipelining:?}"),
+                    );
+                }
+            }
+        }
     }
 }

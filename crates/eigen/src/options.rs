@@ -58,6 +58,20 @@ pub struct JacobiOptions {
     /// logical drivers, which move no messages). Any setting produces the
     /// same bits; see [`Pipelining`].
     pub pipelining: Pipelining,
+    /// Packetization of the serial tail — the `d` division transitions and
+    /// the last transition, which [`Pipelining`] leaves as whole-block
+    /// messages. Consecutive single-link transitions form *tail runs*
+    /// ([`mph_core::CommPlan::tail_runs`]); with a tail degree `Q > 1` the
+    /// driver splits each run's outgoing block into `Q` column packets and
+    /// chains them through the run on per-packet readiness stamps, so
+    /// packet `q` of one transition departs as soon as packet `q` of the
+    /// previous transition has landed — pairing compute overlaps the wire.
+    /// Each packet is paired against the staying block before it ships;
+    /// that is the reference pairing re-tiled by packet boundary, so any
+    /// setting produces the same bits (asserted in `threaded.rs` and the
+    /// proptests). `Auto` prices the chained run per plan via
+    /// `mph_ccpipe::plan_tail_pipelining`.
+    pub tail_pipelining: Pipelining,
     /// Link-fabric model of the threaded driver (ignored by the logical
     /// drivers). [`FabricModel::Free`] is the raw channel transport;
     /// [`FabricModel::Throttled`] charges every message `Ts + S·Tw`
@@ -98,6 +112,7 @@ impl Default for JacobiOptions {
             force_sweeps: None,
             cache_diagonals: false,
             pipelining: Pipelining::Off,
+            tail_pipelining: Pipelining::Off,
             fabric: FabricModel::Free,
             kernel: KernelPath::Scalar,
             workers: 0,
@@ -145,6 +160,7 @@ mod tests {
         assert!(o.force_sweeps.is_none());
         assert!(!o.cache_diagonals, "bitwise-parity recompute mode must be the default");
         assert_eq!(o.pipelining, Pipelining::Off, "whole-block protocol must be the default");
+        assert_eq!(o.tail_pipelining, Pipelining::Off, "whole-block tail must be the default");
         assert_eq!(o.fabric, FabricModel::Free, "the raw channel fabric must be the default");
         assert_eq!(o.kernel, KernelPath::Scalar, "scalar kernels must be the default");
         assert_eq!(o.workers, 0, "serial legacy pairing order must be the default");

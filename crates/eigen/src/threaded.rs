@@ -43,13 +43,14 @@
 
 use crate::kernel::{refresh_block_diag, PairingRule, SweepAccumulator, SweepKernel};
 use crate::options::{EigenResult, JacobiOptions, Pipelining};
-use mph_ccpipe::plan_pipelining;
+use mph_ccpipe::{plan_pipelining, plan_tail_pipelining};
 use mph_core::{BlockLayout, BlockPartition, CommPlan, OrderingFamily, PhaseKind, SweepSchedule};
-use mph_linalg::block::ColumnBlock;
+use mph_linalg::block::{BufferPool, ColumnBlock};
 use mph_linalg::vecops::dot;
 use mph_linalg::Matrix;
 use mph_runtime::{
-    pipelined_phase, run_spmd_fabric, FabricReport, Meterable, Packet, TrafficMeter,
+    pipelined_phase, pipelined_phase_stamped, run_spmd_fabric, FabricReport, Meterable, Packet,
+    TrafficMeter,
 };
 
 /// Messages carried by the links: a whole column block (one contiguous
@@ -173,6 +174,19 @@ pub fn choose_qs(plan: &CommPlan, pipelining: &Pipelining, q_cap: usize) -> Vec<
     }
 }
 
+/// Picks the serial tail's packet degree for one sweep's plan — the exact
+/// schedule [`block_jacobi_threaded`] executes for
+/// [`JacobiOptions::tail_pipelining`] (pass [`packetization_cap`] as
+/// `q_cap`, as the solver does). `1` means whole-block transitions — the
+/// classical protocol, bit-for-bit.
+pub fn choose_tail_qs(plan: &CommPlan, tail: &Pipelining, q_cap: usize) -> usize {
+    match tail {
+        Pipelining::Off => 1,
+        Pipelining::Fixed(q) => (*q).max(1),
+        Pipelining::Auto(machine) => plan_tail_pipelining(plan, machine, q_cap as f64),
+    }
+}
+
 /// Distributed solve on a `d`-cube of threads. Returns the assembled
 /// result plus the runtime traffic meter.
 pub fn block_jacobi_threaded(
@@ -225,12 +239,18 @@ pub fn block_jacobi_threaded_fabric(
     let q_cap = packetization_cap(m, d);
     let phase_qs: Vec<Vec<usize>> =
         plans.iter().map(|plan| choose_qs(plan, &opts.pipelining, q_cap)).collect();
+    let tail_qs: Vec<usize> =
+        plans.iter().map(|plan| choose_tail_qs(plan, &opts.tail_pipelining, q_cap)).collect();
+    let tail_runs: Vec<Vec<std::ops::Range<usize>>> =
+        plans.iter().map(CommPlan::tail_runs).collect();
 
     let (outputs, meter, fabric) = run_spmd_fabric::<Msg, NodeOutput, _>(d, opts.fabric, |ctx| {
         let n = ctx.id();
         // Canonical initial layout: slot0 = block n, slot1 = block n + p.
         let mut slot0 = ColumnBlock::from_matrix_with_identity(a0, partition.cols(n), m);
         let mut slot1 = ColumnBlock::from_matrix_with_identity(a0, partition.cols(n + p), m);
+        // Per-node packet-store pool, reused across phases and sweeps.
+        let mut pool = BufferPool::new();
         let mut sweeps = 0usize;
         let mut rotations = 0u64;
         let mut converged = false;
@@ -251,8 +271,75 @@ pub fn block_jacobi_threaded_fabric(
             // cross pairing is the first exchange iteration's compute.
             acc.merge(kern.within(&mut slot0));
             acc.merge(kern.within(&mut slot1));
+            let tail_q = tail_qs[sweeps];
+            let runs = &tail_runs[sweeps];
+            let phases = plan.phases();
             let mut xq = 0usize;
-            for phase in plan.phases() {
+            let mut idx = 0usize;
+            while idx < phases.len() {
+                // A tail run: consecutive single-link transitions executed
+                // as one chained pipeline. Each phase splits its outgoing
+                // block into `tail_q` column packets, pairs packet `q`
+                // against the staying block, and ships it on a readiness
+                // stamp threaded from the previous phase — packet `q` of
+                // one transition departs as soon as packet `q` of the
+                // previous one has landed, so wire time overlaps pairing
+                // compute across the whole run. The per-packet pairing is
+                // the reference pairing re-tiled by packet boundary (see
+                // the module docs), so the bits match the whole-block path.
+                if tail_q > 1 {
+                    if let Some(run) = runs.iter().find(|r| r.start == idx) {
+                        let mut stamps = vec![ctx.virtual_now(); tail_q];
+                        for i in run.clone() {
+                            let phase = &phases[i];
+                            if matches!(phase.kind, PhaseKind::Exchange { .. }) {
+                                // An in-run K = 1 exchange rides the tail
+                                // pipeline at the run's degree; its planned
+                                // per-phase Q is consumed but overridden.
+                                xq += 1;
+                            }
+                            let link = phase.links[0];
+                            // Division, bit = 1 endpoint: the resident
+                            // (slot0) is the outgoing block; everywhere
+                            // else the mobile (slot1) travels.
+                            let resident_out = matches!(phase.kind, PhaseKind::Division { .. })
+                                && n & (1 << link) != 0;
+                            let outgoing = if resident_out { slot0.take() } else { slot1.take() };
+                            let packets = outgoing.split_columns_pooled(tail_q, &mut pool);
+                            let (finals, next, _stats) = pipelined_phase_stamped(
+                                ctx,
+                                std::slice::from_ref(&link),
+                                packets,
+                                &stamps,
+                                Msg::Packet,
+                                expect_packet,
+                                |_k, _q, pkt: &mut ColumnBlock| {
+                                    if resident_out {
+                                        acc.merge(kern.across(pkt, &mut slot1));
+                                    } else {
+                                        acc.merge(kern.across(&mut slot0, pkt));
+                                    }
+                                },
+                            );
+                            let block = ColumnBlock::from_packets_pooled(finals, &mut pool);
+                            if resident_out {
+                                slot0 = block;
+                            } else {
+                                slot1 = block;
+                            }
+                            stamps = next;
+                        }
+                        // One clock advance for the whole run: the node is
+                        // done when its last packets have landed.
+                        for &s in &stamps {
+                            ctx.advance_clock_to(s);
+                        }
+                        idx = run.end;
+                        continue;
+                    }
+                }
+                let phase = &phases[idx];
+                idx += 1;
                 match phase.kind {
                     PhaseKind::Exchange { .. } => {
                         let q = qs[xq];
@@ -268,7 +355,7 @@ pub fn block_jacobi_threaded_fabric(
                             // packet against the resident block and
                             // forward it at once — identical rotation
                             // sequence, overlapped transmission.
-                            let packets = slot1.take().split_columns(q);
+                            let packets = slot1.take().split_columns_pooled(q, &mut pool);
                             let (finals, _stats) = pipelined_phase(
                                 ctx,
                                 &phase.links,
@@ -279,7 +366,7 @@ pub fn block_jacobi_threaded_fabric(
                                     acc.merge(kern.across(&mut slot0, pkt));
                                 },
                             );
-                            slot1 = ColumnBlock::from_packets(finals);
+                            slot1 = ColumnBlock::from_packets_pooled(finals, &mut pool);
                         }
                     }
                     PhaseKind::Division { .. } => {
@@ -463,6 +550,153 @@ mod tests {
         assert_eq!(base.sweeps, r.sweeps);
         for c in 0..24 {
             assert_eq!(base.eigenvalues[c], r.eigenvalues[c], "λ_{c}");
+        }
+    }
+
+    #[test]
+    fn tail_pipelined_driver_is_bitwise_identical_for_every_q() {
+        // The PR's invariant: packetizing the serial tail (division/last
+        // transitions, chained per run) changes the framing and the
+        // overlap, not one bit of the result — across shallow (Q=2),
+        // oversplit (Q=5, beyond the block widths so empty packets fly),
+        // and cap-deep degrees, cache on and off, alone and combined with
+        // exchange pipelining.
+        let m = 16;
+        let a = random_symmetric(m, 90);
+        for cache_diagonals in [false, true] {
+            let base =
+                JacobiOptions { force_sweeps: Some(3), cache_diagonals, ..Default::default() };
+            for d in [1usize, 2] {
+                let cap = packetization_cap(m, d);
+                for family in OrderingFamily::ALL {
+                    let reference = block_jacobi_threaded(&a, d, family, &base).0;
+                    for tq in [1usize, 2, 5, cap] {
+                        let opts = JacobiOptions { tail_pipelining: Pipelining::Fixed(tq), ..base };
+                        let (piped, _) = block_jacobi_threaded(&a, d, family, &opts);
+                        assert_eq!(
+                            reference.rotations, piped.rotations,
+                            "{family} d={d} tail_q={tq} cache={cache_diagonals}"
+                        );
+                        for c in 0..m {
+                            assert_eq!(
+                                reference.eigenvalues[c], piped.eigenvalues[c],
+                                "{family} d={d} tail_q={tq} cache={cache_diagonals} λ_{c}"
+                            );
+                            assert_eq!(
+                                reference.eigenvectors.col(c),
+                                piped.eigenvectors.col(c),
+                                "{family} d={d} tail_q={tq} cache={cache_diagonals} u_{c}"
+                            );
+                        }
+                    }
+                    // Both pipelines at once: exchange packets and tail
+                    // packets coexist on the same links.
+                    let both = JacobiOptions {
+                        pipelining: Pipelining::Fixed(2),
+                        tail_pipelining: Pipelining::Fixed(3),
+                        ..base
+                    };
+                    let (piped, _) = block_jacobi_threaded(&a, d, family, &both);
+                    for c in 0..m {
+                        assert_eq!(
+                            reference.eigenvectors.col(c),
+                            piped.eigenvectors.col(c),
+                            "{family} d={d} both pipelines cache={cache_diagonals} u_{c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_tail_pipelining_matches_the_reference_bitwise_and_converges() {
+        // The cost model schedules the tail degree per plan; the result is
+        // still the reference bits, and free-running convergence is
+        // unaffected.
+        let a = random_symmetric(24, 61);
+        let auto = JacobiOptions {
+            tail_pipelining: Pipelining::Auto(Machine::paper_figure2()),
+            ..Default::default()
+        };
+        let (r, _) = block_jacobi_threaded(&a, 2, OrderingFamily::Br, &auto);
+        assert!(r.converged);
+        assert!(eigen_residual(&a, &r.eigenvectors, &r.eigenvalues) < 1e-6);
+        let (base, _) = block_jacobi_threaded(&a, 2, OrderingFamily::Br, &JacobiOptions::default());
+        assert_eq!(base.sweeps, r.sweeps);
+        for c in 0..24 {
+            assert_eq!(base.eigenvalues[c], r.eigenvalues[c], "λ_{c}");
+            assert_eq!(base.eigenvectors.col(c), r.eigenvectors.col(c), "u_{c}");
+        }
+    }
+
+    #[test]
+    fn tail_pipelining_preserves_traffic_volume_and_scales_messages() {
+        // Tail packetization reframes the same payload: per-dimension data
+        // volume is Q-invariant, message counts scale exactly as the plan
+        // layer charges them (`messages_with_tail`).
+        let a = random_symmetric(32, 17);
+        let d = 2;
+        let sweeps = 2usize;
+        let base = JacobiOptions { force_sweeps: Some(sweeps), ..Default::default() };
+        let (_, meter0) = block_jacobi_threaded(&a, d, OrderingFamily::Br, &base);
+        let plans = lower_sweeps(32, d, OrderingFamily::Br, false, sweeps);
+        for tq in [2usize, 3, 4] {
+            let opts = JacobiOptions { tail_pipelining: Pipelining::Fixed(tq), ..base };
+            let (_, meter) = block_jacobi_threaded(&a, d, OrderingFamily::Br, &opts);
+            assert_eq!(meter.volume_by_dim(), meter0.volume_by_dim(), "tail_q={tq}");
+            let want: u64 = plans
+                .iter()
+                .map(|p| {
+                    let qs = choose_qs(p, &Pipelining::Off, 1);
+                    p.messages_with_tail(&qs, tq)
+                })
+                .sum();
+            assert_eq!(meter.total_messages(), want, "tail_q={tq}");
+        }
+    }
+
+    #[test]
+    fn throttled_tail_pipelined_makespan_equals_the_tail_plan_cost_exactly() {
+        // Uniform partition on the all-port throttled fabric: the measured
+        // makespan of the tail-pipelined solve must reproduce the chained
+        // tail price — execution and pricing walk the same max-plus
+        // recurrence. And chaining must actually pay: the tail-pipelined
+        // makespan beats the whole-block one.
+        use mph_ccpipe::plan_cost_with_tail;
+        let a = random_symmetric(32, 5);
+        let d = 2usize;
+        let machine = Machine::all_port(1000.0, 100.0);
+        let sweeps = 2usize;
+        let base = JacobiOptions {
+            force_sweeps: Some(sweeps),
+            fabric: FabricModel::Throttled(machine),
+            ..Default::default()
+        };
+        for family in OrderingFamily::ALL {
+            let (_, _, report0) = block_jacobi_threaded_fabric(&a, d, family, &base);
+            for tq in [2usize, 4] {
+                let opts = JacobiOptions { tail_pipelining: Pipelining::Fixed(tq), ..base };
+                let (_, _, report) = block_jacobi_threaded_fabric(&a, d, family, &opts);
+                let want: f64 = lower_sweeps(32, d, family, false, sweeps)
+                    .iter()
+                    .map(|p| {
+                        let qs = choose_qs(p, &Pipelining::Off, 1);
+                        plan_cost_with_tail(p, &machine, &qs, tq).total
+                    })
+                    .sum();
+                assert!(
+                    (report.makespan - want).abs() <= 1e-9 * want,
+                    "{family} tail_q={tq}: measured {} vs priced {want}",
+                    report.makespan
+                );
+                assert!(
+                    report.makespan < report0.makespan,
+                    "{family} tail_q={tq}: chained {} vs whole-block {}",
+                    report.makespan,
+                    report0.makespan
+                );
+            }
         }
     }
 

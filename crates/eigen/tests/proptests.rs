@@ -2,6 +2,7 @@
 //! solvers/orderings/cube sizes, invariants (trace, orthogonality,
 //! residual) hold on arbitrary symmetric inputs.
 
+use mph_ccpipe::{Machine, PortModel};
 use mph_core::OrderingFamily;
 use mph_eigen::{
     block_jacobi, block_jacobi_threaded, one_sided_cyclic, two_sided_cyclic, JacobiOptions,
@@ -9,7 +10,17 @@ use mph_eigen::{
 };
 use mph_linalg::matmul::{eigen_residual, orthogonality_defect};
 use mph_linalg::Matrix;
+use mph_runtime::FabricModel;
 use proptest::prelude::*;
+
+fn fabric_strategy() -> impl Strategy<Value = FabricModel> {
+    prop_oneof![
+        Just(FabricModel::Free),
+        Just(FabricModel::Throttled(Machine::one_port(1000.0, 100.0))),
+        Just(FabricModel::Throttled(Machine::all_port(1000.0, 100.0))),
+        Just(FabricModel::Throttled(Machine { ts: 50.0, tw: 3.0, ports: PortModel::KPort(2) })),
+    ]
+}
 
 fn family_strategy() -> impl Strategy<Value = OrderingFamily> {
     prop_oneof![
@@ -137,6 +148,44 @@ proptest! {
                     "workers={} λ_{}", workers, c);
                 prop_assert_eq!(r.eigenvectors.col(c), reference.eigenvectors.col(c),
                     "workers={} u_{}", workers, c);
+            }
+        }
+    }
+
+    #[test]
+    fn tail_packetization_is_bitwise_invisible_through_the_threaded_driver(
+        a in symmetric(12),
+        family in family_strategy(),
+        cache in any::<bool>(),
+        fabric in fabric_strategy(),
+        d in 1usize..=2,
+        sweeps in 1usize..=2,
+    ) {
+        // The tail-pipelining contract: every division/last packet is
+        // paired against the staying block before it ships, which is the
+        // reference pairing re-tiled by packet boundary — so every tail
+        // degree (including Q larger than any chained run and the
+        // cost-driven Auto choice) produces the reference bits on every
+        // fabric, with diagonal caching on or off.
+        let base = JacobiOptions {
+            force_sweeps: Some(sweeps),
+            cache_diagonals: cache,
+            fabric,
+            ..Default::default()
+        };
+        let (reference, _) = block_jacobi_threaded(&a, d, family, &base);
+        let auto = Pipelining::Auto(Machine::all_port(1000.0, 100.0));
+        for tail in [Pipelining::Fixed(1), Pipelining::Fixed(2), Pipelining::Fixed(5),
+                     Pipelining::Fixed(8), auto] {
+            let opts = JacobiOptions { tail_pipelining: tail, ..base };
+            let (r, _) = block_jacobi_threaded(&a, d, family, &opts);
+            prop_assert_eq!(r.rotations, reference.rotations, "{:?}", tail);
+            prop_assert_eq!(r.sweeps, reference.sweeps, "{:?}", tail);
+            for c in 0..12 {
+                prop_assert_eq!(r.eigenvalues[c], reference.eigenvalues[c],
+                    "{:?} λ_{}", tail, c);
+                prop_assert_eq!(r.eigenvectors.col(c), reference.eigenvectors.col(c),
+                    "{:?} u_{}", tail, c);
             }
         }
     }

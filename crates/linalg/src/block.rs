@@ -28,6 +28,88 @@
 
 use crate::matrix::Matrix;
 
+/// A LIFO pool of `f64` backing stores, reused across packetization
+/// rounds.
+///
+/// Packetized phases allocate one buffer per packet per phase
+/// ([`ColumnBlock::split_columns`]) and one more per reassembly
+/// ([`ColumnBlock::from_packets`]); across the sweeps of a large-`m` solve
+/// that is thousands of short-lived allocations of identical sizes. A
+/// per-node pool breaks the cycle: the pooled variants
+/// ([`split_columns_pooled`](ColumnBlock::split_columns_pooled),
+/// [`from_packets_pooled`](ColumnBlock::from_packets_pooled)) draw their
+/// buffers from the pool and recycle the stores they consume, so a
+/// steady-state phase run allocates nothing.
+///
+/// LIFO order keeps the hottest (most recently touched) store on top.
+/// The pool is deliberately dumb about sizing: a drawn buffer is cleared
+/// and grown to the requested capacity, so mixed packet sizes simply
+/// converge on stores big enough for the largest request.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Vec<f64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// Draws an empty buffer with at least `capacity` reserved, reusing a
+    /// recycled store when one is available.
+    pub fn take(&mut self, capacity: usize) -> Vec<f64> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.hits += 1;
+                buf.clear();
+                buf.reserve(capacity);
+                buf
+            }
+            None => {
+                self.misses += 1;
+                Vec::with_capacity(capacity)
+            }
+        }
+    }
+
+    /// Returns a backing store to the pool. Zero-capacity vectors carry no
+    /// store and are dropped.
+    pub fn put(&mut self, buf: Vec<f64>) {
+        if buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+
+    /// Recycles a block's backing stores (data and diagonal cache).
+    pub fn recycle(&mut self, block: ColumnBlock) {
+        self.put(block.data);
+        self.put(block.diag);
+    }
+
+    /// Number of stores currently pooled.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True when no stores are pooled.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Takes that found a pooled store.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Takes that had to allocate.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
 /// A block of columns in flat, contiguous, column-major storage.
 ///
 /// Column `k` of the block carries global column index `start + k` and two
@@ -403,6 +485,87 @@ impl ColumnBlock {
         }
         ColumnBlock { start, ncols, arows, urows, data, diag }
     }
+
+    /// [`ColumnBlock::split_columns`] drawing packet buffers from `pool`
+    /// and recycling the split block's own backing stores into it —
+    /// identical packets (balanced sizes, preserved order and caches),
+    /// zero steady-state allocation.
+    pub fn split_columns_pooled(mut self, q: usize, pool: &mut BufferPool) -> Vec<ColumnBlock> {
+        assert!(q >= 1, "cannot split into zero packets");
+        let unit = self.unit();
+        let base = self.ncols / q;
+        let extra = self.ncols % q;
+        let mut packets = Vec::with_capacity(q);
+        let mut col = 0usize;
+        for p in 0..q {
+            let ncols = base + usize::from(p < extra);
+            let mut data = pool.take(ncols * unit);
+            data.extend_from_slice(&self.data[col * unit..(col + ncols) * unit]);
+            let diag = if self.diag.is_empty() {
+                Vec::new()
+            } else {
+                let mut d = pool.take(ncols);
+                d.extend_from_slice(&self.diag[col..col + ncols]);
+                d
+            };
+            packets.push(ColumnBlock {
+                start: self.start + col,
+                ncols,
+                arows: self.arows,
+                urows: self.urows,
+                data,
+                diag,
+            });
+            col += ncols;
+        }
+        pool.put(std::mem::take(&mut self.data));
+        pool.put(std::mem::take(&mut self.diag));
+        packets
+    }
+
+    /// [`ColumnBlock::from_packets`] drawing the assembled block's buffers
+    /// from `pool` and recycling every packet's backing store into it —
+    /// the reassembly half of the zero-allocation packet cycle.
+    ///
+    /// # Panics
+    /// As [`ColumnBlock::from_packets`].
+    pub fn from_packets_pooled(packets: Vec<ColumnBlock>, pool: &mut BufferPool) -> ColumnBlock {
+        assert!(!packets.is_empty(), "cannot reassemble zero packets");
+        let Some(first) = packets.iter().find(|p| !p.is_empty()) else {
+            // All packets empty: an empty block (shape from packet 0).
+            let shape = (packets[0].start, packets[0].arows, packets[0].urows);
+            for p in packets {
+                pool.recycle(p);
+            }
+            return ColumnBlock {
+                start: shape.0,
+                ncols: 0,
+                arows: shape.1,
+                urows: shape.2,
+                data: Vec::new(),
+                diag: Vec::new(),
+            };
+        };
+        let (start, arows, urows) = (first.start, first.arows, first.urows);
+        let has_diag = first.has_diag();
+        let unit = arows + urows;
+        let total: usize = packets.iter().map(|p| p.ncols).sum();
+        let mut data = pool.take(total * unit);
+        let mut diag = if has_diag { pool.take(total) } else { Vec::new() };
+        let mut ncols = 0usize;
+        for p in packets {
+            if !p.is_empty() {
+                assert_eq!((p.arows, p.urows), (arows, urows), "packet row counts differ");
+                assert_eq!(p.start, start + ncols, "packets are not contiguous");
+                assert_eq!(p.has_diag(), has_diag, "inconsistent diagonal caches");
+                data.extend_from_slice(&p.data);
+                diag.extend_from_slice(&p.diag);
+                ncols += p.ncols;
+            }
+            pool.recycle(p);
+        }
+        ColumnBlock { start, ncols, arows, urows, data, diag }
+    }
 }
 
 /// Mutable access to two *distinct* blocks of a slice — the split borrow a
@@ -607,6 +770,46 @@ mod tests {
                 assert_eq!(ColumnBlock::from_packets(packets), b, "q={q} cached={cached}");
             }
         }
+    }
+
+    #[test]
+    fn pooled_split_and_reassembly_match_the_plain_paths_and_stop_allocating() {
+        let a0 = random_symmetric(6, 13);
+        for cached in [false, true] {
+            let mut pool = BufferPool::new();
+            let mut b = ColumnBlock::from_matrix_with_identity(&a0, 0..6, 6);
+            if cached {
+                b.refresh_diag(|a, u| dot(u, a));
+            }
+            let want_packets = b.clone().split_columns(4);
+            let packets = b.clone().split_columns_pooled(4, &mut pool);
+            assert_eq!(packets, want_packets, "cached={cached}");
+            let back = ColumnBlock::from_packets_pooled(packets, &mut pool);
+            assert_eq!(back, b, "cached={cached}");
+            // Steady state: every draw of the second cycle is a pool hit.
+            let misses = pool.misses();
+            let packets = back.split_columns_pooled(4, &mut pool);
+            let back = ColumnBlock::from_packets_pooled(packets, &mut pool);
+            assert_eq!(back, b, "cached={cached}");
+            assert_eq!(pool.misses(), misses, "steady state must not allocate");
+            assert!(pool.hits() > 0);
+            assert!(!pool.is_empty(), "the cycle returns stores to the pool");
+        }
+    }
+
+    #[test]
+    fn pooled_reassembly_of_empty_packets_recycles_their_stores() {
+        let a0 = random_symmetric(4, 3);
+        let mut pool = BufferPool::new();
+        let b = ColumnBlock::from_matrix_with_identity(&a0, 0..2, 4);
+        let packets = b.clone().split_columns_pooled(5, &mut pool);
+        assert_eq!(packets.len(), 5);
+        let back = ColumnBlock::from_packets_pooled(packets, &mut pool);
+        assert_eq!(back, b);
+        let empties = ColumnBlock::from_matrix_with_identity(&a0, 1..1, 4).split_columns(3);
+        let empty = ColumnBlock::from_packets_pooled(empties, &mut pool);
+        assert!(empty.is_empty());
+        assert_eq!((empty.arows(), empty.urows()), (4, 4));
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub use fabric::{calibrate_channel_machine, measure_channel_fabric, FabricModel,
 pub use jobmux::JobMux;
 pub use machine::{CalibrationError, FabricStats, Machine, PortModel};
 pub use meter::TrafficMeter;
-pub use packet::{pipelined_phase, Packet, PacketChannel, PhaseStats};
+pub use packet::{pipelined_phase, pipelined_phase_stamped, Packet, PacketChannel, PhaseStats};
 pub use pipelined::{pipelined_exchange, unpipelined_exchange};
 pub use spmd::{
     run_spmd, run_spmd_fabric, run_spmd_fabric_jobs, run_spmd_metered, Meterable, NodeCtx,

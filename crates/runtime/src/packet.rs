@@ -210,8 +210,47 @@ pub fn pipelined_phase<M, P, W, U, F>(
     packets: Vec<P>,
     wrap: W,
     unwrap: U,
-    mut process: F,
+    process: F,
 ) -> (Vec<P>, PhaseStats)
+where
+    M: Send + Meterable,
+    W: Fn(Packet<P>) -> M,
+    U: Fn(M) -> Packet<P>,
+    F: FnMut(usize, usize, &mut P),
+{
+    // Local packets are ready at phase entry; consuming each arrival
+    // advances the virtual clock — the phase completes for this node when
+    // it holds the packet.
+    let entry = vec![ctx.virtual_now(); packets.len()];
+    let (finals, stamps, stats) =
+        pipelined_phase_stamped(ctx, links, packets, &entry, wrap, unwrap, process);
+    for &stamp in &stamps {
+        ctx.advance_clock_to(stamp);
+    }
+    (finals, stats)
+}
+
+/// [`pipelined_phase`] with explicit per-packet readiness stamps and *no*
+/// clock advance: packet `q` enters the pipe ready at `entry[q]` (instead
+/// of the node's current virtual time), and the returned stamps are the
+/// final packets' fabric arrival times, left for the caller to consume.
+///
+/// This is the chaining primitive for multi-phase tail runs: a run
+/// executes its phases back-to-back through this function, threading each
+/// phase's arrival stamps into the next phase's entry stamps, so packet
+/// `q` of phase `i+1` departs as soon as packet `q` of phase `i` has
+/// landed — while the node clock only advances once, at the end of the
+/// run. Processing order and framing are identical to
+/// [`pipelined_phase`], so the bitwise contract carries over.
+pub fn pipelined_phase_stamped<M, P, W, U, F>(
+    ctx: &NodeCtx<'_, M>,
+    links: &[usize],
+    packets: Vec<P>,
+    entry: &[f64],
+    wrap: W,
+    unwrap: U,
+    mut process: F,
+) -> (Vec<P>, Vec<f64>, PhaseStats)
 where
     M: Send + Meterable,
     W: Fn(Packet<P>) -> M,
@@ -220,10 +259,11 @@ where
 {
     let k_total = links.len();
     let q_total = packets.len();
+    assert_eq!(entry.len(), q_total, "one entry stamp per packet");
     if k_total == 0 || q_total == 0 {
         let stats =
             PhaseStats { window: q_total.max(1), peak_in_flight: vec![0; ctx.dim().max(1)] };
-        return (packets, stats);
+        return (packets, entry.to_vec(), stats);
     }
     let mut chan = PacketChannel::new(ctx, q_total);
     let mut local: Vec<Option<P>> = packets.into_iter().map(Some).collect();
@@ -239,12 +279,10 @@ where
     // The phase's virtual-time dataflow: each packet's forwarding departs
     // when *its own* input has arrived (stamp from the fabric), not when
     // the node's program counter gets there — the comm-processor model.
-    // Local packets are ready at phase entry.
-    let entry = ctx.virtual_now();
     for k in 0..k_total {
         for q in 0..q_total {
             let (mut payload, ready) = if k == 0 {
-                (local[q].take().expect("local packet consumed twice"), entry)
+                (local[q].take().expect("local packet consumed twice"), entry[q])
             } else {
                 let (msg, stamp) = chan.recv_stamped(links[k - 1]);
                 let pkt = unwrap(msg);
@@ -255,19 +293,18 @@ where
             chan.send_after(links[k], wrap(Packet::new(k as u32, q as u32, payload)), ready);
         }
     }
+    let mut stamps = Vec::with_capacity(q_total);
     let finals = (0..q_total)
         .map(|q| {
             let (msg, stamp) = chan.recv_stamped(links[k_total - 1]);
             let pkt = unwrap(msg);
             expect(&pkt, k_total - 1, q);
-            // The phase completes for this node when it holds the packet:
-            // consuming the arrival advances the virtual clock.
-            ctx.advance_clock_to(stamp);
+            stamps.push(stamp);
             pkt.payload
         })
         .collect();
     let stats = chan.stats();
-    (finals, stats)
+    (finals, stamps, stats)
 }
 
 #[cfg(test)]
@@ -281,7 +318,6 @@ mod tests {
     /// processes every packet against the node state, then exchanges them
     /// one message per packet.
     fn reference(d: usize, links: &[usize], q: usize) -> Vec<(Vec<Log>, f64)> {
-        let links = links.to_vec();
         run_spmd::<Packet<Log>, (Vec<Log>, f64), _>(d, move |ctx| {
             let mut state = ctx.id() as f64;
             let mut packets: Vec<Log> = (0..q).map(|i| vec![ctx.id() as f64, i as f64]).collect();
@@ -300,13 +336,12 @@ mod tests {
     }
 
     fn pipelined(d: usize, links: &[usize], q: usize) -> Vec<(Vec<Log>, f64)> {
-        let links = links.to_vec();
         run_spmd::<Packet<Log>, (Vec<Log>, f64), _>(d, move |ctx| {
             let mut state = ctx.id() as f64;
             let packets: Vec<Log> = (0..q).map(|i| vec![ctx.id() as f64, i as f64]).collect();
             let (finals, _) = pipelined_phase(
                 ctx,
-                &links,
+                links,
                 packets,
                 |pkt| pkt,
                 |pkt| pkt,
@@ -353,9 +388,8 @@ mod tests {
         // All Q sends of an iteration are issued before the matching
         // receives of the next iteration drain them: the per-dimension
         // in-flight peak is exactly Q (the channel window).
-        let links = vec![0usize, 1, 0];
+        let links = [0usize, 1, 0];
         for q in [1usize, 3, 5] {
-            let links = links.clone();
             let results = run_spmd::<Packet<Log>, PhaseStats, _>(3, move |ctx| {
                 let packets: Vec<Log> = (0..q).map(|i| vec![i as f64]).collect();
                 let (_, stats) = pipelined_phase(ctx, &links, packets, |p| p, |p| p, |_, _, _| ());
@@ -374,9 +408,8 @@ mod tests {
     fn traffic_volume_is_q_invariant() {
         // Packetization reframes the same payload: per-dimension volume
         // must not depend on Q (message count scales with Q).
-        let links = vec![0usize, 1, 0];
+        let links = [0usize, 1, 0];
         let volume = |q: usize| {
-            let links = links.clone();
             let (_, meter) = run_spmd_metered::<Packet<Log>, (), _>(2, move |ctx| {
                 // 12 elements split into q packets of 12/q.
                 let packets: Vec<Log> = (0..q).map(|_| vec![0.0; 12 / q]).collect();
@@ -388,6 +421,54 @@ mod tests {
         let (v4, m4) = volume(4);
         assert_eq!(v1, v4);
         assert_eq!(m4, m1 * 4);
+    }
+
+    #[test]
+    fn chained_stamped_phases_match_sequential_phases_bitwise() {
+        // Two single-link phases run through the stamped primitive with
+        // arrival stamps threaded phase-to-phase (and one clock advance at
+        // the end) must carry exactly the payloads of two sequential
+        // pipelined_phase calls — the tail-run chaining contract.
+        let run = |chained: bool| {
+            run_spmd::<Packet<Log>, Vec<Log>, _>(2, move |ctx| {
+                let mut state = ctx.id() as f64;
+                let packets: Vec<Log> = (0..3).map(|i| vec![ctx.id() as f64, i as f64]).collect();
+                let mut process = |k: usize, q: usize, p: &mut Log| {
+                    state += (k * 31 + q) as f64;
+                    p.push(state);
+                };
+                if chained {
+                    let entry = vec![ctx.virtual_now(); 3];
+                    let (mid, stamps, _) = pipelined_phase_stamped(
+                        ctx,
+                        &[0],
+                        packets,
+                        &entry,
+                        |p| p,
+                        |p| p,
+                        &mut process,
+                    );
+                    let (fin, stamps, _) = pipelined_phase_stamped(
+                        ctx,
+                        &[1],
+                        mid,
+                        &stamps,
+                        |p| p,
+                        |p| p,
+                        &mut process,
+                    );
+                    for &s in &stamps {
+                        ctx.advance_clock_to(s);
+                    }
+                    fin
+                } else {
+                    let (mid, _) = pipelined_phase(ctx, &[0], packets, |p| p, |p| p, &mut process);
+                    let (fin, _) = pipelined_phase(ctx, &[1], mid, |p| p, |p| p, &mut process);
+                    fin
+                }
+            })
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -5,7 +5,9 @@ use crate::scenario::Scenario;
 use mph_batch::{service_plan, AdmissionConfig, Policy, Throughput};
 use mph_ccpipe::{partial_batch_cost, BatchOrder, Machine, PlannedJob};
 use mph_core::CommPlan;
-use mph_eigen::{lower_job, run_job_service, JobSpec, ServiceRun};
+use mph_eigen::{
+    choose_tail_qs, lower_job, packetization_cap, run_job_service, JobSpec, ServiceRun,
+};
 use mph_runtime::FabricModel;
 
 /// Service-level options: the shared fabric, the admission discipline,
@@ -98,8 +100,18 @@ pub fn serve(d: usize, scenario: &Scenario, opts: &ServeOptions) -> ServeReport 
     let specs: Vec<JobSpec> = scenario.jobs.iter().map(|j| j.to_spec()).collect();
     let lowered: Vec<(Vec<CommPlan>, Vec<Vec<usize>>)> =
         specs.iter().map(|s| lower_job(s, d)).collect();
-    let planned: Vec<PlannedJob<'_>> =
-        lowered.iter().map(|(plans, qs)| PlannedJob { plans, qs }).collect();
+    // Price each job at the tail degree its JobNode will execute.
+    let planned: Vec<PlannedJob<'_>> = lowered
+        .iter()
+        .zip(&specs)
+        .map(|((plans, qs), spec)| PlannedJob {
+            plans,
+            qs,
+            tail_q: plans.first().map_or(1, |p| {
+                choose_tail_qs(p, &spec.opts.tail_pipelining, packetization_cap(spec.a.cols(), d))
+            }),
+        })
+        .collect();
     let machine = opts.fabric.machine().unwrap_or(opts.pricing);
     let plan = service_plan(
         &scenario.jobs,

@@ -102,6 +102,106 @@ pub fn plan_phase_times(
         .collect()
 }
 
+/// [`plan_pipelined_schedule`] with a packetized serial tail: each tail
+/// run of `plan` (maximal stretch of single-link transitions, see
+/// [`CommPlan::tail_runs`]) is lowered as one chained wavefront — the
+/// run's `R` transitions play the role of pipeline iterations, each
+/// node's per-transition block is split into `tail_q` balanced column
+/// packets, and stage `s` ships packet `s − j` of transition `j` — the
+/// simulation view of the threaded driver's tail pipeline. In-run K = 1
+/// exchange phases ride the run at `tail_q` (their `qs` entry is consumed
+/// but overridden, exactly as the runtime does). `tail_q = 1` is the
+/// plain [`plan_pipelined_schedule`] lowering.
+pub fn plan_pipelined_schedule_with_tail(
+    plan: &CommPlan,
+    qs: &[usize],
+    tail_q: usize,
+) -> CommSchedule {
+    assert_eq!(
+        qs.len(),
+        plan.exchange_phases().count(),
+        "one pipelining degree per exchange phase"
+    );
+    if tail_q <= 1 {
+        return plan_pipelined_schedule(plan, qs);
+    }
+    let runs = plan.tail_runs();
+    let phases = plan.phases();
+    let mut stages = Vec::new();
+    let mut xq = 0usize;
+    let mut idx = 0usize;
+    while idx < phases.len() {
+        if let Some(run) = runs.iter().find(|r| r.start == idx) {
+            xq += phases[run.clone()].iter().filter(|ph| ph.is_exchange()).count();
+            stages.extend(tail_run_stages(plan, run.start..run.end, tail_q));
+            idx = run.end;
+            continue;
+        }
+        let ph = &phases[idx];
+        idx += 1;
+        if ph.is_exchange() {
+            let q = qs[xq].max(1);
+            xq += 1;
+            stages.extend(pipelined_phase_stages(plan, ph, q));
+        } else {
+            let dim = ph.links[0];
+            stages
+                .push(per_node_stage(ph.sends[0].iter().map(|&e| vec![(dim, e as f64)]).collect()));
+        }
+    }
+    CommSchedule::new(plan.d(), stages)
+}
+
+/// Builds the `R + Q − 1` wavefront stages of one chained tail run:
+/// transition `j`'s packet `q` ships at stage `s = j + q`, so while one
+/// transition's late packets still occupy its link, the next transition's
+/// early packets are already on theirs — same-dimension packets of one
+/// stage combine into a single message (the paper's combining assumption;
+/// the throttled runtime sends them separately).
+fn tail_run_stages(plan: &CommPlan, run: std::ops::Range<usize>, q: usize) -> Vec<CommStage> {
+    let p = 1usize << plan.d();
+    let epc = plan.elems_per_col() as f64;
+    let phases = &plan.phases()[run];
+    let r_total = phases.len();
+    // Per-transition, per-node packet sizes: the node's whole outgoing
+    // block split into q balanced column packets (the runtime's
+    // ColumnBlock::split_columns). Sizes are per transition — a division
+    // swaps which slot travels, and the plan's sends already price that.
+    let pkt: Vec<Vec<Vec<f64>>> = phases
+        .iter()
+        .map(|ph| {
+            (0..p)
+                .map(|n| {
+                    let cols = ph.sends[0][n] as usize / plan.elems_per_col();
+                    let split = BlockPartition::new(cols, q);
+                    (0..q).map(|j| split.size(j) as f64 * epc).collect()
+                })
+                .collect()
+        })
+        .collect();
+    let mut stages = Vec::with_capacity(r_total + q - 1);
+    for s in 0..(r_total + q - 1) {
+        let lo = s.saturating_sub(q - 1);
+        let hi = s.min(r_total - 1);
+        let sends: Vec<Vec<(usize, f64)>> = (0..p)
+            .map(|n| {
+                let mut bundle: Vec<(usize, f64)> = Vec::new();
+                for j in lo..=hi {
+                    let dim = phases[j].links[0];
+                    let elems = pkt[j][n][s - j];
+                    match bundle.iter_mut().find(|(d2, _)| *d2 == dim) {
+                        Some((_, e)) => *e += elems,
+                        None => bundle.push((dim, elems)),
+                    }
+                }
+                bundle
+            })
+            .collect();
+        stages.push(per_node_stage(sends));
+    }
+    stages
+}
+
 /// Builds the `K + Q − 1` stages of one packetized exchange phase,
 /// tracking per-packet sizes as they travel the link path.
 fn pipelined_phase_stages(plan: &CommPlan, ph: &PlanPhase, q: usize) -> Vec<CommStage> {
@@ -293,6 +393,67 @@ mod tests {
         let serial: f64 = times[times.len() - 2..].iter().sum();
         let blk = 2.0 * 256.0 * (256.0 / 16.0);
         assert!((serial - 2.0 * machine.single_message_cost(blk)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_schedule_volume_is_q_invariant_and_reduces_at_one() {
+        // The chained-tail lowering reframes the same transitions: per-dim
+        // volume must not move for any tail degree, and tail_q = 1 must be
+        // the plain pipelined schedule, stage for stage.
+        for (m, d) in [(32usize, 2usize), (18, 2), (64, 3)] {
+            let plan = lower(m, d, OrderingFamily::Br, 0);
+            let qs: Vec<usize> = plan.exchange_phases().map(|_| 1).collect();
+            assert_eq!(
+                plan_pipelined_schedule_with_tail(&plan, &qs, 1),
+                plan_pipelined_schedule(&plan, &qs),
+                "m={m} d={d}"
+            );
+            let want: Vec<f64> = plan.volume_by_dim().iter().map(|&v| v as f64).collect();
+            for tq in [2usize, 3, 5] {
+                let sched = plan_pipelined_schedule_with_tail(&plan, &qs, tq);
+                let got = sched.volume_by_dim();
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() < 1e-9, "m={m} d={d} tq={tq}: {got:?} vs {want:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tail_replay_tracks_the_chained_tail_price() {
+        // The simulator's stage-synchronized wavefront vs the cost model's
+        // max-plus recurrence: the two discretize the same chained tail
+        // differently (barriers and message combining vs dataflow stamps),
+        // so they must agree within the established validation band — and
+        // both must beat the whole-block tail.
+        use mph_ccpipe::{plan_cost_with_tail, plan_tail_pipelining};
+        let machine = Machine::all_port(1000.0, 100.0);
+        for m in [256usize, 1024] {
+            let d = 3usize;
+            let plan = lower(m, d, OrderingFamily::Br, 0);
+            let qs: Vec<usize> = plan.exchange_phases().map(|_| 1).collect();
+            let tq = plan_tail_pipelining(&plan, &machine, (m / 16) as f64);
+            assert!(tq > 1, "m={m}: the chained tail must pay at this scale");
+            let sim = simulate_synchronized(
+                &plan_pipelined_schedule_with_tail(&plan, &qs, tq),
+                &machine,
+                StartupModel::SerializedThenParallel,
+            )
+            .makespan;
+            let model = plan_cost_with_tail(&plan, &machine, &qs, tq).total;
+            let ratio = sim / model;
+            assert!(
+                (0.8..=1.25).contains(&ratio),
+                "m={m} tq={tq}: sim {sim} vs model {model} (ratio {ratio:.3})"
+            );
+            let whole = simulate_synchronized(
+                &plan_pipelined_schedule(&plan, &qs),
+                &machine,
+                StartupModel::SerializedThenParallel,
+            )
+            .makespan;
+            assert!(sim < whole, "m={m}: chained {sim} vs whole-block {whole}");
+        }
     }
 
     #[test]
