@@ -47,8 +47,8 @@ impl Job {
     /// Lowers to the driver's job description.
     pub fn to_spec(&self) -> JobSpec {
         match self {
-            Job::Eigen { a, family, opts } => JobSpec::eigen(a.clone(), *family, *opts),
-            Job::Svd { a, family, opts } => JobSpec::svd(a.clone(), *family, *opts),
+            Job::Eigen { a, family, opts } => JobSpec::eigen(a.clone(), *family, opts.clone()),
+            Job::Svd { a, family, opts } => JobSpec::svd(a.clone(), *family, opts.clone()),
         }
     }
 }

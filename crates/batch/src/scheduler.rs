@@ -8,10 +8,10 @@ use mph_eigen::{
     choose_tail_qs, lower_job, packetization_cap, run_job_batch_planned, JobResult, JobSpan,
     JobSpec,
 };
-use mph_runtime::{FabricModel, FabricReport, TrafficMeter};
+use mph_runtime::{FabricConfigError, FabricModel, FabricReport, TrafficMeter};
 
 /// Batch-level options.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchOptions {
     /// The one fabric all jobs share. [`FabricModel::Throttled`] gives the
     /// report a measured virtual makespan (and throughput); the per-job
@@ -43,6 +43,17 @@ pub enum BatchConfigError {
     /// clamps it to 1 (see [`Policy::order`]); the checked constructor
     /// rejects it instead so the caller's intent stays visible.
     ZeroStride,
+    /// The fabric itself cannot be enforced (see
+    /// [`mph_runtime::FabricConfigError`]).
+    InvalidFabric(FabricConfigError),
+    /// The fabric is a [`FabricModel::Degraded`] scenario that schedules
+    /// link deaths. The batch driver interleaves many jobs' pre-lowered
+    /// micro-op chains over direct links and has no relay layer — only
+    /// the adaptive solo driver (`block_jacobi_threaded_adaptive` in
+    /// `mph-eigen`) routes around dead links. Jitter, episode, and
+    /// heterogeneity scenarios are fine; death schedules are rejected up
+    /// front instead of asserting inside the fabric clock mid-run.
+    DeadLinksUnsupported,
 }
 
 impl std::fmt::Display for BatchConfigError {
@@ -51,15 +62,31 @@ impl std::fmt::Display for BatchConfigError {
             BatchConfigError::ZeroStride => {
                 write!(f, "Policy::Interleave stride must be >= 1 (0 grants no micro-ops)")
             }
+            BatchConfigError::InvalidFabric(e) => write!(f, "invalid fabric: {e}"),
+            BatchConfigError::DeadLinksUnsupported => write!(
+                f,
+                "the batch driver does not reroute around dead links; \
+                 use a death-free scenario or the adaptive solo driver"
+            ),
         }
     }
 }
 
 impl std::error::Error for BatchConfigError {}
 
+impl From<FabricConfigError> for BatchConfigError {
+    fn from(e: FabricConfigError) -> Self {
+        BatchConfigError::InvalidFabric(e)
+    }
+}
+
 impl BatchOptions {
     /// Checked constructor: rejects configurations the direct struct
-    /// literal would only clamp ([`BatchConfigError::ZeroStride`]).
+    /// literal would only clamp or that would assert mid-run — zero-stride
+    /// interleaving ([`BatchConfigError::ZeroStride`]), unenforceable
+    /// fabrics ([`BatchConfigError::InvalidFabric`]), and link-death
+    /// scenarios the batch driver cannot route around
+    /// ([`BatchConfigError::DeadLinksUnsupported`]).
     pub fn new(
         fabric: FabricModel,
         policy: Policy,
@@ -67,6 +94,10 @@ impl BatchOptions {
     ) -> Result<BatchOptions, BatchConfigError> {
         if matches!(policy, Policy::Interleave { stride: 0 }) {
             return Err(BatchConfigError::ZeroStride);
+        }
+        fabric.validate()?;
+        if fabric.scenario().is_some_and(|sc| sc.has_deaths()) {
+            return Err(BatchConfigError::DeadLinksUnsupported);
         }
         Ok(BatchOptions { fabric, policy, pricing })
     }
@@ -160,7 +191,7 @@ pub fn solve_batch(d: usize, jobs: &[Job], opts: &BatchOptions) -> BatchReport {
     let order = opts.policy.order(&planned, &machine);
     let cost = batch_cost(&planned, &machine, &order);
     // The lowering that priced the batch is the one that runs it.
-    let run = run_job_batch_planned(d, &specs, &lowered, opts.fabric, &order);
+    let run = run_job_batch_planned(d, &specs, &lowered, opts.fabric.clone(), &order);
     let makespan = run.fabric.makespan;
     let throughput = Throughput::measure(jobs.len(), run.meter.total_volume(), makespan);
     BatchReport {
@@ -226,6 +257,91 @@ mod tests {
     }
 
     #[test]
+    fn invalid_and_death_fabrics_are_typed_construction_errors() {
+        use mph_ccpipe::PortModel;
+        use mph_runtime::{LinkDeath, Scenario, ScenarioSpec};
+        use std::sync::Arc;
+        // KPort(0) surfaces as the wrapped fabric error...
+        let bad = FabricModel::Throttled(Machine { ts: 1.0, tw: 1.0, ports: PortModel::KPort(0) });
+        let err = BatchOptions::new(bad, Policy::Fifo, Machine::paper_figure2())
+            .expect_err("KPort(0) cannot be enforced");
+        assert_eq!(err, BatchConfigError::InvalidFabric(FabricConfigError::ZeroPorts));
+        assert!(err.to_string().contains("KPort(0)"));
+        // ...a death schedule is refused (the batch driver has no relay)...
+        let deadly = ScenarioSpec {
+            epochs: 2,
+            deaths: vec![LinkDeath { node: 0, dim: 0, epoch: 0 }],
+            ..ScenarioSpec::clean(1, Machine::paper_figure2())
+        };
+        let sc = Scenario::new(2, deadly).expect("a single death keeps the 2-cube connected");
+        let err = BatchOptions::new(
+            FabricModel::Degraded(Arc::new(sc)),
+            Policy::Fifo,
+            Machine::paper_figure2(),
+        )
+        .expect_err("the batch driver cannot route around dead links");
+        assert_eq!(err, BatchConfigError::DeadLinksUnsupported);
+        assert!(err.to_string().contains("reroute"));
+        // ...but a death-free degraded scenario passes.
+        let jittery = ScenarioSpec {
+            epochs: 2,
+            hetero_spread: 1.0,
+            ..ScenarioSpec::clean(1, Machine::paper_figure2())
+        };
+        let sc = Scenario::new(2, jittery).expect("valid scenario");
+        assert!(BatchOptions::new(
+            FabricModel::Degraded(Arc::new(sc)),
+            Policy::Fifo,
+            Machine::paper_figure2(),
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn degraded_death_free_batches_stay_bitwise_solo() {
+        use mph_runtime::{Scenario, ScenarioSpec};
+        use std::sync::Arc;
+        // A heterogeneous (death-free) scenario re-times the batch but
+        // changes no bits: every job still equals its solo logical run.
+        let jobs = mixed_jobs(16);
+        let spec = ScenarioSpec {
+            epochs: 3,
+            hetero_spread: 2.0,
+            rate_jitter: 0.2,
+            ..ScenarioSpec::clean(5, Machine::all_port(1000.0, 100.0))
+        };
+        let fabric =
+            FabricModel::Degraded(Arc::new(Scenario::new(2, spec).expect("valid scenario")));
+        let opts = BatchOptions::new(fabric, Policy::Fifo, Machine::paper_figure2())
+            .expect("death-free scenarios are batchable");
+        let report = solve_batch(2, &jobs, &opts);
+        assert!(report.makespan > 0.0, "a degraded fabric ticks the clock");
+        for (i, job) in jobs.iter().enumerate() {
+            match job {
+                Job::Eigen { a, family, opts } => {
+                    let solo = mph_eigen::block_jacobi(a, 2, *family, opts);
+                    let got = report.results[i].eigen().expect("eigen result");
+                    assert_eq!(got.rotations, solo.rotations, "job {i}");
+                    for c in 0..a.cols() {
+                        assert_eq!(got.eigenvalues[c], solo.eigenvalues[c], "job {i} λ_{c}");
+                    }
+                }
+                Job::Svd { a, family, opts } => {
+                    let solo = mph_eigen::svd_block(a, 2, *family, opts);
+                    let got = report.results[i].svd().expect("svd result");
+                    assert_eq!(got.rotations, solo.rotations, "job {i}");
+                    for c in 0..a.cols() {
+                        assert_eq!(
+                            got.singular_values[c], solo.singular_values[c],
+                            "job {i} σ_{c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn throughput_measure_guards_the_zero_makespan() {
         assert_eq!(Throughput::measure(3, 600, 0.0), None, "free fabric: no clock, no rate");
         let t = Throughput::measure(3, 600, 2.0).expect("positive makespan rates");
@@ -252,12 +368,13 @@ mod tests {
     fn interleave_beats_fifo_on_the_throttled_all_port_fabric() {
         let jobs = mixed_jobs(32);
         let fabric = FabricModel::Throttled(Machine::all_port(1000.0, 100.0));
-        let fifo = solve_batch(2, &jobs, &BatchOptions { fabric, ..Default::default() });
+        let fifo =
+            solve_batch(2, &jobs, &BatchOptions { fabric: fabric.clone(), ..Default::default() });
         let inter = solve_batch(
             2,
             &jobs,
             &BatchOptions {
-                fabric,
+                fabric: fabric.clone(),
                 policy: Policy::Interleave { stride: 1 },
                 ..Default::default()
             },
@@ -298,7 +415,7 @@ mod tests {
             2,
             &jobs,
             &BatchOptions {
-                fabric,
+                fabric: fabric.clone(),
                 policy: Policy::Interleave { stride: 1 },
                 ..Default::default()
             },
@@ -306,7 +423,8 @@ mod tests {
         let ratio = report.makespan / report.cost.predicted;
         assert!((0.8..=1.25).contains(&ratio), "measured/predicted = {ratio}");
         // FIFO measured vs its (serial) prediction is even tighter.
-        let fifo = solve_batch(2, &jobs, &BatchOptions { fabric, ..Default::default() });
+        let fifo =
+            solve_batch(2, &jobs, &BatchOptions { fabric: fabric.clone(), ..Default::default() });
         let fifo_ratio = fifo.makespan / fifo.cost.predicted;
         assert!((0.95..=1.05).contains(&fifo_ratio), "fifo measured/predicted = {fifo_ratio}");
     }
@@ -321,11 +439,16 @@ mod tests {
             Job::Svd { a: random_symmetric(16, 9), family: OrderingFamily::Br, opts: forced(1) },
         ];
         let fabric = FabricModel::Throttled(Machine::all_port(1000.0, 100.0));
-        let fifo = solve_batch(2, &jobs, &BatchOptions { fabric, ..Default::default() });
+        let fifo =
+            solve_batch(2, &jobs, &BatchOptions { fabric: fabric.clone(), ..Default::default() });
         let spf = solve_batch(
             2,
             &jobs,
-            &BatchOptions { fabric, policy: Policy::ShortestPlanFirst, ..Default::default() },
+            &BatchOptions {
+                fabric: fabric.clone(),
+                policy: Policy::ShortestPlanFirst,
+                ..Default::default()
+            },
         );
         assert_eq!(spf.order.jobs()[0], 1, "a small job goes first");
         assert!(
@@ -365,7 +488,7 @@ mod tests {
             2,
             &jobs,
             &BatchOptions {
-                fabric,
+                fabric: fabric.clone(),
                 policy: Policy::Interleave { stride: 1 },
                 ..Default::default()
             },

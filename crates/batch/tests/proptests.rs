@@ -15,8 +15,28 @@ use mph_ccpipe::{Machine, PortModel};
 use mph_core::OrderingFamily;
 use mph_eigen::{block_jacobi, svd_block, JacobiOptions, Pipelining};
 use mph_linalg::symmetric::random_symmetric;
-use mph_runtime::FabricModel;
+use mph_runtime::{FabricModel, Scenario, ScenarioSpec};
 use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A death-free degraded scenario (heterogeneity × jitter × episodes) —
+/// the impairment classes the batch driver supports (death schedules are
+/// rejected by `BatchOptions::new`; only the adaptive solo driver relays).
+fn degraded_fabric(seed: u64) -> FabricModel {
+    let spec = ScenarioSpec {
+        epochs: 3,
+        hetero_spread: 2.0,
+        rate_jitter: 0.25,
+        delay_jitter: 0.25,
+        episode_rate: 0.3,
+        episode_recovery: 0.5,
+        episode_severity: 4.0,
+        ..ScenarioSpec::clean(seed, Machine::all_port(1000.0, 100.0))
+    };
+    FabricModel::Degraded(Arc::new(
+        Scenario::new(2, spec).expect("death-free scenarios always compile"),
+    ))
+}
 
 fn fabric_strategy() -> impl Strategy<Value = FabricModel> {
     prop_oneof![
@@ -24,6 +44,7 @@ fn fabric_strategy() -> impl Strategy<Value = FabricModel> {
         Just(FabricModel::Throttled(Machine::all_port(1000.0, 100.0))),
         Just(FabricModel::Throttled(Machine::one_port(1000.0, 100.0))),
         Just(FabricModel::Throttled(Machine { ts: 50.0, tw: 3.0, ports: PortModel::KPort(2) })),
+        (0u64..500).prop_map(degraded_fabric),
     ]
 }
 
@@ -48,9 +69,9 @@ fn job_mix(njobs: usize, d: usize, seed: u64, opts: JacobiOptions) -> Vec<Job> {
             let a = random_symmetric(m, seed + 31 * i as u64);
             let family = OrderingFamily::ALL[s % OrderingFamily::ALL.len()];
             if s.is_multiple_of(2) {
-                Job::Eigen { a, family, opts }
+                Job::Eigen { a, family, opts: opts.clone() }
             } else {
-                Job::Svd { a, family, opts }
+                Job::Svd { a, family, opts: opts.clone() }
             }
         })
         .collect()
@@ -78,7 +99,7 @@ proptest! {
             ..Default::default()
         };
         let jobs = job_mix(njobs, d, seed, opts);
-        let report = solve_batch(d, &jobs, &BatchOptions { fabric, policy, ..Default::default() });
+        let report = solve_batch(d, &jobs, &BatchOptions { fabric: fabric.clone(), policy, ..Default::default() });
 
         // 1. Bitwise: every job's batched result == its solo run.
         for (i, job) in jobs.iter().enumerate() {
@@ -122,7 +143,7 @@ proptest! {
                     solve_batch(
                         d,
                         std::slice::from_ref(job),
-                        &BatchOptions { fabric, ..Default::default() },
+                        &BatchOptions { fabric: fabric.clone(), ..Default::default() },
                     )
                     .makespan
                 })

@@ -17,9 +17,17 @@ use std::time::Duration;
 fn jobs(m: usize) -> Vec<Job> {
     let opts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
     vec![
-        Job::Eigen { a: random_symmetric(m, 1), family: OrderingFamily::Br, opts },
-        Job::Svd { a: random_symmetric(m, 2), family: OrderingFamily::PermutedBr, opts },
-        Job::Eigen { a: random_symmetric(m, 3), family: OrderingFamily::Degree4, opts },
+        Job::Eigen { a: random_symmetric(m, 1), family: OrderingFamily::Br, opts: opts.clone() },
+        Job::Svd {
+            a: random_symmetric(m, 2),
+            family: OrderingFamily::PermutedBr,
+            opts: opts.clone(),
+        },
+        Job::Eigen {
+            a: random_symmetric(m, 3),
+            family: OrderingFamily::Degree4,
+            opts: opts.clone(),
+        },
         Job::Eigen { a: random_symmetric(m, 4), family: OrderingFamily::MinAlpha, opts },
     ]
 }

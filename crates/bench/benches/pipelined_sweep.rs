@@ -25,12 +25,13 @@ fn bench_pipelined(c: &mut Criterion) {
         b.iter(|| black_box(block_jacobi_threaded(&a, 3, family, &base)))
     });
     for q in [2usize, 4, 8] {
-        let opts = JacobiOptions { pipelining: Pipelining::Fixed(q), ..base };
+        let opts = JacobiOptions { pipelining: Pipelining::Fixed(q), ..base.clone() };
         g.bench_function(format!("fixed_q{q}_m128_d3"), |b| {
             b.iter(|| black_box(block_jacobi_threaded(&a, 3, family, &opts)))
         });
     }
-    let auto = JacobiOptions { pipelining: Pipelining::Auto(Machine::paper_figure2()), ..base };
+    let auto =
+        JacobiOptions { pipelining: Pipelining::Auto(Machine::paper_figure2()), ..base.clone() };
     g.bench_function("auto_m128_d3", |b| {
         b.iter(|| black_box(block_jacobi_threaded(&a, 3, family, &auto)))
     });

@@ -26,13 +26,15 @@ fn bench_tail_pipeline(c: &mut Criterion) {
         b.iter(|| black_box(block_jacobi_threaded(&a, 3, family, &base)))
     });
     for q in [2usize, 4, 8] {
-        let opts = JacobiOptions { tail_pipelining: Pipelining::Fixed(q), ..base };
+        let opts = JacobiOptions { tail_pipelining: Pipelining::Fixed(q), ..base.clone() };
         g.bench_function(format!("tail_q{q}_m128_d3"), |b| {
             b.iter(|| black_box(block_jacobi_threaded(&a, 3, family, &opts)))
         });
     }
-    let auto =
-        JacobiOptions { tail_pipelining: Pipelining::Auto(Machine::paper_figure2()), ..base };
+    let auto = JacobiOptions {
+        tail_pipelining: Pipelining::Auto(Machine::paper_figure2()),
+        ..base.clone()
+    };
     g.bench_function("tail_auto_m128_d3", |b| {
         b.iter(|| black_box(block_jacobi_threaded(&a, 3, family, &auto)))
     });

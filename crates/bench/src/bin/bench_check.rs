@@ -403,6 +403,56 @@ fn validate(doc: &Json) -> Vec<String> {
         require(&format!("batch one_port.{key} >= all_port.{key}"), ordered);
     }
 
+    // The degraded block: seeded impairment scenarios (static
+    // heterogeneity, Gilbert–Elliott episodes, a scheduled link death)
+    // solved by the adaptive driver. Virtual-clock quantities again, so
+    // they gate hard: every class must finish bitwise-identical to the
+    // clean run (impairments change *when* packets move, never *what*
+    // they carry), adaptive must land within 1.25x of the scenario
+    // oracle, impairments must never make the fabric faster than clean,
+    // and the death class must actually exercise the relay — zero
+    // rerouted elements there means the dead link was silently ignored.
+    let degraded = doc.get("degraded");
+    require("degraded", degraded.is_some());
+    let dg_row = |name: &str, key: &str| {
+        degraded.and_then(|g| g.get(name)).and_then(|r| r.get(key)).and_then(Json::as_number)
+    };
+    for name in ["hetero", "episodes", "death"] {
+        for key in ["clean_vtime", "adaptive_vtime", "oracle_vtime"] {
+            require(
+                &format!("degraded.{name}.{key}"),
+                dg_row(name, key).is_some_and(|x| x.is_finite() && x > 0.0),
+            );
+        }
+        for key in ["recalibrations", "reroutes", "rerouted_elems"] {
+            require(
+                &format!("degraded.{name}.{key}"),
+                dg_row(name, key).is_some_and(|x| x.is_finite() && x >= 0.0),
+            );
+        }
+        require(
+            &format!("degraded.{name}.adaptive_over_oracle <= 1.25"),
+            dg_row(name, "adaptive_over_oracle")
+                .is_some_and(|r| r.is_finite() && r > 0.0 && r <= 1.25),
+        );
+        let no_faster = match (dg_row(name, "adaptive_vtime"), dg_row(name, "clean_vtime")) {
+            (Some(adaptive), Some(clean)) => adaptive >= clean - 1e-9,
+            _ => false,
+        };
+        require(&format!("degraded.{name}.adaptive_vtime >= clean_vtime"), no_faster);
+        require(
+            &format!("degraded.{name}.bitwise_identical"),
+            matches!(
+                degraded.and_then(|g| g.get(name)).and_then(|r| r.get("bitwise_identical")),
+                Some(Json::Bool(true))
+            ),
+        );
+    }
+    require(
+        "degraded.death.rerouted_elems >= 1",
+        dg_row("death", "rerouted_elems").is_some_and(|e| e >= 1.0),
+    );
+
     // The serve block: open-loop arrivals served online at the
     // calibration load point (arrivals paced under one-port capacity).
     // Virtual-clock quantities, deterministic, so they gate hard: SLO
@@ -594,6 +644,20 @@ mod tests {
                                  "measured_over_predicted": {batch_ratio},
                                  "serial_tail_vtime": 40.0,
                                  "jobs_per_vtime": 2.2e-2, "elems_per_vtime": 20.0}}}},
+          "degraded": {{"family": "permuted-BR", "force_sweeps": 3,
+                       "machine_ts": 1000.0, "machine_tw": 100.0,
+                       "hetero": {{"clean_vtime": 2.17e6, "adaptive_vtime": 5.03e6,
+                                  "oracle_vtime": 5.00e6, "adaptive_over_oracle": 1.006,
+                                  "recalibrations": 2, "reroutes": 0, "rerouted_elems": 0,
+                                  "bitwise_identical": true}},
+                       "episodes": {{"clean_vtime": 2.17e6, "adaptive_vtime": 1.13e7,
+                                    "oracle_vtime": 9.66e6, "adaptive_over_oracle": 1.17,
+                                    "recalibrations": 2, "reroutes": 0, "rerouted_elems": 0,
+                                    "bitwise_identical": true}},
+                       "death": {{"clean_vtime": 2.17e6, "adaptive_vtime": 6.72e6,
+                                 "oracle_vtime": 6.68e6, "adaptive_over_oracle": 1.012,
+                                 "recalibrations": 2, "reroutes": 14, "rerouted_elems": 14344,
+                                 "bitwise_identical": true}}}},
           "serve": {{"jobs": 8, "force_sweeps": 1,
                     "machine_ts": 1000.0, "machine_tw": 100.0,
                     "m64": {serve_m64},
@@ -666,7 +730,68 @@ mod tests {
         assert!(problems.iter().any(|p| p.contains("layout_sweep.seed_vecvec_ms")));
         assert!(problems.iter().any(|p| p == "missing or malformed field: fabric"));
         assert!(problems.iter().any(|p| p == "missing or malformed field: batch"));
+        assert!(problems.iter().any(|p| p == "missing or malformed field: degraded"));
         assert!(problems.iter().any(|p| p == "missing or malformed field: serve"));
+    }
+
+    #[test]
+    fn gates_the_degraded_adaptive_over_oracle_bar() {
+        // An adaptive run more than 1.25x off the scenario oracle gates —
+        // the recalibration loop stopped tracking the fabric.
+        let text = minimal_snapshot(1.0, 100.0)
+            .replace("\"adaptive_over_oracle\": 1.17", "\"adaptive_over_oracle\": 1.31");
+        let doc = Parser::new(&text).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("degraded.episodes.adaptive_over_oracle")),
+            "{problems:?}"
+        );
+        // Impairments making the fabric *faster* than clean gates — the
+        // scenario factors are slowdowns by construction.
+        let text = minimal_snapshot(1.0, 100.0)
+            .replace("\"adaptive_vtime\": 5.03e6", "\"adaptive_vtime\": 1.0e6");
+        let doc = Parser::new(&text).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("degraded.hetero.adaptive_vtime >= clean_vtime")),
+            "{problems:?}"
+        );
+        // The happy path has no degraded problems.
+        let doc = Parser::new(&minimal_snapshot(1.0, 100.0)).document().expect("parses");
+        assert!(validate(&doc).iter().all(|p| !p.contains("degraded")), "{:?}", validate(&doc));
+    }
+
+    #[test]
+    fn gates_the_degraded_bitwise_flag() {
+        // A degraded run whose bits diverged from the clean run must never
+        // pass CI — impairments change when packets move, never what they
+        // carry.
+        let text = minimal_snapshot(1.0, 100.0).replace(
+            "\"recalibrations\": 2, \"reroutes\": 14, \"rerouted_elems\": 14344,\n                                 \"bitwise_identical\": true",
+            "\"recalibrations\": 2, \"reroutes\": 14, \"rerouted_elems\": 14344,\n                                 \"bitwise_identical\": false",
+        );
+        let doc = Parser::new(&text).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("degraded.death.bitwise_identical")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn gates_the_death_class_exercising_the_relay() {
+        // The death class with zero rerouted elements means the dead link
+        // was silently ignored rather than relayed around.
+        let text = minimal_snapshot(1.0, 100.0).replace(
+            "\"reroutes\": 14, \"rerouted_elems\": 14344",
+            "\"reroutes\": 0, \"rerouted_elems\": 0",
+        );
+        let doc = Parser::new(&text).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("degraded.death.rerouted_elems >= 1")),
+            "{problems:?}"
+        );
     }
 
     #[test]

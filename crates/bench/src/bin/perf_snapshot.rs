@@ -21,16 +21,18 @@ use mph_ccpipe::{
 };
 use mph_core::OrderingFamily;
 use mph_eigen::{
-    block_jacobi, block_jacobi_threaded, block_jacobi_threaded_fabric, choose_qs, choose_tail_qs,
-    lower_job, lower_sweeps, packetization_cap, svd_block, BlockPartition, ColumnBlock,
-    FabricModel, JacobiOptions, JobSpec, KernelPath, Pipelining,
+    block_jacobi, block_jacobi_threaded, block_jacobi_threaded_adaptive,
+    block_jacobi_threaded_fabric, choose_qs, choose_tail_qs, lower_job, lower_sweeps,
+    packetization_cap, svd_block, Adaptation, BlockPartition, ColumnBlock, FabricModel,
+    JacobiOptions, JobSpec, KernelPath, Pipelining,
 };
 use mph_linalg::symmetric::random_symmetric;
-use mph_runtime::calibrate_channel_machine;
+use mph_runtime::{calibrate_channel_machine, LinkDeath, Scenario, ScenarioSpec};
 use mph_serve::{serve, JobClass, ScenarioGen, ServeOptions};
 use std::fmt::Write as _;
 use std::fs;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Median wall-clock milliseconds of `reps` runs of `f`.
@@ -148,7 +150,7 @@ fn main() {
 
     // --- Fixed eigensolve, every ordering family ------------------------
     let opts = JacobiOptions { force_sweeps: Some(2), ..Default::default() };
-    let fast = JacobiOptions { cache_diagonals: true, ..opts };
+    let fast = JacobiOptions { cache_diagonals: true, ..opts.clone() };
     let mut family_json = String::new();
     for (idx, family) in OrderingFamily::ALL.into_iter().enumerate() {
         let r0 = block_jacobi(&a, d, family, &opts); // warm + rotation count
@@ -191,7 +193,8 @@ fn main() {
     let pipe_family = OrderingFamily::PermutedBr;
     let sweeps_forced = 2usize;
     let unpiped_opts = JacobiOptions { force_sweeps: Some(sweeps_forced), ..Default::default() };
-    let piped_opts = JacobiOptions { pipelining: Pipelining::Auto(machine), ..unpiped_opts };
+    let piped_opts =
+        JacobiOptions { pipelining: Pipelining::Auto(machine), ..unpiped_opts.clone() };
     // The solver's own lowering and scheduling helpers, so the recorded
     // q_per_phase and predicted ratio describe exactly the schedule the
     // measured run executes.
@@ -254,7 +257,7 @@ fn main() {
             fabric: FabricModel::Throttled(fmachine),
             ..Default::default()
         };
-        let fauto = JacobiOptions { pipelining: Pipelining::Auto(fmachine), ..fbase };
+        let fauto = JacobiOptions { pipelining: Pipelining::Auto(fmachine), ..fbase.clone() };
         let fqs = choose_qs(plan, &fauto.pipelining, q_cap);
         let (_, _, ru) = block_jacobi_threaded_fabric(&a, d, pipe_family, &fbase);
         let (_, _, rp) = block_jacobi_threaded_fabric(&a, d, pipe_family, &fauto);
@@ -329,7 +332,7 @@ fn main() {
             fabric: FabricModel::Throttled(tail_machine),
             ..Default::default()
         };
-        let ton = JacobiOptions { tail_pipelining: Pipelining::Auto(tail_machine), ..toff };
+        let ton = JacobiOptions { tail_pipelining: Pipelining::Auto(tail_machine), ..toff.clone() };
         let (r_off, _, f_off) = block_jacobi_threaded_fabric(&ta, d, pipe_family, &toff);
         let (r_on, _, f_on) = block_jacobi_threaded_fabric(&ta, d, pipe_family, &ton);
         let measured = f_off.makespan / f_on.makespan;
@@ -373,21 +376,25 @@ fn main() {
     let batch_n = 4usize;
     let bopts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
     let batch_jobs = vec![
-        Job::Eigen { a: random_symmetric(m, seed + 1), family: OrderingFamily::Br, opts: bopts },
+        Job::Eigen {
+            a: random_symmetric(m, seed + 1),
+            family: OrderingFamily::Br,
+            opts: bopts.clone(),
+        },
         Job::Eigen {
             a: random_symmetric(m, seed + 2),
             family: OrderingFamily::Degree4,
-            opts: bopts,
+            opts: bopts.clone(),
         },
         Job::Svd {
             a: random_symmetric(m, seed + 3),
             family: OrderingFamily::PermutedBr,
-            opts: bopts,
+            opts: bopts.clone(),
         },
         Job::Eigen {
             a: random_symmetric(m, seed + 4),
             family: OrderingFamily::MinAlpha,
-            opts: bopts,
+            opts: bopts.clone(),
         },
     ];
     // Solo references, solved once: every batched result below — per port
@@ -409,7 +416,7 @@ fn main() {
             solve_batch(
                 d,
                 &batch_jobs,
-                &BatchOptions { fabric: bfabric, policy, ..Default::default() },
+                &BatchOptions { fabric: bfabric.clone(), policy, ..Default::default() },
             )
         };
         let fifo = run(Policy::Fifo);
@@ -470,6 +477,101 @@ fn main() {
         "{{\n    \"jobs\": {batch_n},\n    \"force_sweeps\": 1,\n    \
          \"machine_ts\": {fab_ts},\n    \"machine_tw\": {fab_tw},\n    \
          \"bitwise_identical\": {bitwise}{batch_rows}\n  }}"
+    );
+
+    // --- Degraded fabric: adaptive solver vs scenario oracle ------------
+    // Three seeded scenario classes on the snapshot machine — static
+    // heterogeneity, Gilbert–Elliott episodes, and a scheduled link death
+    // relayed around — each solved three ways: on the clean throttled
+    // fabric, reactively (mid-run window calibration + re-pricing), and
+    // against the oracle that re-prices on the scenario's known
+    // worst-alive machine. The gate requires every class to finish
+    // bitwise-clean with adaptive/oracle ≤ 1.25.
+    let dg_machine = Machine { ts: fab_ts, tw: fab_tw, ports: PortModel::AllPort };
+    let dg_sweeps = 3usize;
+    let dg_base = JacobiOptions {
+        force_sweeps: Some(dg_sweeps),
+        fabric: FabricModel::Throttled(dg_machine),
+        ..Default::default()
+    };
+    let (dg_ref, _, dg_clean_fab) = block_jacobi_threaded_fabric(&a, d, pipe_family, &dg_base);
+    let dg_classes: Vec<(&str, ScenarioSpec)> = vec![
+        (
+            "hetero",
+            ScenarioSpec {
+                epochs: dg_sweeps + 1,
+                hetero_spread: 3.0,
+                ..ScenarioSpec::clean(seed, dg_machine)
+            },
+        ),
+        (
+            "episodes",
+            ScenarioSpec {
+                epochs: dg_sweeps + 1,
+                hetero_spread: 0.5,
+                episode_rate: 0.4,
+                episode_recovery: 0.4,
+                episode_severity: 6.0,
+                ..ScenarioSpec::clean(seed + 1, dg_machine)
+            },
+        ),
+        (
+            "death",
+            ScenarioSpec {
+                epochs: dg_sweeps + 1,
+                hetero_spread: 0.5,
+                deaths: vec![LinkDeath { node: 0, dim: 0, epoch: 1 }],
+                ..ScenarioSpec::clean(seed + 2, dg_machine)
+            },
+        ),
+    ];
+    let mut degraded_rows = String::new();
+    for (cname, spec) in &dg_classes {
+        let scenario =
+            Arc::new(Scenario::new(d, spec.clone()).expect("snapshot scenarios are valid"));
+        let run = |adaptation: Adaptation| {
+            let opts = JacobiOptions {
+                fabric: FabricModel::Degraded(scenario.clone()),
+                adaptation,
+                ..dg_base.clone()
+            };
+            block_jacobi_threaded_adaptive(&a, d, pipe_family, &opts)
+        };
+        let (r_adaptive, _, f_adaptive, rep) = run(Adaptation::Reactive);
+        let (_, _, f_oracle, _) = run(Adaptation::Oracle);
+        let adaptive_over_oracle = f_adaptive.makespan / f_oracle.makespan;
+        let dg_bitwise = r_adaptive.rotations == dg_ref.rotations
+            && r_adaptive.eigenvalues == dg_ref.eigenvalues
+            && (0..m).all(|c| r_adaptive.eigenvectors.col(c) == dg_ref.eigenvectors.col(c));
+        println!(
+            "  degraded {cname:<9}: clean {:>12.0} | adaptive {:>12.0} | oracle {:>12.0} vtime \
+             | adaptive/oracle {adaptive_over_oracle:.3} | recal {} | rerouted {} elems | \
+             bitwise {dg_bitwise}",
+            dg_clean_fab.makespan,
+            f_adaptive.makespan,
+            f_oracle.makespan,
+            rep.recalibrations,
+            rep.rerouted_elems,
+        );
+        write!(
+            degraded_rows,
+            ",\n    \"{cname}\": {{\"clean_vtime\": {:.3}, \"adaptive_vtime\": {:.3}, \
+             \"oracle_vtime\": {:.3}, \"adaptive_over_oracle\": {adaptive_over_oracle:.4}, \
+             \"recalibrations\": {}, \"reroutes\": {}, \"rerouted_elems\": {}, \
+             \"bitwise_identical\": {dg_bitwise}}}",
+            dg_clean_fab.makespan,
+            f_adaptive.makespan,
+            f_oracle.makespan,
+            rep.recalibrations,
+            rep.reroutes,
+            rep.rerouted_elems,
+        )
+        .unwrap();
+    }
+    let degraded_json = format!(
+        "{{\n    \"family\": \"{}\",\n    \"force_sweeps\": {dg_sweeps},\n    \
+         \"machine_ts\": {fab_ts},\n    \"machine_tw\": {fab_tw}{degraded_rows}\n  }}",
+        pipe_family.name(),
     );
 
     // --- Serving layer: open-loop arrivals on one throttled fabric ------
@@ -584,6 +686,7 @@ fn main() {
          \"fabric\": {fabric_json},\n  \
          \"tail\": {tail_json},\n  \
          \"batch\": {batch_json},\n  \
+         \"degraded\": {degraded_json},\n  \
          \"serve\": {serve_json},\n  \
          \"families\": {{{family_json}\n  }}\n}}\n"
     );

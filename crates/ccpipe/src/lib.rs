@@ -44,8 +44,9 @@ pub use pipelining::{
     mode_of, pipelined_schedule, PipelineMode, PipelinedSchedule, Stage, StagePhase,
 };
 pub use plancost::{
-    chained_tail_cost, phase_cc, plan_cost_with, plan_cost_with_tail, plan_pipelining,
-    plan_sweep_cost, plan_tail_pipelining, plan_unpipelined_cost, PhaseChoice,
+    chained_tail_cost, phase_cc, plan_cost_hetero, plan_cost_with, plan_cost_with_tail,
+    plan_pipelining, plan_sweep_cost, plan_tail_pipelining, plan_unpipelined_cost, worst_machine,
+    PhaseChoice,
 };
 pub use sweepcost::{
     elems_per_transfer, figure2_point, lower_bound_sweep_cost, pipelined_sweep_cost,

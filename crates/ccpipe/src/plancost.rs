@@ -206,6 +206,63 @@ pub fn plan_cost_with_tail(
     SweepCost { d: plan.d(), phases, serial, tail_q, total }
 }
 
+/// The pessimistic collapse of a set of per-link machines into one: the
+/// component-wise maximum of `Ts` and `Tw` under the first machine's port
+/// model. A lock-step SPMD sweep is gated by its slowest link, so pricing
+/// a heterogeneous epoch on this machine is exactly what an oracle that
+/// knows every link's condition would do — it is the pricing collapse
+/// behind `Scenario::worst_alive_machine` in `mph-runtime` and the
+/// [`plan_cost_hetero`] upper bound asserted in the tests below.
+///
+/// # Panics
+/// Panics on an empty slice: there is no worst of nothing.
+pub fn worst_machine(machines: &[Machine]) -> Machine {
+    let first = machines.first().expect("worst_machine needs at least one machine");
+    machines.iter().fold(*first, |acc, m| Machine {
+        ts: acc.ts.max(m.ts),
+        tw: acc.tw.max(m.tw),
+        ports: acc.ports,
+    })
+}
+
+/// [`plan_cost_with`] on a **heterogeneous** fabric: one machine per plan
+/// phase (in execution order — exchange, division, and last phases alike),
+/// each phase priced on its own machine. This is the cost-model view of a
+/// degraded epoch where different sweeps' phases traverse links in
+/// different conditions: the scenario layer samples a machine per phase
+/// (typically the worst link the phase crosses) and this prices the
+/// resulting schedule.
+///
+/// With every entry equal, the result is bit-for-bit [`plan_cost_with`] —
+/// asserted in the tests below, as is the sandwich
+/// `uniform(best) ≤ hetero ≤ uniform(worst_machine)`.
+pub fn plan_cost_hetero(plan: &CommPlan, machines: &[Machine], qs: &[usize]) -> SweepCost {
+    assert_eq!(machines.len(), plan.phases().len(), "one machine per plan phase");
+    assert_eq!(
+        qs.len(),
+        plan.exchange_phases().count(),
+        "one pipelining degree per exchange phase"
+    );
+    let mut phases = Vec::new();
+    let mut serial = 0.0;
+    let mut xq = 0usize;
+    for (ph, machine) in plan.phases().iter().zip(machines) {
+        match ph.kind {
+            PhaseKind::Exchange { e } => {
+                let q = qs[xq].max(1);
+                xq += 1;
+                let model = PhaseCostModel::new(&phase_cc(ph), *machine);
+                phases.push(PhaseOutcome { e, q, mode: mode_of(model.k, q), cost: model.cost(q) });
+            }
+            PhaseKind::Division { .. } | PhaseKind::Last => {
+                serial += machine.single_message_cost(ph.max_message_elems() as f64);
+            }
+        }
+    }
+    let total = phases.iter().map(|p| p.cost).sum::<f64>() + serial;
+    SweepCost { d: plan.d(), phases, serial, tail_q: 1, total }
+}
+
 /// The optimal tail packet degree for `plan` on `machine`: the integer
 /// `Q ∈ [1, q_max]` minimizing [`chained_tail_cost`], scanned over the
 /// same candidate structure as [`optimize_q`] (all small `Q`, a geometric
@@ -454,6 +511,50 @@ mod tests {
         assert_eq!(x1.cost, 0.0);
         let sum: f64 = new.phases.iter().map(|p| p.cost).sum::<f64>() + new.serial;
         assert!((new.total - sum).abs() < 1e-9 * sum.max(1.0));
+    }
+
+    #[test]
+    fn uniform_hetero_pricing_is_plan_cost_with_bit_for_bit() {
+        let machine = Machine::paper_figure2();
+        for family in OrderingFamily::ALL {
+            let plan = lower(64, 2, family, 0);
+            let qs: Vec<usize> = plan.exchange_phases().map(|_| 2).collect();
+            let machines = vec![machine; plan.phases().len()];
+            let uniform = plan_cost_with(&plan, &machine, &qs);
+            let hetero = plan_cost_hetero(&plan, &machines, &qs);
+            assert_eq!(hetero.total.to_bits(), uniform.total.to_bits(), "{family}");
+            assert_eq!(hetero.serial.to_bits(), uniform.serial.to_bits(), "{family}");
+            assert_eq!(hetero.phases, uniform.phases, "{family}");
+        }
+    }
+
+    #[test]
+    fn hetero_pricing_is_sandwiched_by_the_best_and_worst_uniform_machines() {
+        // Degrade a couple of phases: the mixed price must sit between
+        // the all-clean price and the price on the worst machine of the
+        // set — the oracle's pessimistic collapse.
+        let clean = Machine::all_port(1000.0, 100.0);
+        let slow = Machine { ts: 3.0 * clean.ts, tw: 5.0 * clean.tw, ports: clean.ports };
+        let plan = lower(64, 2, OrderingFamily::Degree4, 0);
+        let qs: Vec<usize> = plan.exchange_phases().map(|_| 1).collect();
+        let mut machines = vec![clean; plan.phases().len()];
+        machines[0] = slow;
+        *machines.last_mut().expect("plans have phases") = slow;
+        let hetero = plan_cost_hetero(&plan, &machines, &qs).total;
+        let best = plan_cost_with(&plan, &clean, &qs).total;
+        let worst = plan_cost_with(&plan, &worst_machine(&machines), &qs).total;
+        assert!(best < hetero, "{best} < {hetero}");
+        assert!(hetero < worst, "{hetero} < {worst}");
+    }
+
+    #[test]
+    fn worst_machine_takes_the_component_wise_max() {
+        let a = Machine { ts: 10.0, tw: 1.0, ports: PortModel::AllPort };
+        let b = Machine { ts: 5.0, tw: 4.0, ports: PortModel::OnePort };
+        let w = worst_machine(&[a, b]);
+        assert_eq!(w.ts, 10.0);
+        assert_eq!(w.tw, 4.0);
+        assert_eq!(w.ports, PortModel::AllPort, "ports come from the first machine");
     }
 
     #[test]

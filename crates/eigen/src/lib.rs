@@ -59,10 +59,11 @@ pub use multidrive::{
 };
 pub use offnorm::{diagonal, diagonal_blocks, off_norm, off_norm_blocks};
 pub use onesided::one_sided_cyclic;
-pub use options::{EigenResult, JacobiOptions, Pipelining};
+pub use options::{Adaptation, EigenResult, JacobiOptions, Pipelining};
 pub use svd::{svd_block, svd_cyclic, SvdResult};
 pub use threaded::{
-    block_jacobi_threaded, block_jacobi_threaded_fabric, choose_qs, choose_tail_qs, lower_sweeps,
-    lower_sweeps_with, packetization_cap, Msg, NodeOutput,
+    block_jacobi_threaded, block_jacobi_threaded_adaptive, block_jacobi_threaded_fabric, choose_qs,
+    choose_tail_qs, lower_sweeps, lower_sweeps_with, packetization_cap, AdaptiveReport, Msg,
+    NodeOutput,
 };
 pub use twosided::two_sided_cyclic;

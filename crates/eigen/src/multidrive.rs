@@ -1268,8 +1268,8 @@ pub fn svd_block_threaded_fabric(
     family: OrderingFamily,
     opts: &JacobiOptions,
 ) -> (SvdResult, TrafficMeter, FabricReport) {
-    let spec = JobSpec::svd(a.clone(), family, *opts);
-    let mut run = run_job_batch(d, &[spec], opts.fabric, &BatchOrder::Serial(vec![0]));
+    let spec = JobSpec::svd(a.clone(), family, opts.clone());
+    let mut run = run_job_batch(d, &[spec], opts.fabric.clone(), &BatchOrder::Serial(vec![0]));
     match run.results.pop() {
         Some(JobResult::Svd(r)) => (r, run.meter, run.fabric),
         _ => unreachable!("a single SVD job returns a single SVD result"),
@@ -1322,7 +1322,7 @@ mod tests {
                         let (solo, _) = block_jacobi_threaded(&a, d, family, &opts);
                         let run = run_job_batch(
                             d,
-                            &[JobSpec::eigen(a.clone(), family, opts)],
+                            &[JobSpec::eigen(a.clone(), family, opts.clone())],
                             FabricModel::Free,
                             &BatchOrder::Serial(vec![0]),
                         );
@@ -1383,8 +1383,8 @@ mod tests {
         let opts = JacobiOptions { force_sweeps: Some(2), ..Default::default() };
         let d = 2;
         let jobs = [
-            JobSpec::eigen(a0.clone(), OrderingFamily::Br, opts),
-            JobSpec::svd(a1.clone(), OrderingFamily::Degree4, opts),
+            JobSpec::eigen(a0.clone(), OrderingFamily::Br, opts.clone()),
+            JobSpec::svd(a1.clone(), OrderingFamily::Degree4, opts.clone()),
         ];
         let solo_e = block_jacobi(&a0, d, OrderingFamily::Br, &opts);
         let solo_s = svd_block(&a1, d, OrderingFamily::Degree4, &opts);
@@ -1392,7 +1392,7 @@ mod tests {
         {
             for stride in [1usize, 2] {
                 let order = BatchOrder::RoundRobin { order: vec![0, 1], stride };
-                let run = run_job_batch(d, &jobs, fabric, &order);
+                let run = run_job_batch(d, &jobs, fabric.clone(), &order);
                 assert_eigen_bitwise(
                     run.results[0].eigen().expect("eigen"),
                     &solo_e,
@@ -1414,8 +1414,8 @@ mod tests {
         let opts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
         let d = 2;
         let jobs = [
-            JobSpec::eigen(a0.clone(), OrderingFamily::Br, opts),
-            JobSpec::eigen(a1.clone(), OrderingFamily::PermutedBr, opts),
+            JobSpec::eigen(a0.clone(), OrderingFamily::Br, opts.clone()),
+            JobSpec::eigen(a1.clone(), OrderingFamily::PermutedBr, opts.clone()),
         ];
         let order = BatchOrder::RoundRobin { order: vec![0, 1], stride: 1 };
         let run = run_job_batch(d, &jobs, FabricModel::Free, &order);
@@ -1448,10 +1448,10 @@ mod tests {
         let machine = Machine::all_port(1000.0, 100.0);
         let fabric = FabricModel::Throttled(machine);
         let jobs = [
-            JobSpec::eigen(a0, OrderingFamily::Br, opts),
-            JobSpec::eigen(a1, OrderingFamily::Degree4, opts),
+            JobSpec::eigen(a0, OrderingFamily::Br, opts.clone()),
+            JobSpec::eigen(a1, OrderingFamily::Degree4, opts.clone()),
         ];
-        let serial = run_job_batch(d, &jobs, fabric, &BatchOrder::Serial(vec![0, 1]));
+        let serial = run_job_batch(d, &jobs, fabric.clone(), &BatchOrder::Serial(vec![0, 1]));
         let inter = run_job_batch(
             d,
             &jobs,
@@ -1514,11 +1514,12 @@ mod tests {
         let opts = JacobiOptions { force_sweeps: Some(2), ..Default::default() };
         let d = 2;
         let (solo, _) = block_jacobi_threaded(&a, d, OrderingFamily::Br, &opts);
-        let jobs = [JobSpec::eigen(a, OrderingFamily::Br, opts)];
+        let jobs = [JobSpec::eigen(a, OrderingFamily::Br, opts.clone())];
         let lowered = lower_all(&jobs, d);
         for fabric in [FabricModel::Free, FabricModel::Throttled(Machine::all_port(1000.0, 100.0))]
         {
-            let run = run_job_service(d, &jobs, &lowered, fabric, &ServicePlan::fifo(vec![0.0]));
+            let run =
+                run_job_service(d, &jobs, &lowered, fabric.clone(), &ServicePlan::fifo(vec![0.0]));
             assert_eq!(run.served(), 1);
             assert_eq!(run.rejected(), 0);
             let got = run.results[0].as_ref().and_then(JobResult::eigen).expect("served");
@@ -1536,18 +1537,24 @@ mod tests {
         let opts = JacobiOptions { force_sweeps: Some(3), ..Default::default() };
         let d = 2;
         let jobs = [
-            JobSpec::eigen(a0.clone(), OrderingFamily::Br, opts),
-            JobSpec::svd(a1.clone(), OrderingFamily::Degree4, opts),
+            JobSpec::eigen(a0.clone(), OrderingFamily::Br, opts.clone()),
+            JobSpec::svd(a1.clone(), OrderingFamily::Degree4, opts.clone()),
         ];
         let lowered = lower_all(&jobs, d);
         let machine = Machine::all_port(1000.0, 100.0);
         let fabric = FabricModel::Throttled(machine);
         // First measure job 0 alone to place job 1's arrival mid-run.
-        let probe =
-            run_job_service(d, &jobs[..1], &lowered[..1], fabric, &ServicePlan::fifo(vec![0.0]));
+        let probe = run_job_service(
+            d,
+            &jobs[..1],
+            &lowered[..1],
+            fabric.clone(),
+            &ServicePlan::fifo(vec![0.0]),
+        );
         let solo_makespan = run_outcome_finish(&probe.outcomes[0]);
         let mid = solo_makespan * 0.4;
-        let run = run_job_service(d, &jobs, &lowered, fabric, &ServicePlan::fifo(vec![0.0, mid]));
+        let run =
+            run_job_service(d, &jobs, &lowered, fabric.clone(), &ServicePlan::fifo(vec![0.0, mid]));
         assert_eq!(run.served(), 2);
         match run.outcomes[1] {
             JobOutcome::Served { arrival, admitted, finish } => {
@@ -1589,7 +1596,7 @@ mod tests {
         let opts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
         let d = 1;
         let jobs: Vec<JobSpec> = (0..3)
-            .map(|s| JobSpec::eigen(random_symmetric(8, 80 + s), OrderingFamily::Br, opts))
+            .map(|s| JobSpec::eigen(random_symmetric(8, 80 + s), OrderingFamily::Br, opts.clone()))
             .collect();
         let lowered = lower_all(&jobs, d);
         let plan =
@@ -1620,9 +1627,9 @@ mod tests {
         let opts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
         let d = 1;
         let jobs = [
-            JobSpec::eigen(random_symmetric(24, 91), OrderingFamily::Br, opts),
-            JobSpec::eigen(random_symmetric(24, 92), OrderingFamily::Br, opts),
-            JobSpec::eigen(random_symmetric(8, 93), OrderingFamily::Br, opts),
+            JobSpec::eigen(random_symmetric(24, 91), OrderingFamily::Br, opts.clone()),
+            JobSpec::eigen(random_symmetric(24, 92), OrderingFamily::Br, opts.clone()),
+            JobSpec::eigen(random_symmetric(8, 93), OrderingFamily::Br, opts.clone()),
         ];
         let lowered = lower_all(&jobs, d);
         let plan = ServicePlan {
@@ -1651,7 +1658,7 @@ mod tests {
         // forward instead of spinning, and the job's queue wait is 0.
         let opts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
         let d = 1;
-        let jobs = [JobSpec::eigen(random_symmetric(8, 95), OrderingFamily::Br, opts)];
+        let jobs = [JobSpec::eigen(random_symmetric(8, 95), OrderingFamily::Br, opts.clone())];
         let lowered = lower_all(&jobs, d);
         let late = 1e6;
         let run = run_job_service(
@@ -1681,7 +1688,7 @@ mod tests {
                 JobSpec::eigen(
                     random_symmetric(12 + 4 * (s % 2), 60 + s as u64),
                     OrderingFamily::Br,
-                    opts,
+                    opts.clone(),
                 )
             })
             .collect();
@@ -1693,8 +1700,8 @@ mod tests {
             ..ServicePlan::fifo(vec![0.0, 10_000.0, 20_000.0, 30_000.0])
         };
         let fabric = FabricModel::Throttled(Machine::all_port(1000.0, 100.0));
-        let a = run_job_service(d, &jobs, &lowered, fabric, &plan);
-        let b = run_job_service(d, &jobs, &lowered, fabric, &plan);
+        let a = run_job_service(d, &jobs, &lowered, fabric.clone(), &plan);
+        let b = run_job_service(d, &jobs, &lowered, fabric.clone(), &plan);
         assert_eq!(a.outcomes, b.outcomes, "virtual-clock outcomes must not depend on scheduling");
         assert_eq!(a.boundaries, b.boundaries);
         assert_eq!(a.fabric.makespan, b.fabric.makespan);
@@ -1707,7 +1714,7 @@ mod tests {
         let opts = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
         let d = 1;
         let jobs: Vec<JobSpec> = (0..3)
-            .map(|s| JobSpec::eigen(random_symmetric(8, 50 + s), OrderingFamily::Br, opts))
+            .map(|s| JobSpec::eigen(random_symmetric(8, 50 + s), OrderingFamily::Br, opts.clone()))
             .collect();
         let lowered = lower_all(&jobs, d);
         let plan = ServicePlan { max_active: 2, ..ServicePlan::fifo(vec![0.0, 5_000.0, 10_000.0]) };
@@ -1729,13 +1736,13 @@ mod tests {
         let opts = JacobiOptions { force_sweeps: Some(2), ..Default::default() };
         let d = 2;
         let jobs = [
-            JobSpec::eigen(random_symmetric(32, 55), OrderingFamily::Br, opts),
-            JobSpec::eigen(random_symmetric(32, 56), OrderingFamily::Br, opts),
+            JobSpec::eigen(random_symmetric(32, 55), OrderingFamily::Br, opts.clone()),
+            JobSpec::eigen(random_symmetric(32, 56), OrderingFamily::Br, opts.clone()),
         ];
         let lowered = lower_all(&jobs, d);
         let fabric = FabricModel::Throttled(Machine::all_port(1000.0, 100.0));
         let base = ServicePlan { stagger_key: vec![7, 7], ..ServicePlan::fifo(vec![0.0, 0.0]) };
-        let in_phase = run_job_service(d, &jobs, &lowered, fabric, &base);
+        let in_phase = run_job_service(d, &jobs, &lowered, fabric.clone(), &base);
         let staggered = run_job_service(
             d,
             &jobs,
@@ -1778,7 +1785,7 @@ mod tests {
                 block_jacobi_threaded_fabric(&a, 2, OrderingFamily::Br, &opts);
             let run = run_job_batch(
                 2,
-                &[JobSpec::eigen(a.clone(), OrderingFamily::Br, opts)],
+                &[JobSpec::eigen(a.clone(), OrderingFamily::Br, opts.clone())],
                 FabricModel::Throttled(machine),
                 &BatchOrder::Serial(vec![0]),
             );
@@ -1805,17 +1812,20 @@ mod tests {
         let solo_s = svd_block(&a1, d, OrderingFamily::Degree4, &base);
         for tq in [2usize, 3, 5] {
             for pipelining in [Pipelining::Off, Pipelining::Fixed(2)] {
-                let opts =
-                    JacobiOptions { pipelining, tail_pipelining: Pipelining::Fixed(tq), ..base };
+                let opts = JacobiOptions {
+                    pipelining,
+                    tail_pipelining: Pipelining::Fixed(tq),
+                    ..base.clone()
+                };
                 let jobs = [
-                    JobSpec::eigen(a0.clone(), OrderingFamily::Br, opts),
-                    JobSpec::svd(a1.clone(), OrderingFamily::Degree4, opts),
+                    JobSpec::eigen(a0.clone(), OrderingFamily::Br, opts.clone()),
+                    JobSpec::svd(a1.clone(), OrderingFamily::Degree4, opts.clone()),
                 ];
                 for fabric in
                     [FabricModel::Free, FabricModel::Throttled(Machine::all_port(1000.0, 100.0))]
                 {
                     let order = BatchOrder::RoundRobin { order: vec![0, 1], stride: 2 };
-                    let run = run_job_batch(d, &jobs, fabric, &order);
+                    let run = run_job_batch(d, &jobs, fabric.clone(), &order);
                     assert_eigen_bitwise(
                         run.results[0].eigen().expect("eigen"),
                         &solo_e,

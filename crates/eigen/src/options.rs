@@ -2,7 +2,7 @@
 
 use mph_ccpipe::Machine;
 use mph_linalg::{KernelPath, Matrix};
-use mph_runtime::FabricModel;
+use mph_runtime::{FabricConfigError, FabricModel};
 
 /// Communication pipelining of the threaded driver's exchange phases
 /// (paper §2.4): each exchange phase splits its block payload into `Q`
@@ -28,8 +28,32 @@ pub enum Pipelining {
     Auto(Machine),
 }
 
+/// How the threaded driver reacts to a degraded fabric
+/// ([`FabricModel::Degraded`]): whether per-phase packetization (`Q`) is
+/// re-priced mid-run, and against what knowledge. Adaptation never changes
+/// the bits — it only re-times the same rotation sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Adaptation {
+    /// No reaction: the pre-run pricing is used throughout. (Dead links
+    /// are still routed around — that is survival, not adaptation.)
+    #[default]
+    Off,
+    /// React to *measured* conditions: each sweep, every node drains its
+    /// link clock's live `FabricStats` window, fits a `Machine` to it
+    /// (`Machine::calibrate`), agrees with its peers by max-allreduce, and
+    /// re-prices every exchange phase's `Q` via the cost model against the
+    /// agreed machine.
+    Reactive,
+    /// Cheat: re-price each sweep against the scenario's
+    /// `worst_alive_machine` for that epoch — the pricing a scheduler that
+    /// knew the impairment schedule in advance would choose. The baseline
+    /// the reactive mode is gated against (`bench_check`: reactive/oracle
+    /// ≤ 1.25).
+    Oracle,
+}
+
 /// Options shared by all one-sided Jacobi drivers.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JacobiOptions {
     /// Convergence tolerance: stop when `off(UᵀAU) ≤ tol · ‖A‖_F`.
     ///
@@ -78,9 +102,15 @@ pub struct JacobiOptions {
     /// against the machine's port configuration on a deterministic
     /// virtual clock, so `block_jacobi_threaded_fabric` reports a
     /// *measured* communication makespan comparable against the cost
-    /// model. The fabric only stamps time — it never reorders the
-    /// protocol — so any setting produces the same bits.
+    /// model; [`FabricModel::Degraded`] runs a seeded per-link impairment
+    /// scenario (heterogeneity, jitter walks, episodes, link death) on the
+    /// same clock. The fabric only stamps time — it never reorders the
+    /// protocol — so any setting produces the same bits, impaired runs
+    /// included.
     pub fabric: FabricModel,
+    /// Mid-run reaction to a degraded fabric; see [`Adaptation`]. Ignored
+    /// (harmlessly) unless `fabric` is [`FabricModel::Degraded`].
+    pub adaptation: Adaptation,
     /// Compute path of the rotation kernels (see
     /// [`mph_linalg::KernelPath`]). `Scalar` (the default) is the bitwise
     /// reference; `Lanes` dispatches to the widest vector unit the CPU
@@ -114,9 +144,20 @@ impl Default for JacobiOptions {
             pipelining: Pipelining::Off,
             tail_pipelining: Pipelining::Off,
             fabric: FabricModel::Free,
+            adaptation: Adaptation::Off,
             kernel: KernelPath::Scalar,
             workers: 0,
         }
+    }
+}
+
+impl JacobiOptions {
+    /// Validates the option set, surfacing fabric misconfigurations (e.g.
+    /// a `KPort(0)` machine) as the typed [`FabricConfigError`] at
+    /// configuration time — the checked-constructor pattern of
+    /// `BatchConfigError` — instead of a panic inside driver spawn.
+    pub fn validate(&self) -> Result<(), FabricConfigError> {
+        self.fabric.validate()
     }
 }
 
@@ -162,8 +203,24 @@ mod tests {
         assert_eq!(o.pipelining, Pipelining::Off, "whole-block protocol must be the default");
         assert_eq!(o.tail_pipelining, Pipelining::Off, "whole-block tail must be the default");
         assert_eq!(o.fabric, FabricModel::Free, "the raw channel fabric must be the default");
+        assert_eq!(o.adaptation, Adaptation::Off, "no mid-run adaptation by default");
         assert_eq!(o.kernel, KernelPath::Scalar, "scalar kernels must be the default");
         assert_eq!(o.workers, 0, "serial legacy pairing order must be the default");
+        assert!(o.validate().is_ok(), "the default option set must validate");
+    }
+
+    #[test]
+    fn zero_port_fabrics_fail_validation_with_the_typed_error() {
+        use mph_ccpipe::PortModel;
+        let opts = JacobiOptions {
+            fabric: FabricModel::Throttled(Machine {
+                ts: 1.0,
+                tw: 1.0,
+                ports: PortModel::KPort(0),
+            }),
+            ..JacobiOptions::default()
+        };
+        assert_eq!(opts.validate(), Err(FabricConfigError::ZeroPorts));
     }
 
     #[test]

@@ -42,16 +42,18 @@
 //! block traffic the paper's tables count.
 
 use crate::kernel::{refresh_block_diag, PairingRule, SweepAccumulator, SweepKernel};
-use crate::options::{EigenResult, JacobiOptions, Pipelining};
+use crate::options::{Adaptation, EigenResult, JacobiOptions, Pipelining};
 use mph_ccpipe::{plan_pipelining, plan_tail_pipelining};
 use mph_core::{BlockLayout, BlockPartition, CommPlan, OrderingFamily, PhaseKind, SweepSchedule};
+use mph_hypercube::surviving_route;
 use mph_linalg::block::{BufferPool, ColumnBlock};
 use mph_linalg::vecops::dot;
 use mph_linalg::Matrix;
 use mph_runtime::{
-    pipelined_phase, pipelined_phase_stamped, run_spmd_fabric, FabricReport, Meterable, Packet,
-    TrafficMeter,
+    pipelined_phase, pipelined_phase_stamped, run_spmd_fabric, FabricReport, Machine, Meterable,
+    NodeCtx, Packet, Scenario, TrafficMeter,
 };
+use std::sync::Arc;
 
 /// Messages carried by the links: a whole column block (one contiguous
 /// payload), one framed packet of a pipelined exchange phase, or a
@@ -109,6 +111,132 @@ pub struct NodeOutput {
     pub sweeps: usize,
     pub rotations: u64,
     pub converged: bool,
+    /// Mid-run machine re-fits this node adopted (globally agreed, so
+    /// every node reports the same count).
+    pub recalibrations: usize,
+    /// Messages this node *originated* that had to relay around a dead
+    /// link instead of crossing it directly.
+    pub reroutes: u64,
+    /// Elements in those origin messages (relay hops re-ship them, but the
+    /// origin volume is what the dead link would have carried).
+    pub rerouted_elems: u64,
+}
+
+/// What the adaptive layer did during a degraded solve — all zeros on
+/// clean fabrics. See [`block_jacobi_threaded_adaptive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdaptiveReport {
+    /// Times the solver re-priced against a newly agreed machine
+    /// ([`Adaptation::Reactive`]: calibrated from live windows;
+    /// [`Adaptation::Oracle`]: the scenario's worst alive machine).
+    pub recalibrations: usize,
+    /// Origin messages routed around dead links, summed over nodes.
+    pub reroutes: u64,
+    /// Origin elements routed around dead links, summed over nodes.
+    pub rerouted_elems: u64,
+}
+
+/// One dead undirected edge's relay plan for a sweep: who its endpoints
+/// are and the surviving multi-hop routes replacing the direct exchange,
+/// one per direction. Pure scenario data — every node computes the same
+/// table, so the relay runs as a fixed global script with no negotiation.
+struct RelayEntry {
+    /// Smaller endpoint of the dead edge.
+    u: usize,
+    /// `u ^ 2^dim` — the other endpoint.
+    v: usize,
+    /// Dimension the dead edge crosses.
+    dim: usize,
+    /// Dimension sequence of the surviving route `u -> v`.
+    fwd: Vec<usize>,
+    /// Dimension sequence of the surviving route `v -> u`.
+    rev: Vec<usize>,
+}
+
+/// The degraded-sweep exchange primitive: delivers `msg` to the partner
+/// across `link` exactly as `ctx.exchange` would, but when the direct edge
+/// is dead the payload travels the sweep's relay script instead.
+///
+/// Phase A: every pair whose `link`-edge is alive exchanges directly.
+/// Phase B: each dead `link`-edge's two payloads hop their surviving
+/// routes, one scripted direction at a time; every node walks the same
+/// script (it is pure scenario data) and plays its own part — origin,
+/// relay, destination, or bystander. Sends never block, each receive's
+/// producer appears strictly earlier in the global script order, and the
+/// per-(node, dim) channels are FIFO, so the script is deadlock-free and
+/// deterministic. With no dead edges on `link` this *is* `ctx.exchange`.
+fn exchange_via(
+    ctx: &NodeCtx<'_, Msg>,
+    link: usize,
+    msg: Msg,
+    relays: &[RelayEntry],
+    reroutes: &mut u64,
+    rerouted_elems: &mut u64,
+) -> Msg {
+    let n = ctx.id();
+    let key = n.min(ctx.neighbor(link));
+    let mine_dead = relays.iter().any(|r| r.dim == link && r.u == key);
+    let mut outgoing = Some(msg);
+    let mut incoming = None;
+    if !mine_dead {
+        incoming = Some(ctx.exchange(link, outgoing.take().expect("own payload")));
+    }
+    for r in relays.iter().filter(|r| r.dim == link) {
+        for (src, dst, route) in [(r.u, r.v, &r.fwd), (r.v, r.u, &r.rev)] {
+            let mut cur = src;
+            let mut carried: Option<Msg> = None;
+            for &hop in route {
+                let nxt = cur ^ (1 << hop);
+                if n == cur {
+                    let m = if cur == src {
+                        let m = outgoing.take().expect("one relayed payload per direction");
+                        *reroutes += 1;
+                        *rerouted_elems += m.elems();
+                        m
+                    } else {
+                        carried.take().expect("relay hop carries the payload")
+                    };
+                    ctx.send(hop, m);
+                } else if n == nxt {
+                    let got = ctx.recv(hop);
+                    if nxt == dst {
+                        incoming = Some(got);
+                    } else {
+                        carried = Some(got);
+                    }
+                }
+                cur = nxt;
+            }
+        }
+    }
+    incoming.expect("every exchange delivers: scenarios reject disconnecting death schedules")
+}
+
+/// Max-allreduce of a scalar that survives dead links: the classical
+/// recursive dimension exchange with every hop going through
+/// [`exchange_via`]. Used for convergence votes and machine agreement on
+/// degraded fabrics; identical to `ctx.allreduce_with(.., f64::max)` when
+/// the relay table is empty.
+fn allreduce_max_via(
+    ctx: &NodeCtx<'_, Msg>,
+    value: f64,
+    relays: &[RelayEntry],
+    reroutes: &mut u64,
+    rerouted_elems: &mut u64,
+) -> f64 {
+    let mut value = value;
+    for dim in 0..ctx.dim() {
+        let got = expect_scalar(exchange_via(
+            ctx,
+            dim,
+            Msg::Scalar(value),
+            relays,
+            reroutes,
+            rerouted_elems,
+        ));
+        value = value.max(got);
+    }
+    value
 }
 
 /// The paper's packetization ceiling for an `m × m` problem on a
@@ -221,6 +349,42 @@ pub fn block_jacobi_threaded_fabric(
     family: OrderingFamily,
     opts: &JacobiOptions,
 ) -> (EigenResult, TrafficMeter, FabricReport) {
+    let (result, meter, fabric, _) = block_jacobi_threaded_adaptive(a0, d, family, opts);
+    (result, meter, fabric)
+}
+
+/// [`block_jacobi_threaded_fabric`] with the adaptive layer's report.
+///
+/// On a [`mph_runtime::FabricModel::Degraded`] fabric the driver becomes
+/// scenario-aware:
+///
+/// * it passes a barrier at the end of every sweep, so sweep `s` runs at
+///   scenario **epoch** `s` on every node — deterministic, whatever the OS
+///   scheduler does;
+/// * transitions whose link is **dead** at the current epoch relay their
+///   blocks along the surviving route ([`mph_hypercube::surviving_route`])
+///   through a fixed global script (see [`exchange_via`]) — the solve
+///   completes with the exact same bits, because the relay changes only
+///   *how* a payload travels, never what is computed from it. Sweeps with
+///   dead links run whole-block (`Q = 1`): packetized pipelines assume
+///   direct links, and packetization never changes bits anyway;
+/// * under [`Adaptation::Reactive`] each node drains its live
+///   [`mph_runtime::FabricStats`] window every sweep, fits a machine, and
+///   the nodes **agree** (max-allreduce of `Ts`, then `Tw` — relay-aware,
+///   so agreement survives dead links) before re-pricing every phase's `Q`
+///   through the cost model; [`Adaptation::Oracle`] re-prices against the
+///   scenario's `worst_alive_machine` instead — the privileged baseline
+///   the reactive mode is benchmarked against.
+///
+/// Impairments may change when every packet moves, never what it carries:
+/// the result is bitwise-identical to the clean-fabric run of the same
+/// options (asserted by the tests below and the proptests).
+pub fn block_jacobi_threaded_adaptive(
+    a0: &Matrix,
+    d: usize,
+    family: OrderingFamily,
+    opts: &JacobiOptions,
+) -> (EigenResult, TrafficMeter, FabricReport, AdaptiveReport) {
     assert_eq!(a0.rows(), a0.cols());
     let m = a0.cols();
     let p = 1usize << d;
@@ -244,7 +408,34 @@ pub fn block_jacobi_threaded_fabric(
     let tail_runs: Vec<Vec<std::ops::Range<usize>>> =
         plans.iter().map(CommPlan::tail_runs).collect();
 
-    let (outputs, meter, fabric) = run_spmd_fabric::<Msg, NodeOutput, _>(d, opts.fabric, |ctx| {
+    // The degraded-fabric relay tables, one per sweep (= scenario epoch):
+    // which links are dead and the surviving route for each — pure
+    // scenario data, identical on every node. Empty on clean fabrics and
+    // on clean sweeps, where `exchange_via` degenerates to a plain
+    // exchange.
+    let scenario: Option<Arc<Scenario>> = opts.fabric.scenario().cloned();
+    let sweep_relays: Vec<Vec<RelayEntry>> = (0..budget)
+        .map(|s| match &scenario {
+            None => Vec::new(),
+            Some(sc) => {
+                let dead = sc.dead_edges(s);
+                dead.iter()
+                    .map(|&(u, dim)| {
+                        let v = u ^ (1 << dim);
+                        let route = |a, b| {
+                            surviving_route(d, a, b, &dead)
+                                .expect("scenarios reject disconnecting death schedules")
+                        };
+                        RelayEntry { u, v, dim, fwd: route(u, v), rev: route(v, u) }
+                    })
+                    .collect()
+            }
+        })
+        .collect();
+    let adaptation = opts.adaptation;
+
+    let fabric_model = opts.fabric.clone();
+    let (outputs, meter, fabric) = run_spmd_fabric::<Msg, NodeOutput, _>(d, fabric_model, |ctx| {
         let n = ctx.id();
         // Canonical initial layout: slot0 = block n, slot1 = block n + p.
         let mut slot0 = ColumnBlock::from_matrix_with_identity(a0, partition.cols(n), m);
@@ -254,12 +445,62 @@ pub fn block_jacobi_threaded_fabric(
         let mut sweeps = 0usize;
         let mut rotations = 0u64;
         let mut converged = false;
+        // Adaptive state: the machine currently priced against (Reactive
+        // starts from the scenario's clean base — the spec sheet — and
+        // re-fits from live windows) plus the activity counters.
+        let mut machine: Machine =
+            scenario.as_ref().map(|sc| sc.base()).unwrap_or_else(Machine::paper_figure2);
+        let mut recalibrations = 0usize;
+        let mut reroutes = 0u64;
+        let mut rerouted_elems = 0u64;
         loop {
             if sweeps >= budget {
                 break;
             }
             let plan = &plans[sweeps];
-            let qs = &phase_qs[sweeps];
+            let relays = &sweep_relays[sweeps];
+            // Reactive re-calibration, from sweep 1 on: fit a machine to
+            // the service times the link clock measured last sweep, then
+            // agree with the peers — max-allreduce of Ts then Tw, so every
+            // node prices against the same (slowest-observed) machine.
+            // The agreement rides the control plane and survives dead
+            // links like every other exchange.
+            if scenario.is_some() && adaptation == Adaptation::Reactive && sweeps > 0 {
+                let window = ctx.take_fabric_window();
+                let local = Machine::calibrate(&window)
+                    .map(|fit| Machine { ts: fit.ts, tw: fit.tw, ports: machine.ports })
+                    .unwrap_or(machine);
+                let ts =
+                    allreduce_max_via(ctx, local.ts, relays, &mut reroutes, &mut rerouted_elems);
+                let tw =
+                    allreduce_max_via(ctx, local.tw, relays, &mut reroutes, &mut rerouted_elems);
+                let agreed = Machine { ts, tw, ports: machine.ports };
+                if agreed != machine {
+                    machine = agreed;
+                    recalibrations += 1;
+                }
+            }
+            // Per-sweep pricing. Dead-link sweeps run whole-block: the
+            // packet pipelines assume direct links, and Q never changes
+            // bits, so forcing Q = 1 is always safe. Otherwise Reactive /
+            // Oracle re-price every phase through the cost model against
+            // the current (agreed / scenario-known) machine; Off keeps the
+            // pre-run static schedule.
+            let has_dead = !relays.is_empty();
+            let (qs, tail_q): (Vec<usize>, usize) = if has_dead {
+                (plan.exchange_phases().map(|_| 1).collect(), 1)
+            } else if scenario.is_some() && adaptation != Adaptation::Off {
+                let pricing = match (&scenario, adaptation) {
+                    (Some(sc), Adaptation::Oracle) => {
+                        Pipelining::Auto(sc.worst_alive_machine(sweeps))
+                    }
+                    _ => Pipelining::Auto(machine),
+                };
+                (choose_qs(plan, &pricing, q_cap), choose_tail_qs(plan, &pricing, q_cap))
+            } else {
+                (phase_qs[sweeps].clone(), tail_qs[sweeps])
+            };
+            let qs = &qs;
             let mut acc = SweepAccumulator::default();
             if cache {
                 // Periodic exact refresh of the resident blocks' diagonals;
@@ -271,7 +512,6 @@ pub fn block_jacobi_threaded_fabric(
             // cross pairing is the first exchange iteration's compute.
             acc.merge(kern.within(&mut slot0));
             acc.merge(kern.within(&mut slot1));
-            let tail_q = tail_qs[sweeps];
             let runs = &tail_runs[sweeps];
             let phases = plan.phases();
             let mut xq = 0usize;
@@ -345,10 +585,18 @@ pub fn block_jacobi_threaded_fabric(
                         let q = qs[xq];
                         xq += 1;
                         if q <= 1 {
-                            // Whole-block reference loop: pair, then ship.
+                            // Whole-block reference loop: pair, then ship
+                            // (relaying around dead links when necessary).
                             for &link in &phase.links {
                                 acc.merge(kern.across(&mut slot0, &mut slot1));
-                                slot1 = expect_block(ctx.exchange(link, Msg::Block(slot1.take())));
+                                slot1 = expect_block(exchange_via(
+                                    ctx,
+                                    link,
+                                    Msg::Block(slot1.take()),
+                                    relays,
+                                    &mut reroutes,
+                                    &mut rerouted_elems,
+                                ));
                             }
                         } else {
                             // Packetized pipeline: pair each arriving
@@ -377,15 +625,35 @@ pub fn block_jacobi_threaded_fabric(
                         // bit = 1 endpoint sends its resident (slot0) and
                         // receives the partner's mobile into slot0.
                         if n & (1 << link) == 0 {
-                            slot1 = expect_block(ctx.exchange(link, Msg::Block(slot1.take())));
+                            slot1 = expect_block(exchange_via(
+                                ctx,
+                                link,
+                                Msg::Block(slot1.take()),
+                                relays,
+                                &mut reroutes,
+                                &mut rerouted_elems,
+                            ));
                         } else {
-                            slot0 = expect_block(ctx.exchange(link, Msg::Block(slot0.take())));
+                            slot0 = expect_block(exchange_via(
+                                ctx,
+                                link,
+                                Msg::Block(slot0.take()),
+                                relays,
+                                &mut reroutes,
+                                &mut rerouted_elems,
+                            ));
                         }
                     }
                     PhaseKind::Last => {
                         acc.merge(kern.across(&mut slot0, &mut slot1));
-                        slot1 =
-                            expect_block(ctx.exchange(phase.links[0], Msg::Block(slot1.take())));
+                        slot1 = expect_block(exchange_via(
+                            ctx,
+                            phase.links[0],
+                            Msg::Block(slot1.take()),
+                            relays,
+                            &mut reroutes,
+                            &mut rerouted_elems,
+                        ));
                     }
                 }
             }
@@ -396,12 +664,22 @@ pub fn block_jacobi_threaded_fabric(
             rotations += acc.rotations;
             sweeps += 1;
             if !forced {
+                // The vote must survive dead links too; with an empty
+                // relay table this is the plain recursive-exchange
+                // all-reduce. The decision is global, so every node
+                // breaks (or continues to the barrier) together.
                 let global_max =
-                    ctx.allreduce_with(acc.max_off, |&v| Msg::Scalar(v), expect_scalar, f64::max);
+                    allreduce_max_via(ctx, acc.max_off, relays, &mut reroutes, &mut rerouted_elems);
                 if global_max <= tol * norm_a {
                     converged = true;
                     break;
                 }
+            }
+            if scenario.is_some() {
+                // End-of-sweep barrier: advances the fabric epoch, so
+                // sweep s runs at scenario epoch s on every node — the
+                // deterministic clock the impairment timelines key on.
+                ctx.barrier();
             }
         }
         let mut columns = Vec::with_capacity(slot0.len() + slot1.len());
@@ -411,7 +689,15 @@ pub fn block_jacobi_threaded_fabric(
                 columns.push((b.global_col(k), lambda, b.u_col(k).to_vec()));
             }
         }
-        NodeOutput { columns, sweeps, rotations, converged: converged || forced }
+        NodeOutput {
+            columns,
+            sweeps,
+            rotations,
+            converged: converged || forced,
+            recalibrations,
+            reroutes,
+            rerouted_elems,
+        }
     });
 
     // Assemble the global eigensystem by column index.
@@ -420,10 +706,16 @@ pub fn block_jacobi_threaded_fabric(
     let mut sweeps = 0usize;
     let mut rotations = 0u64;
     let mut converged = true;
+    let mut adaptive = AdaptiveReport::default();
     for out in &outputs {
         sweeps = sweeps.max(out.sweeps);
         rotations += out.rotations;
         converged &= out.converged;
+        // Recalibrations are globally agreed (same count everywhere);
+        // reroute work is per-origin and sums.
+        adaptive.recalibrations = adaptive.recalibrations.max(out.recalibrations);
+        adaptive.reroutes += out.reroutes;
+        adaptive.rerouted_elems += out.rerouted_elems;
         for (c, lambda, ucol) in &out.columns {
             eigenvalues[*c] = *lambda;
             u.col_mut(*c).copy_from_slice(ucol);
@@ -437,7 +729,7 @@ pub fn block_jacobi_threaded_fabric(
         off_history: Vec::new(), // not tracked distributively
         converged,
     };
-    (result, meter, fabric)
+    (result, meter, fabric, adaptive)
 }
 
 #[cfg(test)]
@@ -510,7 +802,8 @@ mod tests {
                 for family in OrderingFamily::ALL {
                     let reference = block_jacobi_threaded(&a, d, family, &base).0;
                     for q in [1usize, 2, 5, k_max + 1] {
-                        let opts = JacobiOptions { pipelining: Pipelining::Fixed(q), ..base };
+                        let opts =
+                            JacobiOptions { pipelining: Pipelining::Fixed(q), ..base.clone() };
                         let (piped, _) = block_jacobi_threaded(&a, d, family, &opts);
                         assert_eq!(
                             reference.rotations, piped.rotations,
@@ -571,7 +864,10 @@ mod tests {
                 for family in OrderingFamily::ALL {
                     let reference = block_jacobi_threaded(&a, d, family, &base).0;
                     for tq in [1usize, 2, 5, cap] {
-                        let opts = JacobiOptions { tail_pipelining: Pipelining::Fixed(tq), ..base };
+                        let opts = JacobiOptions {
+                            tail_pipelining: Pipelining::Fixed(tq),
+                            ..base.clone()
+                        };
                         let (piped, _) = block_jacobi_threaded(&a, d, family, &opts);
                         assert_eq!(
                             reference.rotations, piped.rotations,
@@ -594,7 +890,7 @@ mod tests {
                     let both = JacobiOptions {
                         pipelining: Pipelining::Fixed(2),
                         tail_pipelining: Pipelining::Fixed(3),
-                        ..base
+                        ..base.clone()
                     };
                     let (piped, _) = block_jacobi_threaded(&a, d, family, &both);
                     for c in 0..m {
@@ -642,7 +938,7 @@ mod tests {
         let (_, meter0) = block_jacobi_threaded(&a, d, OrderingFamily::Br, &base);
         let plans = lower_sweeps(32, d, OrderingFamily::Br, false, sweeps);
         for tq in [2usize, 3, 4] {
-            let opts = JacobiOptions { tail_pipelining: Pipelining::Fixed(tq), ..base };
+            let opts = JacobiOptions { tail_pipelining: Pipelining::Fixed(tq), ..base.clone() };
             let (_, meter) = block_jacobi_threaded(&a, d, OrderingFamily::Br, &opts);
             assert_eq!(meter.volume_by_dim(), meter0.volume_by_dim(), "tail_q={tq}");
             let want: u64 = plans
@@ -676,7 +972,7 @@ mod tests {
         for family in OrderingFamily::ALL {
             let (_, _, report0) = block_jacobi_threaded_fabric(&a, d, family, &base);
             for tq in [2usize, 4] {
-                let opts = JacobiOptions { tail_pipelining: Pipelining::Fixed(tq), ..base };
+                let opts = JacobiOptions { tail_pipelining: Pipelining::Fixed(tq), ..base.clone() };
                 let (_, _, report) = block_jacobi_threaded_fabric(&a, d, family, &opts);
                 let want: f64 = lower_sweeps(32, d, family, false, sweeps)
                     .iter()
@@ -710,7 +1006,7 @@ mod tests {
         let base = JacobiOptions { force_sweeps: Some(2), ..Default::default() };
         let (_, meter0) = block_jacobi_threaded(&a, d, OrderingFamily::Br, &base);
         for q in [2usize, 3, 8] {
-            let opts = JacobiOptions { pipelining: Pipelining::Fixed(q), ..base };
+            let opts = JacobiOptions { pipelining: Pipelining::Fixed(q), ..base.clone() };
             let (_, meter) = block_jacobi_threaded(&a, d, OrderingFamily::Br, &opts);
             assert_eq!(meter.volume_by_dim(), meter0.volume_by_dim(), "q={q}");
             assert!(meter.total_messages() > meter0.total_messages(), "q={q}");
@@ -857,8 +1153,10 @@ mod tests {
             pipelining: Pipelining::Fixed(3),
             ..Default::default()
         };
-        let throttled =
-            JacobiOptions { fabric: FabricModel::Throttled(Machine::one_port(10.0, 1.0)), ..base };
+        let throttled = JacobiOptions {
+            fabric: FabricModel::Throttled(Machine::one_port(10.0, 1.0)),
+            ..base.clone()
+        };
         let (r0, m0) = block_jacobi_threaded(&a, 2, OrderingFamily::PermutedBr, &base);
         let (r1, m1) = block_jacobi_threaded(&a, 2, OrderingFamily::PermutedBr, &throttled);
         assert_eq!(r0.rotations, r1.rotations);
@@ -879,11 +1177,174 @@ mod tests {
         let d = 2usize;
         let a = random_symmetric(m, 3);
         let base = JacobiOptions { force_sweeps: Some(1), ..Default::default() };
-        let cached = JacobiOptions { cache_diagonals: true, ..base };
+        let cached = JacobiOptions { cache_diagonals: true, ..base.clone() };
         let (_, meter0) = block_jacobi_threaded(&a, d, OrderingFamily::Br, &base);
         let (_, meter1) = block_jacobi_threaded(&a, d, OrderingFamily::Br, &cached);
         let block_msgs = ((1u64 << (d + 1)) - 1) * (1u64 << d);
         let b = (m as u64) / (2 << d);
         assert_eq!(meter1.total_volume() - meter0.total_volume(), block_msgs * b);
+    }
+
+    // ---- degraded-fabric scenarios -------------------------------------
+
+    use mph_runtime::{LinkDeath, ScenarioSpec};
+
+    fn degraded(d: usize, spec: ScenarioSpec) -> FabricModel {
+        FabricModel::Degraded(Arc::new(Scenario::new(d, spec).expect("valid scenario")))
+    }
+
+    fn impaired_spec(seed: u64) -> ScenarioSpec {
+        ScenarioSpec {
+            epochs: 6,
+            hetero_spread: 2.0,
+            rate_jitter: 0.3,
+            delay_jitter: 0.3,
+            episode_rate: 0.4,
+            episode_recovery: 0.5,
+            episode_severity: 5.0,
+            ..ScenarioSpec::clean(seed, Machine::all_port(500.0, 10.0))
+        }
+    }
+
+    fn assert_bitwise(clean: &EigenResult, got: &EigenResult, tag: &str) {
+        assert_eq!(clean.rotations, got.rotations, "{tag}: rotations");
+        assert_eq!(clean.sweeps, got.sweeps, "{tag}: sweeps");
+        for c in 0..clean.eigenvalues.len() {
+            assert_eq!(clean.eigenvalues[c], got.eigenvalues[c], "{tag}: λ_{c}");
+            assert_eq!(clean.eigenvectors.col(c), got.eigenvectors.col(c), "{tag}: u_{c}");
+        }
+    }
+
+    #[test]
+    fn impairments_change_the_clock_but_never_the_bits() {
+        // The tentpole invariant: heterogeneity, jitter walks, and
+        // episodes re-time the messages — the eigensystem is bitwise the
+        // clean-fabric run's, under every adaptation mode.
+        let a = random_symmetric(16, 77);
+        let d = 2;
+        let base = JacobiOptions { force_sweeps: Some(3), ..Default::default() };
+        let clean = block_jacobi_threaded(&a, d, OrderingFamily::Degree4, &base).0;
+        for adaptation in [Adaptation::Off, Adaptation::Reactive, Adaptation::Oracle] {
+            let opts = JacobiOptions {
+                fabric: degraded(d, impaired_spec(11)),
+                adaptation,
+                ..base.clone()
+            };
+            let (r, _, fab, _) =
+                block_jacobi_threaded_adaptive(&a, d, OrderingFamily::Degree4, &opts);
+            assert_bitwise(&clean, &r, &format!("{adaptation:?}"));
+            assert!(fab.makespan.is_finite() && fab.makespan > 0.0, "{adaptation:?}: makespan");
+        }
+    }
+
+    #[test]
+    fn dead_links_are_relayed_around_with_identical_bits() {
+        // Kill edge (0, dim 0) from epoch 0 on a 2-cube: every sweep's
+        // dim-0 transitions between nodes 0 and 1 must relay through the
+        // surviving 2-hop route. Bits match the clean run exactly and the
+        // adaptive report shows rerouted traffic.
+        let a = random_symmetric(16, 42);
+        let d = 2;
+        let base = JacobiOptions { force_sweeps: Some(2), ..Default::default() };
+        let clean = block_jacobi_threaded(&a, d, OrderingFamily::Br, &base).0;
+        let spec = ScenarioSpec {
+            epochs: 4,
+            deaths: vec![LinkDeath { node: 0, dim: 0, epoch: 0 }],
+            ..ScenarioSpec::clean(7, Machine::all_port(500.0, 10.0))
+        };
+        let opts = JacobiOptions { fabric: degraded(d, spec), ..base.clone() };
+        let (r, _, fab, adaptive) =
+            block_jacobi_threaded_adaptive(&a, d, OrderingFamily::Br, &opts);
+        assert_bitwise(&clean, &r, "dead link");
+        assert!(adaptive.reroutes > 0, "dead-link run must relay messages");
+        assert!(adaptive.rerouted_elems > 0, "relays carry real payloads");
+        assert!(fab.makespan.is_finite() && fab.makespan > 0.0);
+    }
+
+    #[test]
+    fn mid_run_death_switches_to_the_relay_at_its_epoch() {
+        // A death scheduled at epoch 1 leaves sweep 0 direct and relays
+        // sweeps ≥ 1 — the epoch boundary (the per-sweep barrier) is where
+        // the scenario switches. Still bitwise.
+        let a = random_symmetric(16, 5);
+        let d = 2;
+        let base = JacobiOptions { force_sweeps: Some(3), ..Default::default() };
+        let clean = block_jacobi_threaded(&a, d, OrderingFamily::Degree4, &base).0;
+        let spec = ScenarioSpec {
+            epochs: 4,
+            deaths: vec![LinkDeath { node: 2, dim: 1, epoch: 1 }],
+            ..ScenarioSpec::clean(9, Machine::all_port(500.0, 10.0))
+        };
+        let opts = JacobiOptions { fabric: degraded(d, spec), ..base.clone() };
+        let (r, _, _, adaptive) =
+            block_jacobi_threaded_adaptive(&a, d, OrderingFamily::Degree4, &opts);
+        assert_bitwise(&clean, &r, "mid-run death");
+        assert!(adaptive.reroutes > 0);
+    }
+
+    #[test]
+    fn reactive_recalibrates_and_stays_near_the_oracle() {
+        // The adaptation gate: on a statically heterogeneous fabric the
+        // reactive mode must (a) actually recalibrate, and (b) land within
+        // 1.25× of the oracle's makespan — the bench_check bound.
+        let a = random_symmetric(32, 21);
+        let d = 2;
+        let base = JacobiOptions {
+            force_sweeps: Some(4),
+            pipelining: Pipelining::Off,
+            ..Default::default()
+        };
+        let spec = ScenarioSpec {
+            epochs: 6,
+            hetero_spread: 4.0,
+            ..ScenarioSpec::clean(13, Machine::all_port(2000.0, 50.0))
+        };
+        let run = |adaptation| {
+            let opts =
+                JacobiOptions { fabric: degraded(d, spec.clone()), adaptation, ..base.clone() };
+            block_jacobi_threaded_adaptive(&a, d, OrderingFamily::Degree4, &opts)
+        };
+        let (_, _, fab_r, rep_r) = run(Adaptation::Reactive);
+        let (_, _, fab_o, _) = run(Adaptation::Oracle);
+        assert!(rep_r.recalibrations > 0, "reactive mode must recalibrate");
+        let ratio = fab_r.makespan / fab_o.makespan;
+        assert!(
+            ratio <= 1.25,
+            "reactive {} vs oracle {} (ratio {ratio:.3}) exceeds the 1.25 gate",
+            fab_r.makespan,
+            fab_o.makespan
+        );
+    }
+
+    #[test]
+    fn degraded_runs_replay_bit_for_bit_from_the_seed() {
+        // Same seed, same scenario, same virtual timeline: makespans and
+        // adaptive reports are exactly equal across runs (and thus across
+        // whatever the OS scheduler does).
+        let a = random_symmetric(16, 64);
+        let d = 2;
+        let spec = ScenarioSpec {
+            deaths: vec![LinkDeath { node: 1, dim: 1, epoch: 2 }],
+            ..impaired_spec(31)
+        };
+        let opts = JacobiOptions {
+            force_sweeps: Some(3),
+            fabric: degraded(d, spec),
+            adaptation: Adaptation::Reactive,
+            ..Default::default()
+        };
+        let (r1, _, f1, a1) = block_jacobi_threaded_adaptive(&a, d, OrderingFamily::Br, &opts);
+        let (r2, _, f2, a2) = block_jacobi_threaded_adaptive(&a, d, OrderingFamily::Br, &opts);
+        assert_eq!(f1.makespan.to_bits(), f2.makespan.to_bits(), "replay makespan");
+        assert_eq!(a1, a2, "replay adaptive report");
+        assert_bitwise(&r1, &r2, "replay");
+    }
+
+    #[test]
+    fn clean_fabrics_report_no_adaptation() {
+        let a = random_symmetric(16, 2);
+        let opts = JacobiOptions { force_sweeps: Some(2), ..Default::default() };
+        let (_, _, _, adaptive) = block_jacobi_threaded_adaptive(&a, 2, OrderingFamily::Br, &opts);
+        assert_eq!(adaptive, AdaptiveReport::default(), "free fabric: nothing to adapt to");
     }
 }

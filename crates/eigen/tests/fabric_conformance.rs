@@ -129,7 +129,7 @@ fn pipelined_measured_speedup_lands_within_20pct_of_the_model() {
             fabric: FabricModel::Throttled(machine),
             ..Default::default()
         };
-        let auto = JacobiOptions { pipelining: Pipelining::Auto(machine), ..base };
+        let auto = JacobiOptions { pipelining: Pipelining::Auto(machine), ..base.clone() };
         let plan = &lower_sweeps(m, d, family, false, 1)[0];
         let q_cap = mph_eigen::packetization_cap(m, d);
         let qs = mph_eigen::choose_qs(plan, &auto.pipelining, q_cap);

@@ -90,7 +90,7 @@ proptest! {
         prop_assert_eq!(&sim, &predicted, "unpipelined simulation vs plan");
 
         // Pipelined execution with Fixed(q) vs the same plan, same qs.
-        let piped = JacobiOptions { pipelining: Pipelining::Fixed(q), ..base };
+        let piped = JacobiOptions { pipelining: Pipelining::Fixed(q), ..base.clone() };
         let (_, meter_q) = block_jacobi_threaded(&a, d, family, &piped);
         prop_assert_eq!(&meter_q.volume_by_dim(), &predicted, "pipelined meter vs plan");
         let sim_q: Vec<u64> = plans
@@ -164,7 +164,11 @@ fn every_port_model_preserves_bitwise_equality_across_q() {
     for ports in [PortModel::OnePort, PortModel::KPort(2), PortModel::AllPort] {
         let fabric = FabricModel::Throttled(Machine { ts: 500.0, tw: 10.0, ports });
         for q in [1usize, 2, k] {
-            let opts = JacobiOptions { pipelining: Pipelining::Fixed(q), fabric, ..base };
+            let opts = JacobiOptions {
+                pipelining: Pipelining::Fixed(q),
+                fabric: fabric.clone(),
+                ..base.clone()
+            };
             let (r, meter) = block_jacobi_threaded(&a, d, OrderingFamily::Degree4, &opts);
             assert_eq!(r.rotations, logical.rotations, "{ports:?} q={q}");
             for c in 0..m {
@@ -196,7 +200,7 @@ fn boundary_degrees_are_bitwise_identical_and_traffic_exact() {
     let predicted = predicted_volume(&plans, d);
     assert_eq!(reference.1.volume_by_dim(), predicted);
     for q in [1usize, k, k + 1, 3 * k] {
-        let opts = JacobiOptions { pipelining: Pipelining::Fixed(q), ..base };
+        let opts = JacobiOptions { pipelining: Pipelining::Fixed(q), ..base.clone() };
         let (r, meter) = block_jacobi_threaded(&a, d, OrderingFamily::Degree4, &opts);
         assert_eq!(r.rotations, reference.0.rotations, "q={q}");
         for c in 0..m {

@@ -139,7 +139,7 @@ proptest! {
         };
         let (reference, _) = block_jacobi_threaded(&a, 1, family, &base);
         for workers in [2usize, 4, 8] {
-            let opts = JacobiOptions { workers, ..base };
+            let opts = JacobiOptions { workers, ..base.clone() };
             let (r, _) = block_jacobi_threaded(&a, 1, family, &opts);
             prop_assert_eq!(r.rotations, reference.rotations, "workers={}", workers);
             prop_assert_eq!(r.sweeps, reference.sweeps, "workers={}", workers);
@@ -177,7 +177,7 @@ proptest! {
         let auto = Pipelining::Auto(Machine::all_port(1000.0, 100.0));
         for tail in [Pipelining::Fixed(1), Pipelining::Fixed(2), Pipelining::Fixed(5),
                      Pipelining::Fixed(8), auto] {
-            let opts = JacobiOptions { tail_pipelining: tail, ..base };
+            let opts = JacobiOptions { tail_pipelining: tail, ..base.clone() };
             let (r, _) = block_jacobi_threaded(&a, d, family, &opts);
             prop_assert_eq!(r.rotations, reference.rotations, "{:?}", tail);
             prop_assert_eq!(r.sweeps, reference.sweeps, "{:?}", tail);
@@ -187,6 +187,116 @@ proptest! {
                 prop_assert_eq!(r.eigenvectors.col(c), reference.eigenvectors.col(c),
                     "{:?} u_{}", tail, c);
             }
+        }
+    }
+}
+
+// ---- degraded-fabric scenario properties -------------------------------
+
+use mph_eigen::{block_jacobi_threaded_adaptive, Adaptation};
+use mph_runtime::{LinkDeath, Scenario, ScenarioSpec};
+use std::sync::Arc;
+
+/// An arbitrary impaired (possibly deadly) scenario on a 2-cube: static
+/// heterogeneity, jitter walks, Gilbert–Elliott episodes, and optionally
+/// one scheduled link death — which can never disconnect a 2-cube.
+fn scenario_strategy() -> impl Strategy<Value = Arc<Scenario>> {
+    (
+        0u64..1000,
+        0.0f64..3.0,
+        0.0f64..0.4,
+        0.0f64..0.6,
+        prop_oneof![Just(None), (0usize..4, 0usize..2, 0usize..3).prop_map(Some),],
+    )
+        .prop_map(|(seed, hetero_spread, jitter, episode_rate, death)| {
+            let spec = ScenarioSpec {
+                epochs: 5,
+                hetero_spread,
+                rate_jitter: jitter,
+                delay_jitter: jitter,
+                episode_rate,
+                episode_recovery: 0.5,
+                episode_severity: 4.0,
+                deaths: death
+                    .map(|(node, dim, epoch)| vec![LinkDeath { node, dim, epoch }])
+                    .unwrap_or_default(),
+                ..ScenarioSpec::clean(seed, Machine::all_port(500.0, 10.0))
+            };
+            Arc::new(Scenario::new(2, spec).expect("one death never disconnects a 2-cube"))
+        })
+}
+
+fn adaptation_strategy() -> impl Strategy<Value = Adaptation> {
+    prop_oneof![Just(Adaptation::Off), Just(Adaptation::Reactive), Just(Adaptation::Oracle)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn impaired_runs_are_bitwise_clean_and_replay_deterministically(
+        a in symmetric(16),
+        family in family_strategy(),
+        scenario in scenario_strategy(),
+        adaptation in adaptation_strategy(),
+        sweeps in 1usize..=3,
+    ) {
+        // The degraded-fabric contract: impairments (heterogeneity,
+        // jitter, episodes, even a dead link relayed around) change when
+        // packets move, never what they carry — bits equal the clean run
+        // under every adaptation mode — and the virtual timeline replays
+        // bit-for-bit from the seed.
+        let d = 2;
+        let base = JacobiOptions { force_sweeps: Some(sweeps), ..Default::default() };
+        let (clean, _) = block_jacobi_threaded(&a, d, family, &base);
+        let opts = JacobiOptions {
+            fabric: FabricModel::Degraded(scenario),
+            adaptation,
+            ..base
+        };
+        let (r1, _, f1, ad1) = block_jacobi_threaded_adaptive(&a, d, family, &opts);
+        prop_assert_eq!(r1.rotations, clean.rotations, "{:?}", adaptation);
+        for c in 0..16 {
+            prop_assert_eq!(r1.eigenvalues[c], clean.eigenvalues[c], "λ_{}", c);
+            prop_assert_eq!(r1.eigenvectors.col(c), clean.eigenvectors.col(c), "u_{}", c);
+        }
+        prop_assert!(f1.makespan.is_finite() && f1.makespan > 0.0);
+        // Replay: the same scenario yields the exact same virtual clock
+        // and adaptive behavior.
+        let (r2, _, f2, ad2) = block_jacobi_threaded_adaptive(&a, d, family, &opts);
+        prop_assert_eq!(f1.makespan.to_bits(), f2.makespan.to_bits(), "replay makespan");
+        prop_assert_eq!(ad1, ad2, "replay adaptive report");
+        prop_assert_eq!(r1.rotations, r2.rotations);
+    }
+
+    #[test]
+    fn degraded_timelines_are_worker_count_invariant(
+        a in symmetric(16),
+        scenario in scenario_strategy(),
+    ) {
+        // The virtual clock is driven by the message protocol, which the
+        // intra-node worker count never alters: any workers ≥ 1 runs the
+        // same deterministic tournament pairing order, so the degraded
+        // makespan (and the bits) are identical across worker counts.
+        let d = 2;
+        let run = |workers: usize| {
+            let opts = JacobiOptions {
+                force_sweeps: Some(2),
+                workers,
+                fabric: FabricModel::Degraded(scenario.clone()),
+                adaptation: Adaptation::Reactive,
+                ..Default::default()
+            };
+            block_jacobi_threaded_adaptive(&a, d, OrderingFamily::Degree4, &opts)
+        };
+        let (r1, _, f1, ad1) = run(1);
+        let (r2, _, f2, ad2) = run(2);
+        prop_assert_eq!(f1.makespan.to_bits(), f2.makespan.to_bits());
+        prop_assert_eq!(ad1, ad2);
+        prop_assert_eq!(r1.rotations, r2.rotations);
+        for c in 0..16 {
+            prop_assert_eq!(r1.eigenvalues[c], r2.eigenvalues[c], "λ_{}", c);
+            prop_assert_eq!(r1.eigenvectors.col(c), r2.eigenvectors.col(c), "u_{}", c);
         }
     }
 }

@@ -37,6 +37,6 @@ pub use hamiltonian::{
     is_link_sequence_hamiltonian, link_sequence_alpha, link_sequence_to_path,
     path_to_link_sequence, search_hamiltonian_with_budget, validate_e_sequence, HamiltonianError,
 };
-pub use routing::ecube_route;
+pub use routing::{ecube_route, surviving_route};
 pub use topology::{Hypercube, NodeId};
 pub use trees::binomial_tree;

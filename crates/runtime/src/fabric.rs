@@ -30,6 +30,19 @@
 //! experiments (degree-4 vs BR under shallow pipelining) a measurable
 //! runtime fact instead of only a priced one.
 //!
+//! [`FabricModel::Degraded`] generalizes the charge to **per-link
+//! machines that evolve over epochs**: a seeded [`Scenario`] scales each
+//! directed link's `Ts`/`Tw` by its own impairment timeline (heterogeneity,
+//! jitter walks, degradation episodes) and can kill edges outright. The
+//! epoch is the clock's barrier generation, so every node evaluates the
+//! scenario at the same, scheduling-independent point — impaired runs
+//! replay bit for bit from the scenario seed. Sending across a dead edge
+//! is a protocol error (it panics): adaptive drivers route around dead
+//! edges instead. Each send's *service time* (`Ts_eff + S·Tw_eff`, no
+//! queueing) is also recorded into a bounded per-node sample window
+//! ([`LinkClock::take_window`]) — live [`FabricStats`] an adaptive driver
+//! feeds back into [`Machine::calibrate`] mid-run.
+//!
 //! Computation is deliberately *free* on the virtual clock: the fabric
 //! measures communication, so measured-vs-predicted comparisons against
 //! the (communication-only) cost models are apples to apples. Every
@@ -43,13 +56,14 @@
 //! [`measure_channel_fabric`], whose samples [`Machine::calibrate`] fits.
 
 use crate::machine::{FabricStats, Machine, PortModel};
+use crate::scenario::Scenario;
 use crate::spmd::run_spmd;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// What the link layer enforces.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum FabricModel {
     /// The raw channel transport: all-port, free transmission, no clock.
     /// This is the historical behavior and the default.
@@ -58,22 +72,72 @@ pub enum FabricModel {
     /// Every message is charged `Ts + S·Tw` against the machine's port
     /// configuration on a deterministic virtual clock.
     Throttled(Machine),
+    /// Per-link, per-epoch machines from a seeded impairment scenario
+    /// (see [`Scenario`]): each directed link charges its own effective
+    /// `Ts`/`Tw` at the current barrier epoch, dead edges reject sends,
+    /// and every send's service time feeds the calibration window.
+    Degraded(Arc<Scenario>),
 }
 
 impl FabricModel {
     /// Whether this fabric runs a virtual clock.
     pub fn is_throttled(&self) -> bool {
-        matches!(self, FabricModel::Throttled(_))
+        !matches!(self, FabricModel::Free)
     }
 
-    /// The enforced machine, if throttled.
+    /// The *baseline* enforced machine, if any: the uniform machine for
+    /// [`FabricModel::Throttled`], the scenario's clean base machine for
+    /// [`FabricModel::Degraded`] (per-link effective machines vary around
+    /// it — see [`Scenario::machine_for`]).
     pub fn machine(&self) -> Option<Machine> {
         match self {
             FabricModel::Free => None,
             FabricModel::Throttled(m) => Some(*m),
+            FabricModel::Degraded(sc) => Some(sc.base()),
+        }
+    }
+
+    /// The impairment scenario, if degraded.
+    pub fn scenario(&self) -> Option<&Arc<Scenario>> {
+        match self {
+            FabricModel::Degraded(sc) => Some(sc),
+            _ => None,
+        }
+    }
+
+    /// Validates the model at construction time, the
+    /// `BatchConfigError`-style typed gate: a `KPort(0)` machine — zero
+    /// transmit ports can move no message — is rejected here instead of
+    /// by an `assert!` deep inside driver spawn.
+    pub fn validate(&self) -> Result<(), FabricConfigError> {
+        match self.machine().map(|m| m.ports) {
+            Some(PortModel::KPort(0)) => Err(FabricConfigError::ZeroPorts),
+            _ => Ok(()),
         }
     }
 }
+
+/// Why a [`FabricModel`] cannot be enforced. Surface this from checked
+/// option constructors (`JacobiOptions::validate`, `BatchOptions::new`)
+/// so misconfigurations fail at configuration time with a typed error,
+/// not mid-spawn with an assert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricConfigError {
+    /// `PortModel::KPort(0)`: a k-port fabric needs at least one port.
+    ZeroPorts,
+}
+
+impl std::fmt::Display for FabricConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricConfigError::ZeroPorts => {
+                write!(f, "a k-port fabric needs at least one port (got KPort(0))")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricConfigError {}
 
 /// Outcome of a fabric run: the virtual times at which each node finished.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,12 +151,19 @@ pub struct FabricReport {
     pub node_times: Vec<f64>,
 }
 
+/// Cap on the per-node calibration window: old samples are kept (an
+/// adaptive driver drains the window every sweep anyway), new ones are
+/// dropped once full, so an un-drained degraded run stays bounded.
+const WINDOW_CAP: usize = 4096;
+
 /// Per-node clock state: the CPU's current virtual time plus the
 /// availability horizon of every outgoing link and transmit port.
 struct ClockState {
     now: f64,
     /// Barriers passed so far; its parity selects the [`SharedClock`]
-    /// slot for the next synchronization.
+    /// slot for the next synchronization, and its value is the **epoch**
+    /// at which a degraded scenario is evaluated — a deterministic,
+    /// node-consistent virtual-time index.
     barrier_gen: usize,
     /// `link_free[dim]`: when this node's outgoing link across `dim` ends
     /// its current transmission. Links are full-duplex — each direction is
@@ -102,37 +173,48 @@ struct ClockState {
     /// Transmit-port availability; empty for all-port (the link array
     /// already *is* one port per link).
     port_free: Vec<f64>,
+    /// Live `(elems, service time)` samples of this node's sends under a
+    /// degraded fabric — the mid-run calibration feed.
+    window: Vec<(f64, f64)>,
 }
 
 /// A node's view of the fabric: the model plus (when throttled) its clock.
 pub struct LinkClock {
     model: FabricModel,
+    node: usize,
     state: Mutex<ClockState>,
 }
 
 impl LinkClock {
-    /// A clock for one node of a `d`-cube under `model`.
-    pub(crate) fn new(model: FabricModel, d: usize) -> Self {
-        let ports = match model {
-            FabricModel::Free => 0,
-            FabricModel::Throttled(m) => match m.ports {
-                PortModel::AllPort => 0,
-                PortModel::OnePort => 1,
-                PortModel::KPort(k) => {
-                    assert!(k >= 1, "a k-port fabric needs at least one port");
-                    k
-                }
-            },
+    /// A clock for node `node` of a `d`-cube under `model`.
+    pub(crate) fn new(model: FabricModel, node: usize, d: usize) -> Self {
+        let ports = match model.machine().map(|m| m.ports) {
+            None | Some(PortModel::AllPort) => 0,
+            Some(PortModel::OnePort) => 1,
+            // KPort(0) is rejected at configuration time by
+            // `FabricModel::validate`; clamping here keeps this
+            // constructor infallible for the validated models.
+            Some(PortModel::KPort(k)) => k.max(1),
         };
         LinkClock {
             model,
+            node,
             state: Mutex::new(ClockState {
                 now: 0.0,
                 barrier_gen: 0,
                 link_free: vec![0.0; d.max(1)],
                 port_free: vec![0.0; ports],
+                window: Vec::new(),
             }),
         }
+    }
+
+    /// The clock-state lock, recovering from poison: the state is a plain
+    /// bag of `f64` horizons that is valid after any panic, and mapping
+    /// poison to a second panic would cascade one worker's failure into
+    /// every peer, masking the root cause in the thread scope's report.
+    fn lock_state(&self) -> MutexGuard<'_, ClockState> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Charges one `elems`-element send across `dim`; returns the arrival
@@ -148,13 +230,35 @@ impl LinkClock {
     /// wait for the data: this is the comm-processor model a pipelined
     /// phase needs, where iteration `k+1`'s early packets depart while
     /// iteration `k`'s late ones are still in flight.
+    ///
+    /// # Panics
+    /// Under [`FabricModel::Degraded`], sending across an edge that is
+    /// dead at the current epoch is a protocol error: the adaptive layer
+    /// must route around dead edges, never through them.
     pub(crate) fn on_send_ready(&self, dim: usize, elems: u64, ready: f64) -> f64 {
-        let FabricModel::Throttled(machine) = self.model else {
-            return 0.0;
+        let mut st = self.lock_state();
+        let (ts, tw) = match &self.model {
+            FabricModel::Free => return 0.0,
+            FabricModel::Throttled(m) => (m.ts, m.tw),
+            FabricModel::Degraded(sc) => {
+                let epoch = st.barrier_gen;
+                assert!(
+                    sc.edge_alive(self.node, dim, epoch),
+                    "send across dead link (node {}, dim {dim}) at epoch {epoch}: \
+                     route around dead edges instead",
+                    self.node
+                );
+                let (fts, ftw) = sc.factors(self.node, dim, epoch);
+                let base = sc.base();
+                let (ts, tw) = (base.ts * fts, base.tw * ftw);
+                if st.window.len() < WINDOW_CAP {
+                    st.window.push((elems as f64, ts + elems as f64 * tw));
+                }
+                (ts, tw)
+            }
         };
-        let mut st = self.state.lock().expect("fabric clock poisoned");
         // Start-up: issued serially by the node CPU.
-        st.now += machine.ts;
+        st.now += ts;
         // Transmission: waits for the data dependency, then acquires a
         // port (earliest available) and the outgoing link.
         let mut start = st.now.max(ready).max(st.link_free[dim]);
@@ -162,9 +266,9 @@ impl LinkClock {
             (0..st.port_free.len()).min_by(|&a, &b| st.port_free[a].total_cmp(&st.port_free[b]));
         if let Some(p) = port {
             start = start.max(st.port_free[p]);
-            st.port_free[p] = start + elems as f64 * machine.tw;
+            st.port_free[p] = start + elems as f64 * tw;
         }
-        let end = start + elems as f64 * machine.tw;
+        let end = start + elems as f64 * tw;
         st.link_free[dim] = end;
         end
     }
@@ -174,7 +278,7 @@ impl LinkClock {
         if !self.model.is_throttled() {
             return;
         }
-        let mut st = self.state.lock().expect("fabric clock poisoned");
+        let mut st = self.lock_state();
         st.now = st.now.max(stamp);
     }
 
@@ -183,7 +287,26 @@ impl LinkClock {
         if !self.model.is_throttled() {
             return 0.0;
         }
-        self.state.lock().expect("fabric clock poisoned").now
+        self.lock_state().now
+    }
+
+    /// The current epoch: barriers passed so far. This is the index a
+    /// degraded scenario is evaluated at — every node that has passed the
+    /// same barriers agrees on it, whatever the OS scheduler did.
+    pub fn epoch(&self) -> usize {
+        self.lock_state().barrier_gen
+    }
+
+    /// Drains the degraded-send calibration window gathered since the
+    /// last drain: live [`FabricStats`] for [`Machine::calibrate`].
+    /// Always empty on free and uniformly-throttled fabrics.
+    pub fn take_window(&self) -> FabricStats {
+        let mut st = self.lock_state();
+        let mut stats = FabricStats::new();
+        for (elems, secs) in st.window.drain(..) {
+            stats.record(elems, secs);
+        }
+        stats
     }
 
     /// First half of a barrier's virtual-time synchronization: folds this
@@ -193,7 +316,7 @@ impl LinkClock {
         if !self.model.is_throttled() {
             return None;
         }
-        let mut st = self.state.lock().expect("fabric clock poisoned");
+        let mut st = self.lock_state();
         let slot = st.barrier_gen & 1;
         st.barrier_gen += 1;
         shared.fold_in(slot, st.now);
@@ -209,7 +332,7 @@ impl LinkClock {
     pub(crate) fn finish_barrier(&self, shared: &SharedClock, slot: usize) {
         let t = shared.read(slot);
         shared.reset(slot ^ 1);
-        let mut st = self.state.lock().expect("fabric clock poisoned");
+        let mut st = self.lock_state();
         st.now = st.now.max(t);
     }
 }
@@ -273,9 +396,11 @@ pub fn measure_channel_fabric(d: usize, sizes: &[usize], reps: usize) -> FabricS
                 local.record(elems as f64, secs);
             }
         }
-        pooled.lock().expect("calibration pool poisoned").merge(&local);
+        // The pool is append-only sample data — valid after any panic, so
+        // recover the lock instead of cascading a peer's failure.
+        pooled.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).merge(&local);
     });
-    pooled.into_inner().expect("calibration pool poisoned")
+    pooled.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// One-call calibration of the channel runtime: probes dimension-0
@@ -293,6 +418,7 @@ pub fn calibrate_channel_machine(d: usize) -> Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::{LinkDeath, ScenarioSpec};
 
     fn stamps(clock: &LinkClock, sends: &[(usize, u64)]) -> Vec<f64> {
         sends.iter().map(|&(dim, elems)| clock.on_send(dim, elems)).collect()
@@ -300,7 +426,7 @@ mod tests {
 
     #[test]
     fn free_fabric_keeps_the_clock_at_zero() {
-        let clock = LinkClock::new(FabricModel::Free, 3);
+        let clock = LinkClock::new(FabricModel::Free, 0, 3);
         assert_eq!(clock.on_send(0, 1000), 0.0);
         clock.on_recv(42.0);
         assert_eq!(clock.now(), 0.0);
@@ -311,14 +437,14 @@ mod tests {
         // Ts = 1, Tw = 1, 5-element messages on distinct links: start-ups
         // serialize on the CPU (1, 2, 3), transmissions overlap fully.
         let m = Machine::all_port(1.0, 1.0);
-        let clock = LinkClock::new(FabricModel::Throttled(m), 3);
+        let clock = LinkClock::new(FabricModel::Throttled(m), 0, 3);
         assert_eq!(stamps(&clock, &[(0, 5), (1, 5), (2, 5)]), vec![6.0, 7.0, 8.0]);
     }
 
     #[test]
     fn same_link_transmissions_serialize_under_every_port_model() {
         let m = Machine::all_port(1.0, 1.0);
-        let clock = LinkClock::new(FabricModel::Throttled(m), 2);
+        let clock = LinkClock::new(FabricModel::Throttled(m), 0, 2);
         // Second send on link 0 waits for the first to clear the wire.
         assert_eq!(stamps(&clock, &[(0, 5), (0, 5)]), vec![6.0, 11.0]);
     }
@@ -326,7 +452,7 @@ mod tests {
     #[test]
     fn one_port_serializes_across_links() {
         let m = Machine::one_port(1.0, 1.0);
-        let clock = LinkClock::new(FabricModel::Throttled(m), 3);
+        let clock = LinkClock::new(FabricModel::Throttled(m), 0, 3);
         // The single transmit port is busy until 6; the second message
         // (distinct link!) still queues behind it.
         assert_eq!(stamps(&clock, &[(0, 5), (1, 5)]), vec![6.0, 11.0]);
@@ -335,15 +461,57 @@ mod tests {
     #[test]
     fn k_port_runs_k_transmissions_then_queues() {
         let m = Machine { ts: 1.0, tw: 1.0, ports: PortModel::KPort(2) };
-        let clock = LinkClock::new(FabricModel::Throttled(m), 3);
+        let clock = LinkClock::new(FabricModel::Throttled(m), 0, 3);
         // Ports free at 6 and 7; the third message takes the earliest (6).
         assert_eq!(stamps(&clock, &[(0, 5), (1, 5), (2, 5)]), vec![6.0, 7.0, 11.0]);
     }
 
     #[test]
+    fn zero_port_machines_are_a_typed_configuration_error() {
+        // The old deep-spawn assert is now a construction-time gate.
+        let m = Machine { ts: 1.0, tw: 1.0, ports: PortModel::KPort(0) };
+        assert_eq!(
+            FabricModel::Throttled(m).validate(),
+            Err(FabricConfigError::ZeroPorts),
+            "KPort(0) must be rejected with a typed error"
+        );
+        assert!(FabricModel::Free.validate().is_ok());
+        assert!(FabricModel::Throttled(Machine::paper_figure2()).validate().is_ok());
+        let ok = Machine { ts: 1.0, tw: 1.0, ports: PortModel::KPort(1) };
+        assert!(FabricModel::Throttled(ok).validate().is_ok());
+        assert!(FabricConfigError::ZeroPorts.to_string().contains("KPort(0)"));
+    }
+
+    #[test]
+    fn poisoned_clock_state_is_recovered_not_cascaded() {
+        // A worker that panics while holding its clock lock must not turn
+        // every later clock touch into a poison-panic: the state is plain
+        // horizon data, so the lock is recovered and the original panic
+        // stays the only one.
+        let m = Machine::all_port(1.0, 1.0);
+        let clock = LinkClock::new(FabricModel::Throttled(m), 0, 2);
+        assert_eq!(clock.on_send(0, 5), 6.0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = clock.state.lock().unwrap();
+            panic!("original worker failure");
+        }));
+        assert!(caught.is_err());
+        assert!(clock.state.is_poisoned(), "the panic above must have poisoned the lock");
+        // Every API entry must keep working on the recovered state.
+        assert_eq!(clock.on_send(0, 5), 11.0);
+        clock.on_recv(100.0);
+        assert_eq!(clock.now(), 100.0);
+        assert_eq!(clock.epoch(), 0);
+        let shared = SharedClock::new();
+        let slot = clock.begin_barrier(&shared).expect("throttled");
+        clock.finish_barrier(&shared, slot);
+        assert!(clock.take_window().is_empty());
+    }
+
+    #[test]
     fn recv_advances_to_the_stamp_monotonically() {
         let m = Machine::all_port(1.0, 1.0);
-        let clock = LinkClock::new(FabricModel::Throttled(m), 1);
+        let clock = LinkClock::new(FabricModel::Throttled(m), 0, 1);
         clock.on_recv(10.0);
         assert_eq!(clock.now(), 10.0);
         clock.on_recv(4.0); // late-arriving stamp from the past: no rewind
@@ -369,7 +537,7 @@ mod tests {
     fn barrier_halves_alternate_slots_and_reset_the_other() {
         let shared = SharedClock::new();
         let m = Machine::all_port(1.0, 1.0);
-        let clock = LinkClock::new(FabricModel::Throttled(m), 1);
+        let clock = LinkClock::new(FabricModel::Throttled(m), 0, 1);
         clock.on_recv(10.0);
         let s0 = clock.begin_barrier(&shared).expect("throttled");
         assert_eq!(s0, 0);
@@ -385,6 +553,77 @@ mod tests {
         let s2 = clock.begin_barrier(&shared).expect("throttled");
         assert_eq!(s2, 0);
         assert_eq!(shared.read(0), 10.0, "fold carries the node's own now");
+    }
+
+    #[test]
+    fn degraded_clock_charges_per_link_effective_machines() {
+        // A clean scenario charges exactly the base machine; an impaired
+        // one charges the per-link factors — and replays identically.
+        let base = Machine::all_port(1.0, 1.0);
+        let clean = Arc::new(Scenario::new(2, ScenarioSpec::clean(9, base)).expect("clean"));
+        let clock = LinkClock::new(FabricModel::Degraded(clean), 0, 2);
+        assert_eq!(stamps(&clock, &[(0, 5), (1, 5)]), vec![6.0, 7.0]);
+
+        let spec = ScenarioSpec {
+            hetero_spread: 1.0,
+            ..ScenarioSpec::clean(3, Machine::all_port(10.0, 2.0))
+        };
+        let sc = Arc::new(Scenario::new(2, spec).expect("hetero"));
+        let (fts, ftw) = sc.factors(1, 0, 0);
+        let clock = LinkClock::new(FabricModel::Degraded(sc.clone()), 1, 2);
+        let stamp = clock.on_send(0, 5);
+        let want = 10.0 * fts + 5.0 * 2.0 * ftw;
+        assert!((stamp - want).abs() < 1e-12, "stamp {stamp} vs {want}");
+        // Replay: a fresh clock over the same scenario charges the same.
+        let clock2 = LinkClock::new(FabricModel::Degraded(sc), 1, 2);
+        assert_eq!(clock2.on_send(0, 5), stamp);
+    }
+
+    #[test]
+    fn degraded_sends_feed_the_calibration_window() {
+        // Service times (no queueing) are recorded: with clean factors the
+        // window is an exact affine law, so `calibrate` recovers the base
+        // machine to rounding.
+        let base = Machine::all_port(7.0, 3.0);
+        let sc = Arc::new(Scenario::new(2, ScenarioSpec::clean(1, base)).expect("clean"));
+        let clock = LinkClock::new(FabricModel::Degraded(sc), 0, 2);
+        for &(dim, elems) in &[(0usize, 10u64), (1, 100), (0, 1000), (1, 10)] {
+            clock.on_send(dim, elems);
+        }
+        let window = clock.take_window();
+        assert_eq!(window.len(), 4);
+        let fit = Machine::calibrate(&window).expect("three distinct sizes");
+        assert!((fit.ts - 7.0).abs() < 1e-9, "ts = {}", fit.ts);
+        assert!((fit.tw - 3.0).abs() < 1e-12, "tw = {}", fit.tw);
+        // Draining empties the window.
+        assert!(clock.take_window().is_empty());
+        // Throttled fabrics never record.
+        let clock = LinkClock::new(FabricModel::Throttled(base), 0, 2);
+        clock.on_send(0, 10);
+        assert!(clock.take_window().is_empty());
+    }
+
+    #[test]
+    fn epoch_advances_with_barriers_and_switches_the_scenario() {
+        // An edge scheduled to die at epoch 1 accepts sends at epoch 0,
+        // then rejects them after one barrier.
+        let spec = ScenarioSpec {
+            deaths: vec![LinkDeath { node: 0, dim: 0, epoch: 1 }],
+            ..ScenarioSpec::clean(5, Machine::all_port(1.0, 1.0))
+        };
+        let sc = Arc::new(Scenario::new(2, spec).expect("one death on a 2-cube"));
+        let clock = LinkClock::new(FabricModel::Degraded(sc), 0, 2);
+        assert_eq!(clock.epoch(), 0);
+        clock.on_send(0, 5); // alive at epoch 0
+        let shared = SharedClock::new();
+        let slot = clock.begin_barrier(&shared).expect("degraded fabrics are throttled");
+        clock.finish_barrier(&shared, slot);
+        assert_eq!(clock.epoch(), 1);
+        clock.on_send(1, 5); // the *other* edge stays alive
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            clock.on_send(0, 5);
+        }));
+        assert!(died.is_err(), "sending across a dead edge must be a protocol error");
     }
 
     #[test]

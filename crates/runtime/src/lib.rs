@@ -27,15 +27,19 @@ pub mod machine;
 pub mod meter;
 pub mod packet;
 pub mod pipelined;
+pub mod scenario;
 pub mod spmd;
 
 pub use collectives::{all_gather, all_reduce, broadcast, gather};
-pub use fabric::{calibrate_channel_machine, measure_channel_fabric, FabricModel, FabricReport};
+pub use fabric::{
+    calibrate_channel_machine, measure_channel_fabric, FabricConfigError, FabricModel, FabricReport,
+};
 pub use jobmux::JobMux;
 pub use machine::{CalibrationError, FabricStats, Machine, PortModel};
 pub use meter::TrafficMeter;
 pub use packet::{pipelined_phase, pipelined_phase_stamped, Packet, PacketChannel, PhaseStats};
 pub use pipelined::{pipelined_exchange, unpipelined_exchange};
+pub use scenario::{LinkDeath, Scenario, ScenarioError, ScenarioSpec};
 pub use spmd::{
     run_spmd, run_spmd_fabric, run_spmd_fabric_jobs, run_spmd_metered, Meterable, NodeCtx,
 };

@@ -270,13 +270,21 @@ impl FabricStats {
     }
 
     /// `(elems, median secs)` per distinct size, sizes ascending.
+    ///
+    /// Total-order sort (`f64::total_cmp`), so non-finite samples — a
+    /// jittery link's wall clock can hand back NaN or Inf — never panic
+    /// here; [`Machine::calibrate`] rejects them with the typed
+    /// [`CalibrationError::NonFiniteSample`] before fitting.
     pub fn median_by_size(&self) -> Vec<(f64, f64)> {
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite calibration sample"));
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
         let mut out: Vec<(f64, f64)> = Vec::new();
         let mut i = 0;
         while i < sorted.len() {
-            let j = sorted[i..].iter().take_while(|s| s.0 == sorted[i].0).count() + i;
+            // Group under the same total order as the sort: `==` would
+            // never match a NaN size, stalling the scan on its own group.
+            let j =
+                sorted[i..].iter().take_while(|s| s.0.total_cmp(&sorted[i].0).is_eq()).count() + i;
             out.push((sorted[i].0, sorted[i + (j - i) / 2].1));
             i = j;
         }
@@ -423,6 +431,22 @@ mod tests {
             Machine::calibrate(&identical),
             Err(CalibrationError::SingleSize { distinct: 1 })
         );
+    }
+
+    #[test]
+    fn non_finite_samples_never_panic_the_median_pass() {
+        // The degraded-fabric repro: one NaN wall-clock probe used to abort
+        // the process inside `median_by_size`'s sort comparator. It must
+        // sort totally (no panic) and `calibrate` must surface the typed
+        // error instead.
+        let mut stats = FabricStats::new();
+        stats.record(64.0, 1e-6);
+        stats.record(64.0, f64::NAN);
+        stats.record(4096.0, f64::INFINITY);
+        stats.record(f64::NAN, 2e-6);
+        let medians = stats.median_by_size(); // must not panic
+        assert!(!medians.is_empty());
+        assert_eq!(Machine::calibrate(&stats), Err(CalibrationError::NonFiniteSample));
     }
 
     #[test]

@@ -162,6 +162,20 @@ impl<'a, M: Send + Meterable> NodeCtx<'a, M> {
         self.clock.on_recv(t);
     }
 
+    /// The clock's current epoch (barriers passed so far) — the index a
+    /// [`FabricModel::Degraded`] scenario is evaluated at. Nodes that have
+    /// passed the same barriers agree on it deterministically.
+    pub fn fabric_epoch(&self) -> usize {
+        self.clock.epoch()
+    }
+
+    /// Drains this node's live send-cost window (degraded fabrics only;
+    /// always empty otherwise): `(elems, service time)` samples an
+    /// adaptive driver feeds to `Machine::calibrate` mid-run.
+    pub fn take_fabric_window(&self) -> crate::machine::FabricStats {
+        self.clock.take_window()
+    }
+
     /// Waits until all `2^d` nodes reach the barrier. On a throttled
     /// fabric the nodes also synchronize their virtual clocks: everyone
     /// leaves at the latest participant's time, as a real barrier would
@@ -273,6 +287,13 @@ where
     R: Send,
     F: Fn(&NodeCtx<'_, M>) -> R + Sync,
 {
+    // Misconfigured fabrics are rejected by the checked option
+    // constructors upstream; this is the last line of defense for callers
+    // that skipped them — one clear failure before any thread spawns
+    // instead of 2^d asserts racing inside the workers.
+    if let Err(err) = fabric.validate() {
+        panic!("invalid fabric model: {err}");
+    }
     let p = 1usize << d;
     let meter = TrafficMeter::with_jobs(d, njobs);
     let barrier = Barrier::new(p);
@@ -310,7 +331,7 @@ where
             rx,
             barrier: &barrier,
             meter: &meter,
-            clock: LinkClock::new(fabric, d),
+            clock: LinkClock::new(fabric.clone(), n, d),
             shared_clock: &shared_clock,
         });
     }
@@ -318,9 +339,18 @@ where
     let body = &body;
     let results: Vec<R> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = ctxs.iter().map(|ctx| scope.spawn(move |_| body(ctx))).collect();
-        handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| {
+                // Re-raise the worker's own panic payload rather than a
+                // generic "node thread panicked": with the clock locks
+                // recovering from poison, the root cause is the only
+                // panic left and it should read that way.
+                h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
     })
-    .expect("spmd scope failed");
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
     let node_times: Vec<f64> = ctxs.iter().map(|ctx| ctx.clock.now()).collect();
     let makespan = node_times.iter().fold(0.0f64, |a, &b| a.max(b));
     (results, meter, FabricReport { model: fabric, makespan, node_times })
@@ -438,7 +468,7 @@ mod tests {
         // Ts + S·Tw, and the makespan is deterministic.
         let fabric = FabricModel::Throttled(Machine::all_port(10.0, 2.0));
         let run = || {
-            let (_, _, report) = run_spmd_fabric::<Vec<f64>, (), _>(2, fabric, |ctx| {
+            let (_, _, report) = run_spmd_fabric::<Vec<f64>, (), _>(2, fabric.clone(), |ctx| {
                 for dim in [0usize, 1, 0] {
                     let _ = ctx.exchange(dim, vec![0.0; 5]);
                 }
@@ -482,7 +512,7 @@ mod tests {
         // across runs regardless of scheduling.
         let fabric = FabricModel::Throttled(Machine::all_port(0.0, 1.0));
         let run = || {
-            run_spmd_fabric::<Vec<f64>, Vec<f64>, _>(2, fabric, |ctx| {
+            run_spmd_fabric::<Vec<f64>, Vec<f64>, _>(2, fabric.clone(), |ctx| {
                 let mut times = Vec::new();
                 // Round 1: pair (0,1) heavy, pair (2,3) light.
                 let elems = if ctx.id() < 2 { 1000 } else { 10 };
@@ -502,6 +532,83 @@ mod tests {
         for i in 0..20 {
             assert_eq!(run(), want, "run {i} diverged");
         }
+    }
+
+    #[test]
+    fn worker_panics_propagate_their_own_payload() {
+        // The root-cause contract behind the poison-recovery fix: when one
+        // node fails, the panic that escapes the runtime is *that node's*,
+        // not a generic join/poison cascade from its peers.
+        let caught = std::panic::catch_unwind(|| {
+            run_spmd::<u64, (), _>(2, |ctx| {
+                let _ = ctx.exchange(0, ctx.id() as u64);
+                if ctx.id() == 3 {
+                    panic!("original failure in node 3");
+                }
+                // Peers keep touching their clocks/channels after the
+                // panic; none of that may replace the payload below.
+                let _ = ctx.virtual_now();
+            });
+        });
+        let payload = caught.expect_err("the node panic must escape");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("original failure in node 3"),
+            "expected the worker's own payload, got: {msg:?}"
+        );
+    }
+
+    #[test]
+    fn degraded_fabric_replays_and_charges_per_link() {
+        use crate::scenario::{Scenario, ScenarioSpec};
+        use std::sync::Arc;
+
+        // A heterogeneous scenario: per-link machines differ, so the
+        // makespan exceeds the clean-base one, and every run replays the
+        // same virtual times from the seed.
+        let base = Machine::all_port(10.0, 2.0);
+        let spec = ScenarioSpec { hetero_spread: 2.0, ..ScenarioSpec::clean(77, base) };
+        let sc = Arc::new(Scenario::new(2, spec).expect("valid spec"));
+        let run = |fabric: FabricModel| {
+            run_spmd_fabric::<Vec<f64>, (), _>(2, fabric, |ctx| {
+                for dim in [0usize, 1, 0] {
+                    let _ = ctx.exchange(dim, vec![0.0; 5]);
+                }
+                ctx.barrier();
+            })
+            .2
+        };
+        let clean = run(FabricModel::Throttled(base));
+        let degraded = run(FabricModel::Degraded(sc.clone()));
+        assert!(
+            degraded.makespan > clean.makespan,
+            "impaired links must cost more: {} vs {}",
+            degraded.makespan,
+            clean.makespan
+        );
+        let replay = run(FabricModel::Degraded(sc));
+        assert_eq!(replay, degraded, "scenario runs must replay bit for bit");
+    }
+
+    #[test]
+    fn invalid_fabric_fails_before_spawn_with_the_typed_message() {
+        use crate::machine::PortModel;
+        let bad = Machine { ts: 1.0, tw: 1.0, ports: PortModel::KPort(0) };
+        let caught = std::panic::catch_unwind(|| {
+            run_spmd_fabric::<u64, (), _>(1, FabricModel::Throttled(bad), |_| {});
+        });
+        let payload = caught.expect_err("KPort(0) must be rejected");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("invalid fabric model"), "got: {msg:?}");
     }
 
     #[test]

@@ -85,9 +85,9 @@ impl ScenarioGen {
             let a =
                 random_symmetric(class.m, self.seed.wrapping_mul(0x9e37).wrapping_add(j as u64));
             jobs.push(if class.svd {
-                Job::Svd { a, family: class.family, opts: self.opts }
+                Job::Svd { a, family: class.family, opts: self.opts.clone() }
             } else {
-                Job::Eigen { a, family: class.family, opts: self.opts }
+                Job::Eigen { a, family: class.family, opts: self.opts.clone() }
             });
             arrivals.push(now);
             if self.mean_interarrival > 0.0 {

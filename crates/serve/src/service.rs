@@ -12,7 +12,7 @@ use mph_runtime::FabricModel;
 
 /// Service-level options: the shared fabric, the admission discipline,
 /// and the pricing machine behind both.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeOptions {
     /// The one fabric all served jobs share.
     pub fabric: FabricModel,
@@ -121,7 +121,7 @@ pub fn serve(d: usize, scenario: &Scenario, opts: &ServeOptions) -> ServeReport 
         &machine,
         &opts.admission,
     );
-    let run = run_job_service(d, &specs, &lowered, opts.fabric, &plan);
+    let run = run_job_service(d, &specs, &lowered, opts.fabric.clone(), &plan);
 
     let latencies: Vec<f64> = run.outcomes.iter().filter_map(|o| o.latency()).collect();
     let waits: Vec<f64> = run.outcomes.iter().filter_map(|o| o.queue_wait()).collect();

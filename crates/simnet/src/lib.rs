@@ -29,8 +29,8 @@ pub mod validate;
 
 pub use batch::{interleaved_replay, job_schedule, serial_replay};
 pub use plan::{
-    plan_phase_times, plan_pipelined_schedule, plan_pipelined_schedule_with_tail,
-    plan_unpipelined_schedule,
+    plan_phase_times, plan_phase_times_hetero, plan_pipelined_schedule,
+    plan_pipelined_schedule_with_tail, plan_unpipelined_schedule,
 };
 pub use schedule::{
     pipelined_phase_schedule, unpipelined_phase_schedule, CommSchedule, CommStage, NodeSend,

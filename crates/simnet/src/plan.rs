@@ -102,6 +102,42 @@ pub fn plan_phase_times(
         .collect()
 }
 
+/// [`plan_phase_times`] on a **heterogeneous** fabric: one machine per
+/// plan phase, each phase simulated on its own machine — the simulator
+/// view of a degraded epoch, cross-validating
+/// `mph_ccpipe::plan_cost_hetero` the same way the uniform pair
+/// cross-validates. With every entry equal this is exactly
+/// [`plan_phase_times`] (asserted in the tests).
+pub fn plan_phase_times_hetero(
+    plan: &CommPlan,
+    machines: &[Machine],
+    qs: &[usize],
+    startup: StartupModel,
+) -> Vec<f64> {
+    assert_eq!(machines.len(), plan.phases().len(), "one machine per plan phase");
+    assert_eq!(
+        qs.len(),
+        plan.exchange_phases().count(),
+        "one pipelining degree per exchange phase"
+    );
+    let mut xq = 0usize;
+    plan.phases()
+        .iter()
+        .zip(machines)
+        .map(|(ph, machine)| {
+            let stages = if ph.is_exchange() {
+                let q = qs[xq].max(1);
+                xq += 1;
+                pipelined_phase_stages(plan, ph, q)
+            } else {
+                let dim = ph.links[0];
+                vec![per_node_stage(ph.sends[0].iter().map(|&e| vec![(dim, e as f64)]).collect())]
+            };
+            simulate_synchronized(&CommSchedule::new(plan.d(), stages), machine, startup).makespan
+        })
+        .collect()
+}
+
 /// [`plan_pipelined_schedule`] with a packetized serial tail: each tail
 /// run of `plan` (maximal stretch of single-link transitions, see
 /// [`CommPlan::tail_runs`]) is lowered as one chained wavefront — the
@@ -285,6 +321,44 @@ mod tests {
         let schedule = SweepSchedule::sweep(d, family, sweep);
         let partition = BlockPartition::new(m, 2 << d);
         CommPlan::lower(&schedule, &partition, &BlockLayout::canonical(d), 2 * m)
+    }
+
+    #[test]
+    fn uniform_hetero_phase_times_match_the_uniform_simulator_bit_for_bit() {
+        let machine = Machine::all_port(500.0, 10.0);
+        let plan = lower(32, 2, OrderingFamily::Degree4, 0);
+        let qs: Vec<usize> = plan.exchange_phases().map(|_| 2).collect();
+        let machines = vec![machine; plan.phases().len()];
+        let uniform = plan_phase_times(&plan, &machine, &qs, StartupModel::SerializedThenParallel);
+        let hetero =
+            plan_phase_times_hetero(&plan, &machines, &qs, StartupModel::SerializedThenParallel);
+        assert_eq!(uniform.len(), hetero.len());
+        for (i, (u, h)) in uniform.iter().zip(&hetero).enumerate() {
+            assert_eq!(u.to_bits(), h.to_bits(), "phase {i}");
+        }
+    }
+
+    #[test]
+    fn degraded_phases_slow_only_themselves() {
+        // Slowing one phase's machine inflates that phase's simulated time
+        // and leaves every other phase untouched — the phase decomposition
+        // really is per-phase.
+        let clean = Machine::all_port(500.0, 10.0);
+        let slow = Machine { ts: clean.ts, tw: 8.0 * clean.tw, ports: clean.ports };
+        let plan = lower(32, 2, OrderingFamily::Br, 0);
+        let qs: Vec<usize> = plan.exchange_phases().map(|_| 1).collect();
+        let base = plan_phase_times(&plan, &clean, &qs, StartupModel::SerializedThenParallel);
+        let mut machines = vec![clean; plan.phases().len()];
+        machines[1] = slow;
+        let mixed =
+            plan_phase_times_hetero(&plan, &machines, &qs, StartupModel::SerializedThenParallel);
+        for (i, (b, m)) in base.iter().zip(&mixed).enumerate() {
+            if i == 1 {
+                assert!(m > b, "phase 1 must slow down: {m} vs {b}");
+            } else {
+                assert_eq!(b.to_bits(), m.to_bits(), "phase {i} must be untouched");
+            }
+        }
     }
 
     #[test]

@@ -41,10 +41,22 @@ fn main() {
     };
 
     let jobs = vec![
-        Job::Eigen { a: random_symmetric(m, 1), family: OrderingFamily::Br, opts },
-        Job::Eigen { a: random_symmetric(m, 2), family: OrderingFamily::Degree4, opts },
-        Job::Svd { a: random_symmetric(m / 2, 3), family: OrderingFamily::PermutedBr, opts },
-        Job::Eigen { a: random_symmetric(m, 4), family: OrderingFamily::MinAlpha, opts },
+        Job::Eigen { a: random_symmetric(m, 1), family: OrderingFamily::Br, opts: opts.clone() },
+        Job::Eigen {
+            a: random_symmetric(m, 2),
+            family: OrderingFamily::Degree4,
+            opts: opts.clone(),
+        },
+        Job::Svd {
+            a: random_symmetric(m / 2, 3),
+            family: OrderingFamily::PermutedBr,
+            opts: opts.clone(),
+        },
+        Job::Eigen {
+            a: random_symmetric(m, 4),
+            family: OrderingFamily::MinAlpha,
+            opts: opts.clone(),
+        },
     ];
 
     // The enforced fabric: the paper's Figure-2 all-port machine on the
@@ -58,7 +70,11 @@ fn main() {
         ("spf       ", Policy::ShortestPlanFirst),
         ("interleave", Policy::Interleave { stride: 1 }),
     ] {
-        let report = solve_batch(d, &jobs, &BatchOptions { fabric, policy, ..Default::default() });
+        let report = solve_batch(
+            d,
+            &jobs,
+            &BatchOptions { fabric: fabric.clone(), policy, ..Default::default() },
+        );
         if fifo_makespan == 0.0 {
             fifo_makespan = report.makespan;
         }
@@ -89,7 +105,9 @@ fn main() {
     println!(
         "\nSerial tail the interleave fills: {:.0} vtime of whole-block division/last\n\
          transitions per FIFO batch (CommPlan::tail_volume priced by batch_cost).",
-        solve_batch(d, &jobs, &BatchOptions { fabric, ..Default::default() }).cost.tail
+        solve_batch(d, &jobs, &BatchOptions { fabric: fabric.clone(), ..Default::default() })
+            .cost
+            .tail
     );
 }
 

@@ -57,7 +57,7 @@ fn main() {
 
     // Execute both ways and compare everything.
     let base = JacobiOptions::default();
-    let auto = JacobiOptions { pipelining: Pipelining::Auto(machine), ..base };
+    let auto = JacobiOptions { pipelining: Pipelining::Auto(machine), ..base.clone() };
     let t0 = std::time::Instant::now();
     let (r0, meter0) = block_jacobi_threaded(&a, d, family, &base);
     let t_unpiped = t0.elapsed();
@@ -99,7 +99,7 @@ fn main() {
         fabric: FabricModel::Throttled(machine),
         ..base
     };
-    let tauto = JacobiOptions { pipelining: Pipelining::Auto(machine), ..throttled };
+    let tauto = JacobiOptions { pipelining: Pipelining::Auto(machine), ..throttled.clone() };
     let qs = choose_qs(plan1, &tauto.pipelining, packetization_cap(m, d));
     let (_, _, tu) = block_jacobi_threaded_fabric(&a, d, family, &throttled);
     let (_, _, tp) = block_jacobi_threaded_fabric(&a, d, family, &tauto);
