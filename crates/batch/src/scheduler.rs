@@ -5,10 +5,10 @@ use crate::policy::Policy;
 use mph_ccpipe::{batch_cost, BatchCost, BatchOrder, Machine, PlannedJob};
 use mph_core::CommPlan;
 use mph_eigen::{
-    choose_tail_qs, lower_job, packetization_cap, run_job_batch_planned, JobResult, JobSpan,
+    choose_tail_qs, lower_job, packetization_cap, run_job_batch_planned_traced, JobResult, JobSpan,
     JobSpec,
 };
-use mph_runtime::{FabricConfigError, FabricModel, FabricReport, TrafficMeter};
+use mph_runtime::{FabricConfigError, FabricModel, FabricReport, SinkHandle, TrafficMeter};
 
 /// Batch-level options.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +23,12 @@ pub struct BatchOptions {
     /// [`BatchCost`] sheet) when the fabric is [`FabricModel::Free`]; a
     /// throttled fabric prices on its own enforced machine.
     pub pricing: Machine,
+    /// Trace sink the batch run records into (default: the zero-cost nop
+    /// sink). When enabled, the fabric stamps every job's link/barrier
+    /// events — tagged with job ids and packet (k, q) headers — on the
+    /// shared virtual clock. Strictly observational: results are bitwise
+    /// identical to the untraced run.
+    pub trace: SinkHandle,
 }
 
 impl Default for BatchOptions {
@@ -31,6 +37,7 @@ impl Default for BatchOptions {
             fabric: FabricModel::Free,
             policy: Policy::Fifo,
             pricing: Machine::paper_figure2(),
+            trace: SinkHandle::nop(),
         }
     }
 }
@@ -99,7 +106,7 @@ impl BatchOptions {
         if fabric.scenario().is_some_and(|sc| sc.has_deaths()) {
             return Err(BatchConfigError::DeadLinksUnsupported);
         }
-        Ok(BatchOptions { fabric, policy, pricing })
+        Ok(BatchOptions { fabric, policy, pricing, trace: SinkHandle::nop() })
     }
 }
 
@@ -191,7 +198,14 @@ pub fn solve_batch(d: usize, jobs: &[Job], opts: &BatchOptions) -> BatchReport {
     let order = opts.policy.order(&planned, &machine);
     let cost = batch_cost(&planned, &machine, &order);
     // The lowering that priced the batch is the one that runs it.
-    let run = run_job_batch_planned(d, &specs, &lowered, opts.fabric.clone(), &order);
+    let run = run_job_batch_planned_traced(
+        d,
+        &specs,
+        &lowered,
+        opts.fabric.clone(),
+        &order,
+        opts.trace.clone(),
+    );
     let makespan = run.fabric.makespan;
     let throughput = Throughput::measure(jobs.len(), run.meter.total_volume(), makespan);
     BatchReport {

@@ -513,6 +513,31 @@ fn validate(doc: &Json) -> Vec<String> {
         );
     }
 
+    // The trace block: RingSink vs NopSink on the throttled block sweep.
+    // Tracing is contractually observational, so it gates hard: the
+    // traced run within 5% wall time of the untraced one, results
+    // bitwise-identical, at least one event recorded, and the Chrome
+    // export well-formed.
+    let trace = doc.get("trace");
+    require("trace", trace.is_some());
+    let trace_num = |key: &str| trace.and_then(|t| t.get(key)).and_then(Json::as_number);
+    for key in ["nop_ms", "ring_ms"] {
+        require(&format!("trace.{key}"), trace_num(key).is_some_and(|x| x.is_finite() && x > 0.0));
+    }
+    require(
+        "trace.overhead <= 1.05",
+        trace_num("overhead").is_some_and(|r| r.is_finite() && r > 0.0 && r <= 1.05),
+    );
+    require("trace.events >= 1", trace_num("events").is_some_and(|n| n >= 1.0));
+    require(
+        "trace.bitwise_identical",
+        matches!(trace.and_then(|t| t.get("bitwise_identical")), Some(Json::Bool(true))),
+    );
+    require(
+        "trace.export_well_formed",
+        matches!(trace.and_then(|t| t.get("export_well_formed")), Some(Json::Bool(true))),
+    );
+
     match doc.get("families") {
         Some(Json::Object(fams)) if !fams.is_empty() => {
             for (name, fam) in fams {
@@ -662,6 +687,9 @@ mod tests {
                     "machine_ts": 1000.0, "machine_tw": 100.0,
                     "m64": {serve_m64},
                     "m256": {serve_m256}}},
+          "trace": {{"reps": 11, "nop_ms": 50.0, "ring_ms": 50.8, "overhead": 1.016,
+                    "events": 2832, "bitwise_identical": true,
+                    "export_well_formed": true}},
           "families": {{"BR": {{"logical_ms": 1.0, "threaded_ms": 1.0, "rotations": 10}}}}
         }}"#
         )
@@ -932,6 +960,53 @@ mod tests {
         let doc = Parser::new(&text).document().expect("parses");
         let problems = validate(&doc);
         assert!(problems.iter().any(|p| p.contains("kernel.bitwise_identical")), "{problems:?}");
+    }
+
+    #[test]
+    fn gates_the_trace_overhead_bar() {
+        // Recording into the ring sink costing more than 5% wall time
+        // gates — tracing is contractually observational.
+        let text = minimal_snapshot(1.0, 100.0).replace("\"overhead\": 1.016", "\"overhead\": 1.2");
+        let doc = Parser::new(&text).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(problems.iter().any(|p| p.contains("trace.overhead <= 1.05")), "{problems:?}");
+        // An empty capture gates — the sweep emits events on every fabric.
+        let text = minimal_snapshot(1.0, 100.0).replace("\"events\": 2832", "\"events\": 0");
+        let doc = Parser::new(&text).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(problems.iter().any(|p| p.contains("trace.events >= 1")), "{problems:?}");
+        // A snapshot missing the block entirely gates.
+        let text = r#"{"bench": "eigen_perf_snapshot", "m": 1, "d": 1, "seed": 1,
+            "layout_sweep": {}, "families": {"BR": {}}}"#;
+        let doc = Parser::new(text).document().expect("parses");
+        assert!(validate(&doc).iter().any(|p| p == "missing or malformed field: trace"));
+    }
+
+    #[test]
+    fn gates_the_trace_bitwise_flag() {
+        // A traced run whose bits diverged from the untraced run must
+        // never pass CI — observation must not perturb the system.
+        let text = minimal_snapshot(1.0, 100.0).replace(
+            "\"events\": 2832, \"bitwise_identical\": true",
+            "\"events\": 2832, \"bitwise_identical\": false",
+        );
+        let doc = Parser::new(&text).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(problems.iter().any(|p| p.contains("trace.bitwise_identical")), "{problems:?}");
+    }
+
+    #[test]
+    fn gates_the_trace_export_well_formedness() {
+        // A Chrome export the validator rejects gates — a capture nobody
+        // can open is not observability.
+        let text = minimal_snapshot(1.0, 100.0)
+            .replace("\"export_well_formed\": true", "\"export_well_formed\": false");
+        let doc = Parser::new(&text).document().expect("parses");
+        let problems = validate(&doc);
+        assert!(problems.iter().any(|p| p.contains("trace.export_well_formed")), "{problems:?}");
+        // The happy path has no trace problems.
+        let doc = Parser::new(&minimal_snapshot(1.0, 100.0)).document().expect("parses");
+        assert!(validate(&doc).iter().all(|p| !p.contains("trace")), "{:?}", validate(&doc));
     }
 
     #[test]

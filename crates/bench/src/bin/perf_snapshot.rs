@@ -27,8 +27,11 @@ use mph_eigen::{
     JacobiOptions, JobSpec, KernelPath, Pipelining,
 };
 use mph_linalg::symmetric::random_symmetric;
-use mph_runtime::{calibrate_channel_machine, LinkDeath, Scenario, ScenarioSpec};
+use mph_runtime::{
+    calibrate_channel_machine, LinkDeath, RingSink, Scenario, ScenarioSpec, SinkHandle,
+};
 use mph_serve::{serve, JobClass, ScenarioGen, ServeOptions};
+use mph_trace::{chrome_trace_json, validate_chrome_trace};
 use std::fmt::Write as _;
 use std::fs;
 use std::hint::black_box;
@@ -672,6 +675,51 @@ fn main() {
          \"machine_ts\": {fab_ts},\n    \"machine_tw\": {fab_tw}{serve_rows}\n  }}"
     );
 
+    // --- Tracing layer: observation overhead and export integrity -------
+    // The same throttled block sweep twice: once with the default nop
+    // sink, once recording into a ring sink. Tracing is contractually
+    // observational, so the gate requires the traced run to stay within
+    // 5% wall time of the untraced one, bitwise-identical results, and a
+    // well-formed Chrome export. Wall-clock medians are noisy at this
+    // margin, so the block takes extra reps.
+    let trace_reps = 2 * reps + 1;
+    let trace_opts = JacobiOptions {
+        force_sweeps: Some(2),
+        pipelining: Pipelining::Fixed(2),
+        fabric: FabricModel::Throttled(dg_machine),
+        ..Default::default()
+    };
+    let nop_ms = median_ms(trace_reps, || {
+        black_box(block_jacobi_threaded_fabric(&a, d, pipe_family, &trace_opts));
+    });
+    let ring = Arc::new(RingSink::new(d, 1 << 16));
+    let ring_opts = JacobiOptions { trace: SinkHandle::new(ring.clone()), ..trace_opts.clone() };
+    let ring_ms = median_ms(trace_reps, || {
+        black_box(block_jacobi_threaded_fabric(&a, d, pipe_family, &ring_opts));
+    });
+    let trace_overhead = ring_ms / nop_ms;
+    let (tr_plain, _, _) = block_jacobi_threaded_fabric(&a, d, pipe_family, &trace_opts);
+    ring.drain();
+    let (tr_traced, _, _) = block_jacobi_threaded_fabric(&a, d, pipe_family, &ring_opts);
+    let tr_bitwise = tr_traced.rotations == tr_plain.rotations
+        && tr_traced.eigenvalues == tr_plain.eigenvalues
+        && (0..m).all(|c| tr_traced.eigenvectors.col(c) == tr_plain.eigenvectors.col(c));
+    let lanes = ring.drain();
+    let tr_events: usize = lanes.iter().map(Vec::len).sum();
+    let export = validate_chrome_trace(&chrome_trace_json(&lanes));
+    let tr_well_formed = export.is_ok();
+    println!(
+        "  trace            : nop {nop_ms:>8.3} ms | ring {ring_ms:>8.3} ms | \
+         overhead {trace_overhead:.3}x | {tr_events} events | bitwise {tr_bitwise} | \
+         export ok {tr_well_formed}"
+    );
+    let trace_json = format!(
+        "{{\n    \"reps\": {trace_reps},\n    \"nop_ms\": {nop_ms:.3},\n    \
+         \"ring_ms\": {ring_ms:.3},\n    \"overhead\": {trace_overhead:.4},\n    \
+         \"events\": {tr_events},\n    \"bitwise_identical\": {tr_bitwise},\n    \
+         \"export_well_formed\": {tr_well_formed}\n  }}"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"eigen_perf_snapshot\",\n  \"m\": {m},\n  \"d\": {d},\n  \
          \"smoke\": {smoke},\n  \"force_sweeps\": 2,\n  \"seed\": {seed},\n  \
@@ -688,6 +736,7 @@ fn main() {
          \"batch\": {batch_json},\n  \
          \"degraded\": {degraded_json},\n  \
          \"serve\": {serve_json},\n  \
+         \"trace\": {trace_json},\n  \
          \"families\": {{{family_json}\n  }}\n}}\n"
     );
     println!("{json}");

@@ -53,9 +53,10 @@ pub use mph_linalg::block::ColumnBlock;
 pub use mph_linalg::KernelPath;
 pub use mph_runtime::{FabricModel, FabricReport};
 pub use multidrive::{
-    lower_job, run_job_batch, run_job_batch_planned, run_job_service, svd_block_threaded,
-    svd_block_threaded_fabric, BatchMsg, BatchRun, BoundarySample, JobKind, JobOutcome, JobResult,
-    JobSpan, JobSpec, Rejected, ServicePlan, ServiceRun,
+    lower_job, run_job_batch, run_job_batch_planned, run_job_batch_planned_traced, run_job_service,
+    run_job_service_traced, svd_block_threaded, svd_block_threaded_fabric, BatchMsg, BatchRun,
+    BoundarySample, JobKind, JobOutcome, JobResult, JobSpan, JobSpec, Rejected, ServicePlan,
+    ServiceRun,
 };
 pub use offnorm::{diagonal, diagonal_blocks, off_norm, off_norm_blocks};
 pub use onesided::one_sided_cyclic;

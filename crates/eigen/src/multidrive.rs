@@ -52,8 +52,8 @@ use mph_linalg::block::{BufferPool, ColumnBlock};
 use mph_linalg::vecops::dot;
 use mph_linalg::Matrix;
 use mph_runtime::{
-    run_spmd_fabric_jobs, FabricModel, FabricReport, JobMux, Meterable, NodeCtx, Packet,
-    TrafficMeter,
+    run_spmd_fabric_jobs_traced, FabricModel, FabricReport, JobMux, Meterable, NodeCtx, Packet,
+    SinkHandle, TraceEvent, TrafficMeter,
 };
 
 /// What kind of factorization a job asks for.
@@ -144,6 +144,14 @@ impl Meterable for BatchMsg {
             BatchMsg::Block { job, .. } => *job,
             BatchMsg::Packet(p) => p.job,
             BatchMsg::Scalar { job, .. } => *job,
+        }
+    }
+
+    fn kq(&self) -> Option<(u32, u32)> {
+        // Framed packets carry their (k, q) header into the trace.
+        match self {
+            BatchMsg::Packet(p) => Some((p.k, p.q)),
+            _ => None,
         }
     }
 }
@@ -730,6 +738,21 @@ pub fn run_job_batch_planned(
     fabric: FabricModel,
     order: &BatchOrder,
 ) -> BatchRun {
+    run_job_batch_planned_traced(d, jobs, lowered, fabric, order, SinkHandle::nop())
+}
+
+/// [`run_job_batch_planned`] with a live trace sink: the fabric records
+/// every job's link/barrier events (tagged with job and packet headers)
+/// into `sink`, stamped on the shared virtual clock. Tracing is strictly
+/// observational — results are bitwise identical to the untraced run.
+pub fn run_job_batch_planned_traced(
+    d: usize,
+    jobs: &[JobSpec],
+    lowered: &[(Vec<CommPlan>, Vec<Vec<usize>>)],
+    fabric: FabricModel,
+    order: &BatchOrder,
+    sink: SinkHandle,
+) -> BatchRun {
     assert!(!jobs.is_empty(), "an empty batch solves nothing");
     assert_eq!(jobs.len(), lowered.len(), "one lowered plan chain per job");
     order.validate(jobs.len());
@@ -739,44 +762,45 @@ pub fn run_job_batch_planned(
         }
     }
 
-    let (outputs, meter, fabric_report) =
-        run_spmd_fabric_jobs::<BatchMsg, Vec<JobNodeOutput>, _>(d, fabric, jobs.len(), |ctx| {
-            let mut nodes: Vec<JobNode> = jobs
-                .iter()
-                .zip(lowered)
-                .enumerate()
-                .map(|(j, (spec, (plans, qs)))| {
-                    JobNode::new(j as u32, spec, plans, qs, d, ctx.id())
-                })
-                .collect();
-            let mut mux = JobMux::new(ctx);
-            match order {
-                BatchOrder::Serial(ord) => {
-                    for &j in ord {
-                        while !nodes[j].done() {
-                            nodes[j].step(ctx, &mut mux);
-                        }
+    let (outputs, meter, fabric_report) = run_spmd_fabric_jobs_traced::<
+        BatchMsg,
+        Vec<JobNodeOutput>,
+        _,
+    >(d, fabric, jobs.len(), sink, |ctx| {
+        let mut nodes: Vec<JobNode> = jobs
+            .iter()
+            .zip(lowered)
+            .enumerate()
+            .map(|(j, (spec, (plans, qs)))| JobNode::new(j as u32, spec, plans, qs, d, ctx.id()))
+            .collect();
+        let mut mux = JobMux::new(ctx);
+        match order {
+            BatchOrder::Serial(ord) => {
+                for &j in ord {
+                    while !nodes[j].done() {
+                        nodes[j].step(ctx, &mut mux);
                     }
                 }
-                BatchOrder::RoundRobin { order: ord, stride } => loop {
-                    let mut active = false;
-                    for &j in ord {
-                        for _ in 0..*stride {
-                            if nodes[j].done() {
-                                break;
-                            }
-                            nodes[j].step(ctx, &mut mux);
-                            active = true;
-                        }
-                    }
-                    if !active {
-                        break;
-                    }
-                },
             }
-            assert_eq!(mux.stashed(), 0, "batch framing corrupt: unconsumed messages");
-            nodes.into_iter().map(JobNode::into_output).collect()
-        });
+            BatchOrder::RoundRobin { order: ord, stride } => loop {
+                let mut active = false;
+                for &j in ord {
+                    for _ in 0..*stride {
+                        if nodes[j].done() {
+                            break;
+                        }
+                        nodes[j].step(ctx, &mut mux);
+                        active = true;
+                    }
+                }
+                if !active {
+                    break;
+                }
+            },
+        }
+        assert_eq!(mux.stashed(), 0, "batch framing corrupt: unconsumed messages");
+        nodes.into_iter().map(JobNode::into_output).collect()
+    });
 
     // Assemble per-job global results from the per-node column shares.
     let mut results = Vec::with_capacity(jobs.len());
@@ -1061,6 +1085,24 @@ pub fn run_job_service(
     fabric: FabricModel,
     plan: &ServicePlan,
 ) -> ServiceRun {
+    run_job_service_traced(d, jobs, lowered, fabric, plan, SinkHandle::nop())
+}
+
+/// [`run_job_service`] with a live trace sink: besides the fabric's
+/// link/barrier events, the service records every admission decision —
+/// [`TraceEvent::Admit`] / [`TraceEvent::Reject`] at sweep boundaries and
+/// [`TraceEvent::Stagger`] skip assignments. Admission state is
+/// barrier-synced and identical on every node (asserted below), so those
+/// events are recorded by node 0 only — one lane is the record, not 2^d
+/// copies. Tracing never changes results.
+pub fn run_job_service_traced(
+    d: usize,
+    jobs: &[JobSpec],
+    lowered: &[(Vec<CommPlan>, Vec<Vec<usize>>)],
+    fabric: FabricModel,
+    plan: &ServicePlan,
+    sink: SinkHandle,
+) -> ServiceRun {
     assert!(!jobs.is_empty(), "an empty service serves nothing");
     assert_eq!(jobs.len(), lowered.len(), "one lowered plan chain per job");
     plan.validate(jobs.len());
@@ -1073,7 +1115,7 @@ pub fn run_job_service(
     let throttled = matches!(fabric, FabricModel::Throttled(_));
 
     let (node_logs, meter, fabric_report) =
-        run_spmd_fabric_jobs::<BatchMsg, NodeService, _>(d, fabric, njobs, |ctx| {
+        run_spmd_fabric_jobs_traced::<BatchMsg, NodeService, _>(d, fabric, njobs, sink, |ctx| {
             let mut mux = JobMux::new(ctx);
             let mut nodes: Vec<Option<JobNode>> = (0..njobs).map(|_| None).collect();
             let mut queue: Vec<usize> = Vec::new();
@@ -1120,6 +1162,13 @@ pub fn run_job_service(
                         admitted_at[j] = Some(now);
                         active.push(j);
                         admitted.push(j);
+                        if ctx.id() == 0 {
+                            ctx.trace().emit(0, || TraceEvent::Admit {
+                                job: j as u32,
+                                time: now,
+                                queue_depth: queue.len(),
+                            });
+                        }
                     }
                     if next_arrival >= njobs || plan.arrivals[next_arrival] > horizon {
                         break;
@@ -1131,6 +1180,13 @@ pub fn run_job_service(
                             arrival: plan.arrivals[j],
                             queue_depth: queue.len(),
                         });
+                        if ctx.id() == 0 {
+                            ctx.trace().emit(0, || TraceEvent::Reject {
+                                job: j as u32,
+                                time: plan.arrivals[j],
+                                queue_depth: queue.len(),
+                            });
+                        }
                     } else {
                         queue.push(j);
                     }
@@ -1161,6 +1217,17 @@ pub fn run_job_service(
                         rank * plan.stagger_slots
                     })
                     .collect();
+                if ctx.id() == 0 {
+                    for (i, &j) in active.iter().enumerate() {
+                        if skip[i] > 0 {
+                            ctx.trace().emit(0, || TraceEvent::Stagger {
+                                job: j as u32,
+                                slots: skip[i],
+                                time: now,
+                            });
+                        }
+                    }
+                }
                 let mut crossed: Vec<bool> = active
                     .iter()
                     .map(|&j| nodes[j].as_ref().expect("active job lowered").done())

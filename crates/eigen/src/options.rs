@@ -2,7 +2,7 @@
 
 use mph_ccpipe::Machine;
 use mph_linalg::{KernelPath, Matrix};
-use mph_runtime::{FabricConfigError, FabricModel};
+use mph_runtime::{FabricConfigError, FabricModel, SinkHandle};
 
 /// Communication pipelining of the threaded driver's exchange phases
 /// (paper §2.4): each exchange phase splits its block payload into `Q`
@@ -131,6 +131,15 @@ pub struct JacobiOptions {
     /// same pair set as the serial order, so convergence behavior matches;
     /// only last-bit rotation angles may differ between `0` and `≥ 1`.
     pub workers: usize,
+    /// Trace sink for the threaded driver (ignored by the logical
+    /// drivers): when enabled — e.g.
+    /// `SinkHandle::new(Arc<RingSink>)` — the fabric records
+    /// link/barrier events and the driver adds sweep boundaries,
+    /// recalibrations, and relay hops, all stamped on the virtual
+    /// clock. Tracing is strictly observational: traced runs are
+    /// bitwise-identical to untraced runs (proptested at the workspace
+    /// root). The default is the zero-cost nop sink.
+    pub trace: SinkHandle,
 }
 
 impl Default for JacobiOptions {
@@ -147,6 +156,7 @@ impl Default for JacobiOptions {
             adaptation: Adaptation::Off,
             kernel: KernelPath::Scalar,
             workers: 0,
+            trace: SinkHandle::nop(),
         }
     }
 }
@@ -206,6 +216,7 @@ mod tests {
         assert_eq!(o.adaptation, Adaptation::Off, "no mid-run adaptation by default");
         assert_eq!(o.kernel, KernelPath::Scalar, "scalar kernels must be the default");
         assert_eq!(o.workers, 0, "serial legacy pairing order must be the default");
+        assert!(!o.trace.is_enabled(), "tracing must default to the nop sink");
         assert!(o.validate().is_ok(), "the default option set must validate");
     }
 

@@ -50,9 +50,10 @@ use mph_linalg::block::{BufferPool, ColumnBlock};
 use mph_linalg::vecops::dot;
 use mph_linalg::Matrix;
 use mph_runtime::{
-    pipelined_phase, pipelined_phase_stamped, run_spmd_fabric, FabricReport, Machine, Meterable,
-    NodeCtx, Packet, Scenario, TrafficMeter,
+    pipelined_phase, pipelined_phase_stamped, run_spmd_fabric_jobs_traced, FabricReport, Machine,
+    Meterable, NodeCtx, Packet, Scenario, TraceEvent, TrafficMeter,
 };
+use mph_trace::MetricsRegistry;
 use std::sync::Arc;
 
 /// Messages carried by the links: a whole column block (one contiguous
@@ -80,6 +81,14 @@ impl Meterable for Msg {
         // Convergence votes are protocol, not block data: they must not
         // pollute the block-traffic totals the paper's tables count.
         matches!(self, Msg::Scalar(_))
+    }
+
+    fn kq(&self) -> Option<(u32, u32)> {
+        // Framed packets carry their (k, q) header into the trace.
+        match self {
+            Msg::Packet(p) => Some((p.k, p.q)),
+            _ => None,
+        }
     }
 }
 
@@ -134,6 +143,17 @@ pub struct AdaptiveReport {
     pub reroutes: u64,
     /// Origin elements routed around dead links, summed over nodes.
     pub rerouted_elems: u64,
+}
+
+impl AdaptiveReport {
+    /// Projects the report into the workspace's shared metric shape.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.add("adaptive.recalibrations", self.recalibrations as u64);
+        r.add("adaptive.reroutes", self.reroutes);
+        r.add("adaptive.rerouted_elems", self.rerouted_elems);
+        r
+    }
 }
 
 /// One dead undirected edge's relay plan for a sweep: who its endpoints
@@ -192,6 +212,11 @@ fn exchange_via(
                         let m = outgoing.take().expect("one relayed payload per direction");
                         *reroutes += 1;
                         *rerouted_elems += m.elems();
+                        ctx.trace().emit(n, || TraceEvent::Relay {
+                            dim: r.dim,
+                            elems: m.elems(),
+                            time: ctx.virtual_now(),
+                        });
                         m
                     } else {
                         carried.take().expect("relay hop carries the payload")
@@ -435,160 +460,217 @@ pub fn block_jacobi_threaded_adaptive(
     let adaptation = opts.adaptation;
 
     let fabric_model = opts.fabric.clone();
-    let (outputs, meter, fabric) = run_spmd_fabric::<Msg, NodeOutput, _>(d, fabric_model, |ctx| {
-        let n = ctx.id();
-        // Canonical initial layout: slot0 = block n, slot1 = block n + p.
-        let mut slot0 = ColumnBlock::from_matrix_with_identity(a0, partition.cols(n), m);
-        let mut slot1 = ColumnBlock::from_matrix_with_identity(a0, partition.cols(n + p), m);
-        // Per-node packet-store pool, reused across phases and sweeps.
-        let mut pool = BufferPool::new();
-        let mut sweeps = 0usize;
-        let mut rotations = 0u64;
-        let mut converged = false;
-        // Adaptive state: the machine currently priced against (Reactive
-        // starts from the scenario's clean base — the spec sheet — and
-        // re-fits from live windows) plus the activity counters.
-        let mut machine: Machine =
-            scenario.as_ref().map(|sc| sc.base()).unwrap_or_else(Machine::paper_figure2);
-        let mut recalibrations = 0usize;
-        let mut reroutes = 0u64;
-        let mut rerouted_elems = 0u64;
-        loop {
-            if sweeps >= budget {
-                break;
-            }
-            let plan = &plans[sweeps];
-            let relays = &sweep_relays[sweeps];
-            // Reactive re-calibration, from sweep 1 on: fit a machine to
-            // the service times the link clock measured last sweep, then
-            // agree with the peers — max-allreduce of Ts then Tw, so every
-            // node prices against the same (slowest-observed) machine.
-            // The agreement rides the control plane and survives dead
-            // links like every other exchange.
-            if scenario.is_some() && adaptation == Adaptation::Reactive && sweeps > 0 {
-                let window = ctx.take_fabric_window();
-                let local = Machine::calibrate(&window)
-                    .map(|fit| Machine { ts: fit.ts, tw: fit.tw, ports: machine.ports })
-                    .unwrap_or(machine);
-                let ts =
-                    allreduce_max_via(ctx, local.ts, relays, &mut reroutes, &mut rerouted_elems);
-                let tw =
-                    allreduce_max_via(ctx, local.tw, relays, &mut reroutes, &mut rerouted_elems);
-                let agreed = Machine { ts, tw, ports: machine.ports };
-                if agreed != machine {
-                    machine = agreed;
-                    recalibrations += 1;
+    let sink = opts.trace.clone();
+    let (outputs, meter, fabric) =
+        run_spmd_fabric_jobs_traced::<Msg, NodeOutput, _>(d, fabric_model, 1, sink, |ctx| {
+            let n = ctx.id();
+            // Canonical initial layout: slot0 = block n, slot1 = block n + p.
+            let mut slot0 = ColumnBlock::from_matrix_with_identity(a0, partition.cols(n), m);
+            let mut slot1 = ColumnBlock::from_matrix_with_identity(a0, partition.cols(n + p), m);
+            // Per-node packet-store pool, reused across phases and sweeps.
+            let mut pool = BufferPool::new();
+            let mut sweeps = 0usize;
+            let mut rotations = 0u64;
+            let mut converged = false;
+            // Adaptive state: the machine currently priced against (Reactive
+            // starts from the scenario's clean base — the spec sheet — and
+            // re-fits from live windows) plus the activity counters.
+            let mut machine: Machine =
+                scenario.as_ref().map(|sc| sc.base()).unwrap_or_else(Machine::paper_figure2);
+            let mut recalibrations = 0usize;
+            let mut reroutes = 0u64;
+            let mut rerouted_elems = 0u64;
+            loop {
+                if sweeps >= budget {
+                    break;
                 }
-            }
-            // Per-sweep pricing. Dead-link sweeps run whole-block: the
-            // packet pipelines assume direct links, and Q never changes
-            // bits, so forcing Q = 1 is always safe. Otherwise Reactive /
-            // Oracle re-price every phase through the cost model against
-            // the current (agreed / scenario-known) machine; Off keeps the
-            // pre-run static schedule.
-            let has_dead = !relays.is_empty();
-            let (qs, tail_q): (Vec<usize>, usize) = if has_dead {
-                (plan.exchange_phases().map(|_| 1).collect(), 1)
-            } else if scenario.is_some() && adaptation != Adaptation::Off {
-                let pricing = match (&scenario, adaptation) {
-                    (Some(sc), Adaptation::Oracle) => {
-                        Pipelining::Auto(sc.worst_alive_machine(sweeps))
+                let plan = &plans[sweeps];
+                let relays = &sweep_relays[sweeps];
+                ctx.trace()
+                    .emit(n, || TraceEvent::SweepBegin { sweep: sweeps, time: ctx.virtual_now() });
+                // Reactive re-calibration, from sweep 1 on: fit a machine to
+                // the service times the link clock measured last sweep, then
+                // agree with the peers — max-allreduce of Ts then Tw, so every
+                // node prices against the same (slowest-observed) machine.
+                // The agreement rides the control plane and survives dead
+                // links like every other exchange.
+                if scenario.is_some() && adaptation == Adaptation::Reactive && sweeps > 0 {
+                    let window = ctx.take_fabric_window();
+                    let local = Machine::calibrate(&window)
+                        .map(|fit| Machine { ts: fit.ts, tw: fit.tw, ports: machine.ports })
+                        .unwrap_or(machine);
+                    let ts = allreduce_max_via(
+                        ctx,
+                        local.ts,
+                        relays,
+                        &mut reroutes,
+                        &mut rerouted_elems,
+                    );
+                    let tw = allreduce_max_via(
+                        ctx,
+                        local.tw,
+                        relays,
+                        &mut reroutes,
+                        &mut rerouted_elems,
+                    );
+                    let agreed = Machine { ts, tw, ports: machine.ports };
+                    if agreed != machine {
+                        machine = agreed;
+                        recalibrations += 1;
+                        ctx.trace().emit(n, || TraceEvent::Recalibrate {
+                            sweep: sweeps,
+                            ts,
+                            tw,
+                            time: ctx.virtual_now(),
+                        });
                     }
-                    _ => Pipelining::Auto(machine),
+                }
+                // Per-sweep pricing. Dead-link sweeps run whole-block: the
+                // packet pipelines assume direct links, and Q never changes
+                // bits, so forcing Q = 1 is always safe. Otherwise Reactive /
+                // Oracle re-price every phase through the cost model against
+                // the current (agreed / scenario-known) machine; Off keeps the
+                // pre-run static schedule.
+                let has_dead = !relays.is_empty();
+                let (qs, tail_q): (Vec<usize>, usize) = if has_dead {
+                    (plan.exchange_phases().map(|_| 1).collect(), 1)
+                } else if scenario.is_some() && adaptation != Adaptation::Off {
+                    let pricing = match (&scenario, adaptation) {
+                        (Some(sc), Adaptation::Oracle) => {
+                            Pipelining::Auto(sc.worst_alive_machine(sweeps))
+                        }
+                        _ => Pipelining::Auto(machine),
+                    };
+                    (choose_qs(plan, &pricing, q_cap), choose_tail_qs(plan, &pricing, q_cap))
+                } else {
+                    (phase_qs[sweeps].clone(), tail_qs[sweeps])
                 };
-                (choose_qs(plan, &pricing, q_cap), choose_tail_qs(plan, &pricing, q_cap))
-            } else {
-                (phase_qs[sweeps].clone(), tail_qs[sweeps])
-            };
-            let qs = &qs;
-            let mut acc = SweepAccumulator::default();
-            if cache {
-                // Periodic exact refresh of the resident blocks' diagonals;
-                // the cache then travels with a block across links.
-                refresh_block_diag(&mut slot0, PairingRule::Implicit);
-                refresh_block_diag(&mut slot1, PairingRule::Implicit);
-            }
-            // Step 0, paper step (1): intra-block pairings. The step-0
-            // cross pairing is the first exchange iteration's compute.
-            acc.merge(kern.within(&mut slot0));
-            acc.merge(kern.within(&mut slot1));
-            let runs = &tail_runs[sweeps];
-            let phases = plan.phases();
-            let mut xq = 0usize;
-            let mut idx = 0usize;
-            while idx < phases.len() {
-                // A tail run: consecutive single-link transitions executed
-                // as one chained pipeline. Each phase splits its outgoing
-                // block into `tail_q` column packets, pairs packet `q`
-                // against the staying block, and ships it on a readiness
-                // stamp threaded from the previous phase — packet `q` of
-                // one transition departs as soon as packet `q` of the
-                // previous one has landed, so wire time overlaps pairing
-                // compute across the whole run. The per-packet pairing is
-                // the reference pairing re-tiled by packet boundary (see
-                // the module docs), so the bits match the whole-block path.
-                if tail_q > 1 {
-                    if let Some(run) = runs.iter().find(|r| r.start == idx) {
-                        let mut stamps = vec![ctx.virtual_now(); tail_q];
-                        for i in run.clone() {
-                            let phase = &phases[i];
-                            if matches!(phase.kind, PhaseKind::Exchange { .. }) {
-                                // An in-run K = 1 exchange rides the tail
-                                // pipeline at the run's degree; its planned
-                                // per-phase Q is consumed but overridden.
-                                xq += 1;
-                            }
-                            let link = phase.links[0];
-                            // Division, bit = 1 endpoint: the resident
-                            // (slot0) is the outgoing block; everywhere
-                            // else the mobile (slot1) travels.
-                            let resident_out = matches!(phase.kind, PhaseKind::Division { .. })
-                                && n & (1 << link) != 0;
-                            let outgoing = if resident_out { slot0.take() } else { slot1.take() };
-                            let packets = outgoing.split_columns_pooled(tail_q, &mut pool);
-                            let (finals, next, _stats) = pipelined_phase_stamped(
-                                ctx,
-                                std::slice::from_ref(&link),
-                                packets,
-                                &stamps,
-                                Msg::Packet,
-                                expect_packet,
-                                |_k, _q, pkt: &mut ColumnBlock| {
-                                    if resident_out {
-                                        acc.merge(kern.across(pkt, &mut slot1));
-                                    } else {
-                                        acc.merge(kern.across(&mut slot0, pkt));
-                                    }
-                                },
-                            );
-                            let block = ColumnBlock::from_packets_pooled(finals, &mut pool);
-                            if resident_out {
-                                slot0 = block;
-                            } else {
-                                slot1 = block;
-                            }
-                            stamps = next;
-                        }
-                        // One clock advance for the whole run: the node is
-                        // done when its last packets have landed.
-                        for &s in &stamps {
-                            ctx.advance_clock_to(s);
-                        }
-                        idx = run.end;
-                        continue;
-                    }
+                let qs = &qs;
+                let mut acc = SweepAccumulator::default();
+                if cache {
+                    // Periodic exact refresh of the resident blocks' diagonals;
+                    // the cache then travels with a block across links.
+                    refresh_block_diag(&mut slot0, PairingRule::Implicit);
+                    refresh_block_diag(&mut slot1, PairingRule::Implicit);
                 }
-                let phase = &phases[idx];
-                idx += 1;
-                match phase.kind {
-                    PhaseKind::Exchange { .. } => {
-                        let q = qs[xq];
-                        xq += 1;
-                        if q <= 1 {
-                            // Whole-block reference loop: pair, then ship
-                            // (relaying around dead links when necessary).
-                            for &link in &phase.links {
-                                acc.merge(kern.across(&mut slot0, &mut slot1));
+                // Step 0, paper step (1): intra-block pairings. The step-0
+                // cross pairing is the first exchange iteration's compute.
+                acc.merge(kern.within(&mut slot0));
+                acc.merge(kern.within(&mut slot1));
+                let runs = &tail_runs[sweeps];
+                let phases = plan.phases();
+                let mut xq = 0usize;
+                let mut idx = 0usize;
+                while idx < phases.len() {
+                    // A tail run: consecutive single-link transitions executed
+                    // as one chained pipeline. Each phase splits its outgoing
+                    // block into `tail_q` column packets, pairs packet `q`
+                    // against the staying block, and ships it on a readiness
+                    // stamp threaded from the previous phase — packet `q` of
+                    // one transition departs as soon as packet `q` of the
+                    // previous one has landed, so wire time overlaps pairing
+                    // compute across the whole run. The per-packet pairing is
+                    // the reference pairing re-tiled by packet boundary (see
+                    // the module docs), so the bits match the whole-block path.
+                    if tail_q > 1 {
+                        if let Some(run) = runs.iter().find(|r| r.start == idx) {
+                            let mut stamps = vec![ctx.virtual_now(); tail_q];
+                            for i in run.clone() {
+                                let phase = &phases[i];
+                                if matches!(phase.kind, PhaseKind::Exchange { .. }) {
+                                    // An in-run K = 1 exchange rides the tail
+                                    // pipeline at the run's degree; its planned
+                                    // per-phase Q is consumed but overridden.
+                                    xq += 1;
+                                }
+                                let link = phase.links[0];
+                                // Division, bit = 1 endpoint: the resident
+                                // (slot0) is the outgoing block; everywhere
+                                // else the mobile (slot1) travels.
+                                let resident_out = matches!(phase.kind, PhaseKind::Division { .. })
+                                    && n & (1 << link) != 0;
+                                let outgoing =
+                                    if resident_out { slot0.take() } else { slot1.take() };
+                                let packets = outgoing.split_columns_pooled(tail_q, &mut pool);
+                                let (finals, next, _stats) = pipelined_phase_stamped(
+                                    ctx,
+                                    std::slice::from_ref(&link),
+                                    packets,
+                                    &stamps,
+                                    Msg::Packet,
+                                    expect_packet,
+                                    |_k, _q, pkt: &mut ColumnBlock| {
+                                        if resident_out {
+                                            acc.merge(kern.across(pkt, &mut slot1));
+                                        } else {
+                                            acc.merge(kern.across(&mut slot0, pkt));
+                                        }
+                                    },
+                                );
+                                let block = ColumnBlock::from_packets_pooled(finals, &mut pool);
+                                if resident_out {
+                                    slot0 = block;
+                                } else {
+                                    slot1 = block;
+                                }
+                                stamps = next;
+                            }
+                            // One clock advance for the whole run: the node is
+                            // done when its last packets have landed.
+                            for &s in &stamps {
+                                ctx.advance_clock_to(s);
+                            }
+                            idx = run.end;
+                            continue;
+                        }
+                    }
+                    let phase = &phases[idx];
+                    idx += 1;
+                    match phase.kind {
+                        PhaseKind::Exchange { .. } => {
+                            let q = qs[xq];
+                            xq += 1;
+                            if q <= 1 {
+                                // Whole-block reference loop: pair, then ship
+                                // (relaying around dead links when necessary).
+                                for &link in &phase.links {
+                                    acc.merge(kern.across(&mut slot0, &mut slot1));
+                                    slot1 = expect_block(exchange_via(
+                                        ctx,
+                                        link,
+                                        Msg::Block(slot1.take()),
+                                        relays,
+                                        &mut reroutes,
+                                        &mut rerouted_elems,
+                                    ));
+                                }
+                            } else {
+                                // Packetized pipeline: pair each arriving
+                                // packet against the resident block and
+                                // forward it at once — identical rotation
+                                // sequence, overlapped transmission.
+                                let packets = slot1.take().split_columns_pooled(q, &mut pool);
+                                let (finals, _stats) = pipelined_phase(
+                                    ctx,
+                                    &phase.links,
+                                    packets,
+                                    Msg::Packet,
+                                    expect_packet,
+                                    |_k, _q, pkt: &mut ColumnBlock| {
+                                        acc.merge(kern.across(&mut slot0, pkt));
+                                    },
+                                );
+                                slot1 = ColumnBlock::from_packets_pooled(finals, &mut pool);
+                            }
+                        }
+                        PhaseKind::Division { .. } => {
+                            acc.merge(kern.across(&mut slot0, &mut slot1));
+                            let link = phase.links[0];
+                            // bit = 0 endpoint sends its mobile (slot1) and
+                            // receives the partner's resident into slot1;
+                            // bit = 1 endpoint sends its resident (slot0) and
+                            // receives the partner's mobile into slot0.
+                            if n & (1 << link) == 0 {
                                 slot1 = expect_block(exchange_via(
                                     ctx,
                                     link,
@@ -597,108 +679,79 @@ pub fn block_jacobi_threaded_adaptive(
                                     &mut reroutes,
                                     &mut rerouted_elems,
                                 ));
+                            } else {
+                                slot0 = expect_block(exchange_via(
+                                    ctx,
+                                    link,
+                                    Msg::Block(slot0.take()),
+                                    relays,
+                                    &mut reroutes,
+                                    &mut rerouted_elems,
+                                ));
                             }
-                        } else {
-                            // Packetized pipeline: pair each arriving
-                            // packet against the resident block and
-                            // forward it at once — identical rotation
-                            // sequence, overlapped transmission.
-                            let packets = slot1.take().split_columns_pooled(q, &mut pool);
-                            let (finals, _stats) = pipelined_phase(
-                                ctx,
-                                &phase.links,
-                                packets,
-                                Msg::Packet,
-                                expect_packet,
-                                |_k, _q, pkt: &mut ColumnBlock| {
-                                    acc.merge(kern.across(&mut slot0, pkt));
-                                },
-                            );
-                            slot1 = ColumnBlock::from_packets_pooled(finals, &mut pool);
                         }
-                    }
-                    PhaseKind::Division { .. } => {
-                        acc.merge(kern.across(&mut slot0, &mut slot1));
-                        let link = phase.links[0];
-                        // bit = 0 endpoint sends its mobile (slot1) and
-                        // receives the partner's resident into slot1;
-                        // bit = 1 endpoint sends its resident (slot0) and
-                        // receives the partner's mobile into slot0.
-                        if n & (1 << link) == 0 {
+                        PhaseKind::Last => {
+                            acc.merge(kern.across(&mut slot0, &mut slot1));
                             slot1 = expect_block(exchange_via(
                                 ctx,
-                                link,
+                                phase.links[0],
                                 Msg::Block(slot1.take()),
                                 relays,
                                 &mut reroutes,
                                 &mut rerouted_elems,
                             ));
-                        } else {
-                            slot0 = expect_block(exchange_via(
-                                ctx,
-                                link,
-                                Msg::Block(slot0.take()),
-                                relays,
-                                &mut reroutes,
-                                &mut rerouted_elems,
-                            ));
                         }
                     }
-                    PhaseKind::Last => {
-                        acc.merge(kern.across(&mut slot0, &mut slot1));
-                        slot1 = expect_block(exchange_via(
-                            ctx,
-                            phase.links[0],
-                            Msg::Block(slot1.take()),
-                            relays,
-                            &mut reroutes,
-                            &mut rerouted_elems,
-                        ));
+                }
+                if d == 0 {
+                    // Single node: the whole sweep is step 0's pairings.
+                    acc.merge(kern.across(&mut slot0, &mut slot1));
+                }
+                ctx.trace()
+                    .emit(n, || TraceEvent::SweepEnd { sweep: sweeps, time: ctx.virtual_now() });
+                rotations += acc.rotations;
+                sweeps += 1;
+                if !forced {
+                    // The vote must survive dead links too; with an empty
+                    // relay table this is the plain recursive-exchange
+                    // all-reduce. The decision is global, so every node
+                    // breaks (or continues to the barrier) together.
+                    let global_max = allreduce_max_via(
+                        ctx,
+                        acc.max_off,
+                        relays,
+                        &mut reroutes,
+                        &mut rerouted_elems,
+                    );
+                    if global_max <= tol * norm_a {
+                        converged = true;
+                        break;
                     }
                 }
-            }
-            if d == 0 {
-                // Single node: the whole sweep is step 0's pairings.
-                acc.merge(kern.across(&mut slot0, &mut slot1));
-            }
-            rotations += acc.rotations;
-            sweeps += 1;
-            if !forced {
-                // The vote must survive dead links too; with an empty
-                // relay table this is the plain recursive-exchange
-                // all-reduce. The decision is global, so every node
-                // breaks (or continues to the barrier) together.
-                let global_max =
-                    allreduce_max_via(ctx, acc.max_off, relays, &mut reroutes, &mut rerouted_elems);
-                if global_max <= tol * norm_a {
-                    converged = true;
-                    break;
+                if scenario.is_some() {
+                    // End-of-sweep barrier: advances the fabric epoch, so
+                    // sweep s runs at scenario epoch s on every node — the
+                    // deterministic clock the impairment timelines key on.
+                    ctx.barrier();
                 }
             }
-            if scenario.is_some() {
-                // End-of-sweep barrier: advances the fabric epoch, so
-                // sweep s runs at scenario epoch s on every node — the
-                // deterministic clock the impairment timelines key on.
-                ctx.barrier();
+            let mut columns = Vec::with_capacity(slot0.len() + slot1.len());
+            for b in [&slot0, &slot1] {
+                for k in 0..b.len() {
+                    let lambda = dot(b.u_col(k), b.a_col(k));
+                    columns.push((b.global_col(k), lambda, b.u_col(k).to_vec()));
+                }
             }
-        }
-        let mut columns = Vec::with_capacity(slot0.len() + slot1.len());
-        for b in [&slot0, &slot1] {
-            for k in 0..b.len() {
-                let lambda = dot(b.u_col(k), b.a_col(k));
-                columns.push((b.global_col(k), lambda, b.u_col(k).to_vec()));
+            NodeOutput {
+                columns,
+                sweeps,
+                rotations,
+                converged: converged || forced,
+                recalibrations,
+                reroutes,
+                rerouted_elems,
             }
-        }
-        NodeOutput {
-            columns,
-            sweeps,
-            rotations,
-            converged: converged || forced,
-            recalibrations,
-            reroutes,
-            rerouted_elems,
-        }
-    });
+        });
 
     // Assemble the global eigensystem by column index.
     let mut eigenvalues = vec![0.0; m];

@@ -58,6 +58,7 @@
 use crate::machine::{FabricStats, Machine, PortModel};
 use crate::scenario::Scenario;
 use crate::spmd::run_spmd;
+use crate::trace::{SinkHandle, TraceEvent};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
@@ -178,16 +179,36 @@ struct ClockState {
     window: Vec<(f64, f64)>,
 }
 
+/// Per-send metadata a message declares for metering and tracing: the
+/// trace's (job, k, q) headers ride here so the clock can stamp them
+/// onto its [`TraceEvent::Send`] spans.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SendMeta {
+    pub elems: u64,
+    pub job: u32,
+    pub kq: Option<(u32, u32)>,
+    pub control: bool,
+}
+
 /// A node's view of the fabric: the model plus (when throttled) its clock.
 pub struct LinkClock {
     model: FabricModel,
     node: usize,
     state: Mutex<ClockState>,
+    sink: SinkHandle,
 }
 
 impl LinkClock {
-    /// A clock for node `node` of a `d`-cube under `model`.
+    /// A clock for node `node` of a `d`-cube under `model`, untraced.
+    /// (The runtime proper always goes through [`LinkClock::with_sink`];
+    /// this shorthand serves the clock unit tests.)
+    #[cfg(test)]
     pub(crate) fn new(model: FabricModel, node: usize, d: usize) -> Self {
+        LinkClock::with_sink(model, node, d, SinkHandle::nop())
+    }
+
+    /// [`LinkClock::new`] recording its link activity into `sink`.
+    pub(crate) fn with_sink(model: FabricModel, node: usize, d: usize, sink: SinkHandle) -> Self {
         let ports = match model.machine().map(|m| m.ports) {
             None | Some(PortModel::AllPort) => 0,
             Some(PortModel::OnePort) => 1,
@@ -206,7 +227,18 @@ impl LinkClock {
                 port_free: vec![0.0; ports],
                 window: Vec::new(),
             }),
+            sink,
         }
+    }
+
+    /// The trace sink this clock (and its node) records into.
+    pub(crate) fn trace(&self) -> &SinkHandle {
+        &self.sink
+    }
+
+    /// Whether this clock runs at all (false on a free fabric).
+    pub(crate) fn throttled(&self) -> bool {
+        self.model.is_throttled()
     }
 
     /// The clock-state lock, recovering from poison: the state is a plain
@@ -218,24 +250,28 @@ impl LinkClock {
     }
 
     /// Charges one `elems`-element send across `dim`; returns the arrival
-    /// stamp to travel with the message (0 when free).
+    /// stamp to travel with the message (0 when free). Untagged test
+    /// shorthand for [`LinkClock::on_send_meta`].
+    #[cfg(test)]
     pub(crate) fn on_send(&self, dim: usize, elems: u64) -> f64 {
-        self.on_send_ready(dim, elems, 0.0)
+        self.on_send_meta(dim, 0.0, &SendMeta { elems, ..SendMeta::default() })
     }
 
-    /// [`Self::on_send`] with an explicit *data-readiness* time: the
-    /// transmission starts no earlier than `ready` — the arrival stamp of
-    /// the received packet this message forwards. The CPU still issues the
-    /// start-up serially in program order (`now += Ts`), but it does not
-    /// wait for the data: this is the comm-processor model a pipelined
-    /// phase needs, where iteration `k+1`'s early packets depart while
-    /// iteration `k`'s late ones are still in flight.
+    /// The full send charge, with an explicit *data-readiness* time and
+    /// the message's trace metadata: the transmission starts no earlier
+    /// than `ready` — the arrival stamp of the received packet this
+    /// message forwards. The CPU still issues the start-up serially in
+    /// program order (`now += Ts`), but it does not wait for the data:
+    /// this is the comm-processor model a pipelined phase needs, where
+    /// iteration `k+1`'s early packets depart while iteration `k`'s late
+    /// ones are still in flight.
     ///
     /// # Panics
     /// Under [`FabricModel::Degraded`], sending across an edge that is
     /// dead at the current epoch is a protocol error: the adaptive layer
     /// must route around dead edges, never through them.
-    pub(crate) fn on_send_ready(&self, dim: usize, elems: u64, ready: f64) -> f64 {
+    pub(crate) fn on_send_meta(&self, dim: usize, ready: f64, meta: &SendMeta) -> f64 {
+        let elems = meta.elems;
         let mut st = self.lock_state();
         let (ts, tw) = match &self.model {
             FabricModel::Free => return 0.0,
@@ -261,7 +297,8 @@ impl LinkClock {
         st.now += ts;
         // Transmission: waits for the data dependency, then acquires a
         // port (earliest available) and the outgoing link.
-        let mut start = st.now.max(ready).max(st.link_free[dim]);
+        let issued = st.now;
+        let mut start = issued.max(ready).max(st.link_free[dim]);
         let port =
             (0..st.port_free.len()).min_by(|&a, &b| st.port_free[a].total_cmp(&st.port_free[b]));
         if let Some(p) = port {
@@ -270,6 +307,22 @@ impl LinkClock {
         }
         let end = start + elems as f64 * tw;
         st.link_free[dim] = end;
+        if self.sink.is_enabled() {
+            let epoch = st.barrier_gen;
+            drop(st);
+            self.sink.emit(self.node, || TraceEvent::Send {
+                dim,
+                elems,
+                job: meta.job,
+                kq: meta.kq,
+                control: meta.control,
+                epoch,
+                issued,
+                ready,
+                start,
+                end,
+            });
+        }
         end
     }
 
@@ -334,6 +387,11 @@ impl LinkClock {
         shared.reset(slot ^ 1);
         let mut st = self.lock_state();
         st.now = st.now.max(t);
+        if self.sink.is_enabled() {
+            let (epoch, time) = (st.barrier_gen, st.now);
+            drop(st);
+            self.sink.emit(self.node, || TraceEvent::Barrier { epoch, time });
+        }
     }
 }
 

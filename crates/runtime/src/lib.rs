@@ -29,6 +29,7 @@ pub mod packet;
 pub mod pipelined;
 pub mod scenario;
 pub mod spmd;
+pub mod trace;
 
 pub use collectives::{all_gather, all_reduce, broadcast, gather};
 pub use fabric::{
@@ -41,5 +42,7 @@ pub use packet::{pipelined_phase, pipelined_phase_stamped, Packet, PacketChannel
 pub use pipelined::{pipelined_exchange, unpipelined_exchange};
 pub use scenario::{LinkDeath, Scenario, ScenarioError, ScenarioSpec};
 pub use spmd::{
-    run_spmd, run_spmd_fabric, run_spmd_fabric_jobs, run_spmd_metered, Meterable, NodeCtx,
+    run_spmd, run_spmd_fabric, run_spmd_fabric_jobs, run_spmd_fabric_jobs_traced, run_spmd_metered,
+    Meterable, NodeCtx,
 };
+pub use trace::{NopSink, RingSink, SinkHandle, TraceEvent, TraceSink};

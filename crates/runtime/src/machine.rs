@@ -171,7 +171,10 @@ impl Machine {
         }
         let medians = stats.median_by_size();
         if medians.len() < 2 {
-            return Err(CalibrationError::SingleSize { distinct: medians.len() });
+            return Err(CalibrationError::SingleSize {
+                distinct: medians.len(),
+                samples: stats.len(),
+            });
         }
         // Least squares of secs on elems over the per-size medians.
         let n = medians.len() as f64;
@@ -208,21 +211,25 @@ pub enum CalibrationError {
     Empty,
     /// A sample's size or time was NaN or infinite.
     NonFiniteSample,
-    /// Fewer than two distinct message sizes (this many): a slope needs
-    /// two abscissae. Covers the all-samples-identical case too.
-    SingleSize { distinct: usize },
+    /// Fewer than two distinct message sizes (this many, across this
+    /// many samples): a slope needs two abscissae. Covers the
+    /// all-samples-identical case too.
+    SingleSize { distinct: usize, samples: usize },
 }
 
 impl std::fmt::Display for CalibrationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CalibrationError::Empty => write!(f, "calibration got an empty sample set"),
+            CalibrationError::Empty => {
+                write!(f, "calibration got an empty sample set (0 samples, 0 sizes)")
+            }
             CalibrationError::NonFiniteSample => {
                 write!(f, "calibration got a non-finite sample")
             }
-            CalibrationError::SingleSize { distinct } => write!(
+            CalibrationError::SingleSize { distinct, samples } => write!(
                 f,
-                "calibration needs samples at >= 2 distinct message sizes, got {distinct}"
+                "calibration needs samples at >= 2 distinct message sizes, got {distinct} \
+                 (all {samples} samples share one size)"
             ),
         }
     }
@@ -267,6 +274,22 @@ impl FabricStats {
     /// Folds another sample set in (e.g. per-node probes into one fit).
     pub fn merge(&mut self, other: &FabricStats) {
         self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// `(elems, sample count)` per distinct size, sizes ascending — the
+    /// diagnostic behind [`CalibrationError`]'s sample counts: when a fit
+    /// fails, this says how the probe mass was actually distributed.
+    pub fn counts_by_size(&self) -> Vec<(f64, usize)> {
+        let mut sorted: Vec<f64> = self.samples.iter().map(|&(x, _)| x).collect();
+        sorted.sort_by(f64::total_cmp);
+        let mut out: Vec<(f64, usize)> = Vec::new();
+        for x in sorted {
+            match out.last_mut() {
+                Some((size, n)) if size.total_cmp(&x).is_eq() => *n += 1,
+                _ => out.push((x, 1)),
+            }
+        }
+        out
     }
 
     /// `(elems, median secs)` per distinct size, sizes ascending.
@@ -422,14 +445,17 @@ mod tests {
         let mut stats = FabricStats::new();
         stats.record(64.0, 1e-6);
         stats.record(64.0, 2e-6);
-        assert_eq!(Machine::calibrate(&stats), Err(CalibrationError::SingleSize { distinct: 1 }));
+        assert_eq!(
+            Machine::calibrate(&stats),
+            Err(CalibrationError::SingleSize { distinct: 1, samples: 2 })
+        );
         let mut identical = FabricStats::new();
         for _ in 0..5 {
             identical.record(256.0, 3e-6);
         }
         assert_eq!(
             Machine::calibrate(&identical),
-            Err(CalibrationError::SingleSize { distinct: 1 })
+            Err(CalibrationError::SingleSize { distinct: 1, samples: 5 })
         );
     }
 
@@ -482,8 +508,27 @@ mod tests {
     #[test]
     fn calibration_errors_display_their_cause() {
         assert!(CalibrationError::Empty.to_string().contains("empty"));
+        assert!(CalibrationError::Empty.to_string().contains("0 samples"));
         assert!(CalibrationError::NonFiniteSample.to_string().contains("non-finite"));
-        assert!(CalibrationError::SingleSize { distinct: 1 }.to_string().contains("got 1"));
+        let single = CalibrationError::SingleSize { distinct: 1, samples: 7 };
+        assert!(single.to_string().contains("got 1"));
+        assert!(
+            single.to_string().contains("7 samples"),
+            "a failed fit must say how many samples it had: {single}"
+        );
+    }
+
+    #[test]
+    fn counts_by_size_histograms_the_probe_mass() {
+        let mut stats = FabricStats::new();
+        for _ in 0..3 {
+            stats.record(64.0, 1e-6);
+        }
+        stats.record(8.0, 2e-6);
+        stats.record(4096.0, 3e-6);
+        stats.record(8.0, 4e-6);
+        assert_eq!(stats.counts_by_size(), vec![(8.0, 2), (64.0, 3), (4096.0, 1)]);
+        assert!(FabricStats::new().counts_by_size().is_empty());
     }
 
     #[test]

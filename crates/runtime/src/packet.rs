@@ -79,6 +79,10 @@ impl<P: Meterable> Meterable for Packet<P> {
     fn job(&self) -> u32 {
         self.job
     }
+
+    fn kq(&self) -> Option<(u32, u32)> {
+        Some((self.k, self.q))
+    }
 }
 
 /// Per-phase statistics of a [`PacketChannel`].

@@ -16,8 +16,9 @@
 //! `Ts + S·Tw` against the machine's port configuration, and barriers
 //! synchronize the nodes' clocks — see [`crate::fabric`].
 
-use crate::fabric::{FabricModel, FabricReport, LinkClock, SharedClock};
+use crate::fabric::{FabricModel, FabricReport, LinkClock, SendMeta, SharedClock};
 use crate::meter::TrafficMeter;
+use crate::trace::{SinkHandle, TraceEvent};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Barrier;
 
@@ -45,6 +46,14 @@ pub trait Meterable {
     /// the default job 0.
     fn job(&self) -> u32 {
         0
+    }
+
+    /// The `(k, q)` pipeline header, when this message is a framed packet
+    /// of a pipelined phase (see [`crate::packet::Packet`]). Used only by
+    /// tracing, so link spans carry the packet identity the paper's
+    /// wavefront diagrams index by. Default: not a packet.
+    fn kq(&self) -> Option<(u32, u32)> {
+        None
     }
 }
 
@@ -112,9 +121,7 @@ impl<'a, M: Send + Meterable> NodeCtx<'a, M> {
     /// time; on a throttled fabric the message is charged `Ts + S·Tw`
     /// against this node's ports and outgoing link on the virtual clock).
     pub fn send(&self, dim: usize, msg: M) {
-        self.meter.record(dim, msg.elems(), msg.is_control(), msg.job());
-        let stamp = self.clock.on_send(dim, msg.elems());
-        self.tx[dim].send(Envelope { msg, stamp }).expect("neighbor hung up");
+        self.send_after(dim, msg, 0.0);
     }
 
     /// Receives the next message from the neighbor across `dim` (blocking;
@@ -123,6 +130,7 @@ impl<'a, M: Send + Meterable> NodeCtx<'a, M> {
     pub fn recv(&self, dim: usize) -> M {
         let env = self.rx[dim].recv().expect("neighbor hung up");
         self.clock.on_recv(env.stamp);
+        self.trace_recv(dim, &env);
         env.msg
     }
 
@@ -142,7 +150,13 @@ impl<'a, M: Send + Meterable> NodeCtx<'a, M> {
     /// iterations on the virtual clock.
     pub fn send_after(&self, dim: usize, msg: M, ready: f64) {
         self.meter.record(dim, msg.elems(), msg.is_control(), msg.job());
-        let stamp = self.clock.on_send_ready(dim, msg.elems(), ready);
+        let meta = SendMeta {
+            elems: msg.elems(),
+            job: msg.job(),
+            kq: msg.kq(),
+            control: msg.is_control(),
+        };
+        let stamp = self.clock.on_send_meta(dim, ready, &meta);
         self.tx[dim].send(Envelope { msg, stamp }).expect("neighbor hung up");
     }
 
@@ -153,7 +167,34 @@ impl<'a, M: Send + Meterable> NodeCtx<'a, M> {
     /// stamps it ultimately consumes). On a free fabric the stamp is 0.
     pub fn recv_stamped(&self, dim: usize) -> (M, f64) {
         let env = self.rx[dim].recv().expect("neighbor hung up");
+        self.trace_recv(dim, &env);
         (env.msg, env.stamp)
+    }
+
+    /// The node's trace sink handle, for drivers that record their own
+    /// span boundaries (sweeps, recalibrations, relay hops, admission
+    /// decisions) next to the link events the clock records. Disabled
+    /// (the default [`crate::trace::NopSink`]) unless the run came in
+    /// through [`run_spmd_fabric_jobs_traced`].
+    pub fn trace(&self) -> &SinkHandle {
+        self.clock.trace()
+    }
+
+    /// Records a consumed arrival. Recv events only exist on throttled
+    /// fabrics, matching the send spans (a free fabric has no virtual
+    /// clock to stamp them on).
+    fn trace_recv(&self, dim: usize, env: &Envelope<M>) {
+        let sink = self.clock.trace();
+        if sink.is_enabled() && self.clock.throttled() {
+            sink.emit(self.id, || TraceEvent::Recv {
+                dim,
+                elems: env.msg.elems(),
+                job: env.msg.job(),
+                kq: env.msg.kq(),
+                control: env.msg.is_control(),
+                stamp: env.stamp,
+            });
+        }
     }
 
     /// Advances this node's virtual clock to `t` (no-op if already past,
@@ -287,6 +328,27 @@ where
     R: Send,
     F: Fn(&NodeCtx<'_, M>) -> R + Sync,
 {
+    run_spmd_fabric_jobs_traced(d, fabric, njobs, SinkHandle::nop(), body)
+}
+
+/// Like [`run_spmd_fabric_jobs`] with a trace sink: every node's link
+/// clock records its transmissions, arrivals, and barrier crossings into
+/// `sink` (see [`crate::trace`]), and `body` can record driver-level
+/// events through [`NodeCtx::trace`]. Tracing is observational only —
+/// results are bitwise-identical to the untraced run, and with the
+/// default [`SinkHandle::nop`] this *is* [`run_spmd_fabric_jobs`].
+pub fn run_spmd_fabric_jobs_traced<M, R, F>(
+    d: usize,
+    fabric: FabricModel,
+    njobs: usize,
+    sink: SinkHandle,
+    body: F,
+) -> (Vec<R>, TrafficMeter, FabricReport)
+where
+    M: Send + Meterable,
+    R: Send,
+    F: Fn(&NodeCtx<'_, M>) -> R + Sync,
+{
     // Misconfigured fabrics are rejected by the checked option
     // constructors upstream; this is the last line of defense for callers
     // that skipped them — one clear failure before any thread spawns
@@ -331,7 +393,7 @@ where
             rx,
             barrier: &barrier,
             meter: &meter,
-            clock: LinkClock::new(fabric.clone(), n, d),
+            clock: LinkClock::with_sink(fabric.clone(), n, d, sink.clone()),
             shared_clock: &shared_clock,
         });
     }

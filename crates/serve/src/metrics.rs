@@ -1,4 +1,10 @@
 //! SLO metrics: latency percentiles over a service run.
+//!
+//! The order statistics themselves live in [`mph_trace::quantiles`] —
+//! the one nearest-rank implementation the whole workspace shares —
+//! and this module keeps the serve-flavored shape ([`LatencyStats`])
+//! plus the historical `percentile`/`latency_stats` entry points as
+//! thin delegations.
 
 /// Order statistics of a latency sample, virtual-clock units.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,30 +26,21 @@ pub struct LatencyStats {
 /// Nearest-rank percentile of an ascending-sorted sample:
 /// `sorted[ceil(p/100 · n) - 1]`, the standard inclusive definition —
 /// `percentile(s, 100)` is the max, `percentile(s, 50)` of `[1,2,3,4]`
-/// is `2`.
+/// is `2`. Delegates to [`mph_trace::percentile`].
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of an empty sample");
-    assert!((0.0..=100.0).contains(&p), "percentile rank out of range: {p}");
-    let n = sorted.len();
-    let rank = ((p / 100.0) * n as f64).ceil() as usize;
-    sorted[rank.max(1) - 1]
+    mph_trace::percentile(sorted, p)
 }
 
 /// Summarizes a latency sample; `None` when it is empty (a run where
 /// everything was shed has no latency distribution, not a zero one).
 pub fn latency_stats(latencies: &[f64]) -> Option<LatencyStats> {
-    if latencies.is_empty() {
-        return None;
-    }
-    let mut sorted = latencies.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    Some(LatencyStats {
-        count: sorted.len(),
-        p50: percentile(&sorted, 50.0),
-        p90: percentile(&sorted, 90.0),
-        p99: percentile(&sorted, 99.0),
-        mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
-        max: *sorted.last().expect("non-empty"),
+    mph_trace::summarize(latencies).map(|s| LatencyStats {
+        count: s.count,
+        p50: s.p50,
+        p90: s.p90,
+        p99: s.p99,
+        mean: s.mean,
+        max: s.max,
     })
 }
 
@@ -77,5 +74,16 @@ mod tests {
     #[test]
     fn empty_samples_have_no_distribution() {
         assert_eq!(latency_stats(&[]), None);
+    }
+
+    #[test]
+    fn delegation_agrees_with_the_shared_helper() {
+        let sample = [3.0, 1.0, 2.0];
+        let ours = latency_stats(&sample).expect("non-empty");
+        let shared = mph_trace::summarize(&sample).expect("non-empty");
+        assert_eq!(
+            (ours.count, ours.p50, ours.p90, ours.p99, ours.mean, ours.max),
+            (shared.count, shared.p50, shared.p90, shared.p99, shared.mean, shared.max)
+        );
     }
 }

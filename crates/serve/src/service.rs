@@ -6,9 +6,10 @@ use mph_batch::{service_plan, AdmissionConfig, Policy, Throughput};
 use mph_ccpipe::{partial_batch_cost, BatchOrder, Machine, PlannedJob};
 use mph_core::CommPlan;
 use mph_eigen::{
-    choose_tail_qs, lower_job, packetization_cap, run_job_service, JobSpec, ServiceRun,
+    choose_tail_qs, lower_job, packetization_cap, run_job_service_traced, JobSpec, ServiceRun,
 };
-use mph_runtime::FabricModel;
+use mph_runtime::{FabricModel, SinkHandle};
+use mph_trace::MetricsRegistry;
 
 /// Service-level options: the shared fabric, the admission discipline,
 /// and the pricing machine behind both.
@@ -26,6 +27,12 @@ pub struct ServeOptions {
     pub pricing: Machine,
     /// Queue bound, interleaving width, and de-phasing stagger.
     pub admission: AdmissionConfig,
+    /// Trace sink the service records into (default: the zero-cost nop
+    /// sink). When enabled, the fabric stamps link/barrier events and
+    /// the admission loop adds admit/reject/stagger decisions (node 0's
+    /// lane), all on the shared virtual clock. Strictly observational:
+    /// results are bitwise identical to the untraced run.
+    pub trace: SinkHandle,
 }
 
 impl Default for ServeOptions {
@@ -35,6 +42,7 @@ impl Default for ServeOptions {
             policy: Policy::Fifo,
             pricing: Machine::paper_figure2(),
             admission: AdmissionConfig::default(),
+            trace: SinkHandle::nop(),
         }
     }
 }
@@ -90,6 +98,31 @@ impl ServeReport {
     pub fn peak_queue_depth(&self) -> usize {
         self.backlog.iter().map(|p| p.queue_depth).max().unwrap_or(0)
     }
+
+    /// Projects the report into the workspace's shared metric shape:
+    /// counters for served/rejected, gauges for makespan/backlog/
+    /// throughput, histograms (raw samples, summarizable on demand) for
+    /// latency and queue wait.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.add("serve.served", self.served() as u64);
+        r.add("serve.rejected", self.rejected() as u64);
+        r.set_gauge("serve.makespan", self.makespan);
+        r.set_gauge("serve.peak_queue_depth", self.peak_queue_depth() as f64);
+        if let Some(t) = &self.throughput {
+            r.set_gauge("serve.jobs_per_time", t.jobs_per_time);
+            r.set_gauge("serve.elems_per_time", t.elems_per_time);
+        }
+        for o in &self.run.outcomes {
+            if let Some(l) = o.latency() {
+                r.observe("serve.latency", l);
+            }
+            if let Some(w) = o.queue_wait() {
+                r.observe("serve.queue_wait", w);
+            }
+        }
+        r
+    }
 }
 
 /// Serves `scenario` on a `d`-cube of threads sharing one fabric: lowers
@@ -121,7 +154,8 @@ pub fn serve(d: usize, scenario: &Scenario, opts: &ServeOptions) -> ServeReport 
         &machine,
         &opts.admission,
     );
-    let run = run_job_service(d, &specs, &lowered, opts.fabric.clone(), &plan);
+    let run =
+        run_job_service_traced(d, &specs, &lowered, opts.fabric.clone(), &plan, opts.trace.clone());
 
     let latencies: Vec<f64> = run.outcomes.iter().filter_map(|o| o.latency()).collect();
     let waits: Vec<f64> = run.outcomes.iter().filter_map(|o| o.queue_wait()).collect();
@@ -203,6 +237,20 @@ mod tests {
         assert!(report.backlog.iter().any(|p| p.remaining_cost > 0.0));
         let makespan = report.makespan;
         assert!(report.backlog.iter().all(|p| p.time <= makespan));
+        // The metrics projection draws from the same run.
+        let m = report.metrics();
+        assert_eq!(m.counter("serve.served"), 4);
+        assert_eq!(m.counter("serve.rejected"), 0);
+        assert_eq!(m.gauge("serve.makespan"), Some(makespan));
+        let lat_m = m.summary("serve.latency").expect("latency histogram populated");
+        assert_eq!((lat_m.count, lat_m.p50, lat_m.max), (lat.count, lat.p50, lat.max));
+    }
+
+    #[test]
+    fn tracing_defaults_to_the_nop_sink() {
+        let opts = ServeOptions::default();
+        assert!(!opts.trace.is_enabled());
+        assert_eq!(opts, ServeOptions::default());
     }
 
     #[test]

@@ -19,3 +19,4 @@ pub use mph_linalg as linalg;
 pub use mph_runtime as runtime;
 pub use mph_serve as serve;
 pub use mph_simnet as simnet;
+pub use mph_trace as trace;

@@ -44,6 +44,7 @@ fn expected_examples_are_present() {
         "quickstart",
         "serve_loop",
         "svd_demo",
+        "trace_capture",
     ];
     assert_eq!(found, want, "examples roster changed; update this test deliberately");
 }
